@@ -1,0 +1,21 @@
+"""Formatting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def fmt_row(label: str, values: list, width: int = 12) -> str:
+    """Format one aligned table row (floats to 4 decimals)."""
+    cells = "".join(
+        f"{value:>{width}.4f}" if isinstance(value, float) else f"{value!s:>{width}}"
+        for value in values
+    )
+    return f"{label:<28}{cells}"
+
+
+def fmt_sci(label: str, values: list, width: int = 12) -> str:
+    """Format one aligned row in scientific notation."""
+    cells = "".join(
+        f"{value:>{width}.2e}" if isinstance(value, float) else f"{value!s:>{width}}"
+        for value in values
+    )
+    return f"{label:<28}{cells}"

@@ -1,0 +1,96 @@
+"""Ablation A3 (Section 4.4) — the pruning threshold θ.
+
+Prop. 4.6 bounds the extra error by θ; Lemma 4.7 wants θ ≤ 1 - c to keep
+scores in [0, 1]; the discussion advises *low* θ for the MC framework
+(unlike the G²_θ reduction where high θ is good).  This sweep shows the
+trade: query time falls and the error ceiling rises as θ grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import MonteCarloSemSim, WalkIndex
+from repro.core.semsim import semsim_scores
+
+from _shared import fmt_row, fmt_sci
+
+DECAY = 0.6
+THETAS = (0.0, 0.025, 0.05, 0.1, 0.2, 0.4)
+
+
+def test_ablation_theta_sweep(benchmark, show, amazon_small):
+    bundle = amazon_small
+    truth = semsim_scores(
+        bundle.graph, bundle.measure, decay=DECAY, tolerance=1e-10, max_iterations=100
+    )
+    rng = np.random.default_rng(55)
+    entities = bundle.entity_nodes
+    pairs = []
+    for _ in range(60):
+        i, j = rng.choice(len(entities), size=2, replace=False)
+        pairs.append((entities[int(i)], entities[int(j)]))
+    index = WalkIndex(bundle.graph, num_walks=150, length=15, seed=5)
+    unpruned = MonteCarloSemSim(index, bundle.measure, decay=DECAY, theta=None)
+    baseline = {pair: unpruned.similarity(*pair) for pair in pairs}
+
+    rows = {}
+
+    def sweep():
+        for theta in THETAS:
+            estimator = MonteCarloSemSim(
+                index, bundle.measure, decay=DECAY, theta=theta
+            )
+            start = time.perf_counter()
+            estimates = {pair: estimator.similarity(*pair) for pair in pairs}
+            elapsed = (time.perf_counter() - start) / len(pairs)
+            max_extra = max(
+                abs(estimates[pair] - baseline[pair]) for pair in pairs
+            )
+            mean_abs = float(
+                np.mean([abs(estimates[p] - truth.score(*p)) for p in pairs])
+            )
+            rows[theta] = (elapsed, max_extra, mean_abs)
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"=== Ablation A3 — pruning threshold sweep on {bundle.name} "
+        f"(c={DECAY}, Lemma 4.7 ceiling: theta <= {1 - DECAY}) ===",
+        "Paper: pruning accelerates strongly; the extra error stays <= theta.",
+        "",
+        fmt_sci("theta", list(THETAS)),
+        fmt_sci("sec / query", [rows[t][0] for t in THETAS]),
+        fmt_sci("max extra err vs unpruned", [rows[t][1] for t in THETAS]),
+        fmt_sci("mean abs err vs truth", [rows[t][2] for t in THETAS]),
+    ]
+    show("ablation_theta", lines)
+
+    for theta in THETAS:
+        # Prop. 4.6: extra error bounded by theta.
+        assert rows[theta][1] <= theta + 1e-9
+    # Aggressive pruning is faster than no pruning.
+    assert rows[0.4][0] < rows[0.0][0]
+
+
+def test_ablation_theta_zero_matches_unpruned(benchmark, amazon_small):
+    """theta=0 never triggers either cut: results identical to unpruned."""
+    bundle = amazon_small
+    index = WalkIndex(bundle.graph, num_walks=80, length=10, seed=9)
+    zero = MonteCarloSemSim(index, bundle.measure, decay=DECAY, theta=0.0)
+    off = MonteCarloSemSim(index, bundle.measure, decay=DECAY, theta=None)
+    entities = bundle.entity_nodes[:12]
+
+    def compare():
+        for u in entities:
+            for v in entities:
+                assert zero.similarity(u, v) == pytest.approx(
+                    off.similarity(u, v), abs=1e-12
+                )
+        return True
+
+    assert benchmark.pedantic(compare, rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+"""Clustering extension — the Introduction's motivating application.
+
+The paper motivates node similarity as a building block for clustering.
+This bench clusters AMiner-like *authors* by research community with
+similarity-driven k-medoids.  The setting is chosen to need both signals:
+author-level semantics is flat (everything "is-a Author", the Section 5.3
+observation), so Lin alone cannot separate communities; the collaboration
+structure alone is noisy; SemSim sees the structure *and* the semantics of
+the interest terms along the recursion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SemSim, SimRank
+from repro.tasks import adjusted_rand_index, cluster_purity, similarity_kmedoids
+
+from _shared import fmt_row
+
+DECAY = 0.6
+NUM_AUTHORS = 70
+
+
+def test_clustering_recovers_research_communities(benchmark, show, aminer_small):
+    bundle = aminer_small
+    author_topic = bundle.extras["author_topic"]
+    authors = [n for n in bundle.entity_nodes if n in author_topic][:NUM_AUTHORS]
+    truth = {author: author_topic[author] for author in authors}
+    k = len(set(truth.values()))
+
+    semsim = SemSim(bundle.graph, bundle.measure, decay=DECAY, max_iterations=25)
+    simrank = SimRank(bundle.graph, decay=DECAY, max_iterations=25)
+    oracles = {
+        "SimRank": simrank.similarity,
+        "Lin": bundle.measure.similarity,
+        "SemSim": semsim.similarity,
+    }
+
+    results = {}
+
+    def run_all():
+        for name, oracle in oracles.items():
+            clustering = similarity_kmedoids(authors, oracle, k=k, seed=11)
+            results[name] = (
+                adjusted_rand_index(clustering.assignment, truth),
+                cluster_purity(clustering.assignment, truth),
+            )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"=== Clustering extension — k-medoids over {len(authors)} authors, "
+        f"k={k} research communities ===",
+        "Author semantics is flat (all is-a Author), so Lin cannot separate",
+        "communities; SemSim adds the terms' semantics to the structure.",
+        "",
+        fmt_row("measure", ["ARI", "purity"]),
+    ] + [
+        fmt_row(name, [ari, purity]) for name, (ari, purity) in sorted(
+            results.items(), key=lambda kv: -kv[1][0]
+        )
+    ]
+    show("clustering", lines)
+
+    # Flat author semantics: Lin is no better than chance (the Section 5.3
+    # observation that motivates structural measures on this graph).
+    assert results["Lin"][0] < 0.1
+    # Robustness claim (Section 5.3 summary): with only partial semantics
+    # available, SemSim stays comparable to the best structural measure —
+    # it degrades gracefully instead of collapsing like the pure-semantic
+    # measure.
+    assert results["SemSim"][0] >= 0.75 * results["SimRank"][0]
+    assert results["SemSim"][0] > 0.1

@@ -1,0 +1,87 @@
+"""Dynamic-update extension (Section 7) — incremental vs rebuild.
+
+The random-walk framework is "compatible with updates in the graph"
+(Related Work, citing READS [14]): an edge change only invalidates walks
+visiting the touched node.  This bench measures the incremental repair cost
+of :class:`DynamicWalkIndex` against rebuilding the index from scratch, and
+verifies the repaired index still estimates correctly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicWalkIndex, MonteCarloSimRank, WalkIndex
+from repro.core.simrank import simrank_scores
+
+from _shared import fmt_row
+
+NUM_WALKS = 120
+LENGTH = 12
+NUM_UPDATES = 20
+
+
+def test_incremental_update_beats_rebuild(benchmark, show, amazon_small):
+    bundle = amazon_small
+    entities = bundle.entity_nodes
+    rng = np.random.default_rng(31)
+    updates = []
+    for _ in range(NUM_UPDATES):
+        i, j = rng.choice(len(entities), size=2, replace=False)
+        updates.append((entities[int(i)], entities[int(j)]))
+
+    dynamic = DynamicWalkIndex(
+        bundle.graph, num_walks=NUM_WALKS, length=LENGTH, seed=0
+    )
+
+    def apply_updates():
+        resampled = 0
+        start = time.perf_counter()
+        for source, target in updates:
+            resampled += dynamic.add_edge(source, target, weight=1.0)
+        return resampled, time.perf_counter() - start
+
+    resampled, incremental_time = benchmark.pedantic(
+        apply_updates, rounds=1, iterations=1
+    )
+
+    start = time.perf_counter()
+    rebuilt = WalkIndex(dynamic.graph, num_walks=NUM_WALKS, length=LENGTH, seed=0)
+    rebuild_time = time.perf_counter() - start
+
+    total_walks = dynamic.index.num_nodes * NUM_WALKS
+    lines = [
+        f"=== Dynamic updates — {NUM_UPDATES} edge insertions on {bundle.name} ===",
+        "Related-work claim: walk indexes absorb graph updates incrementally.",
+        "",
+        fmt_row("", ["seconds", "walks touched"], width=16),
+        fmt_row(
+            f"incremental ({NUM_UPDATES} updates)",
+            [incremental_time, resampled],
+            width=16,
+        ),
+        fmt_row(
+            f"full rebuilds (x{NUM_UPDATES})",
+            [rebuild_time * NUM_UPDATES, total_walks * NUM_UPDATES],
+            width=16,
+        ),
+    ]
+    show("dynamic_updates", lines)
+
+    # Each update touches a fraction of the walks, never all of them.
+    assert resampled < total_walks * NUM_UPDATES
+
+    # Correctness: the repaired index estimates like an exact engine.
+    exact = simrank_scores(
+        dynamic.graph, decay=0.6, tolerance=1e-10, max_iterations=100
+    )
+    estimator = MonteCarloSimRank(dynamic, decay=0.6)
+    errors = []
+    for source, target in updates[:8]:
+        errors.append(
+            abs(estimator.similarity(source, target) - exact.score(source, target))
+        )
+    assert float(np.mean(errors)) < 0.08

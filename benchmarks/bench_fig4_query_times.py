@@ -1,0 +1,146 @@
+"""Figure 4 — average single-pair query times of the MC frameworks.
+
+Paper's claims (Amazon dataset, c = 0.6, θ = 0.05):
+
+* SemSim without pruning is much slower than SimRank's MC (the extra d²
+  factor of Prop. 4.4 — 0.217 ms vs 0.0035 ms in the paper);
+* pruning brings SemSim essentially on par with SimRank (0.0038 ms);
+* the SLING-style precomputed-probability index makes both fastest, at a
+  memory cost.
+
+Two sweeps as in the figure: query time vs ``n_w`` (t = 15) and vs ``t``
+(n_w = 150).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import MonteCarloSemSim, MonteCarloSimRank, SlingIndex, WalkIndex
+
+from _shared import fmt_sci
+
+DECAY = 0.6
+THETA = 0.05
+NUM_QUERY_PAIRS = 40
+
+
+def _query_pairs(bundle, count: int):
+    rng = np.random.default_rng(99)
+    entities = bundle.entity_nodes
+    pairs = []
+    for _ in range(count):
+        i, j = rng.choice(len(entities), size=2, replace=False)
+        pairs.append((entities[int(i)], entities[int(j)]))
+    return pairs
+
+
+def _avg_query_seconds(estimator, pairs) -> float:
+    start = time.perf_counter()
+    for u, v in pairs:
+        estimator.similarity(u, v)
+    return (time.perf_counter() - start) / len(pairs)
+
+
+def _estimators(bundle, index, sling):
+    measure = bundle.measure
+    return {
+        "SimRank MC": MonteCarloSimRank(index, decay=DECAY),
+        "SemSim (no pruning)": MonteCarloSemSim(index, measure, decay=DECAY, theta=None),
+        "SemSim (pruning)": MonteCarloSemSim(index, measure, decay=DECAY, theta=THETA),
+        "SemSim + SLING": MonteCarloSemSim(
+            index, measure, decay=DECAY, theta=THETA, pair_index=sling
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def sling_index(amazon_small):
+    return SlingIndex(amazon_small.graph, amazon_small.measure, sem_threshold=0.1)
+
+
+def test_fig4a_time_vs_num_walks(benchmark, show, amazon_small, sling_index):
+    pairs = _query_pairs(amazon_small, NUM_QUERY_PAIRS)
+    sweep = (50, 100, 150, 200)
+    times: dict[str, list[float]] = {}
+
+    def run_sweep():
+        for n_w in sweep:
+            index = WalkIndex(amazon_small.graph, num_walks=n_w, length=15, seed=5)
+            for name, estimator in _estimators(amazon_small, index, sling_index).items():
+                times.setdefault(name, []).append(_avg_query_seconds(estimator, pairs))
+        return times
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"=== Figure 4(a) — avg single-pair query time vs n_w (t=15) on "
+        f"{amazon_small.name} ===",
+        "Paper: SemSim-no-pruning >> SimRank; pruning ~ SimRank; SLING fastest.",
+        "All times in seconds per query.",
+        "",
+        fmt_sci("n_w", list(sweep)),
+    ] + [fmt_sci(name, values) for name, values in times.items()]
+    show("fig4a_time_vs_num_walks", lines)
+
+    no_prune = times["SemSim (no pruning)"]
+    pruned = times["SemSim (pruning)"]
+    simrank = times["SimRank MC"]
+    sling = times["SemSim + SLING"]
+    for i in range(len(sweep)):
+        # Pruning must close most of the gap to SimRank.
+        assert no_prune[i] > 3 * simrank[i]
+        assert pruned[i] < no_prune[i] / 2
+        assert sling[i] <= pruned[i] * 1.5
+    # Times grow with the number of walks for the unpruned estimator.
+    assert no_prune[-1] > no_prune[0]
+
+
+def test_fig4b_time_vs_walk_length(benchmark, show, amazon_small, sling_index):
+    pairs = _query_pairs(amazon_small, NUM_QUERY_PAIRS)
+    sweep = (5, 10, 15, 20)
+    times: dict[str, list[float]] = {}
+
+    def run_sweep():
+        for t in sweep:
+            index = WalkIndex(amazon_small.graph, num_walks=150, length=t, seed=5)
+            for name, estimator in _estimators(amazon_small, index, sling_index).items():
+                times.setdefault(name, []).append(_avg_query_seconds(estimator, pairs))
+        return times
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"=== Figure 4(b) — avg single-pair query time vs t (n_w=150) on "
+        f"{amazon_small.name} ===",
+        "Paper: same ordering as 4(a) across truncation lengths.",
+        "All times in seconds per query.",
+        "",
+        fmt_sci("t", list(sweep)),
+    ] + [fmt_sci(name, values) for name, values in times.items()]
+    show("fig4b_time_vs_walk_length", lines)
+
+    for i in range(len(sweep)):
+        assert times["SemSim (no pruning)"][i] > times["SemSim (pruning)"][i]
+        assert times["SemSim + SLING"][i] <= times["SemSim (pruning)"][i] * 1.5
+
+
+def test_fig4_sling_memory_tradeoff(benchmark, show, amazon_small):
+    """The paper pairs the SLING speedup with its index memory cost."""
+    sling = benchmark.pedantic(
+        SlingIndex,
+        args=(amazon_small.graph, amazon_small.measure),
+        kwargs={"sem_threshold": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "=== Figure 4 companion — SLING index memory ===",
+        f"indexed pairs (sem >= 0.1): {sling.num_entries}",
+        f"approx. memory: {sling.memory_bytes / 1024:.1f} KiB",
+    ]
+    show("fig4_sling_memory", lines)
+    assert sling.num_entries > 0

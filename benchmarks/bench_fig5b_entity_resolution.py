@@ -1,0 +1,93 @@
+"""Figure 5(b) — entity resolution (duplicate detection) on AMiner.
+
+Paper's protocol: 30 duplicate pairs (24 terms + 6 authors) mined by
+Levenshtein distance; each measure runs a top-k search from one entity of
+the pair and scores a hit when the duplicate appears.  Claims:
+
+* absolute precision is modest (no string/affiliation features in the
+  graph);
+* structural measures beat semantic ones — author semantics is flat
+  (everything "is-a Author");
+* PathSim is strong (edge labels carry some semantics); SemSim gets an
+  advantage, sometimes marginal, at every k;
+* the Multiplication/Average combiners trail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AverageMeasure,
+    LineEmbedding,
+    MultiplicationMeasure,
+    Panther,
+    PathSim,
+    SimRankPP,
+)
+from repro.core import SemSim, SimRank
+from repro.tasks import evaluate_entity_resolution
+
+from _shared import fmt_row
+
+DECAY = 0.6
+KS = (2, 5, 10, 20)
+
+
+def _evaluate_all(bundle):
+    graph, measure = bundle.graph, bundle.measure
+    simrank = SimRank(graph, decay=DECAY, max_iterations=25)
+    methods = {
+        "Lin": measure.similarity,
+        "SimRank": simrank.similarity,
+        "SimRank++": SimRankPP(graph, decay=DECAY, max_iterations=25).similarity,
+        "PathSim": PathSim.from_all_labels(graph).similarity,
+        "Panther": Panther(graph, num_paths=20_000, path_length=5, seed=0).similarity,
+        "LINE": LineEmbedding(graph, dimensions=32, num_samples=120_000, seed=0).similarity,
+        "Multiplication": MultiplicationMeasure(
+            simrank.similarity, measure.similarity
+        ).similarity,
+        "Average": AverageMeasure(simrank.similarity, measure.similarity).similarity,
+        "SemSim": SemSim(graph, measure, decay=DECAY, max_iterations=25).similarity,
+    }
+    duplicates = bundle.extras["duplicates"]
+    return {
+        name: evaluate_entity_resolution(
+            duplicates, bundle.entity_nodes, oracle, ks=KS, method=name
+        )
+        for name, oracle in methods.items()
+    }
+
+
+def test_fig5b_entity_resolution(benchmark, show, aminer_er):
+    bundle = aminer_er
+    results = benchmark.pedantic(_evaluate_all, args=(bundle,), rounds=1, iterations=1)
+
+    ranked = sorted(
+        results.values(), key=lambda r: r.precision_at_k[max(KS)], reverse=True
+    )
+    lines = [
+        f"=== Figure 5(b) — entity resolution on {bundle.name} "
+        f"({results['SemSim'].queries} planted duplicate pairs, precision@k) ===",
+        "Paper: structural > semantic (flat author semantics); PathSim strong;",
+        "SemSim ahead (even if marginally) at every k; combiners trail.",
+        "",
+        fmt_row("method", [f"k={k}" for k in KS]),
+    ] + [
+        fmt_row(r.method, [r.precision_at_k[k] for k in KS]) for r in ranked
+    ]
+    show("fig5b_entity_resolution", lines)
+
+    precision = {name: r.precision_at_k for name, r in results.items()}
+    top_k = max(KS)
+    # Structural beats pure semantics (flat author taxonomy).
+    assert precision["SimRank"][top_k] >= precision["Lin"][top_k]
+    # SemSim at least matches the best competitor at the largest k.
+    competitor_best = max(
+        precision[name][top_k] for name in precision if name != "SemSim"
+    )
+    assert precision["SemSim"][top_k] >= competitor_best
+    # Monotone in k.
+    for name, per_k in precision.items():
+        values = [per_k[k] for k in KS]
+        assert values == sorted(values), name

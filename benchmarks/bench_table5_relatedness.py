@@ -1,0 +1,111 @@
+"""Table 5 — term relatedness (WordsSim-style) across ten measures.
+
+Paper's ordering on both Wikipedia and WordNet:
+
+    SemSim > Relatedness > LINE > Lin > Multiplication > Average >
+    SimRank ≈ SimRank++ ≈ PathSim > Panther
+
+The mechanism: the gold relatedness signal blends taxonomic and structural
+proximity, so structure-only and semantics-only measures each explain only
+part of it, naive after-the-fact combiners help a little, and measures
+that interweave both signals explain the most — with SemSim's recursive
+interweaving on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AverageMeasure,
+    LineEmbedding,
+    MultiplicationMeasure,
+    OntologyRelatedness,
+    Panther,
+    PathSim,
+    SimRankPP,
+    select_meta_path,
+)
+from repro.core import SemSim, SimRank
+from repro.datasets import wordsim_benchmark
+from repro.tasks import evaluate_relatedness
+
+from _shared import fmt_row
+
+DECAY = 0.6
+
+
+def _evaluate_all(bundle, judgements, tuning_judgements):
+    graph, measure = bundle.graph, bundle.measure
+    simrank = SimRank(graph, decay=DECAY, max_iterations=25)
+    semsim = SemSim(graph, measure, decay=DECAY, max_iterations=25)
+    # Meta-path auto-selection on a disjoint tuning sample — the fairest
+    # configuration a meta-path method gets without human path engineering.
+    tuned = select_meta_path(
+        graph,
+        [(j.a, j.b, j.score) for j in tuning_judgements],
+        max_length=2,
+    )
+    methods = {
+        "Panther": Panther(graph, num_paths=20_000, path_length=5, seed=0).similarity,
+        "PathSim": PathSim.from_all_labels(graph).similarity,
+        "PathSim (auto-path)": tuned.model.similarity,
+        "SimRank": simrank.similarity,
+        "SimRank++": SimRankPP(graph, decay=DECAY, max_iterations=25).similarity,
+        "Average": AverageMeasure(simrank.similarity, measure.similarity).similarity,
+        "Multiplication": MultiplicationMeasure(
+            simrank.similarity, measure.similarity
+        ).similarity,
+        "Lin": measure.similarity,
+        "LINE": LineEmbedding(
+            graph, dimensions=32, num_samples=120_000, seed=0
+        ).similarity,
+        "Relatedness": OntologyRelatedness(graph, measure).similarity,
+        "SemSim": semsim.similarity,
+    }
+    return {
+        name: evaluate_relatedness(judgements, oracle, name)
+        for name, oracle in methods.items()
+    }
+
+
+@pytest.mark.parametrize(
+    "dataset,num_pairs",
+    [("wikipedia", 40), ("wordnet", 120)],
+)
+def test_table5_relatedness(
+    benchmark, show, dataset, num_pairs, wikipedia_small, wordnet_small
+):
+    bundle = wikipedia_small if dataset == "wikipedia" else wordnet_small
+    judgements = wordsim_benchmark(bundle, num_pairs=num_pairs, seed=3)
+    tuning = wordsim_benchmark(bundle, num_pairs=30, seed=99)
+
+    results = benchmark.pedantic(
+        _evaluate_all, args=(bundle, judgements, tuning), rounds=1, iterations=1
+    )
+
+    ranked = sorted(results.values(), key=lambda r: r.pearson_r, reverse=True)
+    lines = [
+        f"=== Table 5 — term relatedness on {bundle.name} "
+        f"({num_pairs} judged pairs) ===",
+        "Paper (Wikipedia): SemSim .585 > Relatedness .510 > LINE .493 > "
+        "Lin .485 > Mult .37 > Avg .36 > structural ~.3.",
+        "",
+        fmt_row("method", ["r", "p-value"]),
+    ] + [
+        fmt_row(r.method, [r.pearson_r, r.p_value]) for r in ranked
+    ]
+    show(f"table5_relatedness_{dataset}", lines)
+
+    r = {name: result.pearson_r for name, result in results.items()}
+    # Core ordering claims.
+    assert r["SemSim"] == max(r.values()), "SemSim must lead the table"
+    structural_best = max(r["SimRank"], r["SimRank++"], r["Panther"], r["PathSim"])
+    assert r["SemSim"] > structural_best
+    assert r["SemSim"] > r["Lin"]
+    assert r["SemSim"] > r["Multiplication"]
+    assert r["SemSim"] > r["Average"]
+    # Note: the paper's exact mid-table order (Relatedness 2nd, LINE 3rd)
+    # depends on its real corpora; at our synthetic scale the middle ranks
+    # shuffle while the headline (SemSim first, ahead of every pure and
+    # naive-combined measure) holds — see EXPERIMENTS.md.

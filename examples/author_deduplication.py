@@ -1,0 +1,58 @@
+"""Entity resolution on an AMiner-like bibliographic network.
+
+Reproduces the Section 5.3 workflow: mine duplicate-entity candidates with
+Levenshtein string distance over the author/term name table, then use
+SemSim top-k search to confirm which candidates are true duplicates —
+exploiting the fact that a duplicate entry shares most of its neighbourhood
+(collaborators, terms, country) with the original.
+
+Run:  python examples/author_deduplication.py
+"""
+
+from repro import SemSim, top_k_similar
+from repro.datasets import aminer_like
+from repro.tasks import evaluate_entity_resolution, mine_duplicates_by_levenshtein
+
+
+def main() -> None:
+    print("Generating an AMiner-like bibliographic network with planted duplicates...")
+    data = aminer_like(num_authors=180, num_terms=90, seed=42)
+    print(f"  {data.graph}; {len(data.extras['duplicates'])} planted duplicate pairs")
+    print()
+
+    # Step 1 — candidate mining by string distance, as in the paper.
+    term_names = {
+        node: name for node, name in data.extras["names"].items()
+        if str(node).startswith("term")
+    }
+    mined = mine_duplicates_by_levenshtein(term_names, max_distance=0.2)
+    print(f"Levenshtein mining over term names found {len(mined)} candidate pairs, e.g.:")
+    for original, duplicate in mined[:3]:
+        print(f"    {term_names[original]!r}  ~  {term_names[duplicate]!r}")
+    print()
+
+    # Step 2 — confirm with similarity search.
+    print("Computing SemSim (iterative form, c=0.6)...")
+    engine = SemSim(data.graph, data.measure, decay=0.6, max_iterations=20)
+
+    original, duplicate = data.extras["duplicates"][0]
+    print(f"Top-5 most similar entities to {original}:")
+    for node, score in top_k_similar(
+        original, data.entity_nodes, 5, engine.similarity
+    ):
+        marker = "  <-- planted duplicate" if node == duplicate else ""
+        print(f"    {node:<18} {score:.4f}{marker}")
+    print()
+
+    # Step 3 — quantitative evaluation against the planted ground truth.
+    result = evaluate_entity_resolution(
+        data.extras["duplicates"], data.entity_nodes, engine.similarity,
+        ks=(2, 5, 10), method="SemSim",
+    )
+    print("Precision@k over all planted duplicates:")
+    for k, precision in result.precision_at_k.items():
+        print(f"    k={k:<3} {precision:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart — the paper's running example end to end.
+
+Builds the Figure 1 bibliographic network, computes SimRank and SemSim on
+it, and shows the paper's headline observation (Example 2.2): SimRank —
+structure only — thinks Bo is the author most similar to Aditi, while
+SemSim, weighting the same recursion with Lin semantic similarity, promotes
+John, whose field of interest (Spatial Crowdsourcing) is semantically much
+closer to Aditi's (Crowd Mining).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SemSim, SimRank
+from repro.datasets import figure1_network
+
+
+def main() -> None:
+    data = figure1_network()
+    graph, measure = data.graph, data.measure
+
+    print("Figure 1 network:", graph)
+    print()
+
+    print("Lin semantic similarities (Example 2.2):")
+    for a, b in [
+        ("Bo", "Aditi"),
+        ("John", "Aditi"),
+        ("Spatial Crowdsourcing", "Crowd Mining"),
+        ("Web Data Mining", "Crowd Mining"),
+    ]:
+        print(f"  Lin({a}, {b}) = {measure.similarity(a, b):.3f}")
+    print()
+
+    # The paper's setting: decay 0.8, three iterations.
+    simrank = SimRank(graph, decay=0.8, max_iterations=3, tolerance=0.0)
+    semsim = SemSim(graph, measure, decay=0.8, max_iterations=3, tolerance=0.0)
+
+    print("Who is more similar to Aditi — John or Bo?")
+    print(f"  SimRank:  John {simrank.similarity('John', 'Aditi'):.4f}   "
+          f"Bo {simrank.similarity('Bo', 'Aditi'):.4f}")
+    print(f"  SemSim:   John {semsim.similarity('John', 'Aditi'):.6f}   "
+          f"Bo {semsim.similarity('Bo', 'Aditi'):.6f}")
+    print()
+
+    simrank_pick = max(["John", "Bo"], key=lambda a: simrank.similarity(a, "Aditi"))
+    semsim_pick = max(["John", "Bo"], key=lambda a: semsim.similarity(a, "Aditi"))
+    print(f"SimRank picks {simrank_pick} (countries share a continent);")
+    print(f"SemSim picks {semsim_pick} (fields of interest are semantically close).")
+
+
+if __name__ == "__main__":
+    main()

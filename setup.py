@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The primary build configuration lives in ``pyproject.toml``; this file only
+enables legacy installs (``python setup.py develop`` / ``pip install -e .``)
+on environments whose setuptools predates PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

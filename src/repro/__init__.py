@@ -1,0 +1,84 @@
+"""repro — a reproduction of "Boosting SimRank with Semantics" (EDBT 2019).
+
+SemSim is a modular variant of SimRank that weights the recursive
+neighbour-similarity computation with edge weights and a pluggable semantic
+similarity measure.  This package implements the measure, its random
+surfer-pairs model, the Importance-Sampling Monte-Carlo framework with
+pruning, the baselines the paper compares against, synthetic stand-ins for
+its datasets, and the evaluation tasks — see DESIGN.md for the full map.
+
+Quick start
+-----------
+>>> from repro import SemSim, SimRank
+>>> from repro.datasets import figure1_network
+>>> data = figure1_network()
+>>> semsim = SemSim(data.graph, data.measure, decay=0.8, max_iterations=3)
+>>> semsim.similarity("John", "Aditi") > semsim.similarity("Bo", "Aditi")
+True
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    GraphError,
+    MeasureAxiomError,
+    ReproError,
+    TaxonomyError,
+)
+from repro.hin import HIN, HINBuilder
+from repro.taxonomy import Taxonomy
+from repro.semantics import (
+    CachedMeasure,
+    ConstantMeasure,
+    JiangConrathMeasure,
+    LinMeasure,
+    MatrixMeasure,
+    ResnikMeasure,
+    SemanticMeasure,
+    validate_measure,
+)
+from repro.core import (
+    MonteCarloSemSim,
+    MonteCarloSimRank,
+    SemSim,
+    SimRank,
+    SlingIndex,
+    WalkIndex,
+    WalkPolicy,
+    semsim_scores,
+    simrank_scores,
+    top_k_similar,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "TaxonomyError",
+    "MeasureAxiomError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "HIN",
+    "HINBuilder",
+    "Taxonomy",
+    "SemanticMeasure",
+    "LinMeasure",
+    "ResnikMeasure",
+    "JiangConrathMeasure",
+    "ConstantMeasure",
+    "CachedMeasure",
+    "MatrixMeasure",
+    "validate_measure",
+    "SemSim",
+    "SimRank",
+    "semsim_scores",
+    "simrank_scores",
+    "WalkIndex",
+    "WalkPolicy",
+    "MonteCarloSemSim",
+    "MonteCarloSimRank",
+    "SlingIndex",
+    "top_k_similar",
+    "__version__",
+]

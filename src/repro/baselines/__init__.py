@@ -1,0 +1,45 @@
+"""Baselines the paper compares SemSim against (Section 5.3).
+
+Three families:
+
+I.  structural — :class:`SimRankPP` [2], :class:`Panther` [43]
+    (plain SimRank lives in :mod:`repro.core.simrank`);
+II. semantic — Lin (in :mod:`repro.semantics.lin`);
+III. combined — :class:`LineEmbedding` [38], :class:`PathSim` [37],
+    :class:`OntologyRelatedness` [25], and the naive
+    :class:`MultiplicationMeasure` / :class:`AverageMeasure` combiners.
+"""
+
+from repro.baselines.simrankpp import SimRankPP, simrankpp_scores
+from repro.baselines.panther import Panther
+from repro.baselines.pathsim import PathSim
+from repro.baselines.line import LineEmbedding
+from repro.baselines.relatedness import OntologyRelatedness
+from repro.baselines.hetesim import HeteSim
+from repro.baselines.metapath_search import (
+    AveragedPathSim,
+    MetaPathChoice,
+    enumerate_half_paths,
+    select_meta_path,
+)
+from repro.baselines.prank import PRank, prank_scores, sem_prank_scores
+from repro.baselines.combined import AverageMeasure, MultiplicationMeasure
+
+__all__ = [
+    "SimRankPP",
+    "simrankpp_scores",
+    "Panther",
+    "PathSim",
+    "LineEmbedding",
+    "OntologyRelatedness",
+    "HeteSim",
+    "AveragedPathSim",
+    "MetaPathChoice",
+    "enumerate_half_paths",
+    "select_meta_path",
+    "PRank",
+    "prank_scores",
+    "sem_prank_scores",
+    "MultiplicationMeasure",
+    "AverageMeasure",
+]

@@ -1,0 +1,56 @@
+"""Naive structure/semantics combiners (the Multiplication and Average
+competitors of Section 5.3).
+
+Both take two independent score oracles — in the paper, SimRank for
+structure and Lin for semantics — and merge them *after the fact*:
+
+* ``Multiplication``: ``struct(u, v) * sem(u, v)``;
+* ``Average``: ``(struct(u, v) + sem(u, v)) / 2``.
+
+They exist as the paper's strawmen for SemSim's interwoven recursion; every
+Section-5.3 task shows them trailing the recursive combination.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hin.graph import Node
+
+ScoreOracle = Callable[[Node, Node], float]
+
+
+class _Combiner:
+    def __init__(self, structural: ScoreOracle, semantic: ScoreOracle) -> None:
+        self.structural = structural
+        self.semantic = semantic
+
+    def similarity(self, u: Node, v: Node) -> float:
+        """Return the combined score of the pair."""
+        raise NotImplementedError
+
+
+class MultiplicationMeasure(_Combiner):
+    """Product of independent structural and semantic scores."""
+
+    def similarity(self, u: Node, v: Node) -> float:
+        """Return ``struct(u, v) * sem(u, v)``."""
+        if u == v:
+            return 1.0
+        return self.structural(u, v) * self.semantic(u, v)
+
+    def __repr__(self) -> str:
+        return "MultiplicationMeasure()"
+
+
+class AverageMeasure(_Combiner):
+    """Mean of independent structural and semantic scores."""
+
+    def similarity(self, u: Node, v: Node) -> float:
+        """Return ``(struct(u, v) + sem(u, v)) / 2``."""
+        if u == v:
+            return 1.0
+        return 0.5 * (self.structural(u, v) + self.semantic(u, v))
+
+    def __repr__(self) -> str:
+        return "AverageMeasure()"

@@ -1,0 +1,135 @@
+"""P-Rank (Zhao, Han & Sun [45]) — and its semantic boost.
+
+P-Rank generalises SimRank by recursing over *both* in- and out-neighbour
+similarity:
+
+    ``R(u, v) = lambda  * c / (|I(u)||I(v)|) * sum sum R(I_i, I_j)
+              + (1-lambda) * c / (|O(u)||O(v)|) * sum sum R(O_i, O_j)``
+
+The paper's Related Work claims its computation scheme "is applicable also
+to several of these variants (e.g. [2, 45])"; :func:`sem_prank_scores`
+demonstrates that by injecting the same semantic weighting SemSim uses into
+both directions of the P-Rank recursion (semantic factor on the pair,
+semantics-aware normalisers on each side).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hin.graph import HIN, Node
+from repro.semantics.base import SemanticMeasure, semantic_matrix
+
+
+def _directional_parts(weights: np.ndarray, sem: np.ndarray, scores: np.ndarray):
+    """One direction's numerator ``W.T R W`` and normaliser ``W.T S W``."""
+    return weights.T @ scores @ weights, weights.T @ sem @ weights
+
+
+def prank_scores(
+    graph: HIN,
+    decay: float = 0.6,
+    in_weight: float = 0.5,
+    max_iterations: int = 100,
+    tolerance: float = 1e-4,
+    measure: SemanticMeasure | None = None,
+) -> tuple[list[Node], np.ndarray]:
+    """Compute all-pairs P-Rank (semantic variant when *measure* given).
+
+    Returns ``(nodes, matrix)``.  ``in_weight`` is P-Rank's ``lambda``; 1.0
+    degrades to (weighted/semantic) SimRank-style in-link recursion only.
+    """
+    if not 0 < decay < 1:
+        raise ConfigurationError(f"decay must lie in (0, 1), got {decay!r}")
+    if not 0 <= in_weight <= 1:
+        raise ConfigurationError(f"in_weight must lie in [0, 1], got {in_weight!r}")
+
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if n == 0:
+        return nodes, np.zeros((0, 0))
+    position = {node: i for i, node in enumerate(nodes)}
+    in_adj = np.zeros((n, n))
+    for source, target, weight, _ in graph.edges():
+        in_adj[position[source], position[target]] = weight
+    out_adj = in_adj.T.copy()
+
+    if measure is not None:
+        sem = semantic_matrix(measure, nodes)
+    else:
+        sem = np.ones((n, n))
+        in_adj = (in_adj > 0).astype(np.float64)
+        out_adj = (out_adj > 0).astype(np.float64)
+
+    in_norm = in_adj.T @ sem @ in_adj
+    out_norm = out_adj.T @ sem @ out_adj
+    in_ok = in_norm > 0
+    out_ok = out_norm > 0
+
+    current = np.eye(n)
+    for _ in range(max_iterations):
+        in_part = np.zeros((n, n))
+        np.divide(
+            in_adj.T @ current @ in_adj, in_norm, out=in_part, where=in_ok
+        )
+        out_part = np.zeros((n, n))
+        np.divide(
+            out_adj.T @ current @ out_adj, out_norm, out=out_part, where=out_ok
+        )
+        updated = decay * sem * (in_weight * in_part + (1 - in_weight) * out_part)
+        np.fill_diagonal(updated, 1.0)
+        delta = np.max(np.abs(updated - current))
+        current = updated
+        if delta < tolerance:
+            break
+    return nodes, current
+
+
+def sem_prank_scores(
+    graph: HIN,
+    measure: SemanticMeasure,
+    decay: float = 0.6,
+    in_weight: float = 0.5,
+    max_iterations: int = 100,
+    tolerance: float = 1e-4,
+) -> tuple[list[Node], np.ndarray]:
+    """Semantically boosted P-Rank — SemSim's refinement applied to [45]."""
+    return prank_scores(
+        graph,
+        decay=decay,
+        in_weight=in_weight,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        measure=measure,
+    )
+
+
+class PRank:
+    """Object wrapper with the shared ``similarity(u, v)`` interface."""
+
+    def __init__(
+        self,
+        graph: HIN,
+        decay: float = 0.6,
+        in_weight: float = 0.5,
+        max_iterations: int = 100,
+        tolerance: float = 1e-4,
+        measure: SemanticMeasure | None = None,
+    ) -> None:
+        self.nodes, self.matrix = prank_scores(
+            graph,
+            decay=decay,
+            in_weight=in_weight,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            measure=measure,
+        )
+        self._position = {node: i for i, node in enumerate(self.nodes)}
+
+    def similarity(self, u: Node, v: Node) -> float:
+        """Return the P-Rank score of the pair."""
+        return float(self.matrix[self._position[u], self._position[v]])
+
+    def __repr__(self) -> str:
+        return f"PRank(nodes={len(self.nodes)})"

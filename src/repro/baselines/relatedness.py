@@ -1,0 +1,93 @@
+"""Ontology relatedness (Mazuel & Sabouret [25]) — adapted.
+
+The original measure rates concept relatedness by the *best semantically
+correct path* through the ontology, mixing hierarchical (``is-a``) steps —
+costed by how far they stray taxonomically — with object-property steps at
+a fixed cost.  Our adaptation keeps exactly that structure on the HIN:
+
+* an ``is-a`` step between concepts ``a -> b`` costs
+  ``1 - lin(a, b)`` (cheap between semantically close levels);
+* any other edge (a property/relation step) costs a constant
+  ``property_cost``;
+
+relatedness is ``1 / (1 + best_path_cost)`` under Dijkstra, yielding a
+measure that — like the original — rewards short mixed paths and is aware
+of both the taxonomy and the property structure, which is why it is the
+strongest non-SemSim competitor on the relatedness task (Table 5).
+"""
+
+from __future__ import annotations
+
+import heapq
+from repro.errors import ConfigurationError
+from repro.hin.graph import HIN, Node
+from repro.semantics.base import SemanticMeasure
+
+
+class OntologyRelatedness:
+    """Best-mixed-path relatedness over a HIN."""
+
+    def __init__(
+        self,
+        graph: HIN,
+        measure: SemanticMeasure,
+        property_cost: float = 0.6,
+        max_cost: float = 4.0,
+        is_a_label: str = "is-a",
+    ) -> None:
+        if property_cost <= 0:
+            raise ConfigurationError(f"property_cost must be > 0, got {property_cost!r}")
+        self.graph = graph
+        self.measure = measure
+        self.property_cost = property_cost
+        self.max_cost = max_cost
+        self.is_a_label = is_a_label
+        self._cache: dict[tuple[Node, Node], float] = {}
+
+    def _step_cost(self, a: Node, b: Node, label: str) -> float:
+        if label == self.is_a_label:
+            return max(1e-6, 1.0 - self.measure.similarity(a, b))
+        return self.property_cost
+
+    def _best_path_cost(self, source: Node, target: Node) -> float | None:
+        """Bounded Dijkstra over undirected steps; None if beyond max_cost."""
+        best: dict[Node, float] = {source: 0.0}
+        frontier: list[tuple[float, int, Node]] = [(0.0, 0, source)]
+        counter = 0
+        while frontier:
+            cost, _, current = heapq.heappop(frontier)
+            if current == target:
+                return cost
+            if cost > best.get(current, float("inf")) or cost > self.max_cost:
+                continue
+            neighbours = [
+                (other, label)
+                for other, _, label in self.graph.out_edges(current)
+            ] + [
+                (other, label)
+                for other, _, label in self.graph.in_edges(current)
+            ]
+            for other, label in neighbours:
+                step = self._step_cost(current, other, label)
+                total = cost + step
+                if total <= self.max_cost and total < best.get(other, float("inf")):
+                    best[other] = total
+                    counter += 1
+                    heapq.heappush(frontier, (total, counter, other))
+        return None
+
+    def similarity(self, u: Node, v: Node) -> float:
+        """Return ``1 / (1 + best_path_cost)``; 0 when no bounded path."""
+        if u == v:
+            return 1.0
+        key = (u, v) if str(u) <= str(v) else (v, u)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        cost = self._best_path_cost(*key)
+        value = 0.0 if cost is None else 1.0 / (1.0 + cost)
+        self._cache[key] = value
+        return value
+
+    def __repr__(self) -> str:
+        return f"OntologyRelatedness(property_cost={self.property_cost}, max_cost={self.max_cost})"

@@ -1,0 +1,133 @@
+"""SimRank++ (Antonellis, Garcia-Molina & Chang [2]).
+
+SimRank++ refines SimRank along three axes, all reproduced here:
+
+* **evidence** — pairs sharing more common neighbours are more trustworthy:
+  ``evidence(u, v) = sum_{i=1}^{|I(u) ∩ I(v)|} 2^{-i}`` (approaches 1);
+* **weights** — the recursive step uses normalised edge weights instead of
+  the uniform ``1 / (|I(u)||I(v)|)``;
+* **spread** (the original's variance factor, ``use_spread=True``) — a node
+  whose in-edge weights vary wildly is a less reliable witness:
+  each normalised weight is damped by ``exp(-variance(in-weights of v))``,
+  making the recursion a strict contraction even without the ``1/N``
+  normalisation.
+
+With spread enabled the update is ``R' = c · Aᵀ R A`` with
+``A[a, v] = spread(v) · W(a, v) / Σ_a' W(a', v)``, diagonal pinned to 1 —
+the paper's original formulation.  Without it we use evidence times the
+``N``-normalised weighted SimRank of the shared engine.  Either way,
+SimRank++ sees weights but no label semantics, which is precisely where
+SemSim departs from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.iterative import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+    FixedPointResult,
+    iterate_fixed_point,
+)
+from repro.hin.graph import HIN, Node
+
+
+def _evidence_matrix(graph: HIN, nodes: list[Node]) -> np.ndarray:
+    """Return ``evidence(u, v) = 1 - 2^{-|I(u) ∩ I(v)|}`` (closed form)."""
+    n = len(nodes)
+    in_sets = [set(graph.in_neighbors(node)) for node in nodes]
+    evidence = np.zeros((n, n))
+    for i in range(n):
+        evidence[i, i] = 1.0
+        for j in range(i + 1, n):
+            common = len(in_sets[i] & in_sets[j])
+            value = 1.0 - 2.0 ** (-common) if common else 0.0
+            evidence[i, j] = value
+            evidence[j, i] = value
+    return evidence
+
+
+def _spread_normalised_adjacency(graph: HIN, nodes: list[Node]) -> np.ndarray:
+    """``A[a, v] = exp(-var(in-weights of v)) * W(a, v) / sum_in(v)``."""
+    position = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    matrix = np.zeros((n, n))
+    for source, target, weight, _ in graph.edges():
+        matrix[position[source], position[target]] = weight
+    for v in range(n):
+        column = matrix[:, v]
+        incoming = column[column > 0]
+        if incoming.size == 0:
+            continue
+        spread = float(np.exp(-incoming.var()))
+        matrix[:, v] = spread * column / incoming.sum()
+    return matrix
+
+
+def simrankpp_scores(
+    graph: HIN,
+    decay: float = 0.6,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    tolerance: float = DEFAULT_TOLERANCE,
+    use_spread: bool = True,
+) -> FixedPointResult:
+    """Compute all-pairs SimRank++: evidence-scaled weighted SimRank."""
+    nodes = list(graph.nodes())
+    if use_spread:
+        from repro.core.iterative import IterationTrace
+
+        adjacency = _spread_normalised_adjacency(graph, nodes)
+        n = len(nodes)
+        trace = IterationTrace()
+        current = np.eye(n)
+        converged = False
+        for _ in range(max_iterations):
+            updated = decay * (adjacency.T @ current @ adjacency)
+            np.fill_diagonal(updated, 1.0)
+            trace.record(current, updated)
+            current = updated
+            if trace.max_absolute_diff[-1] < tolerance:
+                converged = True
+                break
+        result = FixedPointResult(nodes, current, trace, converged)
+    else:
+        result = iterate_fixed_point(
+            graph,
+            measure=None,
+            decay=decay,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            use_weights=True,
+        )
+    evidence = _evidence_matrix(graph, result.nodes)
+    scaled = evidence * result.matrix
+    np.fill_diagonal(scaled, 1.0)
+    return FixedPointResult(result.nodes, scaled, result.trace, result.converged)
+
+
+class SimRankPP:
+    """Object-style wrapper holding a converged SimRank++ table."""
+
+    def __init__(
+        self,
+        graph: HIN,
+        decay: float = 0.6,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        tolerance: float = DEFAULT_TOLERANCE,
+        use_spread: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.decay = decay
+        self.result = simrankpp_scores(
+            graph, decay=decay, max_iterations=max_iterations,
+            tolerance=tolerance, use_spread=use_spread,
+        )
+        self._position = {node: i for i, node in enumerate(self.result.nodes)}
+
+    def similarity(self, u: Node, v: Node) -> float:
+        """Return the SimRank++ score of the pair."""
+        return float(self.result.matrix[self._position[u], self._position[v]])
+
+    def __repr__(self) -> str:
+        return f"SimRankPP(nodes={len(self.result.nodes)}, decay={self.decay})"

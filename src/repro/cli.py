@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Replay the paper's Figure 1 / Example 2.2 comparison.
+``generate``
+    Generate one of the synthetic dataset stand-ins and save it as a
+    bundle JSON (graph + taxonomy + IC + ground truth).
+``query``
+    Score one node pair on a saved bundle with SemSim (iterative or
+    Monte-Carlo) and SimRank.
+``topk``
+    Top-k similarity search from a node on a saved bundle.
+``info``
+    Print a saved bundle's shape and the decay-factor bounds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    MonteCarloSemSim,
+    SemSim,
+    SimRank,
+    WalkIndex,
+    top_k_similar,
+)
+from repro.core.decay import decay_contraction_bound, decay_paper_bound
+from repro.datasets import (
+    aminer_like,
+    amazon_like,
+    figure1_network,
+    wikipedia_like,
+    wordnet_like,
+)
+from repro.datasets.io import load_bundle_json, save_bundle_json
+
+GENERATORS = {
+    "aminer": aminer_like,
+    "amazon": amazon_like,
+    "wikipedia": wikipedia_like,
+    "wordnet": wordnet_like,
+}
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    data = figure1_network()
+    simrank = SimRank(data.graph, decay=0.8, max_iterations=3, tolerance=0.0)
+    semsim = SemSim(data.graph, data.measure, decay=0.8, max_iterations=3, tolerance=0.0)
+    print("Figure 1 — who is more similar to Aditi?")
+    print(f"  SimRank: John={simrank.similarity('John', 'Aditi'):.4f} "
+          f"Bo={simrank.similarity('Bo', 'Aditi'):.4f}  -> picks Bo")
+    print(f"  SemSim:  John={semsim.similarity('John', 'Aditi'):.6f} "
+          f"Bo={semsim.similarity('Bo', 'Aditi'):.6f}  -> picks John")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = GENERATORS[args.dataset]
+    bundle = generator(seed=args.seed)
+    save_bundle_json(bundle, args.out)
+    print(f"wrote {bundle} -> {args.out}")
+    return 0
+
+
+def _load_bundle_or_fail(path: str):
+    try:
+        return load_bundle_json(path)
+    except FileNotFoundError:
+        print(f"error: bundle file not found: {path}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    bundle = _load_bundle_or_fail(args.bundle)
+    u, v = args.u, args.v
+    for node in (u, v):
+        if node not in bundle.graph:
+            print(f"error: node {node!r} is not in the bundle", file=sys.stderr)
+            return 2
+    if args.method == "iterative":
+        semsim = SemSim(bundle.graph, bundle.measure, decay=args.decay)
+        value = semsim.similarity(u, v)
+    else:
+        index = WalkIndex(
+            bundle.graph, num_walks=args.walks, length=args.length, seed=args.seed
+        )
+        estimator = MonteCarloSemSim(
+            index, bundle.measure, decay=args.decay, theta=args.theta
+        )
+        value = estimator.similarity(u, v)
+    simrank = SimRank(bundle.graph, decay=args.decay)
+    print(f"sem({u}, {v})     = {bundle.measure.similarity(u, v):.6f}")
+    print(f"semsim({u}, {v})  = {value:.6f}   [{args.method}]")
+    print(f"simrank({u}, {v}) = {simrank.similarity(u, v):.6f}")
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    bundle = _load_bundle_or_fail(args.bundle)
+    if args.node not in bundle.graph:
+        print(f"error: node {args.node!r} is not in the bundle", file=sys.stderr)
+        return 2
+    engine = SemSim(bundle.graph, bundle.measure, decay=args.decay)
+    results = top_k_similar(
+        args.node, bundle.entity_nodes, args.k, engine.similarity,
+        measure=bundle.measure,
+    )
+    print(f"top-{args.k} most similar to {args.node}:")
+    for node, score in results:
+        print(f"  {node:<24} {score:.6f}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    bundle = _load_bundle_or_fail(args.bundle)
+    print(bundle)
+    print(f"entity nodes: {len(bundle.entity_nodes)}")
+    print(f"taxonomy max depth: {bundle.taxonomy.max_depth()}")
+    print(f"decay bound (Thm 2.3(5), literal): "
+          f"{decay_paper_bound(bundle.graph, bundle.measure):.4f}")
+    print(f"decay bound (contraction):          "
+          f"{decay_contraction_bound(bundle.graph, bundle.measure):.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SemSim (EDBT 2019) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="replay Figure 1 / Example 2.2").set_defaults(
+        func=_cmd_demo
+    )
+
+    generate = commands.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("dataset", choices=sorted(GENERATORS))
+    generate.add_argument("--out", required=True, help="output bundle JSON path")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    query = commands.add_parser("query", help="score a single node pair")
+    query.add_argument("bundle", help="bundle JSON path")
+    query.add_argument("u")
+    query.add_argument("v")
+    query.add_argument("--method", choices=["iterative", "mc"], default="iterative")
+    query.add_argument("--decay", type=float, default=0.6)
+    query.add_argument("--walks", type=int, default=150)
+    query.add_argument("--length", type=int, default=15)
+    query.add_argument("--theta", type=float, default=0.05)
+    query.add_argument("--seed", type=int, default=0)
+    query.set_defaults(func=_cmd_query)
+
+    topk = commands.add_parser("topk", help="top-k similarity search")
+    topk.add_argument("bundle", help="bundle JSON path")
+    topk.add_argument("node")
+    topk.add_argument("-k", type=int, default=10)
+    topk.add_argument("--decay", type=float, default=0.6)
+    topk.set_defaults(func=_cmd_topk)
+
+    info = commands.add_parser("info", help="describe a saved bundle")
+    info.add_argument("bundle", help="bundle JSON path")
+    info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

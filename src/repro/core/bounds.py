@@ -1,0 +1,104 @@
+"""Analytical error bounds of the MC framework (Props 4.1-4.3).
+
+These turn the paper's concentration results into planning utilities:
+
+* :func:`required_truncation` — the walk length ``t > log_c(eps/2)`` that
+  caps the truncation bias (Prop. 4.2's first condition);
+* :func:`required_walks` — the sample size
+  ``n_w >= 14/(3 eps²) (log(2/delta) + 2 log n)`` giving an
+  ``(eps, delta)`` guarantee (Prop. 4.2's second condition);
+* :func:`deviation_probability` — the Bernstein-style tail of Prop. 4.1;
+* :func:`interchange_probability` — Prop. 4.3's bound on two candidates
+  swapping places in a similarity ranking.
+
+All bounds are distribution-free and therefore conservative; the Table-4
+benchmark shows actual errors far below them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def required_truncation(decay: float, epsilon: float) -> int:
+    """Return the smallest ``t`` with truncation bias below *epsilon*.
+
+    From Section 4.3: the bias of truncated walks is at most ``c^{t+1}``,
+    so ``t > log_c(eps/2)`` suffices for the Prop. 4.2 guarantee.
+
+    >>> required_truncation(0.6, 0.05)
+    8
+    """
+    if not 0 < decay < 1:
+        raise ConfigurationError(f"decay must lie in (0, 1), got {decay!r}")
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    return max(1, math.ceil(math.log(epsilon / 2.0, decay)))
+
+
+def required_walks(epsilon: float, delta: float, num_nodes: int) -> int:
+    """Return the Prop. 4.2 sample size for an ``(eps, delta)`` guarantee.
+
+    ``n_w >= 14 / (3 eps²) * (log(2/delta) + 2 log n)`` — the union bound
+    over all ``n²`` pairs is what brings in the ``2 log n`` term.
+    """
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    if not 0 < delta < 1:
+        raise ConfigurationError(f"delta must lie in (0, 1), got {delta!r}")
+    if num_nodes < 1:
+        raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes!r}")
+    return math.ceil(
+        14.0 / (3.0 * epsilon ** 2)
+        * (math.log(2.0 / delta) + 2.0 * math.log(max(2, num_nodes)))
+    )
+
+
+def deviation_probability(epsilon: float, num_walks: int) -> float:
+    """Return Prop. 4.1's bound on ``P[|estimate - mean| > eps]``.
+
+    ``2 exp(-n_w eps² / (2 (1 + eps/3)))`` — a Bernstein-style tail for the
+    bounded per-walk contributions.
+    """
+    if not 0 < epsilon:
+        raise ConfigurationError(f"epsilon must be > 0, got {epsilon!r}")
+    if num_walks < 1:
+        raise ConfigurationError(f"num_walks must be >= 1, got {num_walks!r}")
+    exponent = -num_walks * epsilon ** 2 / (2.0 * (1.0 + epsilon / 3.0))
+    return min(1.0, 2.0 * math.exp(exponent))
+
+
+def interchange_probability(score_gap: float, num_walks: int) -> float:
+    """Return Prop. 4.3's bound on two candidates swapping rank order.
+
+    For ``delta = sim(u, v) - sim(u, v') > 0``:
+    ``P[estimate ranks v' above v] <= 2 exp(-n_w delta² / (2 + 2 delta/3))``.
+    """
+    if score_gap <= 0:
+        raise ConfigurationError(f"score_gap must be > 0, got {score_gap!r}")
+    if num_walks < 1:
+        raise ConfigurationError(f"num_walks must be >= 1, got {num_walks!r}")
+    exponent = -num_walks * score_gap ** 2 / (2.0 + 2.0 * score_gap / 3.0)
+    return min(1.0, 2.0 * math.exp(exponent))
+
+
+def plan_index(
+    decay: float,
+    epsilon: float,
+    delta: float,
+    num_nodes: int,
+) -> tuple[int, int]:
+    """Return ``(num_walks, length)`` meeting an ``(eps, delta)`` target.
+
+    Convenience wrapper bundling Prop. 4.2's two conditions; pass the
+    result straight to :class:`repro.core.walk_index.WalkIndex`.
+
+    >>> plan_index(0.6, 0.1, 0.05, 1000)  # doctest: +SKIP
+    (8279, 6)
+    """
+    return (
+        required_walks(epsilon, delta, num_nodes),
+        required_truncation(decay, epsilon),
+    )

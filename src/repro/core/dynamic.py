@@ -1,0 +1,200 @@
+"""Dynamic-graph support for the MC framework (Section 7 future work).
+
+The paper's random-walk approach is "compatible with updates in the graph"
+(its Related Work, citing READS [14]): when an edge ``source -> target``
+changes, only the walks that *visit* ``target`` are affected — and because
+reverse walks are memoryless, resampling each affected walk's suffix from
+its first visit of ``target`` restores the exact sampling distribution of
+a freshly built index.
+
+:class:`DynamicWalkIndex` implements that maintenance strategy on top of
+:class:`~repro.core.walk_index.WalkIndex` and exposes the same query API,
+so estimators plug in unchanged.  Note that estimators snapshot edge
+weights at construction; recreate them after updates (cheap — the walk
+storage is shared, not copied).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.walk_index import WalkIndex, WalkPolicy
+from repro.hin.graph import DEFAULT_EDGE_LABEL, DEFAULT_WEIGHT, HIN, Node
+from repro.utils.rng import ensure_rng
+
+
+class DynamicWalkIndex:
+    """A reverse-walk index that tracks edge insertions and deletions.
+
+    Wraps a private copy of the graph (updates through this class only) and
+    keeps the walk tensor consistent with it.  Query methods mirror
+    :class:`WalkIndex`.
+    """
+
+    def __init__(
+        self,
+        graph: HIN,
+        num_walks: int = 150,
+        length: int = 15,
+        policy: WalkPolicy = WalkPolicy.UNIFORM,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.graph = graph.copy()
+        self._rng = ensure_rng(seed)
+        self._inner = WalkIndex(
+            self.graph, num_walks=num_walks, length=length,
+            policy=policy, seed=self._rng,
+        )
+        self.updates_applied = 0
+        self.walks_resampled = 0
+
+    # ------------------------------------------------------------------
+    # WalkIndex-compatible query API
+    # ------------------------------------------------------------------
+    @property
+    def index(self):
+        """Mirror of :class:`WalkIndex`.index for drop-in use."""
+        return self._inner.index
+
+    @property
+    def num_walks(self) -> int:
+        """Mirror of :class:`WalkIndex`.num_walks for drop-in use."""
+        return self._inner.num_walks
+
+    @property
+    def length(self) -> int:
+        """Mirror of :class:`WalkIndex`.length for drop-in use."""
+        return self._inner.length
+
+    @property
+    def policy(self) -> WalkPolicy:
+        """Mirror of :class:`WalkIndex`.policy for drop-in use."""
+        return self._inner.policy
+
+    @property
+    def walks(self) -> np.ndarray:
+        """Mirror of :class:`WalkIndex`.walks for drop-in use."""
+        return self._inner.walks
+
+    def node_position(self, node: Node) -> int:
+        """See :meth:`WalkIndex.node_position`."""
+        return self._inner.node_position(node)
+
+    def walks_from(self, node: Node) -> np.ndarray:
+        """See :meth:`WalkIndex.walks_from`."""
+        return self._inner.walks_from(node)
+
+    def first_meetings(self, u: Node, v: Node) -> np.ndarray:
+        """See :meth:`WalkIndex.first_meetings`."""
+        return self._inner.first_meetings(u, v)
+
+    def q_step_probability(self, current: int, chosen: int) -> float:
+        """See :meth:`WalkIndex.q_step_probability`."""
+        return self._inner.q_step_probability(current, chosen)
+
+    @property
+    def storage_entries(self) -> int:
+        """Mirror of :class:`WalkIndex`.storage_entries for drop-in use."""
+        return self._inner.storage_entries
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add_edge(
+        self,
+        source: Node,
+        target: Node,
+        weight: float = DEFAULT_WEIGHT,
+        label: str = DEFAULT_EDGE_LABEL,
+    ) -> int:
+        """Insert ``source -> target``; returns the number of resampled walks.
+
+        New endpoints are created (each new node receives its own fresh
+        walk set).
+        """
+        new_nodes = [n for n in (source, target) if n not in self.graph]
+        self.graph.add_edge(source, target, weight=weight, label=label)
+        return self._after_change(target, new_nodes)
+
+    def remove_edge(self, source: Node, target: Node) -> int:
+        """Delete ``source -> target``; returns the number of resampled walks."""
+        self.graph.remove_edge(source, target)
+        return self._after_change(target, [])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _after_change(self, target: Node, new_nodes: list[Node]) -> int:
+        """Refresh the numeric index and repair affected walks.
+
+        Only walks visiting *target* before their last step are affected:
+        the step taken *from* ``target`` draws from ``I(target)``, which is
+        exactly what changed.
+        """
+        old_walks = self._inner.walks
+        old_count = old_walks.shape[0]
+        self._inner.index = self.graph.index()
+
+        if new_nodes:
+            # Extend the tensor with fresh walk sets for the new nodes.
+            extra = len(new_nodes)
+            grown = np.full(
+                (old_count + extra, self.num_walks, self.length + 1),
+                -1,
+                dtype=old_walks.dtype,
+            )
+            grown[:old_count] = old_walks
+            for offset, node in enumerate(new_nodes):
+                position = self._inner.index.position[node]
+                # New nodes are appended, so positions line up.
+                assert position == old_count + offset
+                grown[position, :, 0] = position
+                for walk_id in range(self.num_walks):
+                    self._resample_suffix(grown, position, walk_id, 0)
+            self._inner.walks = grown
+
+        walks = self._inner.walks
+        target_pos = self._inner.index.position[target]
+        # First visit of the changed node in each walk (excluding the final
+        # offset — a visit there has no outgoing step to repair).
+        visited = walks[:, :, : self.length] == target_pos
+        affected_nodes, affected_walks = np.nonzero(visited.any(axis=2))
+        resampled = 0
+        for node_pos, walk_id in zip(affected_nodes, affected_walks):
+            first = int(visited[node_pos, walk_id].argmax())
+            self._resample_suffix(walks, int(node_pos), int(walk_id), first)
+            resampled += 1
+        self.updates_applied += 1
+        self.walks_resampled += resampled
+        return resampled
+
+    def _resample_suffix(
+        self, walks: np.ndarray, node_pos: int, walk_id: int, from_step: int
+    ) -> None:
+        """Redraw one walk's steps after *from_step* under the current graph."""
+        index = self._inner.index
+        current = int(walks[node_pos, walk_id, from_step])
+        for step in range(from_step, self.length):
+            if current < 0:
+                walks[node_pos, walk_id, step + 1] = -1
+                continue
+            neighbours = index.in_lists[current]
+            if neighbours.size == 0:
+                walks[node_pos, walk_id, step + 1 :] = -1
+                return
+            if self._inner.policy is WalkPolicy.UNIFORM:
+                choice = int(self._rng.integers(neighbours.size))
+            else:
+                weights = index.in_weights[current].astype(np.float64)
+                cums = np.cumsum(weights / weights.sum())
+                choice = int(np.searchsorted(cums, self._rng.random(), side="right"))
+                choice = min(choice, cums.size - 1)
+            current = int(neighbours[choice])
+            walks[node_pos, walk_id, step + 1] = current
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicWalkIndex(nodes={self.index.num_nodes}, "
+            f"num_walks={self.num_walks}, length={self.length}, "
+            f"updates={self.updates_applied})"
+        )

@@ -1,0 +1,254 @@
+"""Monte-Carlo similarity estimators (Section 4).
+
+:class:`MonteCarloSimRank` is the classical Fogaras-Rácz estimator:
+``(1/n_w) * sum c^{tau_l}`` over coupled pre-sampled walks.
+
+:class:`MonteCarloSemSim` is the paper's Importance-Sampling estimator
+(Algorithm 1).  The walks come from the *proposal* distribution ``Q``
+(uniform, sampled per node), while the quantity of interest is an
+expectation under the semantic-aware distribution ``P``; each met coupled
+walk therefore contributes its likelihood ratio
+
+    ``s(w) = prod_i  P[w_i -> w_{i+1}] * c / Q[w_i -> w_{i+1}]``
+
+and the estimate is ``sem(u, v) / n_w * sum_w s(w)`` — unbiased for any
+``Q`` supported wherever ``P`` is (Eq. 4).
+
+Pruning (Section 4.4) applies two cuts, each bounding the error by θ:
+
+* the *semantic gate* — ``sem(u, v) <= theta`` short-circuits to 0
+  (justified by Prop. 2.5);
+* the *walk cut* — the running product ``s(w)`` can only shrink (each
+  factor is ≤ θ-tested), so once it drops to ≤ θ the walk's final value is
+  frozen there (Def. 4.5).
+
+A note on the paper's Algorithm 1 listing: it accumulates ``Pw`` and ``Qw``
+cumulatively *and* multiplies ``Pw/Qw`` into ``sim_w`` at every step, which
+would square earlier step ratios.  We implement the intent defined by
+Def. 4.5 — per-step ratios multiplied once — which is also what makes the
+estimator unbiased (verified statistically in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hin.graph import Node
+from repro.core.walk_index import WalkIndex
+from repro.semantics.base import SemanticMeasure
+from repro.semantics.cache import MatrixMeasure
+
+
+@dataclass
+class EstimatorStats:
+    """Work counters for one estimator instance (used by the benchmarks)."""
+
+    queries: int = 0
+    walks_examined: int = 0
+    walks_met: int = 0
+    walks_pruned: int = 0
+    so_evaluations: int = 0
+    sem_gate_hits: int = 0
+
+
+class MonteCarloSimRank:
+    """Classical MC SimRank over a :class:`WalkIndex` (Section 4.1)."""
+
+    def __init__(self, walk_index: WalkIndex, decay: float = 0.6) -> None:
+        if not 0 < decay < 1:
+            raise ConfigurationError(f"decay must lie in (0, 1), got {decay!r}")
+        self.walk_index = walk_index
+        self.decay = decay
+        self.stats = EstimatorStats()
+
+    def similarity(self, u: Node, v: Node) -> float:
+        """Return the MC SimRank estimate ``(1/n_w) * sum c^tau``."""
+        self.stats.queries += 1
+        if u == v:
+            return 1.0
+        meetings = self.walk_index.first_meetings(u, v)
+        self.stats.walks_examined += meetings.size
+        met = meetings[meetings >= 0]
+        self.stats.walks_met += met.size
+        if met.size == 0:
+            return 0.0
+        return float(np.sum(self.decay ** met) / self.walk_index.num_walks)
+
+
+class MonteCarloSemSim:
+    """IS-based MC SemSim — Algorithm 1, with optional pruning and index.
+
+    Parameters
+    ----------
+    walk_index:
+        The shared per-node walk index (proposal ``Q``).
+    measure:
+        The semantic measure ``sem``.
+    decay:
+        The decay factor ``c``.
+    theta:
+        Pruning threshold; ``None`` disables pruning entirely (the unbiased
+        estimator).  Lemma 4.7 wants ``theta <= 1 - c`` to keep pruned
+        scores inside [0, 1]; we warn-by-exception only on clearly invalid
+        values and leave the Lemma's recommendation to callers.
+    pair_index:
+        Optional :class:`repro.core.sling.SlingIndex`-compatible cache of
+        the SARW step denominators ``SO(u, v)``; cuts the O(d²) inner loop
+        for indexed pairs (the Fig. 4 "SLING" configuration).
+    """
+
+    def __init__(
+        self,
+        walk_index: WalkIndex,
+        measure: SemanticMeasure,
+        decay: float = 0.6,
+        theta: float | None = 0.05,
+        pair_index: "SupportsSoLookup | None" = None,
+    ) -> None:
+        if not 0 < decay < 1:
+            raise ConfigurationError(f"decay must lie in (0, 1), got {decay!r}")
+        if theta is not None and not 0 <= theta <= 1:
+            raise ConfigurationError(f"theta must lie in [0, 1], got {theta!r}")
+        self.walk_index = walk_index
+        self.measure = measure
+        self.decay = decay
+        self.theta = theta
+        self.pair_index = pair_index
+        self.stats = EstimatorStats()
+        graph_index = walk_index.index
+        self._nodes = graph_index.nodes
+        self._in_lists = graph_index.in_lists
+        self._in_weights = graph_index.in_weights
+        # weight_to[v][a] = W(a, v) for O(1) edge-weight lookups by position.
+        self._weight_to: list[dict[int, float]] = [
+            dict(zip(map(int, graph_index.in_lists[v]), map(float, graph_index.in_weights[v])))
+            for v in range(graph_index.num_nodes)
+        ]
+        # Fast path: a MatrixMeasure whose node order matches the index lets
+        # the O(d²) SO sum collapse to one vectorised bilinear form.
+        self._sem_matrix: np.ndarray | None = None
+        if isinstance(measure, MatrixMeasure) and measure.nodes == list(self._nodes):
+            self._sem_matrix = measure.matrix
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def similarity(self, u: Node, v: Node) -> float:
+        """Return the Algorithm-1 estimate of ``sim(u, v)``."""
+        self.stats.queries += 1
+        if u == v:
+            return 1.0
+        sem_uv = self.measure.similarity(u, v)
+        if self.theta is not None and sem_uv <= self.theta:
+            self.stats.sem_gate_hits += 1
+            return 0.0
+        walks_u = self.walk_index.walks_from(u)
+        walks_v = self.walk_index.walks_from(v)
+        meetings = self.walk_index.first_meetings(u, v)
+        self.stats.walks_examined += meetings.size
+        total = 0.0
+        for walk_id in np.flatnonzero(meetings >= 0):
+            self.stats.walks_met += 1
+            total += self._walk_score(
+                walks_u[walk_id], walks_v[walk_id], int(meetings[walk_id])
+            )
+        return sem_uv * total / self.walk_index.num_walks
+
+    def similarity_with_interval(
+        self, u: Node, v: Node, z: float = 1.96
+    ) -> tuple[float, float]:
+        """Return ``(estimate, half_width)`` with an empirical CLT interval.
+
+        The per-coupled-walk contributions are i.i.d. (the walk index pairs
+        independent samples), so ``z * std / sqrt(n_w)`` scaled by
+        ``sem(u, v)`` is the usual normal-approximation half-width.  For a
+        distribution-free (much looser) alternative, combine the point
+        estimate with :func:`repro.core.bounds.deviation_probability`.
+        """
+        self.stats.queries += 1
+        if u == v:
+            return 1.0, 0.0
+        sem_uv = self.measure.similarity(u, v)
+        if self.theta is not None and sem_uv <= self.theta:
+            self.stats.sem_gate_hits += 1
+            return 0.0, 0.0
+        walks_u = self.walk_index.walks_from(u)
+        walks_v = self.walk_index.walks_from(v)
+        meetings = self.walk_index.first_meetings(u, v)
+        self.stats.walks_examined += meetings.size
+        contributions = np.zeros(self.walk_index.num_walks)
+        for walk_id in np.flatnonzero(meetings >= 0):
+            self.stats.walks_met += 1
+            contributions[walk_id] = self._walk_score(
+                walks_u[walk_id], walks_v[walk_id], int(meetings[walk_id])
+            )
+        estimate = sem_uv * float(contributions.mean())
+        spread = float(contributions.std(ddof=1)) if contributions.size > 1 else 0.0
+        half_width = sem_uv * z * spread / np.sqrt(self.walk_index.num_walks)
+        return estimate, float(half_width)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _walk_score(self, walk_u: np.ndarray, walk_v: np.ndarray, meeting: int) -> float:
+        """Likelihood-ratio score of one met coupled walk (Def. 4.5)."""
+        score = 1.0
+        for step in range(meeting):
+            current_u = int(walk_u[step])
+            current_v = int(walk_v[step])
+            next_u = int(walk_u[step + 1])
+            next_v = int(walk_v[step + 1])
+            numerator = (
+                self.measure.similarity(self._nodes[next_u], self._nodes[next_v])
+                * self._weight_to[current_u][next_u]
+                * self._weight_to[current_v][next_v]
+            )
+            so = self._so_denominator(current_u, current_v)
+            if so <= 0:
+                return 0.0
+            p_step = numerator / so
+            q_step = (
+                self.walk_index.q_step_probability(current_u, next_u)
+                * self.walk_index.q_step_probability(current_v, next_v)
+            )
+            if q_step <= 0:
+                return 0.0
+            score *= p_step * self.decay / q_step
+            if self.theta is not None and score <= self.theta:
+                # Def. 4.5: freeze the walk's value at its first ≤ θ bound.
+                self.stats.walks_pruned += 1
+                return score
+        return score
+
+    def _so_denominator(self, pos_u: int, pos_v: int) -> float:
+        """``SO(u, v) = sum_{a,b} W(a,u) W(b,v) sem(a,b)`` — the O(d²) core."""
+        if self.pair_index is not None:
+            cached = self.pair_index.so_lookup(pos_u, pos_v)
+            if cached is not None:
+                return cached
+        self.stats.so_evaluations += 1
+        neighbours_u = self._in_lists[pos_u]
+        neighbours_v = self._in_lists[pos_v]
+        weights_u = self._in_weights[pos_u]
+        weights_v = self._in_weights[pos_v]
+        if self._sem_matrix is not None:
+            block = self._sem_matrix[np.ix_(neighbours_u, neighbours_v)]
+            return float(weights_u @ block @ weights_v)
+        total = 0.0
+        nodes = self._nodes
+        similarity = self.measure.similarity
+        for a, wa in zip(neighbours_u, weights_u):
+            node_a = nodes[int(a)]
+            for b, wb in zip(neighbours_v, weights_v):
+                total += wa * wb * similarity(node_a, nodes[int(b)])
+        return float(total)
+
+
+class SupportsSoLookup:
+    """Protocol-ish base: anything with ``so_lookup(pos_u, pos_v)``."""
+
+    def so_lookup(self, pos_u: int, pos_v: int) -> float | None:  # pragma: no cover
+        """Return the cached ``SO`` denominator or ``None`` on a miss."""
+        raise NotImplementedError

@@ -1,0 +1,114 @@
+"""SemSim — SimRank boosted with semantics (Equation 1, Section 2.2).
+
+SemSim weights every neighbour-pair contribution by the edge weights leading
+to the pair and normalises by the semantics-aware factor
+
+    ``N(u, v) = sum_{a in I(u)} sum_{b in I(v)} W(a,u) W(b,v) sem(a, b)``
+
+then scales the whole score by ``sem(u, v)``.  Any measure satisfying the
+three axioms of Section 2.2 can be injected; ``ConstantMeasure(1.0)``
+recovers weighted SimRank exactly.
+
+Key analytical facts, all covered by the test-suite:
+
+* symmetry, self-similarity 1, monotone convergence (Theorem 2.3);
+* per-iteration improvement bounded by ``sem(u,v) * c^{k+1}`` (Prop. 2.4);
+* ``sim(u, v) <= sem(u, v)`` (Prop. 2.5) — the hook for every pruning
+  technique in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.iterative import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+    FixedPointResult,
+    iterate_fixed_point,
+)
+from repro.hin.graph import HIN, Node
+from repro.semantics.base import SemanticMeasure
+
+
+def semsim_scores(
+    graph: HIN,
+    measure: SemanticMeasure,
+    decay: float = 0.6,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    tolerance: float = DEFAULT_TOLERANCE,
+    restrict_edge_labels: bool = False,
+    sem_matrix: np.ndarray | None = None,
+    sparse_adjacency: bool = False,
+) -> FixedPointResult:
+    """Compute all-pairs SemSim scores by fixed-point iteration.
+
+    Set ``restrict_edge_labels=True`` for the Section 2.2 variant that only
+    pairs neighbours reached through identically labelled edges (the paper's
+    ablation found it less accurate at the same cost; we keep it for the
+    reproduction of that claim).  ``sparse_adjacency=True`` switches the
+    per-iteration sandwich products to CSR adjacency — same results, faster
+    on sparse graphs.
+    """
+    return iterate_fixed_point(
+        graph,
+        measure=measure,
+        decay=decay,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        use_weights=True,
+        restrict_edge_labels=restrict_edge_labels,
+        sem_matrix=sem_matrix,
+        sparse_adjacency=sparse_adjacency,
+    )
+
+
+class SemSim:
+    """Object-style wrapper holding a converged all-pairs SemSim table.
+
+    Example
+    -------
+    >>> from repro.datasets import figure1_network
+    >>> data = figure1_network()
+    >>> engine = SemSim(data.graph, data.measure, decay=0.8, max_iterations=3)
+    >>> engine.similarity("John", "Aditi") > engine.similarity("Bo", "Aditi")
+    True
+    """
+
+    def __init__(
+        self,
+        graph: HIN,
+        measure: SemanticMeasure,
+        decay: float = 0.6,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        tolerance: float = DEFAULT_TOLERANCE,
+        restrict_edge_labels: bool = False,
+        sem_matrix: np.ndarray | None = None,
+    ) -> None:
+        self.graph = graph
+        self.measure = measure
+        self.decay = decay
+        self.result = semsim_scores(
+            graph,
+            measure,
+            decay=decay,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            restrict_edge_labels=restrict_edge_labels,
+            sem_matrix=sem_matrix,
+        )
+        self._position = {node: i for i, node in enumerate(self.result.nodes)}
+
+    def similarity(self, u: Node, v: Node) -> float:
+        """Return ``sim(u, v)``."""
+        return float(self.result.matrix[self._position[u], self._position[v]])
+
+    def matrix(self) -> np.ndarray:
+        """Return the full score matrix (rows/cols follow ``result.nodes``)."""
+        return self.result.matrix
+
+    def __repr__(self) -> str:
+        return (
+            f"SemSim(nodes={len(self.result.nodes)}, decay={self.decay}, "
+            f"iterations={self.result.trace.iterations})"
+        )

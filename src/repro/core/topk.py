@@ -1,0 +1,137 @@
+"""Top-k similarity search with semantic candidate pruning.
+
+Prop. 2.5 (``sim(u, v) <= sem(u, v)``) turns the semantic measure into a
+free admissible upper bound: scanning candidates in decreasing ``sem``
+order, the search can stop as soon as the bound of the next candidate
+cannot beat the current k-th best score.  This is the query pattern behind
+the link-prediction and entity-resolution experiments (Section 5.3).
+
+:func:`top_k_confident` additionally reports which of the returned ranks
+are *statistically separated* under the estimator's confidence intervals —
+the practical reading of Prop. 4.3 (far-apart scores essentially never
+interchange; close ones may).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hin.graph import Node
+from repro.semantics.base import SemanticMeasure
+
+ScoreFunction = Callable[[Node, Node], float]
+
+
+def top_k_similar(
+    query: Node,
+    candidates: Iterable[Node],
+    k: int,
+    score: ScoreFunction,
+    measure: SemanticMeasure | None = None,
+    use_semantic_bound: bool = True,
+) -> list[tuple[Node, float]]:
+    """Return the *k* candidates most similar to *query*, best first.
+
+    Parameters
+    ----------
+    query:
+        The query node (excluded from the result if present in
+        *candidates*).
+    candidates:
+        Candidate nodes to rank.
+    k:
+        How many results to return.
+    score:
+        Any similarity oracle ``(u, v) -> float`` — an exact table, an MC
+        estimator, or a baseline measure.
+    measure:
+        When given (and *use_semantic_bound* is true) candidates are
+        visited in decreasing ``sem(query, .)`` order and the scan stops
+        early once the semantic upper bound can no longer improve the
+        result set — sound for SemSim-family scores by Prop. 2.5.
+
+    Ties break deterministically by the string form of the node id.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k!r}")
+    pool = [c for c in candidates if c != query]
+    if measure is not None and use_semantic_bound:
+        ordered = sorted(
+            pool, key=lambda c: (-measure.similarity(query, c), str(c))
+        )
+    else:
+        ordered = pool
+
+    # Min-heap of (score, tiebreak, node) holding the current best k.
+    heap: list[tuple[float, str, Node]] = []
+    for candidate in ordered:
+        if measure is not None and use_semantic_bound and len(heap) == k:
+            bound = measure.similarity(query, candidate)
+            if bound <= heap[0][0]:
+                break  # no remaining candidate can enter the top-k
+        value = score(query, candidate)
+        entry = (value, str(candidate), candidate)
+        if len(heap) < k:
+            heapq.heappush(heap, entry)
+        elif entry > heap[0]:
+            heapq.heapreplace(heap, entry)
+    ranked = sorted(heap, key=lambda item: (-item[0], item[1]))
+    return [(node, value) for value, _, node in ranked]
+
+
+@dataclass
+class ConfidentRanking:
+    """A top-k result annotated with interval-based separation flags.
+
+    ``separated[i]`` is True when rank ``i``'s lower confidence bound
+    clears rank ``i+1``'s upper bound — i.e. that boundary of the ranking
+    is statistically settled at the interval's confidence level (the last
+    entry's flag compares against the best *excluded* candidate).
+    """
+
+    ranking: list[tuple[Node, float, float]]  # (node, estimate, half_width)
+    separated: list[bool]
+
+    def nodes(self) -> list[Node]:
+        """Return the ranked nodes without their interval annotations."""
+        return [node for node, _, _ in self.ranking]
+
+
+def top_k_confident(
+    query: Node,
+    candidates: Sequence[Node],
+    k: int,
+    estimator,
+    z: float = 1.96,
+) -> ConfidentRanking:
+    """Top-k with per-boundary statistical separation flags.
+
+    *estimator* must expose ``similarity_with_interval(u, v, z)`` (e.g.
+    :class:`repro.core.montecarlo.MonteCarloSemSim`).  Every candidate is
+    evaluated once; the ranking is by point estimate, and each adjacent
+    boundary is flagged separated when the intervals do not overlap —
+    unseparated boundaries are exactly where Prop. 4.3 licenses possible
+    interchanges.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k!r}")
+    evaluated: list[tuple[float, float, Node]] = []
+    for candidate in candidates:
+        if candidate == query:
+            continue
+        estimate, half = estimator.similarity_with_interval(query, candidate, z)
+        evaluated.append((estimate, half, candidate))
+    evaluated.sort(key=lambda item: (-item[0], str(item[2])))
+    top = evaluated[:k]
+    ranking = [(node, estimate, half) for estimate, half, node in top]
+    separated: list[bool] = []
+    for i in range(len(top)):
+        if i + 1 < len(evaluated):
+            next_estimate, next_half, _ = evaluated[i + 1]
+            separated.append(top[i][0] - top[i][1] > next_estimate + next_half)
+        else:
+            separated.append(True)  # nothing below to swap with
+    return ConfidentRanking(ranking=ranking, separated=separated)

@@ -1,0 +1,143 @@
+"""SemSim over uncertain graphs (Section 7 future work).
+
+"In practice, information networks are often dynamic and may induce
+uncertainty" — extracted relations come with confidence scores rather than
+certainties.  The standard semantics is *possible worlds*: each edge ``e``
+exists independently with probability ``p(e)``, and the similarity of a
+pair is its expectation over worlds:
+
+    ``E[sim(u, v)] = Σ_G  P[G] · sim_G(u, v)``
+
+Exact summation is exponential, so :class:`UncertainSemSim` estimates the
+expectation by sampling worlds (each world is a deterministic HIN scored
+with the ordinary engine) and averaging — with the per-world machinery
+unchanged, exactly the modularity the paper's framework affords.
+
+:class:`UncertainHIN` wraps a base graph with per-edge existence
+probabilities (defaulting to 1, i.e. certain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.semsim import semsim_scores
+from repro.errors import ConfigurationError, EdgeNotFoundError
+from repro.hin.graph import HIN, Node
+from repro.semantics.base import SemanticMeasure
+from repro.utils.rng import ensure_rng
+
+
+class UncertainHIN:
+    """A HIN whose edges carry independent existence probabilities."""
+
+    def __init__(self, base: HIN) -> None:
+        self.base = base
+        self._probability: dict[tuple[Node, Node], float] = {}
+
+    def set_edge_probability(self, source: Node, target: Node, probability: float) -> None:
+        """Declare ``source -> target`` to exist with *probability*."""
+        if not self.base.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        if not 0 < probability <= 1:
+            raise ConfigurationError(
+                f"probability must lie in (0, 1], got {probability!r}"
+            )
+        self._probability[(source, target)] = float(probability)
+
+    def edge_probability(self, source: Node, target: Node) -> float:
+        """Return the existence probability (1.0 when never declared)."""
+        if not self.base.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        return self._probability.get((source, target), 1.0)
+
+    @property
+    def num_uncertain_edges(self) -> int:
+        """Number of edges with probability < 1."""
+        return sum(1 for p in self._probability.values() if p < 1.0)
+
+    def sample_world(self, rng: np.random.Generator) -> HIN:
+        """Draw one possible world (a deterministic HIN)."""
+        world = HIN()
+        for node in self.base.nodes():
+            world.add_node(node, label=self.base.node_label(node))
+        for source, target, weight, label in self.base.edges():
+            probability = self._probability.get((source, target), 1.0)
+            if probability >= 1.0 or rng.random() < probability:
+                world.add_edge(source, target, weight=weight, label=label)
+        return world
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainHIN(base={self.base!r}, "
+            f"uncertain_edges={self.num_uncertain_edges})"
+        )
+
+
+@dataclass
+class UncertainScore:
+    """Expected similarity plus the across-world spread."""
+
+    mean: float
+    std: float
+    worlds: int
+
+
+class UncertainSemSim:
+    """Possible-world expectation of SemSim by world sampling.
+
+    Each sampled world is scored with the exact iterative engine, so the
+    estimate converges to the true expectation as ``num_worlds`` grows;
+    the per-pair across-world standard deviation doubles as an uncertainty
+    signal (it is 0 when no uncertain edge influences the pair).
+    """
+
+    def __init__(
+        self,
+        graph: UncertainHIN,
+        measure: SemanticMeasure,
+        decay: float = 0.6,
+        num_worlds: int = 20,
+        max_iterations: int = 30,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if num_worlds < 1:
+            raise ConfigurationError(f"num_worlds must be >= 1, got {num_worlds!r}")
+        self.graph = graph
+        self.measure = measure
+        self.decay = decay
+        self.num_worlds = num_worlds
+        rng = ensure_rng(seed)
+
+        nodes = list(graph.base.nodes())
+        self._position = {node: i for i, node in enumerate(nodes)}
+        tables = []
+        for _ in range(num_worlds):
+            world = graph.sample_world(rng)
+            result = semsim_scores(
+                world, measure, decay=decay, max_iterations=max_iterations
+            )
+            tables.append(result.matrix)
+        stack = np.stack(tables)
+        self._mean = stack.mean(axis=0)
+        self._std = stack.std(axis=0)
+
+    def similarity(self, u: Node, v: Node) -> float:
+        """Return the estimated expected similarity."""
+        return float(self._mean[self._position[u], self._position[v]])
+
+    def score(self, u: Node, v: Node) -> UncertainScore:
+        """Return the expectation with its across-world spread."""
+        i, j = self._position[u], self._position[v]
+        return UncertainScore(
+            mean=float(self._mean[i, j]),
+            std=float(self._std[i, j]),
+            worlds=self.num_worlds,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainSemSim(worlds={self.num_worlds}, decay={self.decay}, "
+            f"uncertain_edges={self.graph.num_uncertain_edges})"
+        )

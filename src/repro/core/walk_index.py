@@ -1,0 +1,228 @@
+"""The precomputed reverse-random-walk index (Section 4.1).
+
+SimRank's scalable MC framework (Fogaras & Rácz [9]) pre-samples ``n_w``
+*reverse* walks of length ``t`` from every node; a single-pair query then
+couples the i-th walk from ``u`` with the i-th walk from ``v`` and inspects
+their first meeting.  SemSim's Importance-Sampling estimator reuses exactly
+this index — that is the whole point of Section 4.3: the proposal
+distribution ``Q`` is sampled per *node*, keeping storage at
+``O(n * n_w * t)`` instead of the naive per-pair ``O(n² * n_w * t)``.
+
+Walks are stored as one dense int32 array with ``-1`` padding after a dead
+end, so coupling two walks is pure array arithmetic.
+
+Two proposal policies are provided (ablation A2): ``UNIFORM`` (the paper's
+choice of ``Q``) and ``WEIGHTED`` (steps proportional to edge weight).
+Indexes persist to ``.npz`` via :func:`save_walk_index` /
+:func:`load_walk_index`, so the preprocessing cost (Section 5.2) is paid
+once per graph.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from pathlib import Path
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphError, NodeNotFoundError
+from repro.hin.graph import GraphIndex, HIN, Node
+from repro.utils.rng import ensure_rng
+
+
+class WalkPolicy(enum.Enum):
+    """How the proposal distribution ``Q`` picks the next in-neighbour."""
+
+    UNIFORM = "uniform"
+    WEIGHTED = "weighted"
+
+
+class WalkIndex:
+    """``n_w`` truncated reverse walks per node, plus their ``Q`` step odds.
+
+    Attributes
+    ----------
+    walks:
+        int32 array of shape ``(n, num_walks, length + 1)``; ``walks[v, i,
+        0] == v`` and ``-1`` marks steps past a dead end.
+    """
+
+    def __init__(
+        self,
+        graph: HIN,
+        num_walks: int = 150,
+        length: int = 15,
+        policy: WalkPolicy = WalkPolicy.UNIFORM,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if num_walks < 1:
+            raise ConfigurationError(f"num_walks must be >= 1, got {num_walks!r}")
+        if length < 1:
+            raise ConfigurationError(f"length must be >= 1, got {length!r}")
+        self.graph = graph
+        self.index: GraphIndex = graph.index()
+        self.num_walks = num_walks
+        self.length = length
+        self.policy = policy
+        rng = ensure_rng(seed)
+        self.walks = self._sample_all(rng)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _sample_all(self, rng: np.random.Generator) -> np.ndarray:
+        n = self.index.num_nodes
+        total_walkers = n * self.num_walks
+        steps = np.full((self.length + 1, total_walkers), -1, dtype=np.int32)
+        steps[0] = np.repeat(np.arange(n, dtype=np.int32), self.num_walks)
+
+        # Per-node cumulative step distributions under the chosen policy.
+        cumulative: list[np.ndarray | None] = []
+        for v in range(n):
+            neighbours = self.index.in_lists[v]
+            if neighbours.size == 0:
+                cumulative.append(None)
+                continue
+            if self.policy is WalkPolicy.UNIFORM:
+                masses = np.ones(neighbours.size)
+            else:
+                masses = self.index.in_weights[v].astype(np.float64)
+            cumulative.append(np.cumsum(masses / masses.sum()))
+
+        # Advance the entire walker population one step at a time, grouping
+        # walkers by the node they currently stand on so each group is one
+        # vectorised multinomial draw — the Python loop is O(t * n), not
+        # O(t * n * n_w).
+        for step in range(self.length):
+            current = steps[step]
+            alive = np.flatnonzero(current >= 0)
+            if alive.size == 0:
+                break
+            order = np.argsort(current[alive], kind="stable")
+            sorted_walkers = alive[order]
+            sorted_nodes = current[sorted_walkers]
+            boundaries = np.flatnonzero(np.diff(sorted_nodes)) + 1
+            groups = np.split(sorted_walkers, boundaries)
+            for group in groups:
+                node = int(current[group[0]])
+                cums = cumulative[node]
+                if cums is None:
+                    continue  # dead end: remains -1 from here on
+                draws = rng.random(group.size)
+                choices = np.searchsorted(cums, draws, side="right")
+                np.clip(choices, 0, cums.size - 1, out=choices)
+                steps[step + 1, group] = self.index.in_lists[node][choices]
+
+        return np.ascontiguousarray(
+            steps.T.reshape(n, self.num_walks, self.length + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node_position(self, node: Node) -> int:
+        """Return the numeric id of *node* in the underlying index."""
+        try:
+            return self.index.position[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def walks_from(self, node: Node) -> np.ndarray:
+        """Return the ``(num_walks, length + 1)`` walk array of *node*."""
+        return self.walks[self.node_position(node)]
+
+    def first_meetings(self, u: Node, v: Node) -> np.ndarray:
+        """Return the first-meeting step of each coupled walk (−1 if none).
+
+        Coupling pairs the i-th walk from ``u`` with the i-th from ``v``;
+        the meeting step is the smallest offset ``k >= 1`` where both walks
+        are alive and stand on the same node.
+        """
+        walks_u = self.walks_from(u)
+        walks_v = self.walks_from(v)
+        alive = (walks_u >= 0) & (walks_v >= 0)
+        same = (walks_u == walks_v) & alive
+        same[:, 0] = False  # the start offset does not count as a meeting
+        met_anywhere = same.any(axis=1)
+        # argmax over booleans returns the first True column per row.
+        first = same.argmax(axis=1)
+        return np.where(met_anywhere, first, -1).astype(np.int64)
+
+    def q_step_probability(self, current: int, chosen: int) -> float:
+        """Return ``Q[current -> chosen]`` for one step of one walk."""
+        neighbours = self.index.in_lists[current]
+        if neighbours.size == 0:
+            return 0.0
+        if self.policy is WalkPolicy.UNIFORM:
+            return 1.0 / neighbours.size
+        weights = self.index.in_weights[current]
+        total = float(weights.sum())
+        matches = neighbours == chosen
+        if not matches.any():
+            return 0.0
+        return float(weights[matches][0]) / total
+
+    # ------------------------------------------------------------------
+    # Accounting (preprocessing experiment)
+    # ------------------------------------------------------------------
+    @property
+    def storage_entries(self) -> int:
+        """Number of stored walk steps — the ``O(n * n_w * t)`` of §4.1."""
+        return int(self.walks.size)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Actual bytes held by the walk array."""
+        return int(self.walks.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"WalkIndex(nodes={self.index.num_nodes}, num_walks={self.num_walks}, "
+            f"length={self.length}, policy={self.policy.value})"
+        )
+
+
+def save_walk_index(index: WalkIndex, path: str | Path) -> None:
+    """Persist *index* to a compressed ``.npz`` file.
+
+    Stores the walk tensor plus enough metadata to verify compatibility on
+    load.  Node identifiers are stored as strings; graphs with non-string
+    ids round-trip as long as their ``str()`` forms are unique.
+    """
+    metadata = {
+        "num_walks": index.num_walks,
+        "length": index.length,
+        "policy": index.policy.value,
+        "nodes": [str(node) for node in index.index.nodes],
+    }
+    np.savez_compressed(
+        path,
+        walks=index.walks,
+        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_walk_index(graph: HIN, path: str | Path) -> WalkIndex:
+    """Load an index written by :func:`save_walk_index` for *graph*.
+
+    The graph must contain the same nodes in the same order as when the
+    index was built (edge changes are tolerated for loading but make the
+    stored walks stale — rebuild or use
+    :class:`~repro.core.dynamic.DynamicWalkIndex` in that case).
+    """
+    with np.load(path) as payload:
+        walks = payload["walks"]
+        metadata = json.loads(bytes(payload["metadata"].tobytes()).decode("utf-8"))
+    current_nodes = [str(node) for node in graph.nodes()]
+    if current_nodes != metadata["nodes"]:
+        raise GraphError(
+            "stored walk index does not match this graph's node set/order"
+        )
+    index = WalkIndex.__new__(WalkIndex)
+    index.graph = graph
+    index.index = graph.index()
+    index.num_walks = int(metadata["num_walks"])
+    index.length = int(metadata["length"])
+    index.policy = WalkPolicy(metadata["policy"])
+    index.walks = walks
+    return index

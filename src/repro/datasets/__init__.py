@@ -1,0 +1,34 @@
+"""Datasets: the paper's worked example plus synthetic corpus stand-ins.
+
+The paper evaluates on AMiner, Amazon, Wikipedia and WordNet crawls that are
+not redistributable (and unreachable offline), so this package generates
+seeded synthetic analogues that preserve the structural/semantic features
+each experiment depends on — see DESIGN.md §3 for the per-dataset
+substitution argument.  Every generator returns a :class:`DatasetBundle`
+with the graph, its taxonomy, IC table, the ready-made Lin measure, and any
+task-specific ground truth.
+"""
+
+from repro.datasets.bundle import DatasetBundle
+from repro.datasets.figure1 import FIGURE1_IC_TABLE, figure1_network, figure2_graph
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_hin
+from repro.datasets.aminer import aminer_like
+from repro.datasets.amazon import amazon_like
+from repro.datasets.wikipedia import wikipedia_like
+from repro.datasets.wordnet import wordnet_like
+from repro.datasets.wordsim import WordPairJudgement, wordsim_benchmark
+
+__all__ = [
+    "DatasetBundle",
+    "FIGURE1_IC_TABLE",
+    "figure1_network",
+    "figure2_graph",
+    "SyntheticConfig",
+    "generate_synthetic_hin",
+    "aminer_like",
+    "amazon_like",
+    "wikipedia_like",
+    "wordnet_like",
+    "WordPairJudgement",
+    "wordsim_benchmark",
+]

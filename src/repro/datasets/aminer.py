@@ -1,0 +1,228 @@
+"""AMiner-like synthetic bibliographic network (entity-resolution testbed).
+
+Reproduces the structural features of the paper's AMiner extract that its
+algorithms and experiments react to:
+
+* a weighted **co-author layer** with community structure (authors cluster
+  around research topics; collaboration counts become edge weights);
+* **author-term edges** whose weights reflect how prevalent the term is in
+  the author's papers;
+* a **CS-topic taxonomy** with skewed term prevalence (informative IC) and
+  a **geographic taxonomy** (continents/countries);
+* every author typed ``is-a Author`` — author-level semantics is therefore
+  *uninformative*, the property Section 5.3 highlights when discussing why
+  pure semantic measures fail at entity resolution on this graph;
+* **planted duplicates**: a configurable number of author and term nodes is
+  cloned with a name variant and a noisy copy of the original's edges —
+  the ground truth for the Figure 5(b) experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.bundle import DatasetBundle
+from repro.datasets.synthetic import _pareto_degrees, _zipf_assignment
+from repro.hin.graph import HIN
+from repro.semantics.lin import LinMeasure
+from repro.taxonomy.ic import seco_information_content
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.utils.rng import ensure_rng
+
+_SURNAMES = [
+    "smith", "chen", "gupta", "muller", "rossi", "tanaka", "kim", "garcia",
+    "ivanov", "kowalski", "johnson", "wang", "patel", "silva", "nguyen",
+    "cohen", "dubois", "larsen", "novak", "okafor",
+]
+
+_CONTINENTS = {
+    "Asia": ["China", "India", "Japan", "Korea", "Israel"],
+    "Europe": ["Germany", "France", "Italy", "Poland", "Norway"],
+    "America": ["USA", "Canada", "Brazil", "Mexico", "Argentina"],
+}
+
+
+def aminer_like(
+    num_authors: int = 300,
+    num_terms: int = 120,
+    num_topics: int = 12,
+    num_author_duplicates: int = 6,
+    num_term_duplicates: int = 24,
+    collaboration_affinity: float = 0.75,
+    clone_keep: float = 0.6,
+    clone_noise_edges: int = 2,
+    seed: int = 0,
+) -> DatasetBundle:
+    """Generate the AMiner-like bundle.
+
+    ``extras["duplicates"]`` holds the planted ``(original, clone)`` pairs
+    (authors and terms mixed, exactly like the paper's 30 Levenshtein-mined
+    pairs — 6 author pairs + 24 term pairs by default);
+    ``extras["author_names"]`` maps author node ids to display names for
+    the Levenshtein mining step.
+    """
+    rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Taxonomies: CS topics (two levels) + geography + the Author type.
+    # ------------------------------------------------------------------
+    taxonomy = Taxonomy()
+    taxonomy.add_concept("Entity")
+    taxonomy.add_concept("Author", parents=["Entity"])
+    taxonomy.add_concept("CS", parents=["Entity"])
+    taxonomy.add_concept("Country", parents=["Entity"])
+    areas = [f"area{k}" for k in range(max(2, num_topics // 4))]
+    for area in areas:
+        taxonomy.add_concept(area, parents=["CS"])
+    topics = [f"topic{k}" for k in range(num_topics)]
+    for k, topic in enumerate(topics):
+        taxonomy.add_concept(topic, parents=[areas[k % len(areas)]])
+    for continent, countries in _CONTINENTS.items():
+        taxonomy.add_concept(continent, parents=["Country"])
+        for country in countries:
+            taxonomy.add_concept(country, parents=[continent])
+    all_countries = [c for cs in _CONTINENTS.values() for c in cs]
+
+    # ------------------------------------------------------------------
+    # Terms: Zipf-assigned to topics so prevalence (and IC) is skewed.
+    # ------------------------------------------------------------------
+    terms = [f"term{i}" for i in range(num_terms)]
+    term_topics = _zipf_assignment(num_terms, topics, 1.2, rng)
+    for term, topic in zip(terms, term_topics):
+        taxonomy.add_concept(term, parents=[topic])
+
+    # ------------------------------------------------------------------
+    # Authors: community per topic, country, display name.
+    # ------------------------------------------------------------------
+    authors = [f"author{i}" for i in range(num_authors)]
+    author_topic = _zipf_assignment(num_authors, topics, 1.0, rng)
+    author_names = {
+        author: f"{_SURNAMES[int(rng.integers(len(_SURNAMES)))]} "
+        f"{chr(ord('a') + int(rng.integers(26)))}. {i:03d}"
+        for i, author in enumerate(authors)
+    }
+    for author in authors:
+        taxonomy.add_concept(author, parents=["Author"])
+
+    graph = HIN()
+    for author in authors:
+        graph.add_node(author, label="author")
+    for term in terms:
+        graph.add_node(term, label="term")
+    for concept in taxonomy.concepts():
+        if concept not in graph:
+            graph.add_node(concept, label="concept")
+    for concept in taxonomy.concepts():
+        for parent in taxonomy.parents(concept):
+            graph.add_undirected_edge(concept, parent, label="is-a")
+
+    # Countries of origin.
+    author_country = {
+        author: all_countries[int(rng.integers(len(all_countries)))]
+        for author in authors
+    }
+    for author, country in author_country.items():
+        graph.add_undirected_edge(author, country, label="origin")
+
+    # Terms of interest: mostly from the author's own topic.
+    terms_by_topic: dict[str, list[str]] = {}
+    for term, topic in zip(terms, term_topics):
+        terms_by_topic.setdefault(topic, []).append(term)
+    for i, author in enumerate(authors):
+        pool = terms_by_topic.get(author_topic[i], terms)
+        for _ in range(int(rng.integers(1, 4))):
+            if rng.random() < 0.8 and pool:
+                term = pool[int(rng.integers(len(pool)))]
+            else:
+                term = terms[int(rng.integers(num_terms))]
+            weight = float(rng.integers(1, 6))
+            graph.add_undirected_edge(author, term, weight=weight, label="interest")
+
+    # Collaborations: community-biased, weight = number of joint papers.
+    authors_by_topic: dict[str, list[int]] = {}
+    for i, topic in enumerate(author_topic):
+        authors_by_topic.setdefault(topic, []).append(i)
+    degrees = _pareto_degrees(num_authors, 3.0, rng)
+    for i, author in enumerate(authors):
+        community = authors_by_topic.get(author_topic[i], [])
+        for _ in range(int(degrees[i])):
+            if community and rng.random() < collaboration_affinity:
+                j = int(community[int(rng.integers(len(community)))])
+            else:
+                j = int(rng.integers(num_authors))
+            if j == i:
+                continue
+            weight = float(rng.integers(1, 6))
+            graph.add_undirected_edge(authors[j], author, weight=weight, label="co-author")
+
+    # ------------------------------------------------------------------
+    # Planted duplicates (the Fig. 5b ground truth).
+    # ------------------------------------------------------------------
+    duplicates: list[tuple[str, str]] = []
+    dup_authors = rng.choice(num_authors, size=min(num_author_duplicates, num_authors), replace=False)
+    for i in map(int, dup_authors):
+        original = authors[i]
+        clone = f"{original}_dup"
+        graph.add_node(clone, label="author")
+        taxonomy.add_concept(clone, parents=["Author"])
+        author_names[clone] = author_names[original].replace(". ", " ")
+        _clone_edges(graph, rng, original, clone, keep=clone_keep,
+                     noise_pool=authors, noise_edges=clone_noise_edges)
+        duplicates.append((original, clone))
+    dup_terms = rng.choice(num_terms, size=min(num_term_duplicates, num_terms), replace=False)
+    for i in map(int, dup_terms):
+        original = terms[i]
+        clone = f"{original}_dup"
+        graph.add_node(clone, label="term")
+        taxonomy.add_concept(clone, parents=[term_topics[i]])
+        _clone_edges(graph, rng, original, clone, keep=clone_keep,
+                     noise_pool=authors, noise_edges=clone_noise_edges)
+        duplicates.append((original, clone))
+
+    ic = seco_information_content(taxonomy)
+    measure = LinMeasure(taxonomy, ic=ic)
+    entity_nodes = [node for node in graph.nodes() if graph.node_label(node) in ("author", "term")]
+    names = dict(author_names)
+    names.update({term: term.replace("term", "term ") for term in terms})
+    names.update({f"{t}_dup": f"{t.replace('term', 'term ')}s" for t in terms})
+    return DatasetBundle(
+        name="aminer-like",
+        graph=graph,
+        taxonomy=taxonomy,
+        ic=ic,
+        measure=measure,
+        entity_nodes=entity_nodes,
+        extras={
+            "duplicates": duplicates,
+            "names": names,
+            "author_topic": dict(zip(authors, author_topic)),
+        },
+    )
+
+
+def _clone_edges(
+    graph: HIN,
+    rng: np.random.Generator,
+    original: str,
+    clone: str,
+    keep: float = 0.6,
+    noise_pool: list[str] | None = None,
+    noise_edges: int = 0,
+) -> None:
+    """Copy ~*keep* of *original*'s edges onto *clone* with jittered weights.
+
+    *noise_edges* additional edges to random *noise_pool* members simulate
+    the clone's independent activity (a duplicate author entry still
+    accrues its own collaborations), keeping duplicate detection from
+    being trivially easy.
+    """
+    for target, weight, label in list(graph.out_edges(original)):
+        if rng.random() < keep:
+            jitter = max(1.0, weight + float(rng.integers(-1, 2)))
+            graph.add_undirected_edge(clone, target, weight=jitter, label=label)
+    for _ in range(noise_edges):
+        if not noise_pool:
+            break
+        target = noise_pool[int(rng.integers(len(noise_pool)))]
+        if target not in (original, clone):
+            graph.add_undirected_edge(clone, target, label="co-author")

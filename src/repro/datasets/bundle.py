@@ -1,0 +1,48 @@
+"""The common container every dataset generator returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.hin.graph import HIN, Node
+from repro.semantics.lin import LinMeasure
+from repro.taxonomy.taxonomy import Concept, Taxonomy
+
+
+@dataclass
+class DatasetBundle:
+    """A graph plus the semantic machinery and ground truth built with it.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier used in benchmark output.
+    graph:
+        The HIN (object layer + ontological layer, Section 2.1).
+    taxonomy:
+        The ``is-a`` hierarchy (kept separately with its child->parent
+        orientation; the HIN may encode the same relations symmetrically
+        for the structural walk).
+    ic:
+        Information-content table in ``(0, 1]``.
+    measure:
+        The ready-to-use Lin measure over *taxonomy* and *ic*.
+    entity_nodes:
+        The object-layer nodes (the ones tasks query).
+    extras:
+        Task-specific ground truth (removed links, duplicate pairs,
+        relatedness judgements...), keyed by task name.
+    """
+
+    name: str
+    graph: HIN
+    taxonomy: Taxonomy
+    ic: dict[Concept, float]
+    measure: LinMeasure
+    entity_nodes: list[Node] = field(default_factory=list)
+    extras: dict[str, object] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetBundle({self.name!r}, nodes={self.graph.num_nodes}, "
+            f"edges={self.graph.num_edges}, concepts={len(self.taxonomy)})"
+        )

@@ -1,0 +1,98 @@
+"""(De)serialisation of full dataset bundles.
+
+A :class:`~repro.datasets.bundle.DatasetBundle` is more than its graph: the
+taxonomy keeps its child->parent orientation (the HIN may encode ``is-a``
+symmetrically for the structural walk) and the IC table pins the semantic
+measure.  This module round-trips all of it through one JSON document so
+generated datasets can be shared and re-loaded — including by the CLI.
+
+``extras`` values are stored as-is when JSON-compatible; anything else is
+dropped with a loud key in ``dropped_extras``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.datasets.bundle import DatasetBundle
+from repro.errors import GraphError
+from repro.hin.io import hin_from_dict, hin_to_dict
+from repro.semantics.lin import LinMeasure
+from repro.taxonomy.taxonomy import Taxonomy
+
+FORMAT_VERSION = 1
+
+
+def bundle_to_dict(bundle: DatasetBundle) -> dict:
+    """Serialise *bundle* to a JSON-compatible dictionary."""
+    taxonomy_edges = [
+        [child, parent]
+        for child in bundle.taxonomy.concepts()
+        for parent in bundle.taxonomy.parents(child)
+    ]
+    isolated = [
+        concept for concept in bundle.taxonomy.concepts()
+        if not bundle.taxonomy.parents(concept)
+    ]
+    extras = {}
+    dropped = []
+    for key, value in bundle.extras.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            dropped.append(key)
+        else:
+            extras[key] = value
+    return {
+        "format": "repro-bundle",
+        "version": FORMAT_VERSION,
+        "name": bundle.name,
+        "graph": hin_to_dict(bundle.graph),
+        "taxonomy_edges": taxonomy_edges,
+        "taxonomy_roots": isolated,
+        "ic": {str(k): v for k, v in bundle.ic.items()},
+        "entity_nodes": list(bundle.entity_nodes),
+        "extras": extras,
+        "dropped_extras": dropped,
+    }
+
+
+def bundle_from_dict(payload: dict) -> DatasetBundle:
+    """Rebuild a bundle written by :func:`bundle_to_dict`.
+
+    The Lin measure is reconstructed from the stored taxonomy and IC table
+    (string node ids assumed, as after any JSON round trip).
+    """
+    if payload.get("format") != "repro-bundle":
+        raise GraphError("payload is not a repro-bundle document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise GraphError(f"unsupported repro-bundle version {payload.get('version')!r}")
+    graph = hin_from_dict(payload["graph"])
+    taxonomy = Taxonomy()
+    for root in payload.get("taxonomy_roots", []):
+        taxonomy.add_concept(root)
+    for child, parent in payload["taxonomy_edges"]:
+        taxonomy.add_concept(child, parents=[parent])
+    ic = {k: float(v) for k, v in payload["ic"].items()}
+    return DatasetBundle(
+        name=payload["name"],
+        graph=graph,
+        taxonomy=taxonomy,
+        ic=ic,
+        measure=LinMeasure(taxonomy, ic=ic),
+        entity_nodes=list(payload["entity_nodes"]),
+        extras=dict(payload.get("extras", {})),
+    )
+
+
+def save_bundle_json(bundle: DatasetBundle, path: str | Path) -> None:
+    """Write *bundle* to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bundle_to_dict(bundle), handle)
+
+
+def load_bundle_json(path: str | Path) -> DatasetBundle:
+    """Load a bundle written by :func:`save_bundle_json`."""
+    with open(path, encoding="utf-8") as handle:
+        return bundle_from_dict(json.load(handle))

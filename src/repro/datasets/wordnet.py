@@ -1,0 +1,92 @@
+"""WordNet-like synthetic noun hierarchy (term-relatedness testbed).
+
+The paper's WordNet dataset is the noun sub-hierarchy: a deep ``is-a``
+taxonomy plus sparse non-hierarchical *part-of* relations.  Here the
+entities *are* taxonomy concepts (there is no separate object layer), the
+tree is deep and narrow like WordNet's, and part-of edges connect concepts
+with a bias toward taxonomic proximity — giving structural measures
+something the bare taxonomy does not encode.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.bundle import DatasetBundle
+from repro.hin.graph import HIN
+from repro.semantics.lin import LinMeasure
+from repro.taxonomy.ic import seco_information_content
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.utils.rng import ensure_rng
+
+
+def wordnet_like(
+    depth: int = 6,
+    branching: tuple[int, int] = (2, 3),
+    part_of_fraction: float = 1.0,
+    semantic_affinity: float = 0.7,
+    seed: int = 0,
+) -> DatasetBundle:
+    """Generate the WordNet-like bundle.
+
+    *part_of_fraction* scales how many part-of edges exist relative to the
+    number of concepts; endpoints are drawn within the same top-level
+    branch with probability *semantic_affinity*.
+    """
+    rng = ensure_rng(seed)
+    taxonomy = Taxonomy()
+    root = "noun"
+    taxonomy.add_concept(root)
+    level = [root]
+    counter = 0
+    low, high = branching
+    for _ in range(depth):
+        next_level: list[str] = []
+        for parent in level:
+            for _ in range(int(rng.integers(low, high + 1))):
+                concept = f"n{counter}"
+                counter += 1
+                taxonomy.add_concept(concept, parents=[parent])
+                next_level.append(concept)
+        level = next_level
+
+    concepts = [c for c in taxonomy.concepts() if c != root]
+    graph = HIN()
+    graph.add_node(root, label="concept")
+    for concept in concepts:
+        graph.add_node(concept, label="noun")
+    for concept in taxonomy.concepts():
+        for parent in taxonomy.parents(concept):
+            graph.add_undirected_edge(concept, parent, label="is-a")
+
+    # Each concept belongs to the top-level branch it descends from; the
+    # part-of affinity bias keeps most endpoints within one branch.
+    branch_of: dict[str, str] = {}
+    for concept in taxonomy.topological_order():
+        if concept == root:
+            continue
+        parent = taxonomy.parents(concept)[0]
+        branch_of[concept] = concept if parent == root else branch_of[parent]
+    by_branch: dict[str, list[str]] = {}
+    for concept in concepts:
+        by_branch.setdefault(branch_of[concept], []).append(concept)
+
+    num_part_of = int(part_of_fraction * len(concepts))
+    for _ in range(num_part_of):
+        a = concepts[int(rng.integers(len(concepts)))]
+        pool = by_branch.get(branch_of[a], concepts)
+        if pool and rng.random() < semantic_affinity:
+            b = pool[int(rng.integers(len(pool)))]
+        else:
+            b = concepts[int(rng.integers(len(concepts)))]
+        if a != b and not graph.has_edge(a, b):
+            graph.add_undirected_edge(a, b, label="part-of")
+
+    ic = seco_information_content(taxonomy)
+    measure = LinMeasure(taxonomy, ic=ic)
+    return DatasetBundle(
+        name="wordnet-like",
+        graph=graph,
+        taxonomy=taxonomy,
+        ic=ic,
+        measure=measure,
+        entity_nodes=list(concepts),
+    )

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch everything the library throws with a
+single ``except`` clause while still letting programming errors
+(``TypeError``, ``KeyError`` from misuse of plain dicts, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph (missing node, bad edge, ...)."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge {source!r} -> {target!r} is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class InvalidWeightError(GraphError):
+    """An edge weight is not a strictly positive finite number."""
+
+
+class TaxonomyError(ReproError):
+    """A structural problem with a taxonomy (cycle, missing root, ...)."""
+
+
+class MeasureAxiomError(ReproError):
+    """A semantic measure violates one of the paper's three axioms.
+
+    The axioms (Section 2.2) are: symmetry, maximum self-similarity
+    (``sem(u, u) == 1``) and fixed value range (``sem(u, v) in (0, 1]``).
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative computation failed to converge within its budget."""
+
+    def __init__(self, iterations: int, residual: float) -> None:
+        super().__init__(
+            f"did not converge after {iterations} iterations "
+            f"(residual {residual:.3e})"
+        )
+        self.iterations = iterations
+        self.residual = residual
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter combination was supplied."""

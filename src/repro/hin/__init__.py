@@ -1,0 +1,27 @@
+"""Heterogeneous Information Network (HIN) substrate.
+
+Implements the data model of Definition 2.1: a directed, weighted graph with
+vertex and edge labelling functions, plus the node-pair graph ``G²`` and its
+semantically reduced version ``G²_θ`` (Section 3).
+"""
+
+from repro.hin.graph import HIN, GraphIndex
+from repro.hin.builder import HINBuilder
+from repro.hin.io import hin_from_dict, hin_to_dict, load_hin_json, save_hin_json
+from repro.hin.pair_graph import PairGraph, build_pair_graph
+from repro.hin.reduced_pair_graph import DRAIN, ReducedPairGraph, build_reduced_pair_graph
+
+__all__ = [
+    "HIN",
+    "GraphIndex",
+    "HINBuilder",
+    "hin_from_dict",
+    "hin_to_dict",
+    "load_hin_json",
+    "save_hin_json",
+    "PairGraph",
+    "build_pair_graph",
+    "DRAIN",
+    "ReducedPairGraph",
+    "build_reduced_pair_graph",
+]

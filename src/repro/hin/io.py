@@ -1,0 +1,61 @@
+"""HIN (de)serialisation.
+
+A graph round-trips through a plain JSON-compatible dictionary with two keys:
+
+``nodes``
+    list of ``[node_id, label]`` pairs (insertion order preserved);
+``edges``
+    list of ``[source, target, weight, label]`` quadruples.
+
+Only string node identifiers survive a JSON round trip losslessly; the
+in-memory dict form accepts any hashable id.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.hin.graph import HIN
+
+FORMAT_VERSION = 1
+
+
+def hin_to_dict(graph: HIN) -> dict:
+    """Serialise *graph* to a JSON-compatible dictionary."""
+    return {
+        "format": "repro-hin",
+        "version": FORMAT_VERSION,
+        "nodes": [[node, graph.node_label(node)] for node in graph.nodes()],
+        "edges": [
+            [source, target, weight, label]
+            for source, target, weight, label in graph.edges()
+        ],
+    }
+
+
+def hin_from_dict(payload: dict) -> HIN:
+    """Deserialise a graph produced by :func:`hin_to_dict`."""
+    if payload.get("format") != "repro-hin":
+        raise GraphError("payload is not a repro-hin document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise GraphError(f"unsupported repro-hin version {payload.get('version')!r}")
+    graph = HIN()
+    for node, label in payload["nodes"]:
+        graph.add_node(node, label=label)
+    for source, target, weight, label in payload["edges"]:
+        graph.add_edge(source, target, weight=weight, label=label)
+    return graph
+
+
+def save_hin_json(graph: HIN, path: str | Path) -> None:
+    """Write *graph* to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(hin_to_dict(graph), handle, indent=1)
+
+
+def load_hin_json(path: str | Path) -> HIN:
+    """Load a graph written by :func:`save_hin_json`."""
+    with open(path, encoding="utf-8") as handle:
+        return hin_from_dict(json.load(handle))

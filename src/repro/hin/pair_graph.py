@@ -1,0 +1,151 @@
+"""The node-pair graph ``G²`` (Section 3.1).
+
+Each node of ``G²`` is an *ordered pair* of nodes of ``G``; following the
+random-surfer convention all edges of ``G`` are reversed first, so a surfer
+standing on the pair ``(u, u')`` moves to ``(v, v')`` where ``v`` is an
+in-neighbour of ``u`` and ``v'`` an in-neighbour of ``u'`` in the original
+graph.  Edge weights multiply: ``W((u,u'),(v,v')) = W(v,u) * W(v',u')``.
+
+``G²`` has ``|V|²`` nodes and ``|E|²`` edges, so this class never
+materialises it: it exposes lazy out-edge iteration plus exact analytic size
+counts (used in the Table 3 benchmark) and sampled path statistics toward
+singleton nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.hin.graph import HIN, Node
+from repro.utils.rng import ensure_rng
+
+Pair = tuple[Node, Node]
+
+
+class PairGraph:
+    """A lazy view of ``G²`` over the reversed base graph."""
+
+    def __init__(self, base: HIN) -> None:
+        self.base = base
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """``|V|²`` — every ordered pair is a node of ``G²``."""
+        return self.base.num_nodes ** 2
+
+    @property
+    def num_edges(self) -> int:
+        """``|E|²`` — each pair of base edges induces one ``G²`` edge.
+
+        Out-edges of pair ``(u, u')`` number ``|I(u)| * |I(u')|``; summing
+        over all ordered pairs factorises into ``(sum_v |I(v)|)² = |E|²``.
+        """
+        return self.base.num_edges ** 2
+
+    def contains(self, pair: Pair) -> bool:
+        """Return whether *pair* is a node of ``G²``."""
+        u, v = pair
+        return u in self.base and v in self.base
+
+    def is_singleton(self, pair: Pair) -> bool:
+        """Return whether *pair* is a singleton node ``(x, x)``."""
+        return pair[0] == pair[1]
+
+    def out_edges(self, pair: Pair) -> Iterator[tuple[Pair, float]]:
+        """Yield ``(target_pair, weight)`` for the surfer's moves from *pair*.
+
+        Singleton pairs yield nothing: the paper prunes out-edges of
+        singleton nodes because only the surfers' *first* meeting counts.
+        """
+        if not self.contains(pair):
+            raise NodeNotFoundError(pair)
+        if self.is_singleton(pair):
+            return
+        u, v = pair
+        for a, weight_a, _ in self.base.in_edges(u):
+            for b, weight_b, _ in self.base.in_edges(v):
+                yield (a, b), weight_a * weight_b
+
+    def out_degree(self, pair: Pair) -> int:
+        """Return ``|I(u)| * |I(v)|`` (0 for singletons)."""
+        if self.is_singleton(pair):
+            return 0
+        u, v = pair
+        return self.base.in_degree(u) * self.base.in_degree(v)
+
+    def nodes(self) -> Iterator[Pair]:
+        """Iterate all ordered pairs (quadratic — small graphs only)."""
+        base_nodes = list(self.base.nodes())
+        for u in base_nodes:
+            for v in base_nodes:
+                yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Path statistics (Table 3)
+    # ------------------------------------------------------------------
+    def singleton_path_stats(
+        self,
+        num_sources: int = 50,
+        max_length: int = 6,
+        max_paths_per_source: int = 10_000,
+        seed: int | np.random.Generator | None = None,
+    ) -> tuple[float, float]:
+        """Estimate (avg #paths to singletons, avg path length).
+
+        For each of *num_sources* uniformly sampled non-singleton pairs, the
+        walks leading to a *first* singleton within *max_length* steps are
+        enumerated by DFS (capped at *max_paths_per_source* to bound work on
+        dense instances).  Returns the averages over sources; sources with
+        no such path contribute zero paths and are excluded from the length
+        average, matching how the paper tabulates "avg. # of paths to
+        singletons" and "avg. paths' length".
+        """
+        rng = ensure_rng(seed)
+        base_nodes = list(self.base.nodes())
+        if len(base_nodes) < 2:
+            return 0.0, 0.0
+        path_counts: list[int] = []
+        lengths: list[int] = []
+        for _ in range(num_sources):
+            u, v = rng.choice(len(base_nodes), size=2, replace=False)
+            source = (base_nodes[int(u)], base_nodes[int(v)])
+            count = self._count_singleton_paths(
+                source, max_length, max_paths_per_source, lengths
+            )
+            path_counts.append(count)
+        avg_paths = float(np.mean(path_counts)) if path_counts else 0.0
+        avg_length = float(np.mean(lengths)) if lengths else 0.0
+        return avg_paths, avg_length
+
+    def _count_singleton_paths(
+        self,
+        source: Pair,
+        max_length: int,
+        cap: int,
+        lengths_out: list[int],
+    ) -> int:
+        """DFS-count walks from *source* that end at their first singleton."""
+        count = 0
+        stack: list[tuple[Pair, int]] = [(source, 0)]
+        while stack and count < cap:
+            pair, depth = stack.pop()
+            if depth > 0 and self.is_singleton(pair):
+                count += 1
+                lengths_out.append(depth)
+                continue
+            if depth >= max_length:
+                continue
+            for target, _weight in self.out_edges(pair):
+                stack.append((target, depth + 1))
+        return count
+
+
+def build_pair_graph(base: HIN) -> PairGraph:
+    """Return the lazy ``G²`` view of *base* (reversed-edge convention)."""
+    return PairGraph(base)

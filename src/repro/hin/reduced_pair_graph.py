@@ -1,0 +1,335 @@
+"""The semantically reduced pair graph ``G²_θ`` (Definition 3.4).
+
+Given a threshold θ, only pair-nodes whose semantic similarity exceeds θ are
+kept (Prop. 2.5 guarantees every dropped pair's SemSim score is ≤ θ, so
+queries above the threshold lose nothing).  Walks through dropped pairs are
+spliced into *shortcut edges* whose weight accumulates the walk
+probabilities decayed by ``c`` per step (the paper's ``W2``), direct
+surviving edges keep their ``G²`` weight (``W1``), and a drain node ``D``
+absorbs the out-weight that reduction removed, so every surviving node's
+total out-weight matches ``G²``.
+
+Shortcut mass is computed exactly — including through cycles among omitted
+pairs — by a sparse linear solve ``(I - c·T_OO) X = c·T_OK`` instead of path
+enumeration.  Theorem 3.5 (scores over ``G²_θ`` equal scores over ``G²``)
+is verified in the test-suite against both the full pair-graph solve and the
+iterative fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.hin.graph import HIN, Node
+from repro.hin.pair_graph import Pair
+from repro.semantics.base import SemanticMeasure, semantic_matrix
+
+#: Sentinel identifier of the drain node ``D``.
+DRAIN = ("__drain__", "__drain__")
+
+#: Shortcut weights below this tolerance are treated as numerically zero.
+_WEIGHT_TOL = 1e-12
+
+
+@dataclass
+class ReducedPairGraph:
+    """Materialised ``G²_θ`` plus the machinery to score pairs on it.
+
+    Attributes
+    ----------
+    pairs:
+        The surviving pair-nodes ``V_θ`` in a stable order.
+    w1, w2:
+        Direct (``G²``) and shortcut weight components per edge, keyed by
+        ``(source_index, target_index)`` into :attr:`pairs`.
+    drain_weight:
+        Out-weight absorbed by the drain node ``D`` per source index.
+    transitions:
+        Sparse matrix ``M`` over :attr:`pairs` with
+        ``M[A, B] = c * P[A -> B] + shortcut-probability mass`` — the score
+        operator of Theorem 3.5.
+    """
+
+    theta: float
+    decay: float
+    pairs: list[Pair]
+    position: dict[Pair, int]
+    w1: dict[tuple[int, int], float]
+    w2: dict[tuple[int, int], float]
+    drain_weight: dict[int, float]
+    transitions: sp.csr_matrix
+    semantic: dict[Pair, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Size statistics (Table 3)
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """``|V_θ|`` plus the drain node when any edge feeds it."""
+        has_drain = any(w > _WEIGHT_TOL for w in self.drain_weight.values())
+        return len(self.pairs) + (1 if has_drain else 0)
+
+    @property
+    def num_edges(self) -> int:
+        """Edges among surviving pairs plus edges into the drain."""
+        edge_keys = set(self.w1) | set(self.w2)
+        drain_edges = sum(1 for w in self.drain_weight.values() if w > _WEIGHT_TOL)
+        return len(edge_keys) + drain_edges
+
+    def edge_weight(self, source: Pair, target: Pair) -> float:
+        """Return ``W_θ(source -> target) = W1 + W2`` (Definition 3.4)."""
+        if target == DRAIN:
+            i = self._index(source)
+            return self.drain_weight.get(i, 0.0)
+        key = (self._index(source), self._index(target))
+        return self.w1.get(key, 0.0) + self.w2.get(key, 0.0)
+
+    def contains(self, pair: Pair) -> bool:
+        """Return whether *pair* survived the reduction."""
+        return pair in self.position
+
+    # ------------------------------------------------------------------
+    # Scores (Theorem 3.5)
+    # ------------------------------------------------------------------
+    def scores(self) -> dict[Pair, float]:
+        """Return ``s_θ(u, v)`` for every surviving pair.
+
+        Solves ``h = M h`` with ``h = 1`` on singleton pairs by fixed-point
+        iteration (the operator is a ``c``-contraction) and multiplies by
+        the semantic factor.  Pairs dropped by the reduction score 0 by
+        definition.
+        """
+        singleton = np.array([pair[0] == pair[1] for pair in self.pairs])
+        h = singleton.astype(np.float64)
+        for _ in range(_max_fixpoint_iters(self.decay)):
+            updated = self.transitions @ h
+            updated[singleton] = 1.0
+            if np.max(np.abs(updated - h)) < 1e-12:
+                h = updated
+                break
+            h = updated
+        return {
+            pair: float(self.semantic[pair] * h[i])
+            for i, pair in enumerate(self.pairs)
+        }
+
+    def score(self, u: Node, v: Node) -> float:
+        """Return ``s_θ(u, v)`` (0 when the pair was reduced away)."""
+        if (u, v) not in self.position:
+            return 0.0
+        return self.scores()[(u, v)]
+
+    def singleton_path_stats(
+        self,
+        num_sources: int = 50,
+        max_length: int = 6,
+        max_paths_per_source: int = 10_000,
+        seed: int | np.random.Generator | None = None,
+    ) -> tuple[float, float]:
+        """Estimate (avg #paths to singletons, avg path length) on ``G²_θ``.
+
+        Mirrors :meth:`repro.hin.pair_graph.PairGraph.singleton_path_stats`
+        so Table 3 can compare the two like-for-like; walks follow the
+        reduced graph's surviving edges (direct + shortcut).
+        """
+        from repro.utils.rng import ensure_rng
+
+        rng = ensure_rng(seed)
+        non_singleton = [
+            i for i, pair in enumerate(self.pairs) if pair[0] != pair[1]
+        ]
+        if not non_singleton:
+            return 0.0, 0.0
+        singleton = {
+            i for i, pair in enumerate(self.pairs) if pair[0] == pair[1]
+        }
+        indptr = self.transitions.indptr
+        indices = self.transitions.indices
+        counts: list[int] = []
+        lengths: list[int] = []
+        for _ in range(num_sources):
+            source = int(non_singleton[int(rng.integers(len(non_singleton)))])
+            found = 0
+            stack = [(source, 0)]
+            while stack and found < max_paths_per_source:
+                state, depth = stack.pop()
+                if depth > 0 and state in singleton:
+                    found += 1
+                    lengths.append(depth)
+                    continue
+                if depth >= max_length:
+                    continue
+                for target in indices[indptr[state]:indptr[state + 1]]:
+                    stack.append((int(target), depth + 1))
+            counts.append(found)
+        avg_paths = float(np.mean(counts)) if counts else 0.0
+        avg_length = float(np.mean(lengths)) if lengths else 0.0
+        return avg_paths, avg_length
+
+    def _index(self, pair: Pair) -> int:
+        try:
+            return self.position[pair]
+        except KeyError:
+            raise NodeNotFoundError(pair) from None
+
+
+def _max_fixpoint_iters(decay: float) -> int:
+    """Iterations needed to push the geometric tail below 1e-12."""
+    if decay <= 0:
+        return 1
+    return max(8, int(np.ceil(np.log(1e-13) / np.log(decay))) + 2)
+
+
+def build_reduced_pair_graph(
+    base: HIN,
+    measure: SemanticMeasure,
+    theta: float,
+    decay: float,
+) -> ReducedPairGraph:
+    """Materialise ``G²_θ`` for *base* under *measure* (Definition 3.4).
+
+    Quadratic in ``|V|`` (the full pair space is indexed) — intended for the
+    small/medium instances on which the paper runs its exact computations.
+
+    Notes
+    -----
+    * Singleton pairs always survive (``sem(x, x) = 1 > θ``) and have their
+      out-edges pruned, as the paper licences, because only the surfers'
+      first meeting contributes to a score.
+    * The drain weight is computed literally per Definition 3.4 as the
+      difference between a node's total out-weight in ``G²`` and in
+      ``G²_θ``; because ``W2`` lives in probability space (the definition
+      sums ``P[w]·c^{l(w)-1}``) the difference is clamped at 0 to guard
+      floating-point underflow.
+    """
+    if not 0 < theta < 1:
+        raise ConfigurationError(f"theta must lie in (0, 1), got {theta!r}")
+    if not 0 < decay < 1:
+        raise ConfigurationError(f"decay must lie in (0, 1), got {decay!r}")
+
+    nodes = list(base.nodes())
+    n = len(nodes)
+    position = {node: i for i, node in enumerate(nodes)}
+    sem = semantic_matrix(measure, nodes)
+
+    state_count = n * n
+
+    def state(i: int, j: int) -> int:
+        return i * n + j
+
+    # --- SARW transition matrix T and raw-weight matrix over the pair space.
+    t_rows: list[int] = []
+    t_cols: list[int] = []
+    t_vals: list[float] = []
+    w_vals: list[float] = []
+    in_edges = {
+        node: [(position[src], weight) for src, weight, _ in base.in_edges(node)]
+        for node in nodes
+    }
+    for i, u in enumerate(nodes):
+        for j, v in enumerate(nodes):
+            if i == j:
+                continue  # singleton out-edges are pruned
+            edges_u = in_edges[u]
+            edges_v = in_edges[v]
+            if not edges_u or not edges_v:
+                continue
+            source = state(i, j)
+            weights = []
+            targets = []
+            raw = []
+            for a, wa in edges_u:
+                for b, wb in edges_v:
+                    product = wa * wb
+                    weights.append(product * sem[a, b])
+                    raw.append(product)
+                    targets.append(state(a, b))
+            total = float(np.sum(weights))
+            if total <= 0:
+                continue
+            for target, weight, raw_weight in zip(targets, weights, raw):
+                t_rows.append(source)
+                t_cols.append(target)
+                t_vals.append(weight / total)
+                w_vals.append(raw_weight)
+    transition = sp.csr_matrix(
+        (t_vals, (t_rows, t_cols)), shape=(state_count, state_count)
+    )
+    raw_weights = sp.csr_matrix(
+        (w_vals, (t_rows, t_cols)), shape=(state_count, state_count)
+    )
+
+    # --- Partition the pair space into kept (sem > θ) and omitted states.
+    kept_mask = (sem > theta).reshape(-1)
+    kept_states = np.flatnonzero(kept_mask)
+    omitted_states = np.flatnonzero(~kept_mask)
+    kept_index = {int(s): k for k, s in enumerate(kept_states)}
+
+    scaled = transition.multiply(decay).tocsr()
+    t_kk = scaled[kept_states][:, kept_states]
+    t_ko = scaled[kept_states][:, omitted_states]
+    t_ok = scaled[omitted_states][:, kept_states]
+    t_oo = scaled[omitted_states][:, omitted_states]
+
+    # --- Shortcut mass through omitted pairs: c·T_KO (I - c·T_OO)^-1 c·T_OK.
+    if omitted_states.size and t_ko.nnz and t_ok.nnz:
+        identity = sp.identity(omitted_states.size, format="csc")
+        solver = spla.splu((identity - t_oo).tocsc())
+        dense_rhs = t_ok.toarray()
+        absorbed = solver.solve(dense_rhs)
+        shortcut = sp.csr_matrix(t_ko @ absorbed)
+        shortcut.data[np.abs(shortcut.data) < _WEIGHT_TOL] = 0.0
+        shortcut.eliminate_zeros()
+    else:
+        shortcut = sp.csr_matrix((kept_states.size, kept_states.size))
+
+    # --- Assemble the reduced structure.
+    pairs: list[Pair] = []
+    for s in kept_states:
+        i, j = divmod(int(s), n)
+        pairs.append((nodes[i], nodes[j]))
+    pair_position = {pair: k for k, pair in enumerate(pairs)}
+    semantic = {pair: float(sem[position[pair[0]], position[pair[1]]]) for pair in pairs}
+
+    w1: dict[tuple[int, int], float] = {}
+    direct = raw_weights[kept_states][:, kept_states].tocoo()
+    for r, col, value in zip(direct.row, direct.col, direct.data):
+        if value > _WEIGHT_TOL:
+            w1[(int(r), int(col))] = float(value)
+
+    w2: dict[tuple[int, int], float] = {}
+    shortcut_coo = shortcut.tocoo()
+    for r, col, value in zip(shortcut_coo.row, shortcut_coo.col, shortcut_coo.data):
+        if value > _WEIGHT_TOL:
+            w2[(int(r), int(col))] = float(value)
+
+    # --- Drain weights: per-node out-weight deficit versus G² (clamped ≥ 0).
+    full_out_weight = np.asarray(raw_weights.sum(axis=1)).reshape(-1)
+    drain_weight: dict[int, float] = {}
+    reduced_out = np.zeros(kept_states.size)
+    for (r, _), value in w1.items():
+        reduced_out[r] += value
+    for (r, _), value in w2.items():
+        reduced_out[r] += value
+    for k, s in enumerate(kept_states):
+        deficit = float(full_out_weight[int(s)]) - float(reduced_out[k])
+        if deficit > _WEIGHT_TOL:
+            drain_weight[k] = deficit
+
+    transitions = (t_kk + shortcut).tocsr()
+
+    return ReducedPairGraph(
+        theta=theta,
+        decay=decay,
+        pairs=pairs,
+        position=pair_position,
+        w1=w1,
+        w2=w2,
+        drain_weight=drain_weight,
+        transitions=transitions,
+        semantic=semantic,
+    )

@@ -1,0 +1,43 @@
+"""Pluggable semantic similarity measures.
+
+SemSim is modular: any measure satisfying the paper's three axioms
+(symmetry, maximum self-similarity, values in ``(0, 1]``) can be injected.
+This subpackage provides the measure used in the paper's experiments (Lin)
+plus the main alternatives its Related Work discusses: other IC-based
+measures (Resnik, Jiang-Conrath) and edge-counting measures (Rada path,
+Wu-Palmer, Leacock-Chodorow), along with caching wrappers and an axiom
+validator.
+"""
+
+from repro.semantics.base import (
+    SemanticMeasure,
+    semantic_matrix,
+    validate_measure,
+)
+from repro.semantics.constant import ConstantMeasure
+from repro.semantics.lin import LinMeasure
+from repro.semantics.resnik import ResnikMeasure
+from repro.semantics.jiang_conrath import JiangConrathMeasure
+from repro.semantics.path_based import (
+    LeacockChodorowMeasure,
+    RadaPathMeasure,
+    WuPalmerMeasure,
+)
+from repro.semantics.tversky import TverskyMeasure
+from repro.semantics.cache import CachedMeasure, MatrixMeasure
+
+__all__ = [
+    "SemanticMeasure",
+    "semantic_matrix",
+    "validate_measure",
+    "ConstantMeasure",
+    "LinMeasure",
+    "ResnikMeasure",
+    "JiangConrathMeasure",
+    "RadaPathMeasure",
+    "WuPalmerMeasure",
+    "LeacockChodorowMeasure",
+    "TverskyMeasure",
+    "CachedMeasure",
+    "MatrixMeasure",
+]

@@ -1,0 +1,86 @@
+"""Caching wrappers around semantic measures.
+
+The paper assumes single-pair semantic scores cost O(1) "possibly after
+pre-processing, without materialising the n x n matrix of scores"
+(Section 2.3).  :class:`CachedMeasure` provides the lazy variant (memoise on
+first touch); :class:`MatrixMeasure` provides the eager variant for small
+node sets where a dense numpy matrix is the fastest representation — it is
+what the vectorised iterative engines consume.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.semantics.base import SemanticMeasure, semantic_matrix
+
+Node = Hashable
+
+
+class CachedMeasure:
+    """Memoising decorator around any :class:`SemanticMeasure`.
+
+    Unordered pairs are cached under a canonical key, so the wrapper also
+    enforces symmetry of responses even for an inner measure with asymmetric
+    floating-point noise.
+    """
+
+    def __init__(self, inner: SemanticMeasure) -> None:
+        self.inner = inner
+        self._cache: dict[tuple[Node, Node], float] = {}
+
+    def similarity(self, a: Node, b: Node) -> float:
+        """Return the cached ``sem(a, b)``."""
+        if a == b:
+            return 1.0
+        key = (a, b) if repr(a) <= repr(b) else (b, a)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.inner.similarity(*key)
+            self._cache[key] = cached
+        return cached
+
+    @property
+    def cache_size(self) -> int:
+        """Number of distinct pairs evaluated so far."""
+        return len(self._cache)
+
+    def __repr__(self) -> str:
+        return f"CachedMeasure({self.inner!r}, cached={self.cache_size})"
+
+
+class MatrixMeasure:
+    """A measure backed by a fully materialised similarity matrix.
+
+    Build one with :meth:`from_measure` (evaluates ``n*(n-1)/2`` pairs once)
+    or directly from a precomputed symmetric matrix.  Lookups are two dict
+    hits and one array read.
+    """
+
+    def __init__(self, nodes: Sequence[Node], matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != (len(nodes), len(nodes)):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match {len(nodes)} nodes"
+            )
+        self.nodes = list(nodes)
+        self.matrix = matrix
+        self._position = {node: i for i, node in enumerate(self.nodes)}
+
+    @classmethod
+    def from_measure(cls, measure: SemanticMeasure, nodes: Sequence[Node]) -> "MatrixMeasure":
+        """Materialise *measure* over *nodes*."""
+        return cls(nodes, semantic_matrix(measure, nodes))
+
+    def similarity(self, a: Node, b: Node) -> float:
+        """Return the precomputed ``sem(a, b)``."""
+        try:
+            return float(self.matrix[self._position[a], self._position[b]])
+        except KeyError as exc:
+            raise NodeNotFoundError(exc.args[0]) from None
+
+    def __repr__(self) -> str:
+        return f"MatrixMeasure(nodes={len(self.nodes)})"

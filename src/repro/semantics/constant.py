@@ -1,0 +1,29 @@
+"""The constant semantic measure.
+
+``ConstantMeasure(1.0)`` makes every pair maximally similar, which collapses
+SemSim to *weighted SimRank* (and, on a unit-weight graph, to plain
+SimRank).  The test-suite exploits this equivalence heavily, and it is also
+the cleanest way to run the paper's machinery when no ontology exists.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import ConfigurationError
+
+
+class ConstantMeasure:
+    """``sem(u, u) = 1`` and ``sem(u, v) = value`` for every ``u != v``."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if not 0 < value <= 1:
+            raise ConfigurationError(f"constant value must lie in (0, 1], got {value!r}")
+        self.value = float(value)
+
+    def similarity(self, a: Hashable, b: Hashable) -> float:
+        """Return 1 for identical nodes, the constant otherwise."""
+        return 1.0 if a == b else self.value
+
+    def __repr__(self) -> str:
+        return f"ConstantMeasure({self.value})"

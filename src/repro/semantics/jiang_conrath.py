@@ -1,0 +1,55 @@
+"""Jiang-Conrath similarity.
+
+Jiang & Conrath define a *distance* ``d(u, v) = IC(u) + IC(v) -
+2 * IC(MICA(u, v))``; we convert it to a similarity via the standard
+``1 / (1 + d)`` transform, which satisfies all three SemSim axioms out of
+the box: it is symmetric, equals 1 exactly when the distance is 0 (``u ==
+v``), and stays strictly positive because the distance is finite.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.taxonomy.ic import seco_information_content
+from repro.taxonomy.lca import most_informative_common_ancestor
+from repro.taxonomy.taxonomy import Concept, Taxonomy
+
+
+class JiangConrathMeasure:
+    """``1 / (1 + jc_distance)`` over a taxonomy.
+
+    Pairs with no common ancestor are treated as maximally distant for the
+    given IC table (distance ``IC(u) + IC(v)``, i.e. ``IC(MICA) = 0``).
+    """
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        ic: Mapping[Concept, float] | None = None,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.ic = dict(ic) if ic is not None else seco_information_content(taxonomy)
+        self._cache: dict[tuple[Concept, Concept], float] = {}
+
+    def similarity(self, a: Hashable, b: Hashable) -> float:
+        """Return JC similarity in ``(0, 1]``."""
+        if a == b:
+            return 1.0
+        key = (a, b) if repr(a) <= repr(b) else (b, a)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        value = 1.0 / (1.0 + self._distance(a, b))
+        self._cache[key] = value
+        return value
+
+    def _distance(self, a: Concept, b: Concept) -> float:
+        if a not in self.taxonomy or b not in self.taxonomy:
+            return 2.0  # maximum possible with IC values in (0, 1]
+        ancestor = most_informative_common_ancestor(self.taxonomy, self.ic, a, b)
+        shared = self.ic[ancestor] if ancestor is not None else 0.0
+        return max(0.0, self.ic[a] + self.ic[b] - 2.0 * shared)
+
+    def __repr__(self) -> str:
+        return f"JiangConrathMeasure(concepts={len(self.taxonomy)})"

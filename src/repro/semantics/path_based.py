@@ -1,0 +1,150 @@
+"""Edge-counting semantic measures (Rada path, Wu-Palmer, Leacock-Chodorow).
+
+The Related Work (Section 6) lists edge-counting measures [31] as the second
+family usable inside SemSim.  All three classics here measure taxonomic
+distance as hops through a common ancestor:
+
+* **Rada path**: ``1 / (1 + dist(u, v))``;
+* **Wu-Palmer**: ``2 * d(lca) / (d(u) + d(v))`` with depths counted from 1
+  at the root so the score stays strictly positive;
+* **Leacock-Chodorow**: ``-log((dist + 1) / (2 * D))`` normalised by its own
+  maximum, with ``D`` the taxonomy depth.
+
+Distances are computed as ``min`` over common ancestors of the summed upward
+hop counts, which equals the undirected shortest path through ``is-a`` edges
+on a tree and generalises it on a DAG.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from repro.errors import ConfigurationError
+from repro.semantics.lin import DEFAULT_FLOOR
+from repro.taxonomy.taxonomy import Concept, Taxonomy
+
+
+class _TaxonomicDistance:
+    """Shared machinery: upward hop counts and through-ancestor distances."""
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self.taxonomy = taxonomy
+        self._up_cache: dict[Concept, dict[Concept, int]] = {}
+
+    def up_distances(self, concept: Concept) -> dict[Concept, int]:
+        """Return min hop counts from *concept* to each of its ancestors."""
+        cached = self._up_cache.get(concept)
+        if cached is not None:
+            return cached
+        distances: dict[Concept, int] = {concept: 0}
+        frontier = [concept]
+        while frontier:
+            next_frontier: list[Concept] = []
+            for node in frontier:
+                step = distances[node] + 1
+                for parent in self.taxonomy.parents(node):
+                    if parent not in distances or step < distances[parent]:
+                        distances[parent] = step
+                        next_frontier.append(parent)
+            frontier = next_frontier
+        self._up_cache[concept] = distances
+        return distances
+
+    def distance(self, a: Concept, b: Concept) -> tuple[int, Concept] | None:
+        """Return ``(shortest through-ancestor distance, witness ancestor)``.
+
+        ``None`` when the concepts share no ancestor.
+        """
+        if a not in self.taxonomy or b not in self.taxonomy:
+            return None
+        up_a = self.up_distances(a)
+        up_b = self.up_distances(b)
+        best: tuple[int, Concept] | None = None
+        for ancestor, hops_a in up_a.items():
+            hops_b = up_b.get(ancestor)
+            if hops_b is None:
+                continue
+            total = hops_a + hops_b
+            if best is None or total < best[0]:
+                best = (total, ancestor)
+        return best
+
+
+class RadaPathMeasure:
+    """``1 / (1 + dist)`` path similarity with a positive floor."""
+
+    def __init__(self, taxonomy: Taxonomy, floor: float = DEFAULT_FLOOR) -> None:
+        if not 0 < floor < 1:
+            raise ConfigurationError(f"floor must lie in (0, 1), got {floor!r}")
+        self.floor = float(floor)
+        self._distance = _TaxonomicDistance(taxonomy)
+
+    def similarity(self, a: Hashable, b: Hashable) -> float:
+        """Return Rada path similarity in ``[floor, 1]``."""
+        if a == b:
+            return 1.0
+        found = self._distance.distance(a, b)
+        if found is None:
+            return self.floor
+        return max(self.floor, 1.0 / (1.0 + found[0]))
+
+    def __repr__(self) -> str:
+        return f"RadaPathMeasure(concepts={len(self._distance.taxonomy)})"
+
+
+class WuPalmerMeasure:
+    """Wu-Palmer conceptual similarity with 1-based depths."""
+
+    def __init__(self, taxonomy: Taxonomy, floor: float = DEFAULT_FLOOR) -> None:
+        if not 0 < floor < 1:
+            raise ConfigurationError(f"floor must lie in (0, 1), got {floor!r}")
+        self.taxonomy = taxonomy
+        self.floor = float(floor)
+        self._distance = _TaxonomicDistance(taxonomy)
+
+    def similarity(self, a: Hashable, b: Hashable) -> float:
+        """Return Wu-Palmer similarity in ``[floor, 1]``."""
+        if a == b:
+            return 1.0
+        found = self._distance.distance(a, b)
+        if found is None:
+            return self.floor
+        _, ancestor = found
+        # 1-based depths keep the score strictly positive even at the root.
+        depth_lca = self.taxonomy.depth(ancestor) + 1
+        depth_a = self.taxonomy.depth(a) + 1
+        depth_b = self.taxonomy.depth(b) + 1
+        score = 2.0 * depth_lca / (depth_a + depth_b)
+        return min(1.0, max(self.floor, score))
+
+    def __repr__(self) -> str:
+        return f"WuPalmerMeasure(concepts={len(self.taxonomy)})"
+
+
+class LeacockChodorowMeasure:
+    """Leacock-Chodorow log-distance similarity, normalised into ``(0, 1]``."""
+
+    def __init__(self, taxonomy: Taxonomy, floor: float = DEFAULT_FLOOR) -> None:
+        if not 0 < floor < 1:
+            raise ConfigurationError(f"floor must lie in (0, 1), got {floor!r}")
+        self.taxonomy = taxonomy
+        self.floor = float(floor)
+        self._distance = _TaxonomicDistance(taxonomy)
+        # +1 guards the degenerate root-only taxonomy (max_depth == 0).
+        self._scale = 2.0 * (taxonomy.max_depth() + 1)
+        self._peak = math.log(self._scale)
+
+    def similarity(self, a: Hashable, b: Hashable) -> float:
+        """Return normalised Leacock-Chodorow similarity in ``[floor, 1]``."""
+        if a == b:
+            return 1.0
+        found = self._distance.distance(a, b)
+        if found is None:
+            return self.floor
+        raw = -math.log((found[0] + 1) / self._scale)
+        score = raw / self._peak
+        return min(1.0, max(self.floor, score))
+
+    def __repr__(self) -> str:
+        return f"LeacockChodorowMeasure(concepts={len(self.taxonomy)})"

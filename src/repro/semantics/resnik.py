@@ -1,0 +1,64 @@
+"""Resnik's IC similarity, normalised to satisfy the SemSim axioms.
+
+Resnik [32] scores a pair by the information content of its most informative
+common ancestor: ``res(u, v) = IC(MICA(u, v))``.  Raw Resnik violates the
+maximum-self-similarity axiom (``res(u, u) = IC(u)``, not 1), so — as the
+paper prescribes for measures that miss an axiom — we normalise:
+
+    ``sem(u, v) = IC(MICA(u, v)) / max(IC(u), IC(v))``  for ``u != v``
+
+which pins self-similarity at 1, keeps symmetry, and stays in ``(0, 1]``
+because the MICA's IC is positive and never exceeds either argument's IC
+under any monotone IC assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.semantics.lin import DEFAULT_FLOOR
+from repro.taxonomy.ic import seco_information_content
+from repro.taxonomy.lca import most_informative_common_ancestor
+from repro.taxonomy.taxonomy import Concept, Taxonomy
+
+
+class ResnikMeasure:
+    """Normalised Resnik similarity over a taxonomy."""
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        ic: Mapping[Concept, float] | None = None,
+        floor: float = DEFAULT_FLOOR,
+    ) -> None:
+        if not 0 < floor < 1:
+            raise ConfigurationError(f"floor must lie in (0, 1), got {floor!r}")
+        self.taxonomy = taxonomy
+        self.ic = dict(ic) if ic is not None else seco_information_content(taxonomy)
+        self.floor = float(floor)
+        self._cache: dict[tuple[Concept, Concept], float] = {}
+
+    def similarity(self, a: Hashable, b: Hashable) -> float:
+        """Return normalised Resnik similarity, clamped into ``[floor, 1]``."""
+        if a == b:
+            return 1.0
+        key = (a, b) if repr(a) <= repr(b) else (b, a)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        value = self._compute(a, b)
+        self._cache[key] = value
+        return value
+
+    def _compute(self, a: Concept, b: Concept) -> float:
+        if a not in self.taxonomy or b not in self.taxonomy:
+            return self.floor
+        ancestor = most_informative_common_ancestor(self.taxonomy, self.ic, a, b)
+        if ancestor is None:
+            return self.floor
+        score = self.ic[ancestor] / max(self.ic[a], self.ic[b])
+        return min(1.0, max(self.floor, score))
+
+    def __repr__(self) -> str:
+        return f"ResnikMeasure(concepts={len(self.taxonomy)}, floor={self.floor})"

@@ -1,0 +1,58 @@
+"""Evaluation tasks of Section 5.3 and the accuracy metrics of Section 5.2."""
+
+from repro.tasks.metrics import (
+    ApproximationErrorReport,
+    approximation_error_report,
+    error_statistics,
+    pearson_correlation,
+    precision_at_k,
+)
+from repro.tasks.relatedness_task import RelatednessResult, evaluate_relatedness
+from repro.tasks.link_prediction import (
+    LinkPredictionResult,
+    evaluate_link_prediction,
+    remove_random_links,
+)
+from repro.tasks.entity_resolution import (
+    EntityResolutionResult,
+    evaluate_entity_resolution,
+    mine_duplicates_by_levenshtein,
+)
+from repro.tasks.clustering import (
+    ClusteringResult,
+    adjusted_rand_index,
+    cluster_purity,
+    similarity_kmedoids,
+)
+from repro.tasks.ranking_metrics import (
+    average_precision,
+    link_prediction_auc,
+    mean_average_precision,
+    ndcg_at_k,
+    ranking_auc,
+)
+
+__all__ = [
+    "pearson_correlation",
+    "precision_at_k",
+    "error_statistics",
+    "ApproximationErrorReport",
+    "approximation_error_report",
+    "RelatednessResult",
+    "evaluate_relatedness",
+    "LinkPredictionResult",
+    "evaluate_link_prediction",
+    "remove_random_links",
+    "EntityResolutionResult",
+    "evaluate_entity_resolution",
+    "mine_duplicates_by_levenshtein",
+    "ClusteringResult",
+    "similarity_kmedoids",
+    "adjusted_rand_index",
+    "cluster_purity",
+    "average_precision",
+    "mean_average_precision",
+    "ndcg_at_k",
+    "ranking_auc",
+    "link_prediction_auc",
+]

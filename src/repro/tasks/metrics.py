@@ -1,0 +1,124 @@
+"""Metrics: Pearson correlation, precision@k, approximation-error reports.
+
+These back Tables 4/5 and Figure 5.  The approximation-error report mirrors
+the paper's Table 4 rows exactly: Pearson's r against the iterative ground
+truth, mean/max estimator variance across repeated runs, and mean/max
+relative and absolute errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> tuple[float, float]:
+    """Return ``(r, p_value)`` for two paired samples.
+
+    Degenerate inputs (length < 2 or zero variance) return ``(0.0, 1.0)``
+    instead of raising, so benchmark loops stay robust.
+    """
+    xs = np.asarray(x, dtype=np.float64)
+    ys = np.asarray(y, dtype=np.float64)
+    if xs.size != ys.size:
+        raise ConfigurationError(f"length mismatch: {xs.size} vs {ys.size}")
+    if xs.size < 2 or np.std(xs) == 0 or np.std(ys) == 0:
+        return 0.0, 1.0
+    r, p = stats.pearsonr(xs, ys)
+    return float(r), float(p)
+
+
+def precision_at_k(hits: Sequence[bool]) -> float:
+    """Fraction of queries whose target appeared in the top-k result."""
+    flags = list(hits)
+    if not flags:
+        return 0.0
+    return sum(flags) / len(flags)
+
+
+def error_statistics(
+    truth: Sequence[float], estimate: Sequence[float]
+) -> dict[str, float]:
+    """Mean/max relative and absolute errors of *estimate* against *truth*.
+
+    Relative errors are computed only over pairs with positive ground
+    truth, matching the paper's convention.
+    """
+    t = np.asarray(truth, dtype=np.float64)
+    e = np.asarray(estimate, dtype=np.float64)
+    if t.size != e.size:
+        raise ConfigurationError(f"length mismatch: {t.size} vs {e.size}")
+    absolute = np.abs(t - e)
+    positive = t > 0
+    relative = absolute[positive] / t[positive] if positive.any() else np.zeros(1)
+    return {
+        "mean_abs_err": float(absolute.mean()) if absolute.size else 0.0,
+        "max_abs_err": float(absolute.max()) if absolute.size else 0.0,
+        "mean_rel_err": float(relative.mean()),
+        "max_rel_err": float(relative.max()),
+    }
+
+
+@dataclass
+class ApproximationErrorReport:
+    """One Table-4 block: accuracy of an approximation vs the ground truth."""
+
+    pearson_r: float
+    mean_variance: float
+    max_variance: float
+    mean_rel_err: float
+    max_rel_err: float
+    mean_abs_err: float
+    max_abs_err: float
+    runs: int
+    pairs: int
+
+    def rows(self) -> list[tuple[str, float]]:
+        """Return the report as ordered (label, value) rows for printing."""
+        return [
+            ("Pearson's r", self.pearson_r),
+            ("Mean var", self.mean_variance),
+            ("Max var", self.max_variance),
+            ("Mean rel. err", self.mean_rel_err),
+            ("Max rel. err", self.max_rel_err),
+            ("Mean abs. err", self.mean_abs_err),
+            ("Max abs. err", self.max_abs_err),
+        ]
+
+
+def approximation_error_report(
+    truth: Sequence[float],
+    runs: Sequence[Sequence[float]],
+) -> ApproximationErrorReport:
+    """Aggregate repeated estimation runs into a Table-4 report.
+
+    *truth* holds the iterative ground-truth score per pair; *runs* holds
+    one estimate per pair for each repetition (walk index rebuilt between
+    repetitions, as in the paper's 100-run protocol).
+    """
+    truth_arr = np.asarray(truth, dtype=np.float64)
+    run_matrix = np.asarray(runs, dtype=np.float64)  # (num_runs, num_pairs)
+    if run_matrix.ndim != 2 or run_matrix.shape[1] != truth_arr.size:
+        raise ConfigurationError(
+            f"runs shape {run_matrix.shape} does not match {truth_arr.size} pairs"
+        )
+    mean_estimate = run_matrix.mean(axis=0)
+    variance = run_matrix.var(axis=0)
+    errors = error_statistics(truth_arr, mean_estimate)
+    r, _ = pearson_correlation(truth_arr, mean_estimate)
+    return ApproximationErrorReport(
+        pearson_r=r,
+        mean_variance=float(variance.mean()),
+        max_variance=float(variance.max()),
+        mean_rel_err=errors["mean_rel_err"],
+        max_rel_err=errors["max_rel_err"],
+        mean_abs_err=errors["mean_abs_err"],
+        max_abs_err=errors["max_abs_err"],
+        runs=run_matrix.shape[0],
+        pairs=truth_arr.size,
+    )

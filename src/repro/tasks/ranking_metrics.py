@@ -1,0 +1,133 @@
+"""Ranking-quality metrics: AP/MAP, NDCG, and ranking AUC.
+
+The paper scores link prediction and entity resolution with hit-rate /
+precision@k; downstream users of a similarity library usually also want
+the standard ranking metrics, so they live here with the same oracle-based
+calling convention as the task harnesses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hin.graph import Node
+
+ScoreOracle = Callable[[Node, Node], float]
+
+
+def average_precision(
+    ranked: Sequence[Node],
+    relevant: Iterable[Node],
+) -> float:
+    """Return AP of a ranked list against a relevant set.
+
+    ``AP = (1/|relevant|) * Σ_k precision@k · [item_k relevant]`` over the
+    supplied ranking; relevant items missing from the ranking contribute 0.
+    """
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for position, node in enumerate(ranked, start=1):
+        if node in relevant_set:
+            hits += 1
+            total += hits / position
+    return total / len(relevant_set)
+
+
+def mean_average_precision(
+    queries: Sequence[tuple[Sequence[Node], Iterable[Node]]],
+) -> float:
+    """MAP over ``(ranking, relevant_set)`` pairs."""
+    if not queries:
+        return 0.0
+    return sum(average_precision(r, rel) for r, rel in queries) / len(queries)
+
+
+def ndcg_at_k(
+    ranked: Sequence[Node],
+    gains: dict[Node, float],
+    k: int,
+) -> float:
+    """Normalised discounted cumulative gain at *k*.
+
+    *gains* maps nodes to non-negative relevance grades (missing = 0).
+    Returns 0 when no positive gain exists.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k!r}")
+
+    def dcg(order: Sequence[Node]) -> float:
+        return sum(
+            gains.get(node, 0.0) / math.log2(position + 1)
+            for position, node in enumerate(order[:k], start=1)
+        )
+
+    ideal_order = sorted(gains, key=lambda node: -gains[node])
+    ideal = dcg(ideal_order)
+    if ideal <= 0:
+        return 0.0
+    return dcg(ranked) / ideal
+
+
+def ranking_auc(
+    query: Node,
+    positives: Sequence[Node],
+    negatives: Sequence[Node],
+    oracle: ScoreOracle,
+) -> float:
+    """AUC: probability a random positive outscores a random negative.
+
+    Ties count half, the standard Mann-Whitney convention.  This is the
+    usual threshold-free link-prediction criterion complementing the
+    paper's hit-rate@k.
+    """
+    if not positives or not negatives:
+        raise ConfigurationError("positives and negatives must be non-empty")
+    positive_scores = [oracle(query, node) for node in positives]
+    negative_scores = [oracle(query, node) for node in negatives]
+    wins = 0.0
+    for p in positive_scores:
+        for n in negative_scores:
+            if p > n:
+                wins += 1.0
+            elif p == n:
+                wins += 0.5
+    return wins / (len(positive_scores) * len(negative_scores))
+
+
+def link_prediction_auc(
+    removed: Sequence[tuple[Node, Node]],
+    candidates: Sequence[Node],
+    oracle: ScoreOracle,
+    negatives_per_query: int = 20,
+    seed: int | None = 0,
+) -> float:
+    """Mean AUC over removed links vs sampled non-neighbour negatives.
+
+    For each removed edge ``(u, v)``, the positive is ``v`` and the
+    negatives are sampled from *candidates* (excluding ``u`` and ``v``).
+    """
+    import numpy as np
+
+    from repro.utils.rng import ensure_rng
+
+    if not removed:
+        return 0.0
+    rng = ensure_rng(seed)
+    aucs = []
+    pool = list(candidates)
+    for u, v in removed:
+        negatives = []
+        attempts = 0
+        while len(negatives) < negatives_per_query and attempts < 50 * negatives_per_query:
+            attempts += 1
+            candidate = pool[int(rng.integers(len(pool)))]
+            if candidate not in (u, v) and candidate not in negatives:
+                negatives.append(candidate)
+        if negatives:
+            aucs.append(ranking_auc(u, [v], negatives, oracle))
+    return float(np.mean(aucs)) if aucs else 0.0

@@ -1,0 +1,42 @@
+"""Term-relatedness evaluation (Table 5).
+
+Given WordsSim-style judgements and a similarity oracle, computes the
+Pearson correlation between the oracle's scores and the gold scores —
+the paper's accuracy criterion for this task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.datasets.wordsim import WordPairJudgement
+from repro.hin.graph import Node
+from repro.tasks.metrics import pearson_correlation
+
+ScoreOracle = Callable[[Node, Node], float]
+
+
+@dataclass
+class RelatednessResult:
+    """Pearson r / p of one measure on one relatedness benchmark."""
+
+    method: str
+    pearson_r: float
+    p_value: float
+    pairs: int
+
+
+def evaluate_relatedness(
+    judgements: Iterable[WordPairJudgement],
+    oracle: ScoreOracle,
+    method: str = "",
+) -> RelatednessResult:
+    """Score *oracle* against the gold judgements."""
+    gold: list[float] = []
+    predicted: list[float] = []
+    for judgement in judgements:
+        gold.append(judgement.score)
+        predicted.append(oracle(judgement.a, judgement.b))
+    r, p = pearson_correlation(gold, predicted)
+    return RelatednessResult(method=method, pearson_r=r, p_value=p, pairs=len(gold))

@@ -1,0 +1,23 @@
+"""Taxonomy substrate: concept hierarchies, Information Content, LCA.
+
+The paper's semantic measure of choice (Lin) is defined over a concept
+taxonomy via Information Content and lowest common ancestors; this subpackage
+implements all three ingredients from scratch.
+"""
+
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.taxonomy.ic import (
+    corpus_information_content,
+    explicit_information_content,
+    seco_information_content,
+)
+from repro.taxonomy.lca import TreeLCA, most_informative_common_ancestor
+
+__all__ = [
+    "Taxonomy",
+    "seco_information_content",
+    "corpus_information_content",
+    "explicit_information_content",
+    "TreeLCA",
+    "most_informative_common_ancestor",
+]

@@ -1,0 +1,255 @@
+"""Concept taxonomies: rooted DAGs of ``is-a`` edges.
+
+A :class:`Taxonomy` stores the ontological subgraph of a HIN (Section 2.1):
+concepts linked to their hypernyms.  Multiple parents are allowed (the model
+is a DAG, not necessarily a tree), cycles are rejected, and ancestor sets are
+memoised because the semantic measures query them constantly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import NodeNotFoundError, TaxonomyError
+
+Concept = Hashable
+
+
+class Taxonomy:
+    """A DAG of concepts where edges point from a concept to its hypernym.
+
+    Example
+    -------
+    >>> t = Taxonomy()
+    >>> t.add_concept("Country")
+    >>> t.add_concept("Country in America", parents=["Country"])
+    >>> t.add_concept("USA", parents=["Country in America"])
+    >>> sorted(t.ancestors("USA"), key=str)
+    ['Country', 'Country in America', 'USA']
+    """
+
+    def __init__(self) -> None:
+        self._parents: dict[Concept, tuple[Concept, ...]] = {}
+        self._children: dict[Concept, list[Concept]] = {}
+        self._ancestor_cache: dict[Concept, frozenset[Concept]] = {}
+        self._descendant_count_cache: dict[Concept, int] | None = None
+        self._depth_cache: dict[Concept, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_concept(self, concept: Concept, parents: Iterable[Concept] = ()) -> None:
+        """Add *concept* with the given hypernyms (created if missing).
+
+        Adding the same concept twice merges the parent sets.  A cycle check
+        runs on every insertion so the structure is a DAG at all times.
+        """
+        parent_tuple = tuple(parents)
+        for parent in parent_tuple:
+            if parent not in self._parents:
+                self._parents[parent] = ()
+                self._children[parent] = []
+        if concept not in self._parents:
+            self._parents[concept] = ()
+            self._children[concept] = []
+        merged = list(self._parents[concept])
+        for parent in parent_tuple:
+            if parent == concept:
+                raise TaxonomyError(f"concept {concept!r} cannot be its own parent")
+            if parent not in merged:
+                merged.append(parent)
+                self._children[parent].append(concept)
+        self._parents[concept] = tuple(merged)
+        self._invalidate_caches()
+        if self._reaches_via_parents(concept, concept):
+            raise TaxonomyError(f"adding {concept!r} would create a cycle")
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Concept, Concept]]) -> "Taxonomy":
+        """Build a taxonomy from ``(child, parent)`` pairs."""
+        taxonomy = cls()
+        for child, parent in edges:
+            taxonomy.add_concept(child, parents=[parent])
+        return taxonomy
+
+    @classmethod
+    def from_hin(cls, graph, edge_label: str = "is-a") -> "Taxonomy":
+        """Extract the taxonomy induced by all *edge_label* edges of a HIN.
+
+        Nodes not touched by any ``is-a`` edge are still registered as
+        isolated concepts, so every graph node has a (possibly trivial)
+        taxonomy entry — the paper assumes objects are aligned with the
+        ontology.
+        """
+        taxonomy = cls()
+        for node in graph.nodes():
+            taxonomy.add_concept(node)
+        for child, parent, _weight in graph.edges_with_label(edge_label):
+            taxonomy.add_concept(child, parents=[parent])
+        return taxonomy
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, concept: Concept) -> bool:
+        return concept in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def __repr__(self) -> str:
+        return f"Taxonomy(concepts={len(self)}, roots={len(self.roots())})"
+
+    def concepts(self) -> Iterator[Concept]:
+        """Iterate concepts in insertion order."""
+        return iter(self._parents)
+
+    def parents(self, concept: Concept) -> tuple[Concept, ...]:
+        """Return the direct hypernyms of *concept*."""
+        self._require(concept)
+        return self._parents[concept]
+
+    def children(self, concept: Concept) -> tuple[Concept, ...]:
+        """Return the direct hyponyms of *concept*."""
+        self._require(concept)
+        return tuple(self._children[concept])
+
+    def roots(self) -> list[Concept]:
+        """Return all concepts with no hypernym."""
+        return [concept for concept, parents in self._parents.items() if not parents]
+
+    def leaves(self) -> list[Concept]:
+        """Return all concepts with no hyponym."""
+        return [concept for concept, kids in self._children.items() if not kids]
+
+    def is_tree(self) -> bool:
+        """Return whether every concept has at most one parent and one root."""
+        single_parent = all(len(parents) <= 1 for parents in self._parents.values())
+        return single_parent and len(self.roots()) == 1
+
+    def ancestors(self, concept: Concept) -> frozenset[Concept]:
+        """Return the ancestor set of *concept*, *including itself*.
+
+        Including the concept itself matches the LCA convention used by Lin:
+        ``LCA(u, u) == u``.
+        """
+        self._require(concept)
+        cached = self._ancestor_cache.get(concept)
+        if cached is not None:
+            return cached
+        result: set[Concept] = {concept}
+        stack = list(self._parents[concept])
+        while stack:
+            current = stack.pop()
+            if current in result:
+                continue
+            result.add(current)
+            stack.extend(self._parents[current])
+        frozen = frozenset(result)
+        self._ancestor_cache[concept] = frozen
+        return frozen
+
+    def common_ancestors(self, a: Concept, b: Concept) -> frozenset[Concept]:
+        """Return all shared ancestors of *a* and *b* (possibly empty)."""
+        return self.ancestors(a) & self.ancestors(b)
+
+    def depth(self, concept: Concept) -> int:
+        """Return the minimum number of ``is-a`` hops from *concept* to a root."""
+        if self._depth_cache is None:
+            self._depth_cache = self._compute_depths()
+        self._require(concept)
+        return self._depth_cache[concept]
+
+    def max_depth(self) -> int:
+        """Return the depth of the deepest concept (0 for a root-only taxonomy)."""
+        if self._depth_cache is None:
+            self._depth_cache = self._compute_depths()
+        return max(self._depth_cache.values(), default=0)
+
+    def descendant_counts(self) -> dict[Concept, int]:
+        """Return ``hypo(c)`` for every concept: |strict descendants of c|.
+
+        This is the quantity in Seco's intrinsic IC formula.  Computed once
+        in reverse-topological order and cached.
+        """
+        if self._descendant_count_cache is None:
+            order = self.topological_order()
+            descendants: dict[Concept, set[Concept]] = {c: set() for c in self._parents}
+            # topological_order lists parents before children; walk backwards
+            # so a child's closure is complete before its parents consume it.
+            for concept in reversed(order):
+                closure = descendants[concept]
+                for parent in self._parents[concept]:
+                    descendants[parent].add(concept)
+                    descendants[parent].update(closure)
+            self._descendant_count_cache = {
+                concept: len(closure) for concept, closure in descendants.items()
+            }
+        return dict(self._descendant_count_cache)
+
+    def topological_order(self) -> list[Concept]:
+        """Return concepts ordered parents-first (roots at the front)."""
+        in_progress: set[Concept] = set()
+        done: set[Concept] = set()
+        order: list[Concept] = []
+
+        def visit(start: Concept) -> None:
+            stack: list[tuple[Concept, bool]] = [(start, False)]
+            while stack:
+                concept, expanded = stack.pop()
+                if expanded:
+                    in_progress.discard(concept)
+                    done.add(concept)
+                    order.append(concept)
+                    continue
+                if concept in done:
+                    continue
+                if concept in in_progress:
+                    raise TaxonomyError("taxonomy contains a cycle")
+                in_progress.add(concept)
+                stack.append((concept, True))
+                for parent in self._parents[concept]:
+                    if parent not in done:
+                        stack.append((parent, False))
+
+        for concept in self._parents:
+            if concept not in done:
+                visit(concept)
+        # `order` currently lists each concept after its parents already.
+        return order
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _compute_depths(self) -> dict[Concept, int]:
+        depths: dict[Concept, int] = {}
+        for concept in self.topological_order():
+            parents = self._parents[concept]
+            if not parents:
+                depths[concept] = 0
+            else:
+                depths[concept] = 1 + min(depths[parent] for parent in parents)
+        return depths
+
+    def _reaches_via_parents(self, start: Concept, goal: Concept) -> bool:
+        """Return whether *goal* is a strict ancestor of *start*."""
+        frontier = list(self._parents[start])
+        seen: set[Concept] = set()
+        while frontier:
+            current = frontier.pop()
+            if current == goal:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._parents[current])
+        return False
+
+    def _invalidate_caches(self) -> None:
+        self._ancestor_cache.clear()
+        self._descendant_count_cache = None
+        self._depth_cache = None
+
+    def _require(self, concept: Concept) -> None:
+        if concept not in self._parents:
+            raise NodeNotFoundError(concept)

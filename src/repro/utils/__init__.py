@@ -1,0 +1,19 @@
+"""Small shared utilities: seeded RNG helpers, string distance, validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.levenshtein import levenshtein, normalized_levenshtein
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "levenshtein",
+    "normalized_levenshtein",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,51 @@
+"""Breadth-first shortest paths over a HIN (edges taken as undirected).
+
+Used by the dataset generators (structural-proximity gold signals) and the
+Relatedness baseline.  Distances are hop counts; weights are ignored.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from repro.hin.graph import HIN, Node
+
+
+def bfs_distances(
+    graph: HIN,
+    source: Node,
+    max_depth: int | None = None,
+) -> dict[Node, int]:
+    """Return hop distances from *source* to every reachable node.
+
+    Edges are traversed in both directions.  *max_depth* bounds the search
+    radius (inclusive); ``None`` explores the whole component.
+    """
+    distances: dict[Node, int] = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        current = queue.popleft()
+        depth = distances[current]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbour in graph.out_neighbors(current):
+            if neighbour not in distances:
+                distances[neighbour] = depth + 1
+                queue.append(neighbour)
+        for neighbour in graph.in_neighbors(current):
+            if neighbour not in distances:
+                distances[neighbour] = depth + 1
+                queue.append(neighbour)
+    return distances
+
+
+def shortest_path_length(
+    graph: HIN,
+    source: Node,
+    target: Node,
+    max_depth: int | None = None,
+) -> int | None:
+    """Return the undirected hop distance, or ``None`` if unreachable."""
+    if source == target:
+        return 0
+    distances = bfs_distances(graph, source, max_depth=max_depth)
+    return distances.get(target)

@@ -1,0 +1,40 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  This
+module centralises the conversion so behaviour is uniform everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` produces a generator seeded from OS entropy; an ``int`` produces
+    a reproducible generator; an existing generator is returned unchanged so
+    callers can thread one RNG through a pipeline.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive *count* statistically independent child generators.
+
+    Useful when a computation fans out into parallel-ish parts (e.g. one walk
+    set per node) and each part must be reproducible independently of how many
+    draws the others consumed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seed_seq = seed.bit_generator.seed_seq
+    else:
+        seed_seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]

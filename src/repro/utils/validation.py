@@ -1,0 +1,32 @@
+"""Tiny argument validators shared across the library.
+
+These raise :class:`repro.errors.ConfigurationError` with a consistent
+message format, so user-facing parameter errors look the same everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that *value* is a finite number > 0 and return it."""
+    if not math.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a finite number > 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that *value* lies in the open interval (0, 1) and return it."""
+    if not math.isfinite(value) or not 0 < value < 1:
+        raise ConfigurationError(f"{name} must lie in (0, 1), got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* lies in the closed interval [0, 1] and return it."""
+    if not math.isfinite(value) or not 0 <= value <= 1:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+    return value

@@ -1,0 +1,34 @@
+"""Unit tests for the Multiplication/Average combiners."""
+
+import pytest
+
+from repro.baselines import AverageMeasure, MultiplicationMeasure
+
+
+def structural(u, v):
+    return 0.4
+
+
+def semantic(u, v):
+    return 0.8
+
+
+class TestMultiplication:
+    def test_product(self):
+        assert MultiplicationMeasure(structural, semantic).similarity("a", "b") == pytest.approx(0.32)
+
+    def test_self_similarity(self):
+        assert MultiplicationMeasure(structural, semantic).similarity("a", "a") == 1.0
+
+
+class TestAverage:
+    def test_mean(self):
+        assert AverageMeasure(structural, semantic).similarity("a", "b") == pytest.approx(0.6)
+
+    def test_self_similarity(self):
+        assert AverageMeasure(structural, semantic).similarity("a", "a") == 1.0
+
+    def test_order_invariance(self):
+        a = AverageMeasure(structural, semantic).similarity("x", "y")
+        b = AverageMeasure(semantic, structural).similarity("x", "y")
+        assert a == pytest.approx(b)

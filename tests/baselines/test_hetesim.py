@@ -1,0 +1,59 @@
+"""Unit tests for HeteSim."""
+
+import pytest
+
+from repro.baselines import HeteSim
+from repro.errors import ConfigurationError
+from repro.hin import HIN
+
+
+@pytest.fixture
+def bibliographic() -> HIN:
+    g = HIN()
+    for author, paper in [("a1", "p1"), ("a1", "p2"), ("a2", "p2"), ("a3", "p3")]:
+        g.add_edge(author, paper, label="writes")
+    for paper, venue in [("p1", "sigmod"), ("p2", "sigmod"), ("p3", "icml")]:
+        g.add_edge(paper, venue, label="published-at")
+    return g
+
+
+class TestHeteSim:
+    def test_empty_meta_path_rejected(self, bibliographic):
+        with pytest.raises(ConfigurationError):
+            HeteSim(bibliographic, [])
+
+    def test_self_similarity(self, bibliographic):
+        assert HeteSim(bibliographic, ["writes"]).similarity("a1", "a1") == 1.0
+
+    def test_shared_paper_relevance(self, bibliographic):
+        """a1 and a2 co-wrote p2; a3 shares no paper with a1."""
+        hetesim = HeteSim(bibliographic, ["writes"])
+        assert hetesim.similarity("a1", "a2") > 0.0
+        assert hetesim.similarity("a1", "a3") == 0.0
+
+    def test_longer_path_broadens_relevance(self, bibliographic):
+        """Meeting at venues: a1 ~ a2 strongly, a1 ~ a3 still disjoint."""
+        hetesim = HeteSim(bibliographic, ["writes", "published-at"])
+        assert hetesim.similarity("a1", "a2") > hetesim.similarity("a1", "a3")
+        assert hetesim.similarity("a1", "a3") == 0.0
+
+    def test_exact_value_single_step(self, bibliographic):
+        """h_a1 = (1/2, 1/2) over {p1, p2}; h_a2 = (0, 1): cosine = 1/sqrt(2)."""
+        hetesim = HeteSim(bibliographic, ["writes"])
+        assert hetesim.similarity("a1", "a2") == pytest.approx(2 ** -0.5)
+
+    def test_range(self, bibliographic):
+        hetesim = HeteSim(bibliographic, ["writes"])
+        for u in ("a1", "a2", "a3"):
+            for v in ("a1", "a2", "a3"):
+                assert 0.0 <= hetesim.similarity(u, v) <= 1.0 + 1e-12
+
+    def test_symmetry(self, bibliographic):
+        hetesim = HeteSim(bibliographic, ["writes"])
+        assert hetesim.similarity("a1", "a2") == pytest.approx(
+            hetesim.similarity("a2", "a1")
+        )
+
+    def test_missing_label_gives_zero(self, bibliographic):
+        hetesim = HeteSim(bibliographic, ["cites"])
+        assert hetesim.similarity("a1", "a2") == 0.0

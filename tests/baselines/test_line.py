@@ -1,0 +1,62 @@
+"""Unit tests for the LINE embedding baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LineEmbedding
+from repro.errors import ConfigurationError
+from repro.hin import HIN
+
+
+def two_cliques(bridge: bool = True) -> HIN:
+    g = HIN()
+    left = [f"l{i}" for i in range(5)]
+    right = [f"r{i}" for i in range(5)]
+    for group in (left, right):
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                g.add_undirected_edge(a, b)
+    if bridge:
+        g.add_undirected_edge("l0", "r0")
+    return g
+
+
+class TestLine:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LineEmbedding(two_cliques(), dimensions=1)
+        with pytest.raises(ConfigurationError):
+            LineEmbedding(two_cliques(), order=3)
+
+    def test_self_similarity(self):
+        line = LineEmbedding(two_cliques(), dimensions=8, num_samples=5000, seed=0)
+        assert line.similarity("l0", "l0") == 1.0
+
+    def test_similarity_in_unit_interval(self):
+        line = LineEmbedding(two_cliques(), dimensions=8, num_samples=5000, seed=0)
+        for u in ("l0", "l1", "r0"):
+            for v in ("l2", "r1"):
+                assert 0.0 <= line.similarity(u, v) <= 1.0
+
+    def test_community_structure_learned(self):
+        line = LineEmbedding(
+            two_cliques(), dimensions=16, num_samples=120_000, seed=0
+        )
+        intra = np.mean([line.similarity("l1", f"l{i}") for i in (2, 3, 4)])
+        cross = np.mean([line.similarity("l1", f"r{i}") for i in (2, 3, 4)])
+        assert intra > cross
+
+    def test_reproducible(self):
+        a = LineEmbedding(two_cliques(), dimensions=8, num_samples=3000, seed=9)
+        b = LineEmbedding(two_cliques(), dimensions=8, num_samples=3000, seed=9)
+        assert np.allclose(a.vector("l0"), b.vector("l0"))
+
+    def test_first_order_variant_runs(self):
+        line = LineEmbedding(
+            two_cliques(), dimensions=8, num_samples=3000, order=1, seed=0
+        )
+        assert 0.0 <= line.similarity("l0", "l1") <= 1.0
+
+    def test_empty_graph(self):
+        line = LineEmbedding(HIN(), dimensions=4, seed=0)
+        assert line.nodes == []

@@ -1,0 +1,58 @@
+"""Unit tests for Panther."""
+
+import pytest
+
+from repro.baselines import Panther
+from repro.errors import ConfigurationError
+from repro.hin import HIN
+
+
+@pytest.fixture
+def two_communities() -> HIN:
+    g = HIN()
+    for a, b in [("a1", "a2"), ("a2", "a3"), ("a1", "a3")]:
+        g.add_undirected_edge(a, b)
+    for a, b in [("b1", "b2"), ("b2", "b3"), ("b1", "b3")]:
+        g.add_undirected_edge(a, b)
+    g.add_undirected_edge("a1", "b1")  # weak bridge
+    return g
+
+
+class TestPanther:
+    def test_validation(self, two_communities):
+        with pytest.raises(ConfigurationError):
+            Panther(two_communities, num_paths=0)
+        with pytest.raises(ConfigurationError):
+            Panther(two_communities, path_length=1)
+
+    def test_self_similarity(self, two_communities):
+        assert Panther(two_communities, num_paths=100, seed=0).similarity("a1", "a1") == 1.0
+
+    def test_intra_community_beats_cross(self, two_communities):
+        panther = Panther(two_communities, num_paths=5000, path_length=4, seed=0)
+        intra = panther.similarity("a2", "a3")
+        cross = panther.similarity("a2", "b2")
+        assert intra > cross
+
+    def test_symmetry_of_lookup(self, two_communities):
+        panther = Panther(two_communities, num_paths=2000, seed=0)
+        assert panther.similarity("a1", "a2") == panther.similarity("a2", "a1")
+
+    def test_reproducible(self, two_communities):
+        a = Panther(two_communities, num_paths=500, seed=3).similarity("a1", "a2")
+        b = Panther(two_communities, num_paths=500, seed=3).similarity("a1", "a2")
+        assert a == b
+
+    def test_weighted_steps(self):
+        g = HIN()
+        g.add_undirected_edge("hub", "heavy", weight=20.0)
+        g.add_undirected_edge("hub", "light", weight=1.0)
+        panther = Panther(g, num_paths=4000, path_length=3, seed=1)
+        assert panther.similarity("hub", "heavy") > panther.similarity("hub", "light")
+
+    def test_recommended_paths_formula(self):
+        assert Panther.recommended_paths(5, eps=0.05, delta=0.1) > 100
+
+    def test_empty_graph(self):
+        panther = Panther(HIN(), num_paths=10, seed=0)
+        assert panther.similarity("x", "y") == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for PathSim."""
+
+import pytest
+
+from repro.baselines import PathSim
+from repro.errors import ConfigurationError
+from repro.hin import HIN
+
+
+@pytest.fixture
+def bibliographic() -> HIN:
+    """Authors writing papers at venues — the classic PathSim setting."""
+    g = HIN()
+    for author, venue, count in [
+        ("mike", "sigmod", 2.0),
+        ("mike", "vldb", 1.0),
+        ("jim", "sigmod", 50.0),
+        ("jim", "vldb", 20.0),
+        ("ann", "sigmod", 2.0),
+        ("ann", "icde", 1.0),
+    ]:
+        g.add_edge(author, venue, weight=count, label="publishes")
+    return g
+
+
+class TestPathSim:
+    def test_empty_meta_path_rejected(self, bibliographic):
+        with pytest.raises(ConfigurationError):
+            PathSim(bibliographic, [])
+
+    def test_self_similarity(self, bibliographic):
+        assert PathSim(bibliographic, ["publishes"]).similarity("mike", "mike") == 1.0
+
+    def test_balanced_profiles_beat_skewed(self, bibliographic):
+        """PathSim's signature behaviour: it prefers peers with *similar*
+        visibility, not just overlapping neighbourhoods (Sun et al.'s
+        Mike/Jim example)."""
+        pathsim = PathSim(bibliographic, ["publishes"])
+        assert pathsim.similarity("mike", "ann") > pathsim.similarity("mike", "jim")
+
+    def test_range(self, bibliographic):
+        pathsim = PathSim(bibliographic, ["publishes"])
+        for u in ("mike", "jim", "ann"):
+            for v in ("mike", "jim", "ann"):
+                assert 0.0 <= pathsim.similarity(u, v) <= 1.0
+
+    def test_symmetry(self, bibliographic):
+        pathsim = PathSim(bibliographic, ["publishes"])
+        assert pathsim.similarity("mike", "jim") == pytest.approx(
+            pathsim.similarity("jim", "mike")
+        )
+
+    def test_label_not_present_scores_zero(self, bibliographic):
+        pathsim = PathSim(bibliographic, ["co-author"])
+        assert pathsim.similarity("mike", "ann") == 0.0
+
+    def test_from_all_labels(self, bibliographic):
+        pathsim = PathSim.from_all_labels(bibliographic)
+        assert pathsim.similarity("mike", "ann") > 0.0
+
+    def test_two_step_meta_path(self):
+        g = HIN()
+        g.add_edge("a", "t1", label="interest")
+        g.add_edge("t1", "topic", label="is-a")
+        g.add_edge("b", "t2", label="interest")
+        g.add_edge("t2", "topic", label="is-a")
+        pathsim = PathSim(g, ["interest", "is-a"])
+        # a and b reach the same topic through (interest, is-a).
+        assert pathsim.similarity("a", "b") == pytest.approx(1.0)

@@ -1,0 +1,91 @@
+"""Unit tests for P-Rank and its semantic variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PRank, prank_scores, sem_prank_scores
+from repro.core import simrank_scores
+from repro.errors import ConfigurationError
+from repro.hin import HIN
+from repro.semantics import ConstantMeasure
+
+from tests.conftest import build_taxonomy_graph
+
+
+@pytest.fixture
+def directed_graph() -> HIN:
+    g = HIN()
+    g.add_edge("p", "u")
+    g.add_edge("p", "v")
+    g.add_edge("u", "s")
+    g.add_edge("v", "s")
+    g.add_edge("u", "t")
+    return g
+
+
+class TestPRank:
+    def test_validation(self, directed_graph):
+        with pytest.raises(ConfigurationError):
+            prank_scores(directed_graph, decay=1.0)
+        with pytest.raises(ConfigurationError):
+            prank_scores(directed_graph, in_weight=1.5)
+
+    def test_empty_graph(self):
+        nodes, matrix = prank_scores(HIN())
+        assert nodes == [] and matrix.shape == (0, 0)
+
+    def test_symmetry_and_diagonal(self, directed_graph):
+        _, matrix = prank_scores(directed_graph, decay=0.6)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_in_weight_one_equals_simrank(self, directed_graph):
+        """lambda = 1 drops the out-link term: plain SimRank remains."""
+        _, matrix = prank_scores(
+            directed_graph, decay=0.6, in_weight=1.0,
+            max_iterations=200, tolerance=1e-12,
+        )
+        reference = simrank_scores(
+            directed_graph, decay=0.6, max_iterations=200, tolerance=1e-12
+        )
+        assert np.allclose(matrix, reference.matrix, atol=1e-9)
+
+    def test_out_links_add_information(self, directed_graph):
+        """u and v share an out-neighbour (s): P-Rank sees it, SimRank-only
+        recursion does too (via p), but the out-term must change scores."""
+        _, simrank_like = prank_scores(directed_graph, in_weight=1.0, tolerance=1e-10)
+        nodes, prank = prank_scores(directed_graph, in_weight=0.5, tolerance=1e-10)
+        i, j = nodes.index("u"), nodes.index("v")
+        assert prank[i, j] != pytest.approx(simrank_like[i, j])
+
+    def test_wrapper_interface(self, directed_graph):
+        engine = PRank(directed_graph)
+        assert engine.similarity("u", "u") == 1.0
+        assert 0.0 <= engine.similarity("u", "v") <= 1.0
+
+
+class TestSemPRank:
+    def test_constant_measure_matches_weighted_prank(self):
+        graph, _ = build_taxonomy_graph()
+        nodes_a, semantic = sem_prank_scores(
+            graph, ConstantMeasure(1.0), decay=0.6, tolerance=1e-10
+        )
+        # With sem == 1 the only difference from plain P-Rank is the edge
+        # weights; verify shape properties instead of exact equality.
+        assert np.allclose(semantic, semantic.T)
+        assert np.allclose(np.diag(semantic), 1.0)
+        assert semantic.min() >= 0 and semantic.max() <= 1 + 1e-9
+
+    def test_semantics_change_the_ranking(self):
+        graph, measure = build_taxonomy_graph()
+        nodes, plain = prank_scores(graph, decay=0.6, tolerance=1e-10)
+        _, semantic = sem_prank_scores(graph, measure, decay=0.6, tolerance=1e-10)
+        assert not np.allclose(plain, semantic)
+
+    def test_semantic_upper_bound_carries_over(self):
+        """Prop. 2.5's argument applies to the boosted P-Rank too."""
+        graph, measure = build_taxonomy_graph()
+        nodes, semantic = sem_prank_scores(graph, measure, decay=0.6, tolerance=1e-10)
+        for i, u in enumerate(nodes):
+            for j, v in enumerate(nodes):
+                assert semantic[i, j] <= measure.similarity(u, v) + 1e-9

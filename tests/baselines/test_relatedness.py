@@ -1,0 +1,63 @@
+"""Unit tests for the ontology Relatedness baseline."""
+
+import pytest
+
+from repro.baselines import OntologyRelatedness
+from repro.errors import ConfigurationError
+from repro.hin import HIN
+from repro.semantics import LinMeasure
+from repro.taxonomy import Taxonomy
+
+
+@pytest.fixture
+def model():
+    g = HIN()
+    tax_edges = [("dog", "animal"), ("cat", "animal"), ("bone", "object"),
+                 ("animal", "root"), ("object", "root")]
+    for child, parent in tax_edges:
+        g.add_undirected_edge(child, parent, label="is-a")
+    g.add_undirected_edge("dog", "bone", label="likes")
+    taxonomy = Taxonomy.from_edges(tax_edges)
+    return g, LinMeasure(taxonomy)
+
+
+class TestOntologyRelatedness:
+    def test_validation(self, model):
+        graph, measure = model
+        with pytest.raises(ConfigurationError):
+            OntologyRelatedness(graph, measure, property_cost=0.0)
+
+    def test_self_similarity(self, model):
+        graph, measure = model
+        assert OntologyRelatedness(graph, measure).similarity("dog", "dog") == 1.0
+
+    def test_property_edge_creates_relatedness(self, model):
+        graph, measure = model
+        relatedness = OntologyRelatedness(graph, measure)
+        # dog-bone are taxonomically distant but property-linked.
+        assert relatedness.similarity("dog", "bone") > relatedness.similarity("cat", "bone")
+
+    def test_taxonomic_siblings_related(self, model):
+        graph, measure = model
+        relatedness = OntologyRelatedness(graph, measure)
+        assert relatedness.similarity("dog", "cat") > 0.3
+
+    def test_out_of_range_pairs_score_zero(self, model):
+        graph, measure = model
+        graph.add_node("island")
+        relatedness = OntologyRelatedness(graph, measure, max_cost=2.0)
+        assert relatedness.similarity("dog", "island") == 0.0
+
+    def test_symmetry(self, model):
+        graph, measure = model
+        relatedness = OntologyRelatedness(graph, measure)
+        assert relatedness.similarity("dog", "bone") == pytest.approx(
+            relatedness.similarity("bone", "dog")
+        )
+
+    def test_range(self, model):
+        graph, measure = model
+        relatedness = OntologyRelatedness(graph, measure)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert 0.0 <= relatedness.similarity(u, v) <= 1.0

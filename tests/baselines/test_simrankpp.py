@@ -1,0 +1,115 @@
+"""Unit tests for SimRank++."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SimRankPP, simrankpp_scores
+from repro.baselines.simrankpp import _evidence_matrix
+from repro.core import simrank_scores
+from repro.hin import HIN
+
+
+@pytest.fixture
+def shared_parents() -> HIN:
+    g = HIN()
+    g.add_edge("p1", "u")
+    g.add_edge("p1", "v")
+    g.add_edge("p2", "u")
+    g.add_edge("p2", "v")
+    g.add_edge("p1", "w")
+    return g
+
+
+class TestEvidence:
+    def test_no_common_neighbours(self, shared_parents):
+        nodes = list(shared_parents.nodes())
+        evidence = _evidence_matrix(shared_parents, nodes)
+        i, j = nodes.index("p1"), nodes.index("p2")
+        assert evidence[i, j] == 0.0
+
+    def test_closed_form(self, shared_parents):
+        nodes = list(shared_parents.nodes())
+        evidence = _evidence_matrix(shared_parents, nodes)
+        i, j = nodes.index("u"), nodes.index("v")
+        # |common| = 2 -> 1/2 + 1/4 = 0.75
+        assert evidence[i, j] == pytest.approx(0.75)
+
+    def test_diagonal_is_one(self, shared_parents):
+        nodes = list(shared_parents.nodes())
+        evidence = _evidence_matrix(shared_parents, nodes)
+        assert np.allclose(np.diag(evidence), 1.0)
+
+    def test_evidence_grows_with_common_neighbours(self):
+        g = HIN()
+        for k in range(4):
+            g.add_edge(f"p{k}", "many1")
+            g.add_edge(f"p{k}", "many2")
+        g.add_edge("p0", "few1")
+        g.add_edge("p0", "few2")
+        nodes = list(g.nodes())
+        evidence = _evidence_matrix(g, nodes)
+        many = evidence[nodes.index("many1"), nodes.index("many2")]
+        few = evidence[nodes.index("few1"), nodes.index("few2")]
+        assert many > few
+
+
+class TestScores:
+    def test_self_similarity(self, shared_parents):
+        assert SimRankPP(shared_parents).similarity("u", "u") == 1.0
+
+    def test_scaled_below_weighted_simrank(self, shared_parents):
+        pp = simrankpp_scores(shared_parents, decay=0.6, max_iterations=20)
+        weighted = simrank_scores(
+            shared_parents, decay=0.6, max_iterations=20, weighted=True
+        )
+        # evidence <= 1 scales scores down (off-diagonal).
+        i = pp.nodes.index("u")
+        j = pp.nodes.index("v")
+        assert pp.matrix[i, j] <= weighted.matrix[i, j] + 1e-12
+
+    def test_symmetry(self, shared_parents):
+        engine = SimRankPP(shared_parents)
+        assert engine.similarity("u", "v") == pytest.approx(engine.similarity("v", "u"))
+
+    def test_spread_dampens_high_variance_witnesses(self):
+        """A node with wildly varying in-weights is damped by the spread
+        factor, so similarity through it drops versus the no-spread mode."""
+        g = HIN()
+        g.add_edge("p", "u", weight=10.0)
+        g.add_edge("q", "u", weight=0.1)
+        g.add_edge("p", "v", weight=10.0)
+        g.add_edge("q", "v", weight=0.1)
+        with_spread = SimRankPP(g, use_spread=True, max_iterations=30)
+        without = SimRankPP(g, use_spread=False, max_iterations=30)
+        assert with_spread.similarity("u", "v") < without.similarity("u", "v")
+
+    def test_spread_is_noop_on_uniform_weights(self):
+        """var = 0 -> spread = 1: both modes coincide on unit weights
+        because the spread adjacency is then plain column normalisation."""
+        g = HIN()
+        g.add_edge("p", "u")
+        g.add_edge("p", "v")
+        g.add_edge("q", "u")
+        with_spread = SimRankPP(g, use_spread=True, max_iterations=40, tolerance=1e-10)
+        without = SimRankPP(g, use_spread=False, max_iterations=40, tolerance=1e-10)
+        assert with_spread.similarity("u", "v") == pytest.approx(
+            without.similarity("u", "v"), abs=1e-6
+        )
+
+    def test_spread_scores_stay_bounded(self, shared_parents):
+        engine = SimRankPP(shared_parents, use_spread=True, max_iterations=40)
+        matrix = engine.result.matrix
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0 + 1e-9
+
+    def test_weights_matter(self):
+        light = HIN()
+        light.add_edge("p", "u", weight=1.0)
+        light.add_edge("p", "v", weight=1.0)
+        light.add_edge("q", "u", weight=1.0)
+        heavy = HIN()
+        heavy.add_edge("p", "u", weight=9.0)
+        heavy.add_edge("p", "v", weight=1.0)
+        heavy.add_edge("q", "u", weight=1.0)
+        assert SimRankPP(light).similarity("u", "v") != pytest.approx(
+            SimRankPP(heavy).similarity("u", "v")
+        )

@@ -1,0 +1,98 @@
+"""Unit tests for the analytical MC error bounds (Props 4.1-4.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import (
+    deviation_probability,
+    interchange_probability,
+    plan_index,
+    required_truncation,
+    required_walks,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRequiredTruncation:
+    def test_paper_defaults(self):
+        # c = 0.6, eps = 0.05: c^{t+1} <= 0.025 needs t >= 8.
+        assert required_truncation(0.6, 0.05) == 8
+
+    def test_smaller_epsilon_needs_longer_walks(self):
+        assert required_truncation(0.6, 0.01) > required_truncation(0.6, 0.1)
+
+    def test_truncation_actually_caps_bias(self):
+        for decay in (0.4, 0.6, 0.8):
+            for epsilon in (0.01, 0.05, 0.2):
+                t = required_truncation(decay, epsilon)
+                assert decay ** (t + 1) <= epsilon
+
+    @pytest.mark.parametrize("bad_decay", [0.0, 1.0])
+    def test_invalid_decay(self, bad_decay):
+        with pytest.raises(ConfigurationError):
+            required_truncation(bad_decay, 0.1)
+
+
+class TestRequiredWalks:
+    def test_formula(self):
+        expected = math.ceil(
+            14 / (3 * 0.1 ** 2) * (math.log(2 / 0.05) + 2 * math.log(1000))
+        )
+        assert required_walks(0.1, 0.05, 1000) == expected
+
+    def test_monotone_in_epsilon(self):
+        assert required_walks(0.05, 0.1, 100) > required_walks(0.2, 0.1, 100)
+
+    def test_monotone_in_graph_size(self):
+        assert required_walks(0.1, 0.1, 10_000) > required_walks(0.1, 0.1, 10)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            required_walks(0.0, 0.1, 10)
+        with pytest.raises(ConfigurationError):
+            required_walks(0.1, 1.5, 10)
+        with pytest.raises(ConfigurationError):
+            required_walks(0.1, 0.1, 0)
+
+
+class TestDeviationProbability:
+    def test_clamped_to_one(self):
+        assert deviation_probability(0.001, 1) == 1.0
+
+    def test_decreases_with_walks(self):
+        assert deviation_probability(0.1, 10_000) < deviation_probability(0.1, 100)
+
+    @given(
+        epsilon=st.floats(min_value=0.01, max_value=0.9),
+        num_walks=st.integers(min_value=1, max_value=100_000),
+    )
+    def test_is_a_probability(self, epsilon, num_walks):
+        assert 0.0 <= deviation_probability(epsilon, num_walks) <= 1.0
+
+    def test_prop_42_composition(self):
+        """The sample size from required_walks drives Prop 4.1's tail below
+        delta even before the union bound's slack."""
+        epsilon, delta, n = 0.1, 0.05, 500
+        n_w = required_walks(epsilon, delta, n)
+        assert deviation_probability(epsilon, n_w) < delta
+
+
+class TestInterchangeProbability:
+    def test_decreases_with_gap(self):
+        assert interchange_probability(0.3, 100) < interchange_probability(0.05, 100)
+
+    def test_decreases_with_walks(self):
+        assert interchange_probability(0.1, 5000) < interchange_probability(0.1, 50)
+
+    def test_requires_positive_gap(self):
+        with pytest.raises(ConfigurationError):
+            interchange_probability(0.0, 100)
+
+
+class TestPlanIndex:
+    def test_returns_both_parameters(self):
+        walks, length = plan_index(0.6, 0.1, 0.05, 1000)
+        assert walks == required_walks(0.1, 0.05, 1000)
+        assert length == required_truncation(0.6, 0.1)

@@ -1,0 +1,92 @@
+"""Tests for the decay-factor upper bounds (Theorem 2.3(5))."""
+
+import numpy as np
+import pytest
+
+from repro.core.decay import decay_contraction_bound, decay_paper_bound
+from repro.core.semsim import semsim_scores
+from repro.datasets import aminer_like, amazon_like, wikipedia_like
+from repro.hin import HIN
+from repro.semantics import ConstantMeasure
+
+from tests.conftest import build_taxonomy_graph
+
+
+class TestPaperBound:
+    def test_in_unit_interval(self):
+        graph, measure = build_taxonomy_graph()
+        bound = decay_paper_bound(graph, measure)
+        assert 0 < bound <= 1.0
+
+    def test_constant_one_measure_on_unit_graph(self):
+        g = HIN()
+        g.add_undirected_edge("a", "b")
+        g.add_undirected_edge("b", "c")
+        # With sem == 1 and unit weights N(u, v) = |I(u)||I(v)| >= 1.
+        assert decay_paper_bound(g, ConstantMeasure(1.0)) == 1.0
+
+    def test_empty_graph(self):
+        assert decay_paper_bound(HIN(), ConstantMeasure(1.0)) == 1.0
+
+
+class TestContractionBound:
+    def test_in_unit_interval(self):
+        graph, measure = build_taxonomy_graph()
+        bound = decay_contraction_bound(graph, measure)
+        assert 0 < bound <= 1.0
+
+    def test_constant_measure_gives_one(self):
+        graph, _ = build_taxonomy_graph()
+        # sem == const: N = const * sum(WW), ratio == 1 for every pair.
+        assert decay_contraction_bound(graph, ConstantMeasure(0.5)) == pytest.approx(1.0)
+
+    def test_uniqueness_holds_below_bound(self):
+        """Two different starting points converge to the same fixed point."""
+        graph, measure = build_taxonomy_graph()
+        bound = decay_contraction_bound(graph, measure)
+        decay = min(0.9 * bound, 0.85)
+        reference = semsim_scores(
+            graph, measure, decay=decay, tolerance=1e-13, max_iterations=500
+        )
+        again = semsim_scores(
+            graph, measure, decay=decay, tolerance=1e-13, max_iterations=500
+        )
+        assert np.allclose(reference.matrix, again.matrix, atol=1e-10)
+
+
+class TestSection51Claim:
+    """The paper reports its bound exceeds 0.6 on all its datasets.
+
+    The bound is a *dataset* property: ``min N(u, v)`` grows with degree,
+    edge weight and the semantic floor, so the paper's dense 0.35M-3M-edge
+    corpora clear 0.6 while small synthetic stand-ins (where some pair has
+    a single in-neighbour on each side with floor-level semantics) do not.
+    These tests pin the mechanism rather than the threshold; the scale
+    deviation is recorded in EXPERIMENTS.md.
+    """
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: aminer_like(num_authors=60, num_terms=30, seed=0),
+            lambda: amazon_like(num_products=60, seed=0),
+            lambda: wikipedia_like(num_articles=60, seed=0),
+        ],
+    )
+    def test_bounds_are_valid(self, factory):
+        bundle = factory()
+        paper = decay_paper_bound(bundle.graph, bundle.measure)
+        contraction = decay_contraction_bound(bundle.graph, bundle.measure)
+        assert 0 < paper <= 1.0
+        assert 0 < contraction <= 1.0
+
+    def test_bound_grows_with_semantic_floor(self):
+        """Raising the measure's floor raises min N — the density mechanism
+        behind the paper's > 0.6 observation."""
+        bundle = amazon_like(num_products=60, seed=0)
+        low = decay_paper_bound(bundle.graph, bundle.measure)
+        from repro.semantics import LinMeasure
+
+        high_floor = LinMeasure(bundle.taxonomy, ic=bundle.ic, floor=0.5)
+        high = decay_paper_bound(bundle.graph, high_floor)
+        assert high > low

@@ -1,0 +1,121 @@
+"""Unit tests for the dynamic walk index (incremental maintenance)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicWalkIndex, MonteCarloSemSim, MonteCarloSimRank, WalkIndex
+from repro.core.simrank import simrank_scores
+from repro.errors import EdgeNotFoundError
+from repro.hin import HIN
+from repro.semantics import ConstantMeasure
+
+from tests.conftest import build_taxonomy_graph
+
+
+def small_graph() -> HIN:
+    g = HIN()
+    g.add_undirected_edge("a", "b")
+    g.add_undirected_edge("b", "c")
+    g.add_undirected_edge("c", "d")
+    return g
+
+
+class TestBasics:
+    def test_mirrors_walk_index_api(self):
+        g = small_graph()
+        dynamic = DynamicWalkIndex(g, num_walks=20, length=5, seed=0)
+        assert dynamic.num_walks == 20
+        assert dynamic.length == 5
+        assert dynamic.walks.shape == (4, 20, 6)
+        assert dynamic.storage_entries == 4 * 20 * 6
+
+    def test_wraps_a_private_copy(self):
+        g = small_graph()
+        dynamic = DynamicWalkIndex(g, num_walks=5, length=3, seed=0)
+        dynamic.add_edge("a", "d")
+        assert not g.has_edge("a", "d")  # original untouched
+
+    def test_walks_start_at_their_node(self):
+        dynamic = DynamicWalkIndex(small_graph(), num_walks=10, length=4, seed=0)
+        for node in "abcd":
+            assert np.all(dynamic.walks_from(node)[:, 0] == dynamic.node_position(node))
+
+
+class TestUpdates:
+    def test_add_edge_resamples_visiting_walks(self):
+        dynamic = DynamicWalkIndex(small_graph(), num_walks=30, length=5, seed=0)
+        resampled = dynamic.add_edge("d", "a", weight=1.0)
+        # every walk that visits "a" before the last step is affected
+        assert resampled > 0
+        assert dynamic.updates_applied == 1
+        assert dynamic.walks_resampled == resampled
+
+    def test_walks_use_new_edge_after_insertion(self):
+        g = HIN()
+        g.add_edge("old", "hub")
+        dynamic = DynamicWalkIndex(g, num_walks=400, length=1, seed=0)
+        dynamic.add_edge("new", "hub")
+        first_steps = dynamic.walks_from("hub")[:, 1]
+        new_pos = dynamic.node_position("new")
+        fraction = float(np.mean(first_steps == new_pos))
+        assert fraction == pytest.approx(0.5, abs=0.08)
+
+    def test_remove_edge_invalidates_steps(self):
+        g = HIN()
+        g.add_edge("p", "hub")
+        g.add_edge("q", "hub")
+        dynamic = DynamicWalkIndex(g, num_walks=200, length=1, seed=0)
+        dynamic.remove_edge("q", "hub")
+        first_steps = dynamic.walks_from("hub")[:, 1]
+        q_pos = dynamic.node_position("q")
+        assert not np.any(first_steps == q_pos)
+
+    def test_remove_missing_edge_raises(self):
+        dynamic = DynamicWalkIndex(small_graph(), num_walks=5, length=3, seed=0)
+        with pytest.raises(EdgeNotFoundError):
+            dynamic.remove_edge("a", "d")
+
+    def test_new_node_gets_walk_set(self):
+        dynamic = DynamicWalkIndex(small_graph(), num_walks=10, length=4, seed=0)
+        dynamic.add_edge("d", "e")
+        walks_e = dynamic.walks_from("e")
+        assert walks_e.shape == (10, 5)
+        assert np.all(walks_e[:, 0] == dynamic.node_position("e"))
+        # e's in-neighbour is d: every live first step goes there.
+        d_pos = dynamic.node_position("d")
+        assert np.all(walks_e[:, 1] == d_pos)
+
+
+class TestDistributionCorrectness:
+    """After updates, estimates must match a freshly built index."""
+
+    def test_simrank_estimates_match_fresh_index(self):
+        graph = small_graph()
+        dynamic = DynamicWalkIndex(graph, num_walks=3000, length=12, seed=1)
+        dynamic.add_edge("a", "d", weight=1.0)
+        dynamic.add_edge("d", "a", weight=1.0)
+
+        updated_graph = graph.copy()
+        updated_graph.add_undirected_edge("a", "d")
+        exact = simrank_scores(
+            updated_graph, decay=0.6, tolerance=1e-12, max_iterations=300
+        )
+        estimator = MonteCarloSimRank(dynamic, decay=0.6)
+        for pair in [("a", "c"), ("b", "d"), ("a", "d")]:
+            assert estimator.similarity(*pair) == pytest.approx(
+                exact.score(*pair), abs=0.03
+            )
+
+    def test_semsim_estimates_match_fresh_index(self):
+        graph, measure = build_taxonomy_graph()
+        dynamic = DynamicWalkIndex(graph, num_walks=1500, length=15, seed=2)
+        dynamic.add_edge("x1", "x3", weight=1.0)
+        dynamic.add_edge("x3", "x1", weight=1.0)
+
+        fresh = WalkIndex(dynamic.graph, num_walks=1500, length=15, seed=99)
+        via_dynamic = MonteCarloSemSim(dynamic, measure, decay=0.6, theta=None)
+        via_fresh = MonteCarloSemSim(fresh, measure, decay=0.6, theta=None)
+        for pair in [("mid1", "mid2"), ("x1", "x3")]:
+            assert via_dynamic.similarity(*pair) == pytest.approx(
+                via_fresh.similarity(*pair), abs=0.04
+            )

@@ -1,0 +1,127 @@
+"""Edge-case and failure-injection tests across the engines.
+
+Degenerate shapes a production library must survive: empty and singleton
+graphs, isolated nodes, disconnected components, extreme weights, and
+components that can never meet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MonteCarloSemSim,
+    MonteCarloSimRank,
+    SemSim,
+    SimRank,
+    WalkIndex,
+    top_k_similar,
+)
+from repro.core.pair_engine import semsim_via_pair_graph
+from repro.core.semsim import semsim_scores
+from repro.core.simrank import simrank_scores
+from repro.hin import HIN, build_reduced_pair_graph
+from repro.semantics import ConstantMeasure
+
+
+class TestDegenerateGraphs:
+    def test_singleton_graph(self):
+        g = HIN()
+        g.add_node("only")
+        result = simrank_scores(g, decay=0.6)
+        assert result.score("only", "only") == 1.0
+
+    def test_two_isolated_nodes(self):
+        g = HIN()
+        g.add_node("a")
+        g.add_node("b")
+        semsim = semsim_scores(g, ConstantMeasure(1.0), decay=0.6)
+        assert semsim.score("a", "b") == 0.0
+
+    def test_isolated_node_amid_connected_component(self):
+        g = HIN()
+        g.add_undirected_edge("a", "b")
+        g.add_undirected_edge("b", "c")
+        g.add_undirected_edge("a", "c")
+        g.add_node("island")
+        result = semsim_scores(g, ConstantMeasure(1.0), decay=0.6, max_iterations=20)
+        assert result.score("a", "island") == 0.0
+        assert result.score("island", "island") == 1.0
+        assert result.score("a", "b") > 0.0
+
+    def test_disconnected_components_never_similar(self):
+        g = HIN()
+        g.add_undirected_edge("a1", "a2")
+        g.add_undirected_edge("b1", "b2")
+        exact = semsim_via_pair_graph(g, ConstantMeasure(1.0), decay=0.6)
+        assert exact[("a1", "b1")] == 0.0
+        assert exact[("a2", "b2")] == 0.0
+
+    def test_pure_sink_chain(self):
+        # a -> b -> c: nothing upstream of a, so all pairs are 0.
+        g = HIN()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        result = simrank_scores(g, decay=0.6)
+        assert result.score("b", "c") == 0.0
+
+
+class TestExtremeWeights:
+    def test_huge_weight_ratio_stays_bounded(self):
+        g = HIN()
+        g.add_edge("p", "u", weight=1e6)
+        g.add_edge("p", "v", weight=1e-0)
+        g.add_edge("q", "u", weight=1e-0)
+        g.add_edge("q", "v", weight=1e6)
+        result = semsim_scores(g, ConstantMeasure(1.0), decay=0.8, max_iterations=50)
+        matrix = result.matrix
+        assert np.all(np.isfinite(matrix))
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0 + 1e-9
+
+    def test_mc_with_extreme_weights(self):
+        g = HIN()
+        g.add_edge("p", "u", weight=1e6)
+        g.add_edge("p", "v", weight=1.0)
+        index = WalkIndex(g, num_walks=200, length=5, seed=0)
+        estimator = MonteCarloSemSim(index, ConstantMeasure(1.0), decay=0.6, theta=None)
+        value = estimator.similarity("u", "v")
+        assert np.isfinite(value) and value >= 0.0
+
+
+class TestNeverMeetingComponents:
+    def test_mc_estimators_return_zero(self):
+        g = HIN()
+        g.add_undirected_edge("a1", "a2")
+        g.add_undirected_edge("b1", "b2")
+        index = WalkIndex(g, num_walks=100, length=10, seed=0)
+        assert MonteCarloSimRank(index).similarity("a1", "b1") == 0.0
+        estimator = MonteCarloSemSim(index, ConstantMeasure(1.0), decay=0.6, theta=None)
+        assert estimator.similarity("a1", "b1") == 0.0
+
+    def test_reduced_graph_on_disconnected_base(self):
+        g = HIN()
+        g.add_undirected_edge("a1", "a2")
+        g.add_undirected_edge("b1", "b2")
+        reduced = build_reduced_pair_graph(g, ConstantMeasure(0.9), theta=0.5, decay=0.6)
+        scores = reduced.scores()
+        assert scores[("a1", "b1")] == 0.0
+
+
+class TestQueryLayerEdgeCases:
+    def test_topk_with_no_candidates(self):
+        assert top_k_similar("q", [], 3, lambda u, v: 1.0) == []
+
+    def test_topk_only_query_in_candidates(self):
+        assert top_k_similar("q", ["q"], 3, lambda u, v: 1.0) == []
+
+    def test_wrappers_on_bipartite_parity_graph(self):
+        """Odd-distance pairs in bipartite graphs score 0 — the classic
+        SimRank parity property must hold, not crash."""
+        g = HIN()
+        for left in ("l1", "l2"):
+            for right in ("r1", "r2"):
+                g.add_undirected_edge(left, right)
+        simrank = SimRank(g, decay=0.6)
+        semsim = SemSim(g, ConstantMeasure(1.0), decay=0.6)
+        assert simrank.similarity("l1", "r1") == 0.0
+        assert semsim.similarity("l1", "r1") == 0.0
+        assert simrank.similarity("l1", "l2") > 0.0

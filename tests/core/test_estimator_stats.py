@@ -1,0 +1,77 @@
+"""Tests for the estimators' work counters (EstimatorStats).
+
+The Figure-4 benchmark interprets these counters; they must mean what they
+say.
+"""
+
+import pytest
+
+from repro.core import MonteCarloSemSim, MonteCarloSimRank, WalkIndex
+
+from tests.conftest import build_taxonomy_graph
+
+
+@pytest.fixture
+def setup():
+    graph, measure = build_taxonomy_graph()
+    index = WalkIndex(graph, num_walks=50, length=10, seed=1)
+    return graph, measure, index
+
+
+class TestSimRankStats:
+    def test_query_and_walk_counters(self, setup):
+        _, _, index = setup
+        estimator = MonteCarloSimRank(index, decay=0.6)
+        estimator.similarity("mid1", "mid2")
+        assert estimator.stats.queries == 1
+        assert estimator.stats.walks_examined == index.num_walks
+
+    def test_identity_query_counts_but_examines_nothing(self, setup):
+        _, _, index = setup
+        estimator = MonteCarloSimRank(index, decay=0.6)
+        estimator.similarity("x1", "x1")
+        assert estimator.stats.queries == 1
+        assert estimator.stats.walks_examined == 0
+
+    def test_met_walks_bounded_by_examined(self, setup):
+        _, _, index = setup
+        estimator = MonteCarloSimRank(index, decay=0.6)
+        for pair in [("mid1", "mid2"), ("x1", "x2"), ("root", "mid1")]:
+            estimator.similarity(*pair)
+        assert estimator.stats.walks_met <= estimator.stats.walks_examined
+
+
+class TestSemSimStats:
+    def test_sem_gate_counter(self, setup):
+        _, measure, index = setup
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=0.95)
+        low_sem_pairs = 0
+        for u in ("x1", "x2"):
+            for v in ("x3", "x4"):
+                if measure.similarity(u, v) <= 0.95:
+                    low_sem_pairs += 1
+                estimator.similarity(u, v)
+        assert estimator.stats.sem_gate_hits == low_sem_pairs
+
+    def test_so_evaluations_accumulate(self, setup):
+        _, measure, index = setup
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        estimator.similarity("mid1", "mid2")
+        first = estimator.stats.so_evaluations
+        estimator.similarity("mid1", "mid2")
+        assert estimator.stats.so_evaluations == 2 * first
+
+    def test_pruned_counter_only_with_theta(self, setup):
+        _, measure, index = setup
+        unpruned = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        for u in ("mid1", "root"):
+            for v in ("mid2", "x1"):
+                unpruned.similarity(u, v)
+        assert unpruned.stats.walks_pruned == 0
+
+    def test_stats_independent_between_estimators(self, setup):
+        _, measure, index = setup
+        a = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        b = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        a.similarity("mid1", "mid2")
+        assert b.stats.queries == 0

@@ -1,0 +1,57 @@
+"""Tests for the FixedPointResult container and its trace."""
+
+import numpy as np
+import pytest
+
+from repro.core.iterative import FixedPointResult, IterationTrace, iterate_fixed_point
+from repro.hin import HIN
+
+
+@pytest.fixture
+def result(triangle_graph) -> FixedPointResult:
+    return iterate_fixed_point(
+        triangle_graph, None, decay=0.6, max_iterations=10, tolerance=0.0
+    )
+
+
+class TestFixedPointResult:
+    def test_score_lookup(self, result):
+        i = result.nodes.index("a")
+        j = result.nodes.index("c")
+        assert result.score("a", "c") == result.matrix[i, j]
+
+    def test_as_dict_matches_matrix(self, result):
+        table = result.as_dict()
+        for (u, v), value in table.items():
+            assert value == result.score(u, v)
+
+    def test_trace_length_equals_iterations_run(self, result):
+        assert result.trace.iterations == 10
+
+    def test_unknown_node_raises(self, result):
+        with pytest.raises(ValueError):
+            result.score("ghost", "a")
+
+
+class TestIterationTraceDiagnostics:
+    def test_max_bounds_avg(self, result):
+        for avg, peak in zip(
+            result.trace.avg_absolute_diff, result.trace.max_absolute_diff
+        ):
+            assert avg <= peak + 1e-15
+
+    def test_diffs_are_non_negative(self, result):
+        assert all(d >= 0 for d in result.trace.avg_absolute_diff)
+        assert all(d >= 0 for d in result.trace.avg_relative_diff)
+
+    def test_late_iterations_settle(self, result):
+        trace = result.trace
+        assert trace.max_absolute_diff[-1] <= trace.max_absolute_diff[0]
+
+    def test_single_node_matrix_trace(self):
+        trace = IterationTrace()
+        trace.record(np.ones((1, 1)), np.ones((1, 1)))
+        # no off-diagonal entries: all diagnostics must be 0, not NaN
+        assert trace.avg_absolute_diff == [0.0]
+        assert trace.avg_relative_diff == [0.0]
+        assert trace.max_absolute_diff == [0.0]

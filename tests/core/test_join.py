@@ -1,0 +1,99 @@
+"""Tests for the similarity join (candidate generation + threshold scan)."""
+
+import pytest
+
+from repro.core import MonteCarloSemSim, MonteCarloSimRank, WalkIndex
+from repro.core.join import candidate_pairs, similarity_join
+from repro.errors import ConfigurationError
+from repro.hin import HIN
+from repro.semantics import ConstantMeasure
+
+from tests.conftest import build_taxonomy_graph
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_taxonomy_graph()
+
+
+@pytest.fixture(scope="module")
+def index(model):
+    graph, _ = model
+    return WalkIndex(graph, num_walks=300, length=12, seed=4)
+
+
+class TestCandidatePairs:
+    def test_covers_every_scorable_pair(self, model, index):
+        """Any pair the estimator scores non-zero must be a candidate."""
+        graph, _ = model
+        estimator = MonteCarloSimRank(index, decay=0.6)
+        candidates = {frozenset(p) for p in candidate_pairs(index)}
+        nodes = list(graph.nodes())
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                if estimator.similarity(u, v) > 0:
+                    assert frozenset((u, v)) in candidates
+
+    def test_no_duplicates(self, index):
+        pairs = list(candidate_pairs(index))
+        assert len(pairs) == len({frozenset(p) for p in pairs})
+
+    def test_restriction_filters_sources(self, model, index):
+        graph, _ = model
+        keep = {"x1", "x2", "x3"}
+        for u, v in candidate_pairs(index, restrict_to=keep):
+            assert u in keep and v in keep
+
+    def test_disconnected_components_produce_no_candidates(self):
+        g = HIN()
+        g.add_undirected_edge("a1", "a2")
+        g.add_undirected_edge("b1", "b2")
+        index = WalkIndex(g, num_walks=50, length=8, seed=0)
+        pairs = {frozenset(p) for p in candidate_pairs(index)}
+        assert frozenset(("a1", "b1")) not in pairs
+
+
+class TestSimilarityJoin:
+    def test_matches_brute_force(self, model, index):
+        graph, measure = model
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        threshold = 0.02
+        joined = {
+            frozenset((u, v)): score
+            for u, v, score in similarity_join(estimator, threshold)
+        }
+        nodes = list(graph.nodes())
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                score = estimator.similarity(u, v)
+                if score > threshold:
+                    assert frozenset((u, v)) in joined
+                    assert joined[frozenset((u, v))] == pytest.approx(score)
+                else:
+                    assert frozenset((u, v)) not in joined
+
+    def test_sorted_best_first(self, model, index):
+        graph, measure = model
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        rows = similarity_join(estimator, 0.01)
+        scores = [score for _, _, score in rows]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_works_with_simrank_estimator(self, model, index):
+        estimator = MonteCarloSimRank(index, decay=0.6)
+        rows = similarity_join(estimator, 0.05)
+        assert all(score > 0.05 for _, _, score in rows)
+
+    def test_threshold_validation(self, model, index):
+        graph, measure = model
+        estimator = MonteCarloSemSim(index, measure, decay=0.6)
+        with pytest.raises(ConfigurationError):
+            similarity_join(estimator, 0.0)
+
+    def test_semantic_gate_respected(self, model, index):
+        """Pairs with sem <= threshold never appear (Prop. 2.5)."""
+        graph, measure = model
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        threshold = 0.3
+        for u, v, _ in similarity_join(estimator, threshold):
+            assert measure.similarity(u, v) > threshold

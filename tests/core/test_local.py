@@ -1,0 +1,74 @@
+"""Tests for the localised single-pair computation."""
+
+import pytest
+
+from repro.core.local import local_semsim
+from repro.core.semsim import semsim_scores
+from repro.errors import ConfigurationError, NodeNotFoundError
+
+from tests.conftest import build_taxonomy_graph, random_hin_with_measure
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_taxonomy_graph()
+
+
+class TestLocalSemsim:
+    def test_identity_pair(self, model):
+        graph, measure = model
+        result = local_semsim(graph, measure, "x1", "x1")
+        assert result.lower == result.upper == 1.0
+
+    def test_interval_brackets_true_score(self, model):
+        graph, measure = model
+        truth = semsim_scores(graph, measure, decay=0.6, tolerance=1e-12, max_iterations=300)
+        for pair in [("mid1", "mid2"), ("x1", "x2"), ("root", "mid1")]:
+            result = local_semsim(graph, measure, *pair, decay=0.6, iterations=8)
+            exact = truth.score(*pair)
+            assert result.lower <= exact + 1e-9
+            assert result.upper >= exact - 1e-9
+
+    def test_lower_bound_equals_truncated_iteration(self, model):
+        """Locality is exact: the ball reproduces R_k(u, v) precisely."""
+        graph, measure = model
+        k = 4
+        full = semsim_scores(graph, measure, decay=0.6, max_iterations=k, tolerance=0.0)
+        result = local_semsim(graph, measure, "mid1", "mid2", decay=0.6, iterations=k)
+        assert result.lower == pytest.approx(full.score("mid1", "mid2"), abs=1e-12)
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_exactness_on_random_models(self, seed):
+        graph, measure = random_hin_with_measure(seed, num_entities=7, extra_edges=9)
+        nodes = list(graph.nodes())
+        k = 5
+        full = semsim_scores(graph, measure, decay=0.55, max_iterations=k, tolerance=0.0)
+        for u, v in [(nodes[0], nodes[3]), (nodes[1], nodes[4])]:
+            result = local_semsim(graph, measure, u, v, decay=0.55, iterations=k)
+            assert result.lower == pytest.approx(full.score(u, v), abs=1e-10)
+
+    def test_half_width_shrinks_with_iterations(self, model):
+        graph, measure = model
+        wide = local_semsim(graph, measure, "mid1", "mid2", iterations=2)
+        narrow = local_semsim(graph, measure, "mid1", "mid2", iterations=10)
+        assert narrow.half_width < wide.half_width
+
+    def test_subgraph_smaller_than_graph_for_peripheral_pairs(self):
+        graph, measure = random_hin_with_measure(1, num_entities=10, extra_edges=6)
+        nodes = list(graph.nodes())
+        result = local_semsim(graph, measure, nodes[0], nodes[1], iterations=1)
+        assert result.subgraph_nodes <= graph.num_nodes
+
+    def test_upper_bound_capped_by_semantics(self, model):
+        graph, measure = model
+        result = local_semsim(graph, measure, "x1", "x3", iterations=1)
+        assert result.upper <= measure.similarity("x1", "x3") + 1e-12
+
+    def test_validation(self, model):
+        graph, measure = model
+        with pytest.raises(NodeNotFoundError):
+            local_semsim(graph, measure, "ghost", "x1")
+        with pytest.raises(ConfigurationError):
+            local_semsim(graph, measure, "x1", "x2", decay=1.0)
+        with pytest.raises(ConfigurationError):
+            local_semsim(graph, measure, "x1", "x2", iterations=0)

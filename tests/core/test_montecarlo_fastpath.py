@@ -1,0 +1,56 @@
+"""Tests for the MatrixMeasure fast path inside the IS estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import MonteCarloSemSim, WalkIndex
+from repro.semantics import MatrixMeasure
+
+from tests.conftest import build_taxonomy_graph
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_taxonomy_graph()
+
+
+@pytest.fixture(scope="module")
+def index(model):
+    graph, _ = model
+    return WalkIndex(graph, num_walks=400, length=15, seed=8)
+
+
+class TestMatrixFastPath:
+    def test_fast_path_activates_for_matching_order(self, model, index):
+        graph, measure = model
+        matrix_measure = MatrixMeasure.from_measure(measure, list(graph.nodes()))
+        estimator = MonteCarloSemSim(index, matrix_measure, decay=0.6, theta=None)
+        assert estimator._sem_matrix is not None
+
+    def test_fast_path_skipped_for_mismatched_order(self, model, index):
+        graph, measure = model
+        shuffled = list(graph.nodes())[::-1]
+        matrix_measure = MatrixMeasure.from_measure(measure, shuffled)
+        estimator = MonteCarloSemSim(index, matrix_measure, decay=0.6, theta=None)
+        assert estimator._sem_matrix is None
+
+    def test_identical_estimates(self, model, index):
+        graph, measure = model
+        matrix_measure = MatrixMeasure.from_measure(measure, list(graph.nodes()))
+        slow = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        fast = MonteCarloSemSim(index, matrix_measure, decay=0.6, theta=None)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert fast.similarity(u, v) == pytest.approx(
+                    slow.similarity(u, v), abs=1e-12
+                )
+
+    def test_identical_estimates_with_pruning(self, model, index):
+        graph, measure = model
+        matrix_measure = MatrixMeasure.from_measure(measure, list(graph.nodes()))
+        slow = MonteCarloSemSim(index, measure, decay=0.6, theta=0.1)
+        fast = MonteCarloSemSim(index, matrix_measure, decay=0.6, theta=0.1)
+        for pair in [("mid1", "mid2"), ("x1", "x2"), ("root", "mid1")]:
+            assert fast.similarity(*pair) == pytest.approx(
+                slow.similarity(*pair), abs=1e-12
+            )

@@ -1,0 +1,69 @@
+"""Tests for the naive pair-sampled MC strawman (Section 4.2)."""
+
+import pytest
+
+from repro.core import WalkIndex
+from repro.core.naive_mc import NaivePairSampler
+from repro.core.pair_engine import semsim_via_pair_graph
+from repro.errors import ConfigurationError
+
+from tests.conftest import build_taxonomy_graph
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_taxonomy_graph()
+
+
+class TestEstimates:
+    def test_identity(self, model):
+        graph, measure = model
+        sampler = NaivePairSampler(graph, measure, seed=0)
+        assert sampler.similarity("x1", "x1") == 1.0
+
+    def test_converges_to_exact(self, model):
+        graph, measure = model
+        exact = semsim_via_pair_graph(graph, measure, decay=0.6)
+        sampler = NaivePairSampler(
+            graph, measure, decay=0.6, num_walks=4000, length=25, seed=3
+        )
+        assert sampler.similarity("mid1", "mid2") == pytest.approx(
+            exact[("mid1", "mid2")], abs=0.02
+        )
+
+    def test_parameter_validation(self, model):
+        graph, measure = model
+        with pytest.raises(ConfigurationError):
+            NaivePairSampler(graph, measure, decay=1.0)
+        with pytest.raises(ConfigurationError):
+            NaivePairSampler(graph, measure, num_walks=0)
+
+
+class TestStorageAccounting:
+    """The quadratic-vs-linear storage argument of Section 4.2."""
+
+    def test_storage_grows_per_pair(self, model):
+        graph, measure = model
+        sampler = NaivePairSampler(graph, measure, num_walks=10, length=5, seed=0)
+        sampler.presample([("x1", "x2"), ("x1", "x3"), ("x2", "x3")])
+        assert sampler.sampled_pairs == 3
+        first = sampler.storage_entries
+        sampler.presample([("x1", "x4")])
+        assert sampler.storage_entries > first
+
+    def test_presample_is_idempotent(self, model):
+        graph, measure = model
+        sampler = NaivePairSampler(graph, measure, num_walks=10, length=5, seed=0)
+        sampler.presample([("x1", "x2")])
+        size = sampler.storage_entries
+        sampler.presample([("x1", "x2")])
+        assert sampler.storage_entries == size
+
+    def test_projected_all_pairs_storage_is_quadratic(self, model):
+        graph, measure = model
+        sampler = NaivePairSampler(graph, measure, num_walks=10, length=5, seed=0)
+        n = graph.num_nodes
+        projected = sampler.projected_storage_entries(n)
+        per_node_index = WalkIndex(graph, num_walks=10, length=5, seed=0)
+        # O(n^2 * n_w * t) vs O(n * n_w * t): factor n apart.
+        assert projected == per_node_index.storage_entries * n

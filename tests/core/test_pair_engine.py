@@ -1,0 +1,62 @@
+"""Theorem 3.3: exact scores via the surfer-pairs model match the
+iterative fixed point."""
+
+import networkx as nx
+import pytest
+
+from repro.core.pair_engine import semsim_via_pair_graph, simrank_via_pair_graph
+from repro.core.semsim import semsim_scores
+from repro.core.simrank import simrank_scores
+from repro.errors import ConfigurationError
+from repro.hin import HIN
+from repro.semantics import ConstantMeasure
+
+from tests.conftest import build_taxonomy_graph, random_hin_with_measure
+
+
+class TestTheorem33:
+    def test_semsim_equivalence_on_fixture(self):
+        graph, measure = build_taxonomy_graph()
+        exact = semsim_via_pair_graph(graph, measure, decay=0.6)
+        iterative = semsim_scores(
+            graph, measure, decay=0.6, tolerance=1e-13, max_iterations=400
+        )
+        for (u, v), value in exact.items():
+            assert iterative.score(u, v) == pytest.approx(value, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_semsim_equivalence_on_random_models(self, seed):
+        graph, measure = random_hin_with_measure(seed, num_entities=6, extra_edges=8)
+        exact = semsim_via_pair_graph(graph, measure, decay=0.55)
+        iterative = semsim_scores(
+            graph, measure, decay=0.55, tolerance=1e-13, max_iterations=400
+        )
+        for (u, v), value in exact.items():
+            assert iterative.score(u, v) == pytest.approx(value, abs=1e-8)
+
+    def test_simrank_equivalence(self, triangle_graph):
+        exact = simrank_via_pair_graph(triangle_graph, decay=0.8)
+        iterative = simrank_scores(
+            triangle_graph, decay=0.8, tolerance=1e-13, max_iterations=600
+        )
+        for (u, v), value in exact.items():
+            assert iterative.score(u, v) == pytest.approx(value, abs=1e-8)
+
+    def test_singleton_scores_one(self, triangle_graph):
+        exact = simrank_via_pair_graph(triangle_graph, decay=0.8)
+        for node in triangle_graph.nodes():
+            assert exact[(node, node)] == 1.0
+
+    def test_unreachable_pairs_score_zero(self):
+        g = HIN()
+        g.add_edge("a", "b")
+        g.add_edge("c", "d")
+        exact = simrank_via_pair_graph(g, decay=0.6)
+        assert exact[("b", "d")] == 0.0
+        assert exact[("a", "c")] == 0.0
+
+    def test_invalid_decay(self, triangle_graph):
+        with pytest.raises(ConfigurationError):
+            simrank_via_pair_graph(triangle_graph, decay=1.0)
+        with pytest.raises(ConfigurationError):
+            semsim_via_pair_graph(triangle_graph, ConstantMeasure(1.0), decay=0.0)

@@ -1,0 +1,139 @@
+"""Tests for walk-index persistence and the sparse iterative engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MonteCarloSemSim,
+    WalkIndex,
+    WalkPolicy,
+    load_walk_index,
+    save_walk_index,
+)
+from repro.core.iterative import iterate_fixed_point
+from repro.errors import GraphError
+from repro.hin import HIN
+
+from tests.conftest import build_taxonomy_graph
+
+
+class TestWalkIndexPersistence:
+    def test_round_trip_preserves_walks(self, tmp_path):
+        graph, _ = build_taxonomy_graph()
+        original = WalkIndex(graph, num_walks=20, length=8, seed=4)
+        path = tmp_path / "index.npz"
+        save_walk_index(original, path)
+        restored = load_walk_index(graph, path)
+        assert np.array_equal(restored.walks, original.walks)
+        assert restored.num_walks == original.num_walks
+        assert restored.length == original.length
+        assert restored.policy is original.policy
+
+    def test_round_trip_preserves_estimates(self, tmp_path):
+        graph, measure = build_taxonomy_graph()
+        original = WalkIndex(graph, num_walks=200, length=10, seed=4)
+        path = tmp_path / "index.npz"
+        save_walk_index(original, path)
+        restored = load_walk_index(graph, path)
+        a = MonteCarloSemSim(original, measure, decay=0.6, theta=None)
+        b = MonteCarloSemSim(restored, measure, decay=0.6, theta=None)
+        assert a.similarity("mid1", "mid2") == b.similarity("mid1", "mid2")
+
+    def test_weighted_policy_round_trips(self, tmp_path):
+        graph, _ = build_taxonomy_graph()
+        original = WalkIndex(
+            graph, num_walks=10, length=5, policy=WalkPolicy.WEIGHTED, seed=0
+        )
+        path = tmp_path / "index.npz"
+        save_walk_index(original, path)
+        assert load_walk_index(graph, path).policy is WalkPolicy.WEIGHTED
+
+    def test_mismatched_graph_rejected(self, tmp_path):
+        graph, _ = build_taxonomy_graph()
+        original = WalkIndex(graph, num_walks=5, length=4, seed=0)
+        path = tmp_path / "index.npz"
+        save_walk_index(original, path)
+        other = HIN()
+        other.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            load_walk_index(other, path)
+
+
+class TestSparseEngine:
+    def test_sparse_matches_dense_semsim(self):
+        graph, measure = build_taxonomy_graph()
+        dense = iterate_fixed_point(
+            graph, measure, decay=0.6, max_iterations=15, tolerance=0.0
+        )
+        sparse = iterate_fixed_point(
+            graph, measure, decay=0.6, max_iterations=15, tolerance=0.0,
+            sparse_adjacency=True,
+        )
+        assert np.allclose(dense.matrix, sparse.matrix, atol=1e-12)
+
+    def test_sparse_matches_dense_simrank(self, triangle_graph):
+        dense = iterate_fixed_point(
+            triangle_graph, None, decay=0.8, max_iterations=20, tolerance=0.0,
+            use_weights=False,
+        )
+        sparse = iterate_fixed_point(
+            triangle_graph, None, decay=0.8, max_iterations=20, tolerance=0.0,
+            use_weights=False, sparse_adjacency=True,
+        )
+        assert np.allclose(dense.matrix, sparse.matrix, atol=1e-12)
+
+    def test_sparse_with_label_restriction(self):
+        g = HIN()
+        g.add_edge("x", "u", label="red")
+        g.add_edge("x", "v", label="blue")
+        g.add_edge("y", "u", label="red")
+        g.add_edge("y", "v", label="red")
+        dense = iterate_fixed_point(
+            g, None, decay=0.6, max_iterations=6, tolerance=0.0,
+            restrict_edge_labels=True,
+        )
+        sparse = iterate_fixed_point(
+            g, None, decay=0.6, max_iterations=6, tolerance=0.0,
+            restrict_edge_labels=True, sparse_adjacency=True,
+        )
+        assert np.allclose(dense.matrix, sparse.matrix, atol=1e-12)
+
+
+class TestConfidenceIntervals:
+    def test_interval_contains_estimate(self):
+        graph, measure = build_taxonomy_graph()
+        index = WalkIndex(graph, num_walks=500, length=15, seed=2)
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        estimate, half = estimator.similarity_with_interval("mid1", "mid2")
+        assert estimate == pytest.approx(estimator.similarity("mid1", "mid2"))
+        assert half > 0
+
+    def test_interval_shrinks_with_walks(self):
+        graph, measure = build_taxonomy_graph()
+        small = WalkIndex(graph, num_walks=100, length=15, seed=2)
+        large = WalkIndex(graph, num_walks=2000, length=15, seed=2)
+        _, half_small = MonteCarloSemSim(small, measure, 0.6, None).similarity_with_interval("mid1", "mid2")
+        _, half_large = MonteCarloSemSim(large, measure, 0.6, None).similarity_with_interval("mid1", "mid2")
+        assert half_large < half_small
+
+    def test_identity_and_gated_pairs(self):
+        graph, measure = build_taxonomy_graph()
+        index = WalkIndex(graph, num_walks=50, length=8, seed=2)
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=0.9)
+        assert estimator.similarity_with_interval("x1", "x1") == (1.0, 0.0)
+        assert estimator.similarity_with_interval("x1", "x3") == (0.0, 0.0)
+
+    def test_interval_covers_truth_mostly(self):
+        from repro.core.semsim import semsim_scores
+
+        graph, measure = build_taxonomy_graph()
+        truth = semsim_scores(graph, measure, decay=0.6, tolerance=1e-12, max_iterations=300)
+        covered = 0
+        runs = 20
+        for seed in range(runs):
+            index = WalkIndex(graph, num_walks=300, length=18, seed=seed)
+            estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+            estimate, half = estimator.similarity_with_interval("mid1", "mid2")
+            if abs(estimate - truth.score("mid1", "mid2")) <= half + 0.01:
+                covered += 1
+        assert covered >= runs * 0.8  # ~95% nominal coverage, slack for MC

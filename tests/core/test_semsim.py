@@ -1,0 +1,137 @@
+"""SemSim measure-level tests: Theorem 2.3, Props 2.4/2.5, equivalences."""
+
+import numpy as np
+import pytest
+
+from repro.core import SemSim, SimRank, semsim_scores, simrank_scores
+from repro.core.iterative import iterate_fixed_point
+from repro.hin import HIN
+from repro.semantics import ConstantMeasure, MatrixMeasure, semantic_matrix
+
+from tests.conftest import build_taxonomy_graph
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_taxonomy_graph()
+
+
+@pytest.fixture(scope="module")
+def converged(model):
+    graph, measure = model
+    return semsim_scores(graph, measure, decay=0.6, tolerance=1e-12, max_iterations=300)
+
+
+class TestTheorem23:
+    def test_symmetry(self, converged):
+        matrix = converged.matrix
+        assert np.allclose(matrix, matrix.T, atol=1e-12)
+
+    def test_maximum_self_similarity(self, converged):
+        assert np.allclose(np.diag(converged.matrix), 1.0)
+
+    def test_scores_in_unit_interval(self, converged):
+        assert converged.matrix.min() >= 0.0
+        assert converged.matrix.max() <= 1.0 + 1e-12
+
+    def test_monotonicity_across_iterations(self, model):
+        graph, measure = model
+        previous = None
+        for k in range(1, 8):
+            result = semsim_scores(
+                graph, measure, decay=0.6, max_iterations=k, tolerance=0.0
+            )
+            if previous is not None:
+                assert np.all(result.matrix >= previous - 1e-12)
+            previous = result.matrix
+
+    def test_existence_fixed_point_reached(self, model):
+        graph, measure = model
+        result = semsim_scores(
+            graph, measure, decay=0.6, tolerance=1e-10, max_iterations=500
+        )
+        assert result.converged
+
+
+class TestProposition24:
+    """Per-iteration improvement bounded by sem(u, v) * c^{k+1}."""
+
+    def test_consecutive_difference_bound(self, model):
+        graph, measure = model
+        decay = 0.6
+        nodes = list(graph.nodes())
+        sem = semantic_matrix(measure, nodes)
+        previous = semsim_scores(graph, measure, decay=decay, max_iterations=1, tolerance=0.0).matrix
+        for k in range(1, 7):
+            current = semsim_scores(
+                graph, measure, decay=decay, max_iterations=k + 1, tolerance=0.0
+            ).matrix
+            bound = sem * decay ** (k + 1)
+            assert np.all(current - previous <= bound + 1e-9)
+            previous = current
+
+    def test_convergence_no_slower_than_simrank_bound(self, model):
+        graph, measure = model
+        decay = 0.6
+        for k in range(1, 7):
+            a = semsim_scores(graph, measure, decay=decay, max_iterations=k, tolerance=0.0).matrix
+            b = semsim_scores(graph, measure, decay=decay, max_iterations=k + 1, tolerance=0.0).matrix
+            assert np.max(b - a) <= decay ** (k + 1) + 1e-9
+
+
+class TestProposition25:
+    """sim(u, v) <= sem(u, v): the semantic upper bound."""
+
+    def test_semantic_upper_bound(self, model, converged):
+        graph, measure = model
+        for i, u in enumerate(converged.nodes):
+            for j, v in enumerate(converged.nodes):
+                assert converged.matrix[i, j] <= measure.similarity(u, v) + 1e-9
+
+
+class TestDegenerations:
+    def test_constant_measure_equals_weighted_simrank(self, model):
+        graph, _ = model
+        semsim = semsim_scores(
+            graph, ConstantMeasure(1.0), decay=0.7, max_iterations=40, tolerance=1e-12
+        )
+        weighted = simrank_scores(
+            graph, decay=0.7, max_iterations=40, tolerance=1e-12, weighted=True
+        )
+        assert np.allclose(semsim.matrix, weighted.matrix, atol=1e-9)
+
+    def test_constant_measure_unit_weights_equals_simrank(self):
+        g = HIN()
+        g.add_undirected_edge("a", "b")
+        g.add_undirected_edge("b", "c")
+        g.add_undirected_edge("c", "a")
+        semsim = semsim_scores(
+            g, ConstantMeasure(1.0), decay=0.7, max_iterations=60, tolerance=1e-12
+        )
+        simrank = simrank_scores(g, decay=0.7, max_iterations=60, tolerance=1e-12)
+        assert np.allclose(semsim.matrix, simrank.matrix, atol=1e-9)
+
+    def test_sem_matrix_shortcut_matches_measure(self, model):
+        graph, measure = model
+        nodes = list(graph.nodes())
+        precomputed = MatrixMeasure.from_measure(measure, nodes)
+        via_measure = semsim_scores(graph, measure, decay=0.6, max_iterations=10, tolerance=0.0)
+        via_matrix = semsim_scores(
+            graph, measure, decay=0.6, max_iterations=10, tolerance=0.0,
+            sem_matrix=precomputed.matrix,
+        )
+        assert np.allclose(via_measure.matrix, via_matrix.matrix)
+
+
+class TestSemSimWrapper:
+    def test_similarity_lookup(self, model):
+        graph, measure = model
+        engine = SemSim(graph, measure, decay=0.6, max_iterations=10)
+        assert engine.similarity("x1", "x1") == 1.0
+        assert engine.similarity("x1", "x3") == pytest.approx(
+            engine.result.score("x1", "x3")
+        )
+
+    def test_repr_mentions_size(self, model):
+        graph, measure = model
+        assert "SemSim" in repr(SemSim(graph, measure, max_iterations=3))

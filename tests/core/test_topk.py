@@ -1,0 +1,77 @@
+"""Tests for top-k similarity search with semantic-bound pruning."""
+
+import pytest
+
+from repro.core import top_k_similar
+from repro.core.semsim import SemSim
+from repro.errors import ConfigurationError
+from repro.semantics import ConstantMeasure
+
+from tests.conftest import build_taxonomy_graph
+
+
+class CountingOracle:
+    def __init__(self, table):
+        self.table = table
+        self.calls = 0
+
+    def __call__(self, u, v):
+        self.calls += 1
+        return self.table.get((u, v), 0.0)
+
+
+class TestBasics:
+    def test_returns_best_first(self):
+        oracle = CountingOracle({("q", "a"): 0.9, ("q", "b"): 0.5, ("q", "c"): 0.7})
+        result = top_k_similar("q", ["a", "b", "c"], 2, oracle)
+        assert [node for node, _ in result] == ["a", "c"]
+
+    def test_excludes_query(self):
+        oracle = CountingOracle({("q", "a"): 0.9})
+        result = top_k_similar("q", ["q", "a"], 5, oracle)
+        assert all(node != "q" for node, _ in result)
+
+    def test_k_larger_than_candidates(self):
+        oracle = CountingOracle({("q", "a"): 0.9})
+        assert len(top_k_similar("q", ["a"], 10, oracle)) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            top_k_similar("q", ["a"], 0, lambda u, v: 0.0)
+
+    def test_deterministic_tie_break(self):
+        oracle = CountingOracle({("q", "b"): 0.5, ("q", "a"): 0.5})
+        result = top_k_similar("q", ["b", "a"], 2, oracle)
+        assert [node for node, _ in result] == ["a", "b"]
+
+
+class TestSemanticBound:
+    def test_bound_skips_evaluations(self):
+        graph, measure = build_taxonomy_graph()
+        engine = SemSim(graph, measure, decay=0.6, max_iterations=50, tolerance=1e-10)
+        calls_with = CountingOracle({})
+        calls_with.table = {
+            ("x1", v): engine.similarity("x1", v) for v in graph.nodes()
+        }
+        candidates = [v for v in graph.nodes() if v != "x1"]
+        unbounded = CountingOracle(dict(calls_with.table))
+        top_k_similar("x1", candidates, 2, unbounded, measure=None)
+        bounded = CountingOracle(dict(calls_with.table))
+        top_k_similar("x1", candidates, 2, bounded, measure=measure)
+        assert bounded.calls <= unbounded.calls
+
+    def test_bound_preserves_exact_result(self):
+        graph, measure = build_taxonomy_graph()
+        engine = SemSim(graph, measure, decay=0.6, max_iterations=50, tolerance=1e-10)
+        candidates = [v for v in graph.nodes() if v != "mid1"]
+        oracle = engine.similarity
+        with_bound = top_k_similar("mid1", candidates, 3, oracle, measure=measure)
+        without = top_k_similar("mid1", candidates, 3, oracle)
+        assert [n for n, _ in with_bound] == [n for n, _ in without]
+
+    def test_constant_measure_bound_is_noop(self):
+        oracle = CountingOracle({("q", "a"): 0.4, ("q", "b"): 0.2})
+        result = top_k_similar(
+            "q", ["a", "b"], 1, oracle, measure=ConstantMeasure(1.0)
+        )
+        assert result[0][0] == "a"

@@ -1,0 +1,65 @@
+"""Unit tests for interval-annotated top-k ranking."""
+
+import pytest
+
+from repro.core import MonteCarloSemSim, WalkIndex
+from repro.core.topk import ConfidentRanking, top_k_confident
+from repro.errors import ConfigurationError
+
+from tests.conftest import build_taxonomy_graph
+
+
+class FakeIntervalEstimator:
+    """Deterministic estimator with fixed (estimate, half_width) pairs."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def similarity_with_interval(self, u, v, z=1.96):
+        return self.table[(u, v)]
+
+
+class TestTopKConfident:
+    def test_ranks_by_estimate(self):
+        estimator = FakeIntervalEstimator({
+            ("q", "a"): (0.9, 0.01),
+            ("q", "b"): (0.5, 0.01),
+            ("q", "c"): (0.7, 0.01),
+        })
+        result = top_k_confident("q", ["a", "b", "c"], 2, estimator)
+        assert result.nodes() == ["a", "c"]
+
+    def test_separation_flags(self):
+        estimator = FakeIntervalEstimator({
+            ("q", "a"): (0.9, 0.01),   # clearly above c
+            ("q", "c"): (0.7, 0.05),   # overlaps b's interval
+            ("q", "b"): (0.65, 0.05),
+        })
+        result = top_k_confident("q", ["a", "b", "c"], 2, estimator)
+        assert result.separated[0] is True    # a vs c: 0.89 > 0.75
+        assert result.separated[1] is False   # c vs b: 0.65 < 0.70
+
+    def test_last_rank_with_no_excluded_candidate(self):
+        estimator = FakeIntervalEstimator({("q", "a"): (0.9, 0.1)})
+        result = top_k_confident("q", ["a"], 1, estimator)
+        assert result.separated == [True]
+
+    def test_query_excluded(self):
+        estimator = FakeIntervalEstimator({("q", "a"): (0.9, 0.1)})
+        result = top_k_confident("q", ["q", "a"], 2, estimator)
+        assert result.nodes() == ["a"]
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            top_k_confident("q", ["a"], 0, FakeIntervalEstimator({}))
+
+    def test_with_real_estimator(self):
+        graph, measure = build_taxonomy_graph()
+        index = WalkIndex(graph, num_walks=400, length=15, seed=6)
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        candidates = [n for n in graph.nodes() if n != "mid1"]
+        result = top_k_confident("mid1", candidates, 3, estimator)
+        assert len(result.ranking) == 3
+        estimates = [estimate for _, estimate, _ in result.ranking]
+        assert estimates == sorted(estimates, reverse=True)
+        assert len(result.separated) == 3

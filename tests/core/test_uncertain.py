@@ -1,0 +1,103 @@
+"""Unit tests for SemSim over uncertain graphs (possible worlds)."""
+
+import numpy as np
+import pytest
+
+from repro.core.semsim import semsim_scores
+from repro.core.uncertain import UncertainHIN, UncertainSemSim
+from repro.errors import ConfigurationError, EdgeNotFoundError
+from repro.hin import HIN
+
+from tests.conftest import build_taxonomy_graph
+
+
+@pytest.fixture
+def uncertain_model():
+    graph, measure = build_taxonomy_graph()
+    uncertain = UncertainHIN(graph)
+    uncertain.set_edge_probability("x1", "x2", 0.5)
+    uncertain.set_edge_probability("x2", "x1", 0.5)
+    return uncertain, measure
+
+
+class TestUncertainHIN:
+    def test_default_probability_is_one(self, uncertain_model):
+        uncertain, _ = uncertain_model
+        assert uncertain.edge_probability("x3", "x4") == 1.0
+        assert uncertain.edge_probability("x1", "x2") == 0.5
+
+    def test_counts_uncertain_edges(self, uncertain_model):
+        uncertain, _ = uncertain_model
+        assert uncertain.num_uncertain_edges == 2
+
+    def test_unknown_edge_rejected(self, uncertain_model):
+        uncertain, _ = uncertain_model
+        with pytest.raises(EdgeNotFoundError):
+            uncertain.set_edge_probability("x1", "root", 0.5)
+        with pytest.raises(EdgeNotFoundError):
+            uncertain.edge_probability("x1", "root")
+
+    def test_invalid_probability_rejected(self, uncertain_model):
+        uncertain, _ = uncertain_model
+        with pytest.raises(ConfigurationError):
+            uncertain.set_edge_probability("x3", "x4", 0.0)
+        with pytest.raises(ConfigurationError):
+            uncertain.set_edge_probability("x3", "x4", 1.5)
+
+    def test_sample_world_drops_edges_at_the_right_rate(self, uncertain_model):
+        uncertain, _ = uncertain_model
+        rng = np.random.default_rng(0)
+        kept = sum(
+            uncertain.sample_world(rng).has_edge("x1", "x2") for _ in range(200)
+        )
+        assert kept / 200 == pytest.approx(0.5, abs=0.1)
+
+    def test_certain_edges_always_present(self, uncertain_model):
+        uncertain, _ = uncertain_model
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            assert uncertain.sample_world(rng).has_edge("x3", "x4")
+
+
+class TestUncertainSemSim:
+    def test_certain_graph_matches_deterministic_engine(self):
+        graph, measure = build_taxonomy_graph()
+        uncertain = UncertainHIN(graph)  # all probabilities 1
+        engine = UncertainSemSim(uncertain, measure, decay=0.6, num_worlds=3, seed=0)
+        reference = semsim_scores(graph, measure, decay=0.6, max_iterations=30)
+        for pair in [("mid1", "mid2"), ("x1", "x2")]:
+            assert engine.similarity(*pair) == pytest.approx(
+                reference.score(*pair), abs=1e-9
+            )
+        assert engine.score("mid1", "mid2").std == pytest.approx(0.0, abs=1e-12)
+
+    def test_expectation_between_extremes(self, uncertain_model):
+        uncertain, measure = uncertain_model
+        graph = uncertain.base
+        with_edge = semsim_scores(graph, measure, decay=0.6, max_iterations=30)
+        without = graph.copy()
+        without.remove_edge("x1", "x2")
+        without.remove_edge("x2", "x1")
+        without_edge = semsim_scores(without, measure, decay=0.6, max_iterations=30)
+        engine = UncertainSemSim(uncertain, measure, decay=0.6, num_worlds=40, seed=3)
+        value = engine.similarity("x1", "x2")
+        low = min(with_edge.score("x1", "x2"), without_edge.score("x1", "x2"))
+        high = max(with_edge.score("x1", "x2"), without_edge.score("x1", "x2"))
+        assert low - 1e-9 <= value <= high + 1e-9
+
+    def test_uncertainty_shows_in_std(self, uncertain_model):
+        uncertain, measure = uncertain_model
+        engine = UncertainSemSim(uncertain, measure, decay=0.6, num_worlds=30, seed=3)
+        affected = engine.score("x1", "x2")
+        assert affected.std > 0.0
+
+    def test_num_worlds_validation(self, uncertain_model):
+        uncertain, measure = uncertain_model
+        with pytest.raises(ConfigurationError):
+            UncertainSemSim(uncertain, measure, num_worlds=0)
+
+    def test_reproducible_for_seed(self, uncertain_model):
+        uncertain, measure = uncertain_model
+        a = UncertainSemSim(uncertain, measure, num_worlds=10, seed=7)
+        b = UncertainSemSim(uncertain, measure, num_worlds=10, seed=7)
+        assert a.similarity("x1", "x2") == b.similarity("x1", "x2")

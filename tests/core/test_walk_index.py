@@ -1,0 +1,127 @@
+"""Unit tests for the precomputed reverse-walk index."""
+
+import numpy as np
+import pytest
+
+from repro.core import WalkIndex, WalkPolicy
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.hin import HIN
+
+
+@pytest.fixture
+def star() -> HIN:
+    g = HIN()
+    g.add_edge("hub", "a")
+    g.add_edge("hub", "b")
+    g.add_edge("hub", "c", weight=5.0)
+    g.add_edge("x", "c", weight=1.0)
+    return g
+
+
+class TestConstruction:
+    def test_shapes(self, star):
+        index = WalkIndex(star, num_walks=10, length=4, seed=0)
+        assert index.walks.shape == (star.num_nodes, 10, 5)
+
+    def test_walks_start_at_their_node(self, star):
+        index = WalkIndex(star, num_walks=5, length=3, seed=0)
+        for node in star.nodes():
+            assert np.all(index.walks_from(node)[:, 0] == index.node_position(node))
+
+    def test_walks_follow_in_edges(self, star):
+        index = WalkIndex(star, num_walks=20, length=1, seed=0)
+        hub = index.node_position("hub")
+        x = index.node_position("x")
+        steps = index.walks_from("c")[:, 1]
+        assert set(map(int, steps)) <= {hub, x}
+
+    def test_dead_ends_are_padded(self, star):
+        index = WalkIndex(star, num_walks=5, length=3, seed=0)
+        # "hub" has no in-neighbours: all steps after 0 are -1.
+        assert np.all(index.walks_from("hub")[:, 1:] == -1)
+
+    def test_reproducible(self, star):
+        a = WalkIndex(star, num_walks=8, length=5, seed=42)
+        b = WalkIndex(star, num_walks=8, length=5, seed=42)
+        assert np.array_equal(a.walks, b.walks)
+
+    def test_parameter_validation(self, star):
+        with pytest.raises(ConfigurationError):
+            WalkIndex(star, num_walks=0)
+        with pytest.raises(ConfigurationError):
+            WalkIndex(star, length=0)
+
+    def test_unknown_node(self, star):
+        index = WalkIndex(star, num_walks=2, length=2, seed=0)
+        with pytest.raises(NodeNotFoundError):
+            index.walks_from("ghost")
+
+
+class TestPolicies:
+    def test_weighted_policy_prefers_heavy_edges(self, star):
+        index = WalkIndex(
+            star, num_walks=400, length=1, policy=WalkPolicy.WEIGHTED, seed=0
+        )
+        hub = index.node_position("hub")
+        first_steps = index.walks_from("c")[:, 1]
+        hub_fraction = float(np.mean(first_steps == hub))
+        # W(hub -> c) = 5 vs W(x -> c) = 1 -> expect ~5/6.
+        assert hub_fraction == pytest.approx(5 / 6, abs=0.07)
+
+    def test_uniform_policy_is_even(self, star):
+        index = WalkIndex(star, num_walks=400, length=1, seed=0)
+        hub = index.node_position("hub")
+        first_steps = index.walks_from("c")[:, 1]
+        assert float(np.mean(first_steps == hub)) == pytest.approx(0.5, abs=0.08)
+
+    def test_q_step_probability_uniform(self, star):
+        index = WalkIndex(star, num_walks=2, length=2, seed=0)
+        c = index.node_position("c")
+        hub = index.node_position("hub")
+        assert index.q_step_probability(c, hub) == pytest.approx(0.5)
+
+    def test_q_step_probability_weighted(self, star):
+        index = WalkIndex(star, num_walks=2, length=2, policy=WalkPolicy.WEIGHTED, seed=0)
+        c = index.node_position("c")
+        hub = index.node_position("hub")
+        assert index.q_step_probability(c, hub) == pytest.approx(5 / 6)
+
+    def test_q_step_probability_dead_end(self, star):
+        index = WalkIndex(star, num_walks=2, length=2, seed=0)
+        hub = index.node_position("hub")
+        assert index.q_step_probability(hub, 0) == 0.0
+
+
+class TestFirstMeetings:
+    def test_shared_parent_meets_at_one(self):
+        g = HIN()
+        g.add_edge("p", "u")
+        g.add_edge("p", "v")
+        index = WalkIndex(g, num_walks=10, length=3, seed=0)
+        meetings = index.first_meetings("u", "v")
+        assert np.all(meetings == 1)
+
+    def test_never_meeting_graph(self):
+        g = HIN()
+        g.add_edge("p", "u")
+        g.add_edge("q", "v")
+        g.add_edge("u", "p")
+        g.add_edge("v", "q")
+        index = WalkIndex(g, num_walks=10, length=5, seed=0)
+        assert np.all(index.first_meetings("u", "v") == -1)
+
+    def test_start_offset_never_counts(self):
+        g = HIN()
+        g.add_edge("p", "u")
+        g.add_edge("p", "v")
+        index = WalkIndex(g, num_walks=4, length=3, seed=0)
+        assert np.all(index.first_meetings("u", "u") != 0)
+
+
+class TestAccounting:
+    def test_storage_entries(self, star):
+        index = WalkIndex(star, num_walks=7, length=3, seed=0)
+        assert index.storage_entries == star.num_nodes * 7 * 4
+
+    def test_storage_bytes_positive(self, star):
+        assert WalkIndex(star, num_walks=2, length=2, seed=0).storage_bytes > 0

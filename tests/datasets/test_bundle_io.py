@@ -1,0 +1,78 @@
+"""Unit tests for dataset bundle (de)serialisation."""
+
+import pytest
+
+from repro.datasets import aminer_like, figure1_network, wordnet_like
+from repro.datasets.io import (
+    bundle_from_dict,
+    bundle_to_dict,
+    load_bundle_json,
+    save_bundle_json,
+)
+from repro.errors import GraphError
+
+
+class TestDictRoundTrip:
+    def test_figure1_round_trip(self):
+        original = figure1_network()
+        restored = bundle_from_dict(bundle_to_dict(original))
+        assert restored.name == original.name
+        assert restored.graph.num_nodes == original.graph.num_nodes
+        assert restored.graph.num_edges == original.graph.num_edges
+        assert set(restored.entity_nodes) == set(original.entity_nodes)
+
+    def test_taxonomy_orientation_preserved(self):
+        original = figure1_network()
+        restored = bundle_from_dict(bundle_to_dict(original))
+        assert restored.taxonomy.parents("USA") == ("Country in America",)
+        assert set(restored.taxonomy.parents("Crowd Mining")) == {
+            "Crowdsourcing", "Data Mining",
+        }
+
+    def test_measure_survives_round_trip(self):
+        original = figure1_network()
+        restored = bundle_from_dict(bundle_to_dict(original))
+        for pair in [("Bo", "Aditi"), ("Web Data Mining", "Crowd Mining")]:
+            assert restored.measure.similarity(*pair) == pytest.approx(
+                original.measure.similarity(*pair)
+            )
+
+    def test_extras_preserved_when_json_compatible(self):
+        original = aminer_like(num_authors=30, num_terms=15, seed=0)
+        restored = bundle_from_dict(bundle_to_dict(original))
+        planted = {frozenset(p) for p in original.extras["duplicates"]}
+        recovered = {frozenset(p) for p in restored.extras["duplicates"]}
+        assert planted == recovered
+
+    def test_non_json_extras_dropped_loudly(self):
+        original = figure1_network()
+        original.extras["not-serialisable"] = object()
+        payload = bundle_to_dict(original)
+        assert "not-serialisable" in payload["dropped_extras"]
+        assert "not-serialisable" not in payload["extras"]
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(GraphError):
+            bundle_from_dict({"format": "other"})
+
+    def test_rejects_bad_version(self):
+        payload = bundle_to_dict(figure1_network())
+        payload["version"] = 99
+        with pytest.raises(GraphError):
+            bundle_from_dict(payload)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "bundle.json"
+        original = wordnet_like(depth=4, seed=1)
+        save_bundle_json(original, path)
+        restored = load_bundle_json(path)
+        assert restored.graph.num_edges == original.graph.num_edges
+        assert restored.taxonomy.max_depth() == original.taxonomy.max_depth()
+        sample = original.entity_nodes[:4]
+        for i, a in enumerate(sample):
+            for b in sample[i + 1:]:
+                assert restored.measure.similarity(a, b) == pytest.approx(
+                    original.measure.similarity(a, b)
+                )

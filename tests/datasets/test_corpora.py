@@ -1,0 +1,97 @@
+"""Unit tests for the four corpus stand-ins."""
+
+import pytest
+
+from repro.datasets import aminer_like, amazon_like, wikipedia_like, wordnet_like
+from repro.semantics import validate_measure
+
+
+class TestAminerLike:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return aminer_like(num_authors=80, num_terms=40, seed=0)
+
+    def test_node_types_present(self, bundle):
+        labels = {bundle.graph.node_label(n) for n in bundle.graph.nodes()}
+        assert {"author", "term", "concept"} <= labels
+
+    def test_collaboration_weights_are_counts(self, bundle):
+        weights = [w for _, _, w, label in bundle.graph.edges() if label == "co-author"]
+        assert weights and all(w >= 1 for w in weights)
+
+    def test_authors_all_typed_author(self, bundle):
+        """The Section 5.3 property: author-level semantics is flat."""
+        authors = bundle.graph.nodes_with_label("author")
+        for author in authors:
+            assert "Author" in bundle.taxonomy.ancestors(author)
+        a, b = authors[0], authors[1]
+        c, d = authors[2], authors[3]
+        assert bundle.measure.similarity(a, b) == pytest.approx(
+            bundle.measure.similarity(c, d)
+        )
+
+    def test_duplicates_planted(self, bundle):
+        duplicates = bundle.extras["duplicates"]
+        assert len(duplicates) == 30  # 6 authors + 24 terms, like the paper
+        for original, clone in duplicates:
+            assert original in bundle.graph and clone in bundle.graph
+
+    def test_clones_share_neighbours(self, bundle):
+        original, clone = bundle.extras["duplicates"][0]
+        orig_neighbours = set(bundle.graph.out_neighbors(original))
+        clone_neighbours = set(bundle.graph.out_neighbors(clone)) - {original}
+        assert clone_neighbours
+        overlap = len(clone_neighbours & orig_neighbours) / len(clone_neighbours)
+        assert overlap >= 0.3
+
+    def test_measure_axioms(self, bundle):
+        validate_measure(bundle.measure, bundle.entity_nodes[:10])
+
+    def test_deterministic(self):
+        a = aminer_like(num_authors=30, num_terms=15, seed=4)
+        b = aminer_like(num_authors=30, num_terms=15, seed=4)
+        assert sorted(map(str, a.graph.edges())) == sorted(map(str, b.graph.edges()))
+
+
+class TestAmazonLike:
+    def test_shape(self):
+        bundle = amazon_like(num_products=100, seed=0)
+        assert len(bundle.entity_nodes) == 100
+        labels = [label for _, _, _, label in bundle.graph.edges()]
+        assert "co-purchase" in labels
+
+    def test_weights_span_range(self):
+        bundle = amazon_like(num_products=150, seed=0)
+        weights = {
+            w for _, _, w, label in bundle.graph.edges() if label == "co-purchase"
+        }
+        assert max(weights) > 1.0
+
+
+class TestWikipediaLike:
+    def test_unit_weights(self):
+        bundle = wikipedia_like(num_articles=80, seed=0)
+        weights = {
+            w for _, _, w, label in bundle.graph.edges() if label == "link"
+        }
+        assert weights == {1.0}
+
+
+class TestWordnetLike:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return wordnet_like(depth=5, seed=0)
+
+    def test_deep_taxonomy(self, bundle):
+        assert bundle.taxonomy.max_depth() == 5
+
+    def test_part_of_edges_exist(self, bundle):
+        labels = [label for _, _, _, label in bundle.graph.edges()]
+        assert "part-of" in labels
+
+    def test_entities_are_concepts(self, bundle):
+        for entity in bundle.entity_nodes[:20]:
+            assert entity in bundle.taxonomy
+
+    def test_measure_axioms(self, bundle):
+        validate_measure(bundle.measure, bundle.entity_nodes[:10])

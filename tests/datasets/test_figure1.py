@@ -1,0 +1,49 @@
+"""Unit tests for the Figure 1 / Figure 2 bundles."""
+
+import pytest
+
+from repro.datasets import FIGURE1_IC_TABLE, figure1_network, figure2_graph
+from repro.semantics import validate_measure
+
+
+class TestFigure1:
+    def test_entities(self, figure1):
+        assert set(figure1.entity_nodes) == {"Aditi", "Bo", "John", "Paul"}
+
+    def test_collaboration_weights(self, figure1):
+        for author in ("Aditi", "Bo", "John"):
+            assert figure1.graph.edge_weight(author, "Paul") == 2.0
+
+    def test_ic_table_in_range(self):
+        assert all(0 < v <= 1 for v in FIGURE1_IC_TABLE.values())
+
+    def test_taxonomy_is_dag_not_tree(self, figure1):
+        # Crowd Mining has two hypernyms.
+        assert not figure1.taxonomy.is_tree()
+        assert set(figure1.taxonomy.parents("Crowd Mining")) == {
+            "Crowdsourcing", "Data Mining",
+        }
+
+    def test_measure_axioms(self, figure1):
+        validate_measure(figure1.measure, list(figure1.graph.nodes()))
+
+    def test_is_a_edges_symmetric_in_graph(self, figure1):
+        assert figure1.graph.has_edge("India", "Country in Asia")
+        assert figure1.graph.has_edge("Country in Asia", "India")
+
+    def test_deterministic(self):
+        a = figure1_network()
+        b = figure1_network()
+        assert list(a.graph.nodes()) == list(b.graph.nodes())
+
+
+class TestFigure2:
+    def test_pair_ab_in_neighbours(self):
+        graph, _ = figure2_graph()
+        assert set(graph.in_neighbors("A")) == {"Canada", "Author"}
+        assert set(graph.in_neighbors("B")) == {"USA", "Author"}
+
+    def test_lin_pins(self):
+        _, bundle = figure2_graph()
+        assert bundle.measure.similarity("Canada", "USA") == pytest.approx(0.8)
+        assert bundle.measure.similarity("Author", "USA") == pytest.approx(0.2)

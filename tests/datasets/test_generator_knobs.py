@@ -1,0 +1,102 @@
+"""Tests for the dataset generators' tuning knobs.
+
+The benchmark conclusions depend on these knobs doing what their names say
+(affinity plants the structure/semantics correlation, clone parameters
+control ER difficulty); each knob gets a directional test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import aminer_like, amazon_like, wordnet_like
+
+
+class TestAminerKnobs:
+    def test_clone_keep_controls_overlap(self):
+        def mean_overlap(keep: float) -> float:
+            bundle = aminer_like(
+                num_authors=60, num_terms=30, clone_keep=keep,
+                clone_noise_edges=0, seed=5,
+            )
+            overlaps = []
+            for original, clone in bundle.extras["duplicates"]:
+                orig = set(bundle.graph.out_neighbors(original))
+                cloned = set(bundle.graph.out_neighbors(clone)) - {original}
+                if cloned:
+                    overlaps.append(len(cloned & orig) / len(cloned))
+            return float(np.mean(overlaps))
+
+        # With no noise edges every clone edge is copied: overlap is total.
+        assert mean_overlap(0.9) == pytest.approx(1.0)
+
+    def test_clone_noise_adds_foreign_edges(self):
+        clean = aminer_like(
+            num_authors=60, num_terms=30, clone_noise_edges=0, seed=5
+        )
+        noisy = aminer_like(
+            num_authors=60, num_terms=30, clone_noise_edges=4, seed=5
+        )
+
+        def clone_degree(bundle):
+            return float(np.mean([
+                bundle.graph.out_degree(clone)
+                for _, clone in bundle.extras["duplicates"]
+            ]))
+
+        assert clone_degree(noisy) > clone_degree(clean)
+
+    def test_collaboration_affinity_builds_communities(self):
+        def intra_fraction(affinity: float) -> float:
+            bundle = aminer_like(
+                num_authors=120, num_terms=40,
+                collaboration_affinity=affinity, seed=7,
+            )
+            topics = bundle.extras["author_topic"]
+            intra = total = 0
+            for s, t, _, label in bundle.graph.edges():
+                if label == "co-author" and s in topics and t in topics:
+                    total += 1
+                    intra += topics[s] == topics[t]
+            return intra / total
+
+        assert intra_fraction(0.9) > intra_fraction(0.1)
+
+
+class TestAmazonKnobs:
+    def test_affinity_controls_category_coherence(self):
+        def same_parent_fraction(affinity: float) -> float:
+            bundle = amazon_like(
+                num_products=150, semantic_affinity=affinity, seed=3
+            )
+            categories = bundle.extras["categories"]
+            taxonomy = bundle.taxonomy
+            same = total = 0
+            for s, t, _, label in bundle.graph.edges():
+                if label != "co-purchase":
+                    continue
+                total += 1
+                parent_s = taxonomy.parents(categories[s])[0]
+                parent_t = taxonomy.parents(categories[t])[0]
+                same += parent_s == parent_t
+            return same / total
+
+        assert same_parent_fraction(0.9) > same_parent_fraction(0.1)
+
+
+class TestWordnetKnobs:
+    def test_part_of_fraction_scales_edge_count(self):
+        sparse = wordnet_like(depth=5, part_of_fraction=0.2, seed=1)
+        dense = wordnet_like(depth=5, part_of_fraction=1.5, seed=1)
+
+        def part_of_edges(bundle):
+            return sum(
+                1 for _, _, _, label in bundle.graph.edges() if label == "part-of"
+            )
+
+        assert part_of_edges(dense) > part_of_edges(sparse)
+
+    def test_depth_controls_taxonomy_depth(self):
+        shallow = wordnet_like(depth=3, seed=1)
+        deep = wordnet_like(depth=7, seed=1)
+        assert deep.taxonomy.max_depth() == 7
+        assert shallow.taxonomy.max_depth() == 3

@@ -1,0 +1,93 @@
+"""Unit tests for the synthetic generator engine."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_synthetic_hin
+from repro.errors import ConfigurationError
+from repro.semantics import validate_measure
+
+
+def config(**overrides) -> SyntheticConfig:
+    base = dict(
+        name="test", num_entities=60, taxonomy_depth=2,
+        taxonomy_branching=(2, 3), avg_relations=3.0, seed=0,
+    )
+    base.update(overrides)
+    return SyntheticConfig(**base)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_entities": 1},
+            {"taxonomy_depth": 0},
+            {"taxonomy_branching": (0, 2)},
+            {"taxonomy_branching": (3, 2)},
+            {"semantic_affinity": 1.2},
+            {"max_weight": 0},
+            {"avg_relations": 0.0},
+        ],
+    )
+    def test_bad_configs_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            generate_synthetic_hin(config(**overrides))
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = generate_synthetic_hin(config(seed=5))
+        b = generate_synthetic_hin(config(seed=5))
+        assert sorted(map(str, a.graph.edges())) == sorted(map(str, b.graph.edges()))
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_hin(config(seed=1))
+        b = generate_synthetic_hin(config(seed=2))
+        assert sorted(map(str, a.graph.edges())) != sorted(map(str, b.graph.edges()))
+
+    def test_entities_in_taxonomy(self):
+        bundle = generate_synthetic_hin(config())
+        for entity in bundle.entity_nodes:
+            assert entity in bundle.taxonomy
+            assert bundle.taxonomy.parents(entity)
+
+    def test_ic_range(self):
+        bundle = generate_synthetic_hin(config())
+        assert all(0 < v <= 1 for v in bundle.ic.values())
+
+    def test_measure_axioms(self):
+        bundle = generate_synthetic_hin(config())
+        validate_measure(bundle.measure, bundle.entity_nodes[:12])
+
+    def test_relation_weights_bounded(self):
+        bundle = generate_synthetic_hin(config(max_weight=5))
+        weights = [
+            w for _, _, w, label in bundle.graph.edges()
+            if label == "related"
+        ]
+        assert weights and all(w >= 1 for w in weights)
+
+    def test_affinity_correlates_structure_and_semantics(self):
+        """High affinity -> related entities are semantically closer."""
+
+        def mean_related_sem(affinity: float) -> float:
+            bundle = generate_synthetic_hin(
+                config(num_entities=120, semantic_affinity=affinity, seed=7)
+            )
+            sims = []
+            for s, t, _, label in bundle.graph.edges():
+                if label == "related":
+                    sims.append(bundle.measure.similarity(s, t))
+            return float(np.mean(sims))
+
+        assert mean_related_sem(0.9) > mean_related_sem(0.0)
+
+    def test_category_prevalence_is_skewed(self):
+        bundle = generate_synthetic_hin(config(num_entities=200))
+        categories = bundle.extras["categories"]
+        counts = {}
+        for category in categories.values():
+            counts[category] = counts.get(category, 0) + 1
+        values = sorted(counts.values(), reverse=True)
+        assert values[0] >= 3 * values[-1]  # Zipf head vs tail

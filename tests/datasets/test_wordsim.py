@@ -1,0 +1,65 @@
+"""Unit tests for the WordsSim-style benchmark generator."""
+
+import pytest
+
+from repro.datasets import wordnet_like, wordsim_benchmark
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return wordnet_like(depth=5, seed=0)
+
+
+class TestWordsimBenchmark:
+    def test_pair_count(self, bundle):
+        judgements = wordsim_benchmark(bundle, num_pairs=60, seed=0)
+        assert len(judgements) == 60
+
+    def test_scores_in_zero_ten(self, bundle):
+        judgements = wordsim_benchmark(bundle, num_pairs=60, seed=0)
+        assert all(0.0 <= j.score <= 10.0 for j in judgements)
+
+    def test_no_duplicate_pairs(self, bundle):
+        judgements = wordsim_benchmark(bundle, num_pairs=60, seed=0)
+        keys = {frozenset((str(j.a), str(j.b))) for j in judgements}
+        assert len(keys) == len(judgements)
+
+    def test_no_self_pairs(self, bundle):
+        judgements = wordsim_benchmark(bundle, num_pairs=60, seed=0)
+        assert all(j.a != j.b for j in judgements)
+
+    def test_deterministic(self, bundle):
+        a = wordsim_benchmark(bundle, num_pairs=40, seed=9)
+        b = wordsim_benchmark(bundle, num_pairs=40, seed=9)
+        assert [(x.a, x.b, x.score) for x in a] == [(y.a, y.b, y.score) for y in b]
+
+    def test_latent_weight_validation(self, bundle):
+        with pytest.raises(ConfigurationError):
+            wordsim_benchmark(bundle, latent_weight=1.5)
+
+    def test_gold_blends_both_signals(self, bundle):
+        """Pure-latent gold vs pure-direct gold must differ."""
+        latent_only = wordsim_benchmark(
+            bundle, num_pairs=50, latent_weight=1.0, noise_std=0.0, seed=1
+        )
+        direct_only = wordsim_benchmark(
+            bundle, num_pairs=50, latent_weight=0.0, noise_std=0.0, seed=1
+        )
+        assert [j.score for j in latent_only] != [j.score for j in direct_only]
+
+    def test_half_pairs_are_neighbourhood_pairs(self, bundle):
+        from repro.utils.bfs import shortest_path_length
+
+        judgements = wordsim_benchmark(bundle, num_pairs=40, seed=2)
+        close = sum(
+            1
+            for j in judgements
+            if (shortest_path_length(bundle.graph, j.a, j.b, max_depth=3) or 99) <= 3
+        )
+        assert close >= len(judgements) // 2
+
+    def test_score_spread(self, bundle):
+        judgements = wordsim_benchmark(bundle, num_pairs=80, seed=0)
+        scores = [j.score for j in judgements]
+        assert max(scores) - min(scores) > 1.0

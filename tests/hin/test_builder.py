@@ -1,0 +1,48 @@
+"""Unit tests for the HIN builder."""
+
+from repro.hin import HINBuilder
+
+
+class TestHINBuilder:
+    def test_concept_chain(self):
+        builder = HINBuilder()
+        builder.concept("Country").concept("USA", parent="Country")
+        graph = builder.build()
+        assert graph.edge_label("USA", "Country") == "is-a"
+
+    def test_entity_attaches_to_category(self):
+        builder = HINBuilder()
+        builder.concept("Author")
+        builder.entity("aditi", category="Author", label="author")
+        graph = builder.build()
+        assert graph.node_label("aditi") == "author"
+        assert graph.has_edge("aditi", "Author")
+
+    def test_entity_creates_missing_category(self):
+        builder = HINBuilder()
+        builder.entity("item", category="Gadgets")
+        assert "Gadgets" in builder.build()
+
+    def test_relate_symmetric_by_default(self):
+        builder = HINBuilder()
+        builder.entity("a").entity("b").relate("a", "b", weight=2.0, label="co-author")
+        graph = builder.build()
+        assert graph.edge_weight("a", "b") == 2.0
+        assert graph.edge_weight("b", "a") == 2.0
+
+    def test_relate_directed(self):
+        builder = HINBuilder()
+        builder.entity("a").entity("b").relate("a", "b", symmetric=False)
+        graph = builder.build()
+        assert graph.has_edge("a", "b") and not graph.has_edge("b", "a")
+
+    def test_taxonomy_edges_recorded(self):
+        builder = HINBuilder()
+        builder.concept("Root").concept("Mid", parent="Root")
+        builder.entity("x", category="Mid")
+        assert builder.taxonomy_edges() == [("Mid", "Root"), ("x", "Mid")]
+
+    def test_concepts_bulk(self):
+        builder = HINBuilder()
+        builder.concepts([("Root", None), ("A", "Root"), ("B", "Root")])
+        assert builder.build().num_nodes == 3

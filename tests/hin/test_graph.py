@@ -1,0 +1,175 @@
+"""Unit tests for the HIN graph type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphError,
+    InvalidWeightError,
+    NodeNotFoundError,
+)
+from repro.hin import HIN
+
+
+@pytest.fixture
+def small() -> HIN:
+    g = HIN()
+    g.add_node("a", label="author")
+    g.add_node("t", label="term")
+    g.add_edge("a", "t", weight=3.0, label="interest")
+    g.add_edge("t", "a", weight=1.0, label="interest")
+    g.add_edge("a", "c", weight=2.0, label="origin")
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, small):
+        assert small.num_nodes == 3
+        assert small.num_edges == 3
+
+    def test_implicit_node_gets_default_label(self, small):
+        assert small.node_label("c") == "entity"
+
+    def test_re_adding_node_updates_label_keeps_edges(self, small):
+        small.add_node("a", label="person")
+        assert small.node_label("a") == "person"
+        assert small.edge_weight("a", "t") == 3.0
+
+    def test_overwriting_edge_does_not_double_count(self, small):
+        small.add_edge("a", "t", weight=5.0)
+        assert small.num_edges == 3
+        assert small.edge_weight("a", "t") == 5.0
+
+    @pytest.mark.parametrize("weight", [0, -1.0, float("inf"), float("nan")])
+    def test_invalid_weight_rejected(self, weight):
+        g = HIN()
+        with pytest.raises(InvalidWeightError):
+            g.add_edge("x", "y", weight=weight)
+
+    def test_self_loop_rejected(self):
+        g = HIN()
+        with pytest.raises(GraphError):
+            g.add_edge("x", "x")
+
+    def test_undirected_edge_adds_both_directions(self):
+        g = HIN()
+        g.add_undirected_edge("x", "y", weight=2.0)
+        assert g.edge_weight("x", "y") == 2.0
+        assert g.edge_weight("y", "x") == 2.0
+
+
+class TestQueries:
+    def test_contains(self, small):
+        assert "a" in small and "missing" not in small
+
+    def test_in_out_neighbors(self, small):
+        assert small.in_neighbors("a") == ("t",)
+        assert set(small.out_neighbors("a")) == {"t", "c"}
+
+    def test_degrees(self, small):
+        assert small.in_degree("a") == 1
+        assert small.out_degree("a") == 2
+        assert small.in_degree("c") == 1
+
+    def test_edge_label(self, small):
+        assert small.edge_label("a", "c") == "origin"
+
+    def test_missing_edge_raises(self, small):
+        with pytest.raises(EdgeNotFoundError):
+            small.edge_weight("c", "t")
+
+    def test_missing_node_raises(self, small):
+        with pytest.raises(NodeNotFoundError):
+            small.in_neighbors("ghost")
+
+    def test_nodes_with_label(self, small):
+        assert small.nodes_with_label("author") == ["a"]
+
+    def test_edges_with_label(self, small):
+        assert ("a", "c", 2.0) in small.edges_with_label("origin")
+
+    def test_average_in_degree(self, small):
+        assert small.average_in_degree() == pytest.approx(1.0)
+
+    def test_insertion_order_is_stable(self):
+        g = HIN()
+        for name in ["z", "m", "a"]:
+            g.add_node(name)
+        assert list(g.nodes()) == ["z", "m", "a"]
+
+
+class TestMutation:
+    def test_remove_edge(self, small):
+        small.remove_edge("a", "t")
+        assert not small.has_edge("a", "t")
+        assert small.has_edge("t", "a")
+        assert small.num_edges == 2
+
+    def test_remove_missing_edge_raises(self, small):
+        with pytest.raises(EdgeNotFoundError):
+            small.remove_edge("c", "a")
+
+    def test_remove_node_drops_incident_edges(self, small):
+        small.remove_node("a")
+        assert "a" not in small
+        assert small.num_edges == 0
+
+    def test_remove_missing_node_raises(self, small):
+        with pytest.raises(NodeNotFoundError):
+            small.remove_node("ghost")
+
+
+class TestDerivedGraphs:
+    def test_reverse_flips_edges(self, small):
+        reversed_graph = small.reverse()
+        assert reversed_graph.has_edge("c", "a")
+        assert not reversed_graph.has_edge("a", "c")
+        assert reversed_graph.edge_weight("c", "a") == 2.0
+
+    def test_reverse_preserves_labels(self, small):
+        assert small.reverse().node_label("a") == "author"
+
+    def test_double_reverse_is_identity(self, small):
+        twice = small.reverse().reverse()
+        assert sorted(map(str, twice.edges())) == sorted(map(str, small.edges()))
+
+    def test_subgraph_induces(self, small):
+        sub = small.subgraph(["a", "t"])
+        assert sub.num_nodes == 2
+        assert sub.has_edge("a", "t") and not sub.has_edge("a", "c")
+
+    def test_subgraph_unknown_node_raises(self, small):
+        with pytest.raises(NodeNotFoundError):
+            small.subgraph(["a", "ghost"])
+
+    def test_copy_is_independent(self, small):
+        clone = small.copy()
+        clone.remove_node("a")
+        assert "a" in small
+
+
+class TestGraphIndex:
+    def test_position_roundtrip(self, small):
+        index = small.index()
+        for i, node in enumerate(index.nodes):
+            assert index.position[node] == i
+
+    def test_in_lists_match_graph(self, small):
+        index = small.index()
+        pos_a = index.position["a"]
+        assert [index.nodes[i] for i in index.in_lists[pos_a]] == ["t"]
+        assert index.in_weights[pos_a].tolist() == [1.0]
+
+    def test_weighted_in_adjacency(self, small):
+        index = small.index()
+        matrix = index.weighted_in_adjacency()
+        assert matrix[index.position["a"], index.position["t"]] == 3.0
+        assert matrix[index.position["t"], index.position["a"]] == 1.0
+        # column v holds W(., v): total equals sum of in-weights
+        assert matrix.sum() == pytest.approx(6.0)
+
+    def test_empty_graph_index(self):
+        index = HIN().index()
+        assert index.num_nodes == 0
+        assert index.weighted_in_adjacency().shape == (0, 0)

@@ -1,0 +1,47 @@
+"""Unit tests for HIN (de)serialisation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.hin import HIN, hin_from_dict, hin_to_dict, load_hin_json, save_hin_json
+
+
+def sample_graph() -> HIN:
+    g = HIN()
+    g.add_node("a", label="author")
+    g.add_edge("a", "b", weight=2.5, label="co-author")
+    g.add_edge("b", "a", weight=2.5, label="co-author")
+    return g
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        original = sample_graph()
+        restored = hin_from_dict(hin_to_dict(original))
+        assert restored.num_nodes == original.num_nodes
+        assert restored.num_edges == original.num_edges
+        assert restored.edge_weight("a", "b") == 2.5
+        assert restored.node_label("a") == "author"
+
+    def test_round_trip_preserves_insertion_order(self):
+        original = sample_graph()
+        restored = hin_from_dict(hin_to_dict(original))
+        assert list(restored.nodes()) == list(original.nodes())
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(GraphError):
+            hin_from_dict({"format": "something-else"})
+
+    def test_rejects_unknown_version(self):
+        payload = hin_to_dict(sample_graph())
+        payload["version"] = 99
+        with pytest.raises(GraphError):
+            hin_from_dict(payload)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "graph.json"
+        save_hin_json(sample_graph(), path)
+        restored = load_hin_json(path)
+        assert restored.edge_label("a", "b") == "co-author"

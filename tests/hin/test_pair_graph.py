@@ -1,0 +1,95 @@
+"""Unit tests for the lazy pair graph G²."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.hin import HIN, build_pair_graph
+
+
+@pytest.fixture
+def square() -> HIN:
+    g = HIN()
+    g.add_edge("a", "b", weight=2.0)
+    g.add_edge("c", "b")
+    g.add_edge("a", "d")
+    g.add_edge("c", "d", weight=3.0)
+    return g
+
+
+class TestStructure:
+    def test_node_count_is_square(self, square):
+        assert build_pair_graph(square).num_nodes == 16
+
+    def test_edge_count_is_edge_square(self, square):
+        assert build_pair_graph(square).num_edges == 16
+
+    def test_contains(self, square):
+        pg = build_pair_graph(square)
+        assert pg.contains(("a", "b"))
+        assert not pg.contains(("a", "ghost"))
+
+    def test_singleton_detection(self, square):
+        pg = build_pair_graph(square)
+        assert pg.is_singleton(("a", "a"))
+        assert not pg.is_singleton(("a", "b"))
+
+    def test_nodes_enumeration(self, square):
+        pg = build_pair_graph(square)
+        assert len(list(pg.nodes())) == 16
+
+
+class TestOutEdges:
+    def test_moves_to_in_neighbour_pairs(self, square):
+        pg = build_pair_graph(square)
+        # in(b) = {a, c}, in(d) = {a, c} -> 4 target pairs from (b, d)
+        targets = dict(pg.out_edges(("b", "d")))
+        assert set(targets) == {("a", "a"), ("a", "c"), ("c", "a"), ("c", "c")}
+
+    def test_weights_multiply(self, square):
+        pg = build_pair_graph(square)
+        targets = dict(pg.out_edges(("b", "d")))
+        # W(a,b) * W(c,d) = 2 * 3
+        assert targets[("a", "c")] == 6.0
+
+    def test_singleton_has_no_out_edges(self, square):
+        pg = build_pair_graph(square)
+        assert list(pg.out_edges(("b", "b"))) == []
+
+    def test_out_degree(self, square):
+        pg = build_pair_graph(square)
+        assert pg.out_degree(("b", "d")) == 4
+        assert pg.out_degree(("b", "b")) == 0
+
+    def test_dead_end_pair(self, square):
+        pg = build_pair_graph(square)
+        # node "a" has no in-neighbours -> no moves from ("a", "b").
+        assert list(pg.out_edges(("a", "b"))) == []
+
+    def test_unknown_pair_raises(self, square):
+        pg = build_pair_graph(square)
+        with pytest.raises(NodeNotFoundError):
+            list(pg.out_edges(("a", "ghost")))
+
+
+class TestPathStats:
+    def test_stats_on_meetable_graph(self):
+        g = HIN()
+        g.add_edge("p", "u")
+        g.add_edge("p", "v")
+        pg = build_pair_graph(g)
+        avg_paths, avg_len = pg.singleton_path_stats(num_sources=20, seed=0)
+        # (u, v) reaches (p, p) in one step; some sampled pairs reach none.
+        assert avg_paths > 0
+        assert avg_len >= 1.0
+
+    def test_stats_deterministic_for_seed(self):
+        g = HIN()
+        g.add_undirected_edge("a", "b")
+        g.add_undirected_edge("b", "c")
+        pg = build_pair_graph(g)
+        assert pg.singleton_path_stats(seed=7) == pg.singleton_path_stats(seed=7)
+
+    def test_tiny_graph(self):
+        g = HIN()
+        g.add_node("only")
+        assert build_pair_graph(g).singleton_path_stats() == (0.0, 0.0)

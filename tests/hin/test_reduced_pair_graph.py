@@ -1,0 +1,130 @@
+"""Tests for G²_θ — Definition 3.4 and Theorem 3.5."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hin import DRAIN, HIN, build_pair_graph, build_reduced_pair_graph
+from repro.core.pair_engine import semsim_via_pair_graph
+from repro.semantics import ConstantMeasure
+
+from tests.conftest import build_taxonomy_graph
+
+
+@pytest.fixture(scope="module")
+def model():
+    graph, measure = build_taxonomy_graph()
+    return graph, measure
+
+
+class TestConstruction:
+    def test_theta_validation(self, model):
+        graph, measure = model
+        with pytest.raises(ConfigurationError):
+            build_reduced_pair_graph(graph, measure, theta=0.0, decay=0.6)
+        with pytest.raises(ConfigurationError):
+            build_reduced_pair_graph(graph, measure, theta=1.0, decay=0.6)
+
+    def test_decay_validation(self, model):
+        graph, measure = model
+        with pytest.raises(ConfigurationError):
+            build_reduced_pair_graph(graph, measure, theta=0.5, decay=1.0)
+
+    def test_singletons_always_survive(self, model):
+        graph, measure = model
+        reduced = build_reduced_pair_graph(graph, measure, theta=0.9, decay=0.6)
+        for node in graph.nodes():
+            assert reduced.contains((node, node))
+
+    def test_high_theta_reduces_node_count(self, model):
+        graph, measure = model
+        full = build_pair_graph(graph)
+        reduced = build_reduced_pair_graph(graph, measure, theta=0.9, decay=0.6)
+        assert reduced.num_nodes < full.num_nodes
+
+    def test_higher_theta_keeps_fewer_nodes(self, model):
+        graph, measure = model
+        loose = build_reduced_pair_graph(graph, measure, theta=0.3, decay=0.6)
+        tight = build_reduced_pair_graph(graph, measure, theta=0.9, decay=0.6)
+        assert len(tight.pairs) <= len(loose.pairs)
+
+    def test_dropped_pairs_have_low_semantics(self, model):
+        graph, measure = model
+        theta = 0.5
+        reduced = build_reduced_pair_graph(graph, measure, theta=theta, decay=0.6)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                if not reduced.contains((u, v)):
+                    assert measure.similarity(u, v) <= theta
+
+
+class TestWeights:
+    def test_edge_weight_combines_w1_and_w2(self, model):
+        graph, measure = model
+        reduced = build_reduced_pair_graph(graph, measure, theta=0.3, decay=0.6)
+        keys = set(reduced.w1) | set(reduced.w2)
+        assert keys, "expected surviving edges"
+        for key in keys:
+            source = reduced.pairs[key[0]]
+            target = reduced.pairs[key[1]]
+            expected = reduced.w1.get(key, 0.0) + reduced.w2.get(key, 0.0)
+            assert reduced.edge_weight(source, target) == pytest.approx(expected)
+
+    def test_shortcut_weights_positive(self, model):
+        graph, measure = model
+        reduced = build_reduced_pair_graph(graph, measure, theta=0.9, decay=0.6)
+        assert all(value > 0 for value in reduced.w2.values())
+
+    def test_drain_weight_non_negative(self, model):
+        graph, measure = model
+        reduced = build_reduced_pair_graph(graph, measure, theta=0.5, decay=0.6)
+        assert all(value >= 0 for value in reduced.drain_weight.values())
+
+    def test_drain_lookup_via_edge_weight(self, model):
+        graph, measure = model
+        reduced = build_reduced_pair_graph(graph, measure, theta=0.5, decay=0.6)
+        if reduced.drain_weight:
+            index = next(iter(reduced.drain_weight))
+            pair = reduced.pairs[index]
+            assert reduced.edge_weight(pair, DRAIN) > 0
+
+
+class TestTheorem35:
+    """Scores over G²_θ equal scores over the full pair graph."""
+
+    @pytest.mark.parametrize("theta", [0.2, 0.5, 0.8])
+    def test_surviving_scores_match_exact(self, model, theta):
+        graph, measure = model
+        exact = semsim_via_pair_graph(graph, measure, decay=0.6)
+        reduced = build_reduced_pair_graph(graph, measure, theta=theta, decay=0.6)
+        scores = reduced.scores()
+        for pair, value in scores.items():
+            assert value == pytest.approx(exact[pair], abs=1e-9)
+
+    def test_dropped_pair_scores_bounded_by_theta(self, model):
+        graph, measure = model
+        theta = 0.4
+        exact = semsim_via_pair_graph(graph, measure, decay=0.6)
+        reduced = build_reduced_pair_graph(graph, measure, theta=theta, decay=0.6)
+        for pair, value in exact.items():
+            if not reduced.contains(pair):
+                # Prop. 2.5: sim <= sem <= theta for dropped pairs.
+                assert value <= theta + 1e-9
+
+    def test_score_of_dropped_pair_is_zero(self, model):
+        graph, measure = model
+        reduced = build_reduced_pair_graph(graph, measure, theta=0.9, decay=0.6)
+        dropped = next(
+            (u, v)
+            for u in graph.nodes()
+            for v in graph.nodes()
+            if not reduced.contains((u, v))
+        )
+        assert reduced.score(*dropped) == 0.0
+
+    def test_constant_measure_keeps_everything(self, model):
+        graph, _ = model
+        reduced = build_reduced_pair_graph(
+            graph, ConstantMeasure(1.0), theta=0.5, decay=0.6
+        )
+        assert len(reduced.pairs) == graph.num_nodes ** 2

@@ -1,0 +1,121 @@
+"""End-to-end integration tests: dataset -> engines -> tasks.
+
+These exercise the same pipelines the benchmarks run, at miniature scale,
+so a regression anywhere in the stack (generator, measure, engine, task
+harness) surfaces here before the expensive benchmark runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SimRankPP
+from repro.core import (
+    MonteCarloSemSim,
+    MonteCarloSimRank,
+    SemSim,
+    SimRank,
+    SlingIndex,
+    WalkIndex,
+    top_k_similar,
+)
+from repro.datasets import (
+    aminer_like,
+    amazon_like,
+    wikipedia_like,
+    wordnet_like,
+    wordsim_benchmark,
+)
+from repro.tasks import (
+    approximation_error_report,
+    evaluate_entity_resolution,
+    evaluate_link_prediction,
+    evaluate_relatedness,
+    remove_random_links,
+)
+
+
+class TestApproximationPipeline:
+    """Miniature Table-4 pipeline: iterative truth vs MC estimates."""
+
+    def test_mc_tracks_iterative_truth(self):
+        bundle = amazon_like(num_products=50, seed=0)
+        engine = SemSim(bundle.graph, bundle.measure, decay=0.6, max_iterations=30)
+        pairs = [
+            (bundle.entity_nodes[i], bundle.entity_nodes[i + 1])
+            for i in range(0, 20, 2)
+        ]
+        truth = [engine.similarity(u, v) for u, v in pairs]
+        runs = []
+        for seed in range(3):
+            index = WalkIndex(bundle.graph, num_walks=120, length=12, seed=seed)
+            estimator = MonteCarloSemSim(index, bundle.measure, decay=0.6, theta=0.05)
+            runs.append([estimator.similarity(u, v) for u, v in pairs])
+        report = approximation_error_report(truth, runs)
+        assert report.mean_abs_err < 0.2
+        assert report.pairs == len(pairs)
+
+
+class TestRelatednessPipeline:
+    """Miniature Table-5 pipeline on the WordNet stand-in."""
+
+    def test_semsim_beats_pure_structure(self):
+        bundle = wordnet_like(depth=5, seed=0)
+        judgements = wordsim_benchmark(bundle, num_pairs=60, seed=0)
+        semsim = SemSim(bundle.graph, bundle.measure, decay=0.6, max_iterations=20)
+        simrank = SimRank(bundle.graph, decay=0.6, max_iterations=20)
+        semsim_result = evaluate_relatedness(judgements, semsim.similarity, "SemSim")
+        simrank_result = evaluate_relatedness(judgements, simrank.similarity, "SimRank")
+        assert semsim_result.pearson_r > simrank_result.pearson_r
+
+
+class TestLinkPredictionPipeline:
+    def test_harness_runs_with_real_measures(self):
+        bundle = amazon_like(num_products=60, seed=1)
+        pruned, removed = remove_random_links(bundle.graph, 6, "co-purchase", seed=1)
+        engine = SemSim(pruned, bundle.measure, decay=0.6, max_iterations=15)
+        result = evaluate_link_prediction(
+            removed, bundle.entity_nodes, engine.similarity, ks=(5, 20),
+            method="SemSim", measure=bundle.measure,
+        )
+        assert result.queries == 6
+        assert 0.0 <= result.hit_rate_at_k[5] <= result.hit_rate_at_k[20] <= 1.0
+
+
+class TestEntityResolutionPipeline:
+    def test_semsim_finds_planted_duplicates(self):
+        bundle = aminer_like(num_authors=50, num_terms=30, seed=0)
+        engine = SemSim(bundle.graph, bundle.measure, decay=0.6, max_iterations=15)
+        duplicates = bundle.extras["duplicates"]
+        result = evaluate_entity_resolution(
+            duplicates, bundle.entity_nodes, engine.similarity, ks=(10, 40),
+            method="SemSim",
+        )
+        # Clones copy 70% of their original's edges: the engine must rank
+        # a decent share of them into the top 40 of several hundred nodes.
+        assert result.precision_at_k[40] > 0.3
+
+
+class TestQueryStack:
+    def test_topk_with_mc_estimator_and_sling(self):
+        bundle = wikipedia_like(num_articles=50, seed=2)
+        index = WalkIndex(bundle.graph, num_walks=80, length=10, seed=2)
+        sling = SlingIndex(bundle.graph, bundle.measure, sem_threshold=0.1)
+        estimator = MonteCarloSemSim(
+            index, bundle.measure, decay=0.6, theta=0.05, pair_index=sling
+        )
+        query = bundle.entity_nodes[0]
+        result = top_k_similar(
+            query, bundle.entity_nodes, 5, estimator.similarity, measure=bundle.measure
+        )
+        assert len(result) == 5
+        scores = [score for _, score in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_simrank_and_simrankpp_share_interface(self):
+        bundle = amazon_like(num_products=40, seed=3)
+        for engine in (
+            SimRank(bundle.graph, max_iterations=8),
+            SimRankPP(bundle.graph, max_iterations=8),
+        ):
+            value = engine.similarity(bundle.entity_nodes[0], bundle.entity_nodes[1])
+            assert 0.0 <= value <= 1.0

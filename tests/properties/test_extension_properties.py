@@ -1,0 +1,91 @@
+"""Property-based tests of the extension layers (dynamic index, local
+computation, estimator invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import DynamicWalkIndex, MonteCarloSemSim, WalkIndex
+from repro.core.local import local_semsim
+from repro.core.semsim import semsim_scores
+from repro.hin import HIN
+
+from tests.conftest import random_hin_with_measure
+
+COMMON = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _walks_valid(index) -> bool:
+    """Every stored step follows a real in-edge of the *current* graph."""
+    for v in range(index.index.num_nodes):
+        for walk in index.walks[v]:
+            for step in range(index.length):
+                current = int(walk[step])
+                nxt = int(walk[step + 1])
+                if current < 0:
+                    if nxt >= 0:
+                        return False
+                    continue
+                allowed = set(map(int, index.index.in_lists[current]))
+                if nxt >= 0 and nxt not in allowed:
+                    return False
+                if nxt < 0 and allowed:
+                    return False
+    return True
+
+
+@COMMON
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    num_updates=st.integers(min_value=1, max_value=8),
+)
+def test_dynamic_index_stays_consistent_under_random_updates(seed, num_updates):
+    graph, _ = random_hin_with_measure(seed, num_entities=6, extra_edges=8)
+    dynamic = DynamicWalkIndex(graph, num_walks=10, length=5, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    nodes = list(dynamic.graph.nodes())
+    for _ in range(num_updates):
+        if rng.random() < 0.6 or dynamic.graph.num_edges == 0:
+            i, j = rng.choice(len(nodes), size=2, replace=False)
+            source, target = nodes[int(i)], nodes[int(j)]
+            if not dynamic.graph.has_edge(source, target):
+                dynamic.add_edge(source, target, weight=float(rng.integers(1, 4)))
+        else:
+            edges = list(dynamic.graph.edges())
+            source, target, _, _ = edges[int(rng.integers(len(edges)))]
+            dynamic.remove_edge(source, target)
+    assert _walks_valid(dynamic)
+
+
+@COMMON
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    iterations=st.integers(min_value=1, max_value=6),
+)
+def test_local_semsim_interval_brackets_truth(seed, iterations):
+    graph, measure = random_hin_with_measure(seed, num_entities=6, extra_edges=8)
+    nodes = list(graph.nodes())
+    truth = semsim_scores(graph, measure, decay=0.6, tolerance=1e-12, max_iterations=300)
+    u, v = nodes[0], nodes[2]
+    result = local_semsim(graph, measure, u, v, decay=0.6, iterations=iterations)
+    exact = truth.score(u, v)
+    assert result.lower <= exact + 1e-9
+    assert result.upper >= exact - 1e-9
+
+
+@COMMON
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_estimator_symmetry_and_range(seed):
+    graph, measure = random_hin_with_measure(seed, num_entities=6, extra_edges=8)
+    index = WalkIndex(graph, num_walks=60, length=8, seed=seed)
+    estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+    nodes = list(graph.nodes())[:6]
+    for i, u in enumerate(nodes):
+        for v in nodes[i:]:
+            forward = estimator.similarity(u, v)
+            backward = estimator.similarity(v, u)
+            # The coupled-walk construction is symmetric in the pair.
+            assert forward == pytest.approx(backward, abs=1e-12)
+            assert forward >= 0.0

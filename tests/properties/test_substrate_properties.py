@@ -1,0 +1,167 @@
+"""Property-based tests of the substrate layers (graph, IO, walks, IC).
+
+Where ``test_theorems.py`` checks the paper's analytical claims, this file
+checks the *implementation invariants* the engines silently rely on:
+serialisation round trips, reversal being an involution, walks stepping
+only along real in-edges, IC monotonicity, and measure axioms across every
+bundled measure on random taxonomies.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.walk_index import WalkIndex, WalkPolicy
+from repro.hin import HIN, hin_from_dict, hin_to_dict
+from repro.semantics import (
+    JiangConrathMeasure,
+    LeacockChodorowMeasure,
+    LinMeasure,
+    RadaPathMeasure,
+    ResnikMeasure,
+    TverskyMeasure,
+    WuPalmerMeasure,
+    validate_measure,
+)
+from repro.taxonomy import Taxonomy, seco_information_content
+
+COMMON = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def random_graph(seed: int, num_nodes: int, num_edges: int) -> HIN:
+    rng = np.random.default_rng(seed)
+    graph = HIN()
+    for i in range(num_nodes):
+        graph.add_node(f"n{i}", label=f"type{i % 3}")
+    for _ in range(num_edges):
+        i, j = rng.integers(num_nodes, size=2)
+        if i == j:
+            continue
+        graph.add_edge(
+            f"n{int(i)}",
+            f"n{int(j)}",
+            weight=float(rng.integers(1, 5)),
+            label=f"rel{int(rng.integers(3))}",
+        )
+    return graph
+
+
+def random_taxonomy(seed: int, size: int) -> Taxonomy:
+    rng = np.random.default_rng(seed)
+    taxonomy = Taxonomy()
+    taxonomy.add_concept("c0")
+    for i in range(1, size):
+        parent = f"c{int(rng.integers(i))}"
+        taxonomy.add_concept(f"c{i}", parents=[parent])
+    return taxonomy
+
+
+GRAPH_ARGS = dict(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_nodes=st.integers(min_value=2, max_value=12),
+    num_edges=st.integers(min_value=0, max_value=30),
+)
+
+
+@COMMON
+@given(**GRAPH_ARGS)
+def test_io_round_trip_is_lossless(seed, num_nodes, num_edges):
+    graph = random_graph(seed, num_nodes, num_edges)
+    restored = hin_from_dict(hin_to_dict(graph))
+    assert list(restored.nodes()) == list(graph.nodes())
+    assert sorted(map(str, restored.edges())) == sorted(map(str, graph.edges()))
+    for node in graph.nodes():
+        assert restored.node_label(node) == graph.node_label(node)
+
+
+@COMMON
+@given(**GRAPH_ARGS)
+def test_reverse_is_an_involution(seed, num_nodes, num_edges):
+    graph = random_graph(seed, num_nodes, num_edges)
+    twice = graph.reverse().reverse()
+    assert sorted(map(str, twice.edges())) == sorted(map(str, graph.edges()))
+
+
+@COMMON
+@given(**GRAPH_ARGS)
+def test_degree_sums_match_edge_count(seed, num_nodes, num_edges):
+    graph = random_graph(seed, num_nodes, num_edges)
+    total_in = sum(graph.in_degree(n) for n in graph.nodes())
+    total_out = sum(graph.out_degree(n) for n in graph.nodes())
+    assert total_in == total_out == graph.num_edges
+
+
+@COMMON
+@given(**GRAPH_ARGS)
+def test_subgraph_never_gains_edges(seed, num_nodes, num_edges):
+    graph = random_graph(seed, num_nodes, num_edges)
+    half = list(graph.nodes())[: max(1, num_nodes // 2)]
+    sub = graph.subgraph(half)
+    assert sub.num_nodes == len(half)
+    assert sub.num_edges <= graph.num_edges
+    for source, target, weight, _ in sub.edges():
+        assert graph.edge_weight(source, target) == weight
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_nodes=st.integers(min_value=2, max_value=10),
+    num_edges=st.integers(min_value=2, max_value=25),
+    policy=st.sampled_from([WalkPolicy.UNIFORM, WalkPolicy.WEIGHTED]),
+)
+def test_walks_only_follow_in_edges(seed, num_nodes, num_edges, policy):
+    graph = random_graph(seed, num_nodes, num_edges)
+    index = WalkIndex(graph, num_walks=8, length=6, policy=policy, seed=seed)
+    nodes = index.index.nodes
+    for v in range(len(nodes)):
+        valid = set(map(int, index.index.in_lists[v]))
+        for walk in index.walks[v]:
+            assert walk[0] == v
+            for step in range(index.length):
+                current = int(walk[step])
+                nxt = int(walk[step + 1])
+                if current < 0:
+                    assert nxt < 0
+                    continue
+                allowed = set(map(int, index.index.in_lists[current]))
+                if nxt >= 0:
+                    assert nxt in allowed
+                else:
+                    assert not allowed  # dead end only
+
+
+@COMMON
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=2, max_value=25),
+)
+def test_seco_ic_monotone_on_random_taxonomies(seed, size):
+    taxonomy = random_taxonomy(seed, size)
+    ic = seco_information_content(taxonomy)
+    for concept in taxonomy.concepts():
+        for parent in taxonomy.parents(concept):
+            assert ic[parent] <= ic[concept] + 1e-12
+    assert all(0 < value <= 1 for value in ic.values())
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=3, max_value=15),
+)
+def test_every_measure_satisfies_axioms_on_random_taxonomies(seed, size):
+    taxonomy = random_taxonomy(seed, size)
+    concepts = list(taxonomy.concepts())[:8]
+    for factory in (
+        LinMeasure,
+        ResnikMeasure,
+        JiangConrathMeasure,
+        RadaPathMeasure,
+        WuPalmerMeasure,
+        LeacockChodorowMeasure,
+        TverskyMeasure,
+    ):
+        validate_measure(factory(taxonomy), concepts)

@@ -1,0 +1,153 @@
+"""Property-based tests of the paper's theorems on random models.
+
+Hypothesis draws a seed and model dimensions; ``random_hin_with_measure``
+turns them into a concrete two-layer HIN + Lin measure.  Each test then
+checks one analytical claim from Sections 2-4.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.montecarlo import MonteCarloSemSim
+from repro.core.pair_engine import semsim_via_pair_graph
+from repro.core.sarw import sarw_step_distribution
+from repro.core.semsim import semsim_scores
+from repro.core.walk_index import WalkIndex
+from repro.hin.reduced_pair_graph import build_reduced_pair_graph
+from repro.semantics.base import semantic_matrix
+
+from tests.conftest import random_hin_with_measure
+
+MODEL = dict(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_entities=st.integers(min_value=4, max_value=9),
+    extra_edges=st.integers(min_value=3, max_value=14),
+)
+COMMON = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@COMMON
+@given(**MODEL)
+def test_theorem_2_3_symmetry_and_range(seed, num_entities, extra_edges):
+    graph, measure = random_hin_with_measure(seed, num_entities, extra_edges=extra_edges)
+    result = semsim_scores(graph, measure, decay=0.6, max_iterations=25, tolerance=0.0)
+    matrix = result.matrix
+    assert np.allclose(matrix, matrix.T, atol=1e-10)
+    assert np.allclose(np.diag(matrix), 1.0)
+    assert matrix.min() >= 0.0 and matrix.max() <= 1.0 + 1e-10
+
+
+@COMMON
+@given(**MODEL)
+def test_theorem_2_3_monotonicity(seed, num_entities, extra_edges):
+    graph, measure = random_hin_with_measure(seed, num_entities, extra_edges=extra_edges)
+    previous = None
+    for k in (1, 3, 5):
+        matrix = semsim_scores(
+            graph, measure, decay=0.6, max_iterations=k, tolerance=0.0
+        ).matrix
+        if previous is not None:
+            assert np.all(matrix >= previous - 1e-10)
+        previous = matrix
+
+
+@COMMON
+@given(**MODEL)
+def test_proposition_2_4_convergence_bound(seed, num_entities, extra_edges):
+    graph, measure = random_hin_with_measure(seed, num_entities, extra_edges=extra_edges)
+    decay = 0.6
+    nodes = list(graph.nodes())
+    sem = semantic_matrix(measure, nodes)
+    previous = semsim_scores(graph, measure, decay=decay, max_iterations=1, tolerance=0.0).matrix
+    for k in (1, 2, 3):
+        current = semsim_scores(
+            graph, measure, decay=decay, max_iterations=k + 1, tolerance=0.0
+        ).matrix
+        assert np.all(current - previous <= sem * decay ** (k + 1) + 1e-9)
+        previous = current
+
+
+@COMMON
+@given(**MODEL)
+def test_proposition_2_5_semantic_upper_bound(seed, num_entities, extra_edges):
+    graph, measure = random_hin_with_measure(seed, num_entities, extra_edges=extra_edges)
+    result = semsim_scores(graph, measure, decay=0.6, max_iterations=40, tolerance=1e-10)
+    for i, u in enumerate(result.nodes):
+        for j, v in enumerate(result.nodes):
+            assert result.matrix[i, j] <= measure.similarity(u, v) + 1e-9
+
+
+@COMMON
+@given(**MODEL)
+def test_definition_3_1_distribution_normalised(seed, num_entities, extra_edges):
+    graph, measure = random_hin_with_measure(seed, num_entities, extra_edges=extra_edges)
+    nodes = list(graph.nodes())
+    for u in nodes[:4]:
+        for v in nodes[:4]:
+            if u == v:
+                continue
+            distribution = sarw_step_distribution(graph, measure, (u, v))
+            if distribution:
+                total = sum(p for _, p in distribution)
+                assert total == pytest.approx(1.0)
+                assert all(p > 0 for _, p in distribution)
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    num_entities=st.integers(min_value=4, max_value=6),
+)
+def test_theorem_3_3_walk_model_equals_iterative(seed, num_entities):
+    graph, measure = random_hin_with_measure(seed, num_entities, extra_edges=6)
+    exact = semsim_via_pair_graph(graph, measure, decay=0.55)
+    iterative = semsim_scores(graph, measure, decay=0.55, tolerance=1e-13, max_iterations=400)
+    for (u, v), value in exact.items():
+        assert iterative.score(u, v) == pytest.approx(value, abs=1e-8)
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    theta=st.sampled_from([0.2, 0.5, 0.8]),
+)
+def test_theorem_3_5_reduction_preserves_scores(seed, theta):
+    graph, measure = random_hin_with_measure(seed, num_entities=5, extra_edges=6)
+    exact = semsim_via_pair_graph(graph, measure, decay=0.6)
+    reduced = build_reduced_pair_graph(graph, measure, theta=theta, decay=0.6)
+    for pair, value in reduced.scores().items():
+        assert value == pytest.approx(exact[pair], abs=1e-8)
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    theta=st.sampled_from([0.05, 0.15, 0.3]),
+)
+def test_proposition_4_6_pruning_error_bounded(seed, theta):
+    graph, measure = random_hin_with_measure(seed, num_entities=6, extra_edges=8)
+    index = WalkIndex(graph, num_walks=120, length=12, seed=seed)
+    pruned = MonteCarloSemSim(index, measure, decay=0.6, theta=theta)
+    unpruned = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+    nodes = list(graph.nodes())[:6]
+    for u in nodes:
+        for v in nodes:
+            delta = abs(pruned.similarity(u, v) - unpruned.similarity(u, v))
+            assert delta <= theta + 1e-9
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_lemma_4_7_pruned_scores_in_unit_interval(seed):
+    graph, measure = random_hin_with_measure(seed, num_entities=6, extra_edges=8)
+    decay = 0.6
+    theta = 1 - decay  # the lemma's admissible maximum
+    index = WalkIndex(graph, num_walks=100, length=10, seed=seed)
+    estimator = MonteCarloSemSim(index, measure, decay=decay, theta=theta)
+    nodes = list(graph.nodes())[:6]
+    for u in nodes:
+        for v in nodes:
+            assert 0.0 <= estimator.similarity(u, v) <= 1.0 + 1e-9

@@ -1,0 +1,66 @@
+"""Unit tests for the measure protocol, validator and matrix helper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasureAxiomError
+from repro.semantics import ConstantMeasure, SemanticMeasure, semantic_matrix, validate_measure
+
+
+class BrokenSymmetry:
+    def similarity(self, a, b):
+        if a == b:
+            return 1.0
+        return 0.3 if str(a) < str(b) else 0.4
+
+
+class BrokenSelfSim:
+    def similarity(self, a, b):
+        return 0.9
+
+
+class BrokenRange:
+    def similarity(self, a, b):
+        return 1.0 if a == b else 0.0
+
+
+class TestProtocol:
+    def test_constant_measure_satisfies_protocol(self):
+        assert isinstance(ConstantMeasure(0.5), SemanticMeasure)
+
+
+class TestValidateMeasure:
+    def test_valid_measure_passes(self):
+        validate_measure(ConstantMeasure(0.5), ["a", "b", "c"])
+
+    def test_detects_symmetry_violation(self):
+        with pytest.raises(MeasureAxiomError, match="symmetry"):
+            validate_measure(BrokenSymmetry(), ["a", "b"])
+
+    def test_detects_self_similarity_violation(self):
+        with pytest.raises(MeasureAxiomError, match="self similarity"):
+            validate_measure(BrokenSelfSim(), ["a", "b"])
+
+    def test_detects_range_violation(self):
+        with pytest.raises(MeasureAxiomError, match="range"):
+            validate_measure(BrokenRange(), ["a", "b"])
+
+    def test_empty_sample_passes(self):
+        validate_measure(ConstantMeasure(0.5), [])
+
+
+class TestSemanticMatrix:
+    def test_diagonal_is_one(self):
+        matrix = semantic_matrix(ConstantMeasure(0.25), ["a", "b", "c"])
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_off_diagonal_values(self):
+        matrix = semantic_matrix(ConstantMeasure(0.25), ["a", "b"])
+        assert matrix[0, 1] == 0.25
+
+    def test_symmetric(self):
+        matrix = semantic_matrix(ConstantMeasure(0.25), ["a", "b", "c"])
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_empty_nodes(self):
+        assert semantic_matrix(ConstantMeasure(1.0), []).shape == (0, 0)

@@ -1,0 +1,71 @@
+"""Unit tests for caching wrappers and the constant measure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.semantics import CachedMeasure, ConstantMeasure, MatrixMeasure
+
+
+class CountingMeasure:
+    """Constant measure that counts evaluations."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def similarity(self, a, b):
+        self.calls += 1
+        return 1.0 if a == b else 0.5
+
+
+class TestConstantMeasure:
+    def test_self_similarity(self):
+        assert ConstantMeasure(0.3).similarity("x", "x") == 1.0
+
+    def test_constant_off_diagonal(self):
+        assert ConstantMeasure(0.3).similarity("x", "y") == 0.3
+
+    @pytest.mark.parametrize("bad", [0.0, -1, 1.5])
+    def test_invalid_constant(self, bad):
+        with pytest.raises(ConfigurationError):
+            ConstantMeasure(bad)
+
+
+class TestCachedMeasure:
+    def test_caches_pairs(self):
+        inner = CountingMeasure()
+        cached = CachedMeasure(inner)
+        cached.similarity("a", "b")
+        cached.similarity("a", "b")
+        cached.similarity("b", "a")
+        assert inner.calls == 1
+        assert cached.cache_size == 1
+
+    def test_self_pairs_bypass_inner(self):
+        inner = CountingMeasure()
+        assert CachedMeasure(inner).similarity("a", "a") == 1.0
+        assert inner.calls == 0
+
+    def test_values_match_inner(self):
+        cached = CachedMeasure(CountingMeasure())
+        assert cached.similarity("a", "b") == 0.5
+
+
+class TestMatrixMeasure:
+    def test_from_measure(self):
+        matrix = MatrixMeasure.from_measure(ConstantMeasure(0.4), ["a", "b"])
+        assert matrix.similarity("a", "b") == 0.4
+        assert matrix.similarity("a", "a") == 1.0
+
+    def test_direct_matrix(self):
+        m = MatrixMeasure(["a", "b"], np.array([[1.0, 0.7], [0.7, 1.0]]))
+        assert m.similarity("b", "a") == 0.7
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixMeasure(["a"], np.zeros((2, 2)))
+
+    def test_unknown_node_raises(self):
+        m = MatrixMeasure(["a"], np.ones((1, 1)))
+        with pytest.raises(NodeNotFoundError):
+            m.similarity("a", "ghost")

@@ -1,0 +1,115 @@
+"""Unit tests for Resnik, Jiang-Conrath and the edge-counting measures."""
+
+import pytest
+
+from repro.semantics import (
+    JiangConrathMeasure,
+    LeacockChodorowMeasure,
+    RadaPathMeasure,
+    ResnikMeasure,
+    WuPalmerMeasure,
+    validate_measure,
+)
+from repro.taxonomy import Taxonomy
+
+
+@pytest.fixture
+def taxonomy() -> Taxonomy:
+    return Taxonomy.from_edges(
+        [
+            ("dog", "mammal"),
+            ("cat", "mammal"),
+            ("mammal", "animal"),
+            ("lizard", "animal"),
+            ("animal", "root"),
+            ("oak", "plant"),
+            ("plant", "root"),
+        ]
+    )
+
+
+ALL_MEASURES = [
+    ResnikMeasure,
+    JiangConrathMeasure,
+    RadaPathMeasure,
+    WuPalmerMeasure,
+    LeacockChodorowMeasure,
+]
+
+
+@pytest.mark.parametrize("measure_cls", ALL_MEASURES)
+class TestAxioms:
+    def test_satisfies_semsim_axioms(self, taxonomy, measure_cls):
+        measure = measure_cls(taxonomy)
+        validate_measure(measure, list(taxonomy.concepts()))
+
+    def test_closer_concepts_score_higher(self, taxonomy, measure_cls):
+        measure = measure_cls(taxonomy)
+        assert measure.similarity("dog", "cat") > measure.similarity("dog", "oak")
+
+
+class TestResnik:
+    def test_normalised_by_max_ic(self, taxonomy):
+        ic = {c: 0.5 for c in taxonomy.concepts()}
+        ic.update({"dog": 1.0, "cat": 0.8, "mammal": 0.6})
+        measure = ResnikMeasure(taxonomy, ic=ic)
+        assert measure.similarity("dog", "cat") == pytest.approx(0.6 / 1.0)
+
+    def test_unknown_node_floor(self, taxonomy):
+        measure = ResnikMeasure(taxonomy, floor=0.005)
+        assert measure.similarity("dog", "ghost") == 0.005
+
+
+class TestJiangConrath:
+    def test_zero_distance_is_one(self, taxonomy):
+        assert JiangConrathMeasure(taxonomy).similarity("dog", "dog") == 1.0
+
+    def test_formula(self, taxonomy):
+        ic = {c: 0.5 for c in taxonomy.concepts()}
+        ic.update({"dog": 1.0, "cat": 1.0, "mammal": 0.75})
+        measure = JiangConrathMeasure(taxonomy, ic=ic)
+        # distance = 1 + 1 - 2*0.75 = 0.5
+        assert measure.similarity("dog", "cat") == pytest.approx(1 / 1.5)
+
+    def test_unknown_node_max_distance(self, taxonomy):
+        measure = JiangConrathMeasure(taxonomy)
+        assert measure.similarity("dog", "ghost") == pytest.approx(1 / 3)
+
+
+class TestRadaPath:
+    def test_distance_two_siblings(self, taxonomy):
+        measure = RadaPathMeasure(taxonomy)
+        assert measure.similarity("dog", "cat") == pytest.approx(1 / 3)
+
+    def test_parent_child_distance_one(self, taxonomy):
+        measure = RadaPathMeasure(taxonomy)
+        assert measure.similarity("dog", "mammal") == pytest.approx(1 / 2)
+
+    def test_disconnected_floor(self):
+        t = Taxonomy()
+        t.add_concept("a")
+        t.add_concept("b")
+        assert RadaPathMeasure(t, floor=0.01).similarity("a", "b") == 0.01
+
+
+class TestWuPalmer:
+    def test_formula_with_one_based_depths(self, taxonomy):
+        measure = WuPalmerMeasure(taxonomy)
+        # depths: mammal=2, dog=cat=3 -> 1-based: 3 and 4.
+        assert measure.similarity("dog", "cat") == pytest.approx(2 * 3 / (4 + 4))
+
+    def test_root_level_pairs_positive(self, taxonomy):
+        assert WuPalmerMeasure(taxonomy).similarity("lizard", "oak") > 0
+
+
+class TestLeacockChodorow:
+    def test_range_and_ordering(self, taxonomy):
+        measure = LeacockChodorowMeasure(taxonomy)
+        close = measure.similarity("dog", "cat")
+        far = measure.similarity("dog", "oak")
+        assert 0 < far < close <= 1
+
+    def test_single_root_taxonomy(self):
+        t = Taxonomy()
+        t.add_concept("only")
+        assert LeacockChodorowMeasure(t).similarity("only", "only") == 1.0

@@ -1,0 +1,64 @@
+"""Unit tests for the Tversky feature measure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.semantics import TverskyMeasure, validate_measure
+from repro.taxonomy import Taxonomy
+
+
+@pytest.fixture
+def taxonomy() -> Taxonomy:
+    return Taxonomy.from_edges(
+        [
+            ("dog", "mammal"),
+            ("cat", "mammal"),
+            ("mammal", "animal"),
+            ("lizard", "animal"),
+            ("animal", "root"),
+            ("oak", "plant"),
+            ("plant", "root"),
+        ]
+    )
+
+
+class TestTversky:
+    def test_axioms(self, taxonomy):
+        validate_measure(TverskyMeasure(taxonomy), list(taxonomy.concepts()))
+
+    def test_dice_formula(self, taxonomy):
+        measure = TverskyMeasure(taxonomy, alpha=0.5)
+        # dog features {dog, mammal, animal, root}; cat analogous.
+        # common = 3 (mammal, animal, root), distinct = 2.
+        assert measure.similarity("dog", "cat") == pytest.approx(3 / (3 + 0.5 * 2))
+
+    def test_jaccard_at_alpha_one(self, taxonomy):
+        measure = TverskyMeasure(taxonomy, alpha=1.0)
+        assert measure.similarity("dog", "cat") == pytest.approx(3 / 5)
+
+    def test_siblings_beat_cross_branch(self, taxonomy):
+        measure = TverskyMeasure(taxonomy)
+        assert measure.similarity("dog", "cat") > measure.similarity("dog", "oak")
+
+    def test_disjoint_fragments_floor(self):
+        t = Taxonomy()
+        t.add_concept("a")
+        t.add_concept("b")
+        assert TverskyMeasure(t, floor=0.01).similarity("a", "b") == 0.01
+
+    def test_unknown_node_floor(self, taxonomy):
+        assert TverskyMeasure(taxonomy, floor=0.02).similarity("dog", "ghost") == 0.02
+
+    def test_invalid_alpha(self, taxonomy):
+        with pytest.raises(ConfigurationError):
+            TverskyMeasure(taxonomy, alpha=0.0)
+
+    def test_works_inside_semsim(self, taxonomy):
+        from repro.core import SemSim
+        from repro.hin import HIN
+
+        g = HIN()
+        for child in ("dog", "cat", "lizard", "oak"):
+            g.add_undirected_edge(child, "hub")
+        engine = SemSim(g, TverskyMeasure(taxonomy), decay=0.6, max_iterations=10)
+        assert engine.similarity("dog", "cat") > engine.similarity("dog", "oak")

@@ -1,0 +1,96 @@
+"""Unit tests for similarity-based clustering and its agreement metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks import (
+    adjusted_rand_index,
+    cluster_purity,
+    similarity_kmedoids,
+)
+
+
+def block_oracle(items_a, items_b, high=0.9, low=0.1):
+    """Similarity oracle with two planted blocks."""
+    group = {item: 0 for item in items_a}
+    group.update({item: 1 for item in items_b})
+
+    def oracle(u, v):
+        if u == v:
+            return 1.0
+        return high if group[u] == group[v] else low
+
+    return oracle
+
+
+class TestKMedoids:
+    def test_recovers_planted_blocks(self):
+        left = [f"a{i}" for i in range(6)]
+        right = [f"b{i}" for i in range(6)]
+        oracle = block_oracle(left, right)
+        result = similarity_kmedoids(left + right, oracle, k=2, seed=0)
+        labels_left = {result.assignment[x] for x in left}
+        labels_right = {result.assignment[x] for x in right}
+        assert len(labels_left) == 1
+        assert len(labels_right) == 1
+        assert labels_left != labels_right
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            similarity_kmedoids(["a", "b"], lambda u, v: 1.0, k=0)
+        with pytest.raises(ConfigurationError):
+            similarity_kmedoids(["a", "b"], lambda u, v: 1.0, k=3)
+
+    def test_single_cluster(self):
+        result = similarity_kmedoids(["a", "b", "c"], lambda u, v: 0.5, k=1, seed=0)
+        assert set(result.assignment.values()) == {0}
+        assert result.num_clusters == 1
+
+    def test_deterministic_for_seed(self):
+        items = [f"x{i}" for i in range(10)]
+        oracle = block_oracle(items[:5], items[5:])
+        a = similarity_kmedoids(items, oracle, k=2, seed=7)
+        b = similarity_kmedoids(items, oracle, k=2, seed=7)
+        assert a.assignment == b.assignment
+
+    def test_medoids_belong_to_their_cluster(self):
+        items = [f"x{i}" for i in range(8)]
+        oracle = block_oracle(items[:4], items[4:])
+        result = similarity_kmedoids(items, oracle, k=2, seed=1)
+        for cluster, medoid in enumerate(result.medoids):
+            assert result.assignment[medoid] == cluster
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        labels = {"a": 0, "b": 0, "c": 1, "d": 1}
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        predicted = {"a": 5, "b": 5, "c": 9, "d": 9}
+        truth = {"a": "x", "b": "x", "c": "y", "d": "y"}
+        assert adjusted_rand_index(predicted, truth) == pytest.approx(1.0)
+
+    def test_orthogonal_partitions_near_zero(self):
+        predicted = {"a": 0, "b": 1, "c": 0, "d": 1}
+        truth = {"a": "x", "b": "x", "c": "y", "d": "y"}
+        assert abs(adjusted_rand_index(predicted, truth)) < 0.5
+
+    def test_handles_disjoint_keys(self):
+        assert adjusted_rand_index({"a": 0}, {"b": 1}) == 0.0
+
+
+class TestPurity:
+    def test_pure_clusters(self):
+        predicted = {"a": 0, "b": 0, "c": 1}
+        truth = {"a": "x", "b": "x", "c": "y"}
+        assert cluster_purity(predicted, truth) == 1.0
+
+    def test_mixed_cluster(self):
+        predicted = {"a": 0, "b": 0, "c": 0, "d": 0}
+        truth = {"a": "x", "b": "x", "c": "y", "d": "z"}
+        assert cluster_purity(predicted, truth) == 0.5
+
+    def test_empty(self):
+        assert cluster_purity({}, {}) == 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for the entity-resolution harness."""
+
+import pytest
+
+from repro.datasets import aminer_like
+from repro.tasks import evaluate_entity_resolution, mine_duplicates_by_levenshtein
+
+
+class TestMineDuplicates:
+    def test_finds_near_identical_names(self):
+        names = {
+            "a1": "susan b. davidson",
+            "a2": "susan b davidson",
+            "a3": "tova milo",
+        }
+        pairs = mine_duplicates_by_levenshtein(names, max_distance=0.2)
+        assert pairs == [("a1", "a2")]
+
+    def test_threshold_zero_requires_exact(self):
+        names = {"a": "x", "b": "x", "c": "y"}
+        assert mine_duplicates_by_levenshtein(names, max_distance=0.0) == [("a", "b")]
+
+    def test_empty_names(self):
+        assert mine_duplicates_by_levenshtein({}) == []
+
+    def test_mines_planted_duplicates_on_aminer(self):
+        bundle = aminer_like(num_authors=40, num_terms=30, seed=0)
+        names = bundle.extras["names"]
+        term_names = {k: v for k, v in names.items() if k.startswith("term")}
+        mined = mine_duplicates_by_levenshtein(term_names, max_distance=0.2)
+        planted = {
+            frozenset(pair)
+            for pair in bundle.extras["duplicates"]
+            if str(pair[0]).startswith("term")
+        }
+        mined_sets = {frozenset(p) for p in mined}
+        # Every planted term duplicate is recoverable from names alone.
+        assert planted <= mined_sets
+
+
+class TestEvaluate:
+    def test_perfect_oracle(self):
+        duplicates = [("a", "a_dup")]
+
+        def oracle(u, v):
+            return 1.0 if v == "a_dup" else 0.0
+
+        result = evaluate_entity_resolution(
+            duplicates, ["a", "a_dup", "b", "c"], oracle, ks=(1, 5)
+        )
+        assert result.precision_at_k[1] == 1.0
+
+    def test_reports_query_count(self):
+        duplicates = [("a", "b"), ("c", "d")]
+        result = evaluate_entity_resolution(
+            duplicates, ["a", "b", "c", "d"], lambda u, v: 0.5, ks=(1,)
+        )
+        assert result.queries == 2

@@ -1,0 +1,76 @@
+"""Unit tests for the link-prediction harness."""
+
+import pytest
+
+from repro.datasets import amazon_like
+from repro.errors import ConfigurationError
+from repro.tasks import evaluate_link_prediction, remove_random_links
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return amazon_like(num_products=80, seed=0)
+
+
+class TestRemoveRandomLinks:
+    def test_removes_requested_count(self, bundle):
+        pruned, removed = remove_random_links(bundle.graph, 10, "co-purchase", seed=0)
+        assert len(removed) == 10
+        for a, b in removed:
+            assert not pruned.has_edge(a, b)
+            assert not pruned.has_edge(b, a)
+
+    def test_original_graph_untouched(self, bundle):
+        edges_before = bundle.graph.num_edges
+        remove_random_links(bundle.graph, 5, "co-purchase", seed=0)
+        assert bundle.graph.num_edges == edges_before
+
+    def test_endpoints_stay_connected(self, bundle):
+        pruned, removed = remove_random_links(bundle.graph, 10, "co-purchase", seed=0)
+        for a, b in removed:
+            assert pruned.out_degree(a) >= 1
+            assert pruned.out_degree(b) >= 1
+
+    def test_too_many_requested(self, bundle):
+        with pytest.raises(ConfigurationError):
+            remove_random_links(bundle.graph, 10**6, "co-purchase", seed=0)
+
+    def test_deterministic(self, bundle):
+        _, a = remove_random_links(bundle.graph, 8, "co-purchase", seed=3)
+        _, b = remove_random_links(bundle.graph, 8, "co-purchase", seed=3)
+        assert a == b
+
+
+class TestEvaluate:
+    def test_oracle_that_knows_answers_scores_one(self, bundle):
+        removed = [(bundle.entity_nodes[0], bundle.entity_nodes[1])]
+
+        def oracle(u, v):
+            return 1.0 if (u, v) == removed[0] else 0.0
+
+        result = evaluate_link_prediction(
+            removed, bundle.entity_nodes, oracle, ks=(1, 5), method="oracle"
+        )
+        assert result.hit_rate_at_k[1] == 1.0
+        assert result.hit_rate_at_k[5] == 1.0
+
+    def test_blind_oracle_scores_poorly(self, bundle):
+        removed = [(bundle.entity_nodes[0], bundle.entity_nodes[1])]
+        result = evaluate_link_prediction(
+            removed, bundle.entity_nodes, lambda u, v: 0.0, ks=(1,), method="blind"
+        )
+        assert result.hit_rate_at_k[1] <= 1.0  # degenerate ties allowed
+        assert result.queries == 1
+
+    def test_hit_rate_monotone_in_k(self, bundle):
+        removed = [
+            (bundle.entity_nodes[i], bundle.entity_nodes[i + 1]) for i in range(0, 8, 2)
+        ]
+
+        def oracle(u, v):
+            return 1.0 / (1 + abs(hash(str(v))) % 100)
+
+        result = evaluate_link_prediction(
+            removed, bundle.entity_nodes, oracle, ks=(1, 5, 20)
+        )
+        assert result.hit_rate_at_k[1] <= result.hit_rate_at_k[5] <= result.hit_rate_at_k[20]

@@ -1,0 +1,92 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks import (
+    approximation_error_report,
+    error_statistics,
+    pearson_correlation,
+    precision_at_k,
+)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        r, p = pearson_correlation([1, 2, 3, 4], [2, 4, 6, 8])
+        assert r == pytest.approx(1.0)
+        assert p < 0.05
+
+    def test_perfect_anticorrelation(self):
+        r, _ = pearson_correlation([1, 2, 3], [3, 2, 1])
+        assert r == pytest.approx(-1.0)
+
+    def test_degenerate_constant_input(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == (0.0, 1.0)
+
+    def test_too_short(self):
+        assert pearson_correlation([1], [2]) == (0.0, 1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+
+class TestPrecisionAtK:
+    def test_all_hits(self):
+        assert precision_at_k([True, True]) == 1.0
+
+    def test_mixed(self):
+        assert precision_at_k([True, False, True, False]) == 0.5
+
+    def test_empty(self):
+        assert precision_at_k([]) == 0.0
+
+
+class TestErrorStatistics:
+    def test_exact_estimates(self):
+        stats = error_statistics([0.5, 0.2], [0.5, 0.2])
+        assert stats["mean_abs_err"] == 0.0
+        assert stats["max_rel_err"] == 0.0
+
+    def test_known_errors(self):
+        stats = error_statistics([1.0, 0.5], [0.9, 0.6])
+        assert stats["mean_abs_err"] == pytest.approx(0.1)
+        assert stats["max_abs_err"] == pytest.approx(0.1)
+        assert stats["max_rel_err"] == pytest.approx(0.2)
+
+    def test_relative_skips_zero_truth(self):
+        stats = error_statistics([0.0, 1.0], [0.3, 1.0])
+        assert stats["mean_rel_err"] == 0.0
+        assert stats["mean_abs_err"] == pytest.approx(0.15)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            error_statistics([1.0], [1.0, 2.0])
+
+
+class TestApproximationReport:
+    def test_aggregates_runs(self):
+        truth = [0.5, 0.1]
+        runs = [[0.52, 0.11], [0.48, 0.09], [0.5, 0.1]]
+        report = approximation_error_report(truth, runs)
+        assert report.runs == 3
+        assert report.pairs == 2
+        assert report.pearson_r == pytest.approx(1.0, abs=1e-6)
+        assert report.mean_abs_err < 0.01
+
+    def test_variance_of_constant_runs_is_zero(self):
+        report = approximation_error_report([0.5], [[0.4], [0.4]])
+        assert report.mean_variance == 0.0
+        assert report.mean_abs_err == pytest.approx(0.1)
+
+    def test_rows_ordering(self):
+        report = approximation_error_report([0.5], [[0.4], [0.4]])
+        labels = [label for label, _ in report.rows()]
+        assert labels[0] == "Pearson's r"
+        assert len(labels) == 7
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            approximation_error_report([0.5, 0.2], [[0.4]])

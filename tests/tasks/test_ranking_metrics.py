@@ -1,0 +1,105 @@
+"""Unit tests for the ranking-quality metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks import (
+    average_precision,
+    link_prediction_auc,
+    mean_average_precision,
+    ndcg_at_k,
+    ranking_auc,
+)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b", "c"], {"a", "b"}) == pytest.approx(1.0)
+
+    def test_relevant_last(self):
+        # single relevant item at position 3 -> AP = 1/3
+        assert average_precision(["x", "y", "a"], {"a"}) == pytest.approx(1 / 3)
+
+    def test_mixed_ranking(self):
+        # relevant at 1 and 3: (1/1 + 2/3) / 2
+        assert average_precision(["a", "x", "b"], {"a", "b"}) == pytest.approx(
+            (1.0 + 2 / 3) / 2
+        )
+
+    def test_missing_relevant_items_penalised(self):
+        assert average_precision(["a"], {"a", "zzz"}) == pytest.approx(0.5)
+
+    def test_empty_relevant(self):
+        assert average_precision(["a"], set()) == 0.0
+
+
+class TestMeanAveragePrecision:
+    def test_mean_over_queries(self):
+        queries = [
+            (["a"], {"a"}),          # AP 1.0
+            (["x", "a"], {"a"}),     # AP 0.5
+        ]
+        assert mean_average_precision(queries) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert mean_average_precision([]) == 0.0
+
+
+class TestNdcg:
+    def test_ideal_ranking_scores_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], gains, k=3) == pytest.approx(1.0)
+
+    def test_reversed_ranking_below_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], gains, k=3) < 1.0
+
+    def test_truncation_at_k(self):
+        gains = {"a": 1.0}
+        # "a" is ranked past k -> 0.
+        assert ndcg_at_k(["x", "y", "a"], gains, k=2) == 0.0
+
+    def test_no_positive_gain(self):
+        assert ndcg_at_k(["a"], {}, k=1) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            ndcg_at_k(["a"], {"a": 1.0}, k=0)
+
+
+class TestRankingAuc:
+    def oracle(self, u, v):
+        return {"good": 0.9, "mid": 0.5, "bad": 0.1}[v]
+
+    def test_perfect_separation(self):
+        assert ranking_auc("q", ["good"], ["bad"], self.oracle) == 1.0
+
+    def test_reversed_separation(self):
+        assert ranking_auc("q", ["bad"], ["good"], self.oracle) == 0.0
+
+    def test_ties_count_half(self):
+        assert ranking_auc("q", ["mid"], ["mid"], self.oracle) == 0.5
+
+    def test_requires_both_sides(self):
+        with pytest.raises(ConfigurationError):
+            ranking_auc("q", [], ["bad"], self.oracle)
+
+
+class TestLinkPredictionAuc:
+    def test_oracle_that_knows_the_answer(self):
+        removed = [("u", "v")]
+        candidates = ["v"] + [f"n{i}" for i in range(30)]
+
+        def oracle(u, x):
+            return 1.0 if x == "v" else 0.0
+
+        assert link_prediction_auc(removed, candidates, oracle, seed=0) == 1.0
+
+    def test_blind_oracle_near_half(self):
+        removed = [("u", "v")]
+        candidates = ["v"] + [f"n{i}" for i in range(30)]
+        auc = link_prediction_auc(removed, candidates, lambda u, x: 0.5, seed=0)
+        assert auc == pytest.approx(0.5)
+
+    def test_empty_removed(self):
+        assert link_prediction_auc([], ["a"], lambda u, v: 1.0) == 0.0

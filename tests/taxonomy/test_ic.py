@@ -1,0 +1,93 @@
+"""Unit tests for Information Content estimators."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TaxonomyError
+from repro.taxonomy import (
+    Taxonomy,
+    corpus_information_content,
+    explicit_information_content,
+    seco_information_content,
+)
+
+
+@pytest.fixture
+def tree() -> Taxonomy:
+    t = Taxonomy()
+    t.add_concept("root")
+    t.add_concept("mid", parents=["root"])
+    t.add_concept("leaf1", parents=["mid"])
+    t.add_concept("leaf2", parents=["mid"])
+    t.add_concept("solo", parents=["root"])
+    return t
+
+
+class TestSecoIC:
+    def test_leaves_score_one(self, tree):
+        ic = seco_information_content(tree)
+        assert ic["leaf1"] == 1.0
+        assert ic["solo"] == 1.0
+
+    def test_root_strictly_positive(self, tree):
+        # The adaptation's whole point: the root stays inside (0, 1].
+        ic = seco_information_content(tree)
+        assert 0 < ic["root"] < 1
+
+    def test_monotone_down_the_hierarchy(self, tree):
+        ic = seco_information_content(tree)
+        assert ic["root"] < ic["mid"] < ic["leaf1"]
+
+    def test_all_values_in_range(self, tree):
+        assert all(0 < v <= 1 for v in seco_information_content(tree).values())
+
+    def test_empty_taxonomy(self):
+        assert seco_information_content(Taxonomy()) == {}
+
+    def test_single_concept(self):
+        t = Taxonomy()
+        t.add_concept("only")
+        assert seco_information_content(t) == {"only": 1.0}
+
+
+class TestCorpusIC:
+    def test_counts_propagate_upward(self, tree):
+        ic = corpus_information_content(tree, {"leaf1": 100, "leaf2": 1})
+        # leaf2 is much rarer -> higher IC.
+        assert ic["leaf2"] > ic["leaf1"]
+
+    def test_parents_never_exceed_children(self, tree):
+        ic = corpus_information_content(tree, {"leaf1": 5, "leaf2": 5, "solo": 2})
+        assert ic["mid"] <= min(ic["leaf1"], ic["leaf2"])
+        assert ic["root"] <= ic["mid"]
+
+    def test_range(self, tree):
+        ic = corpus_information_content(tree, {"leaf1": 3})
+        assert all(0 < v <= 1 for v in ic.values())
+
+    def test_rarest_scores_one(self, tree):
+        ic = corpus_information_content(tree, {"leaf1": 1000})
+        assert max(ic.values()) == pytest.approx(1.0)
+
+    def test_invalid_smoothing(self, tree):
+        with pytest.raises(ConfigurationError):
+            corpus_information_content(tree, {}, smoothing=0)
+
+    def test_empty_taxonomy(self):
+        assert corpus_information_content(Taxonomy(), {}) == {}
+
+
+class TestExplicitIC:
+    def test_valid_table_passes(self, tree):
+        table = {c: 0.5 for c in tree.concepts()}
+        assert explicit_information_content(tree, table)["mid"] == 0.5
+
+    def test_missing_concept_rejected(self, tree):
+        with pytest.raises(TaxonomyError):
+            explicit_information_content(tree, {"root": 0.5})
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_out_of_range_rejected(self, tree, bad):
+        table = {c: 0.5 for c in tree.concepts()}
+        table["mid"] = bad
+        with pytest.raises(ConfigurationError):
+            explicit_information_content(tree, table)

@@ -1,0 +1,114 @@
+"""Unit tests for LCA machinery (MICA and the Euler-tour TreeLCA)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NodeNotFoundError, TaxonomyError
+from repro.taxonomy import Taxonomy, TreeLCA, most_informative_common_ancestor
+from repro.taxonomy.ic import seco_information_content
+
+
+def balanced_tree(depth: int, branching: int) -> Taxonomy:
+    t = Taxonomy()
+    t.add_concept("n0")
+    nodes = ["n0"]
+    counter = 1
+    for _ in range(depth):
+        next_nodes = []
+        for parent in nodes:
+            for _ in range(branching):
+                name = f"n{counter}"
+                counter += 1
+                t.add_concept(name, parents=[parent])
+                next_nodes.append(name)
+        nodes = next_nodes
+    return t
+
+
+def naive_tree_lca(taxonomy: Taxonomy, a, b):
+    """Reference LCA: deepest common ancestor (trees only)."""
+    shared = taxonomy.common_ancestors(a, b)
+    return max(shared, key=taxonomy.depth)
+
+
+class TestMica:
+    def test_siblings(self):
+        t = Taxonomy.from_edges([("a", "p"), ("b", "p")])
+        ic = seco_information_content(t)
+        assert most_informative_common_ancestor(t, ic, "a", "b") == "p"
+
+    def test_self_pair(self):
+        t = Taxonomy.from_edges([("a", "p")])
+        ic = seco_information_content(t)
+        assert most_informative_common_ancestor(t, ic, "a", "a") == "a"
+
+    def test_ancestor_descendant(self):
+        t = Taxonomy.from_edges([("leaf", "mid"), ("mid", "root")])
+        ic = seco_information_content(t)
+        assert most_informative_common_ancestor(t, ic, "leaf", "mid") == "mid"
+
+    def test_disjoint_returns_none(self):
+        t = Taxonomy()
+        t.add_concept("a")
+        t.add_concept("b")
+        assert most_informative_common_ancestor(t, {"a": 1, "b": 1}, "a", "b") is None
+
+    def test_dag_picks_highest_ic_ancestor(self):
+        t = Taxonomy()
+        t.add_concept("root")
+        t.add_concept("generic", parents=["root"])
+        t.add_concept("specific", parents=["root"])
+        t.add_concept("x", parents=["generic", "specific"])
+        t.add_concept("y", parents=["generic", "specific"])
+        ic = {"root": 0.1, "generic": 0.3, "specific": 0.8, "x": 1.0, "y": 1.0}
+        assert most_informative_common_ancestor(t, ic, "x", "y") == "specific"
+
+
+class TestTreeLCA:
+    def test_rejects_dag(self):
+        t = Taxonomy()
+        t.add_concept("r")
+        t.add_concept("a", parents=["r"])
+        t.add_concept("b", parents=["r"])
+        t.add_concept("c", parents=["a", "b"])
+        with pytest.raises(TaxonomyError):
+            TreeLCA(t)
+
+    def test_rejects_forest(self):
+        t = Taxonomy()
+        t.add_concept("r1")
+        t.add_concept("r2")
+        with pytest.raises(TaxonomyError):
+            TreeLCA(t)
+
+    def test_simple_queries(self):
+        t = Taxonomy.from_edges(
+            [("dog", "animal"), ("cat", "animal"), ("animal", "root"), ("rock", "root")]
+        )
+        lca = TreeLCA(t)
+        assert lca.query("dog", "cat") == "animal"
+        assert lca.query("dog", "rock") == "root"
+        assert lca.query("dog", "dog") == "dog"
+        assert lca.query("dog", "animal") == "animal"
+
+    def test_unknown_concept_raises(self):
+        t = Taxonomy.from_edges([("a", "root")])
+        with pytest.raises(NodeNotFoundError):
+            TreeLCA(t).query("a", "ghost")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        depth=st.integers(min_value=1, max_value=4),
+        branching=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_matches_naive_lca_on_random_trees(self, depth, branching, seed):
+        taxonomy = balanced_tree(depth, branching)
+        fast = TreeLCA(taxonomy)
+        concepts = list(taxonomy.concepts())
+        rng = np.random.default_rng(seed)
+        for _ in range(20):
+            a, b = rng.choice(len(concepts), size=2)
+            ca, cb = concepts[int(a)], concepts[int(b)]
+            assert fast.query(ca, cb) == naive_tree_lca(taxonomy, ca, cb)

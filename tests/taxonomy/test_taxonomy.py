@@ -1,0 +1,138 @@
+"""Unit tests for the Taxonomy DAG."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError, TaxonomyError
+from repro.hin import HIN
+from repro.taxonomy import Taxonomy
+
+
+@pytest.fixture
+def tree() -> Taxonomy:
+    t = Taxonomy()
+    t.add_concept("root")
+    t.add_concept("animal", parents=["root"])
+    t.add_concept("plant", parents=["root"])
+    t.add_concept("dog", parents=["animal"])
+    t.add_concept("cat", parents=["animal"])
+    return t
+
+
+@pytest.fixture
+def dag() -> Taxonomy:
+    t = Taxonomy()
+    t.add_concept("root")
+    t.add_concept("crowdsourcing", parents=["root"])
+    t.add_concept("data-mining", parents=["root"])
+    t.add_concept("crowd-mining", parents=["crowdsourcing", "data-mining"])
+    return t
+
+
+class TestConstruction:
+    def test_parents_created_implicitly(self):
+        t = Taxonomy()
+        t.add_concept("usa", parents=["country"])
+        assert "country" in t
+
+    def test_merging_parent_sets(self, dag):
+        assert set(dag.parents("crowd-mining")) == {"crowdsourcing", "data-mining"}
+
+    def test_self_parent_rejected(self):
+        t = Taxonomy()
+        with pytest.raises(TaxonomyError):
+            t.add_concept("x", parents=["x"])
+
+    def test_cycle_rejected(self):
+        t = Taxonomy()
+        t.add_concept("a")
+        t.add_concept("b", parents=["a"])
+        with pytest.raises(TaxonomyError):
+            t.add_concept("a", parents=["b"])
+
+    def test_from_edges(self):
+        t = Taxonomy.from_edges([("usa", "country"), ("france", "country")])
+        assert set(t.leaves()) == {"usa", "france"}
+
+    def test_from_hin_extracts_is_a(self):
+        g = HIN()
+        g.add_edge("usa", "country", label="is-a")
+        g.add_edge("a", "b", label="co-author")
+        t = Taxonomy.from_hin(g)
+        assert t.parents("usa") == ("country",)
+        assert t.parents("a") == ()
+        # every graph node is registered
+        assert "b" in t
+
+
+class TestQueries:
+    def test_roots_and_leaves(self, tree):
+        assert tree.roots() == ["root"]
+        assert set(tree.leaves()) == {"plant", "dog", "cat"}
+
+    def test_is_tree(self, tree, dag):
+        assert tree.is_tree()
+        assert not dag.is_tree()
+
+    def test_children(self, tree):
+        assert set(tree.children("animal")) == {"dog", "cat"}
+
+    def test_ancestors_include_self(self, tree):
+        assert tree.ancestors("dog") == frozenset({"dog", "animal", "root"})
+
+    def test_common_ancestors(self, tree):
+        assert tree.common_ancestors("dog", "cat") == frozenset({"animal", "root"})
+
+    def test_common_ancestors_disjoint(self):
+        t = Taxonomy()
+        t.add_concept("a")
+        t.add_concept("b")
+        assert t.common_ancestors("a", "b") == frozenset()
+
+    def test_depth(self, tree):
+        assert tree.depth("root") == 0
+        assert tree.depth("dog") == 2
+
+    def test_depth_dag_takes_minimum(self):
+        t = Taxonomy()
+        t.add_concept("root")
+        t.add_concept("deep", parents=["root"])
+        t.add_concept("deeper", parents=["deep"])
+        t.add_concept("x", parents=["deeper", "root"])
+        assert t.depth("x") == 1
+
+    def test_max_depth(self, tree):
+        assert tree.max_depth() == 2
+
+    def test_missing_concept_raises(self, tree):
+        with pytest.raises(NodeNotFoundError):
+            tree.ancestors("ghost")
+
+
+class TestDescendantCounts:
+    def test_leaf_has_zero(self, tree):
+        assert tree.descendant_counts()["dog"] == 0
+
+    def test_internal_counts_strict_descendants(self, tree):
+        counts = tree.descendant_counts()
+        assert counts["animal"] == 2
+        assert counts["root"] == 4
+
+    def test_dag_counts_without_double_counting(self, dag):
+        counts = dag.descendant_counts()
+        assert counts["root"] == 3  # crowdsourcing, data-mining, crowd-mining
+
+    def test_counts_invalidate_on_mutation(self, tree):
+        tree.descendant_counts()
+        tree.add_concept("puppy", parents=["dog"])
+        assert tree.descendant_counts()["dog"] == 1
+
+
+class TestTopologicalOrder:
+    def test_parents_before_children(self, dag):
+        order = dag.topological_order()
+        assert order.index("root") < order.index("crowdsourcing")
+        assert order.index("crowdsourcing") < order.index("crowd-mining")
+        assert order.index("data-mining") < order.index("crowd-mining")
+
+    def test_covers_all_concepts(self, tree):
+        assert set(tree.topological_order()) == set(tree.concepts())

@@ -1,0 +1,77 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestDemo:
+    def test_demo_shows_the_flip(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "picks Bo" in out
+        assert "picks John" in out
+
+
+class TestGenerateAndInspect:
+    @pytest.fixture(scope="class")
+    def bundle_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "wordnet.json"
+        assert main(["generate", "wordnet", "--out", str(path), "--seed", "1"]) == 0
+        return path
+
+    def test_info(self, bundle_path, capsys):
+        assert main(["info", str(bundle_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wordnet-like" in out
+        assert "decay bound" in out
+
+    def test_query_iterative(self, bundle_path, capsys):
+        assert main(["query", str(bundle_path), "n3", "n4"]) == 0
+        out = capsys.readouterr().out
+        assert "semsim(n3, n4)" in out
+        assert "simrank(n3, n4)" in out
+
+    def test_query_mc(self, bundle_path, capsys):
+        assert main([
+            "query", str(bundle_path), "n3", "n4",
+            "--method", "mc", "--walks", "50", "--length", "8",
+        ]) == 0
+        assert "[mc]" in capsys.readouterr().out
+
+    def test_topk(self, bundle_path, capsys):
+        assert main(["topk", str(bundle_path), "n3", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top-3" in out
+        # three ranked lines under the header
+        assert len([l for l in out.splitlines() if l.startswith("  n")]) == 3
+
+
+class TestErrorPaths:
+    def test_missing_bundle_file(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["info", "/nonexistent/bundle.json"])
+        assert excinfo.value.code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unknown_query_node(self, tmp_path, capsys):
+        path = tmp_path / "wn.json"
+        assert main(["generate", "wordnet", "--out", str(path), "--seed", "1"]) == 0
+        assert main(["query", str(path), "ghost", "n3"]) == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_unknown_topk_node(self, tmp_path, capsys):
+        path = tmp_path / "wn.json"
+        assert main(["generate", "wordnet", "--out", str(path), "--seed", "1"]) == 0
+        assert main(["topk", str(path), "ghost"]) == 2
+        assert "ghost" in capsys.readouterr().err

@@ -1,0 +1,57 @@
+"""Unit tests for the exception hierarchy and package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    EdgeNotFoundError,
+    GraphError,
+    InvalidWeightError,
+    MeasureAxiomError,
+    NodeNotFoundError,
+    ReproError,
+    TaxonomyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            NodeNotFoundError,
+            EdgeNotFoundError,
+            InvalidWeightError,
+            TaxonomyError,
+            MeasureAxiomError,
+            ConvergenceError,
+            ConfigurationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_node_not_found_carries_node(self):
+        error = NodeNotFoundError("ghost")
+        assert error.node == "ghost"
+        assert "ghost" in str(error)
+
+    def test_edge_not_found_carries_endpoints(self):
+        error = EdgeNotFoundError("a", "b")
+        assert (error.source, error.target) == ("a", "b")
+
+    def test_convergence_error_message(self):
+        error = ConvergenceError(50, 0.123)
+        assert error.iterations == 50
+        assert "50" in str(error) and "1.230e-01" in str(error)
+
+
+class TestPackageSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,48 @@
+"""Unit tests for BFS shortest paths."""
+
+from repro.hin import HIN
+from repro.utils.bfs import bfs_distances, shortest_path_length
+
+
+def chain_graph() -> HIN:
+    g = HIN()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "d")
+    return g
+
+
+class TestBfsDistances:
+    def test_source_distance_zero(self):
+        assert bfs_distances(chain_graph(), "a")["a"] == 0
+
+    def test_follows_edges_both_directions(self):
+        # a -> b but BFS also walks b -> a.
+        distances = bfs_distances(chain_graph(), "d")
+        assert distances["a"] == 3
+
+    def test_max_depth_truncates(self):
+        distances = bfs_distances(chain_graph(), "a", max_depth=2)
+        assert "d" not in distances
+        assert distances["c"] == 2
+
+    def test_unreachable_absent(self):
+        g = chain_graph()
+        g.add_node("lonely")
+        assert "lonely" not in bfs_distances(g, "a")
+
+
+class TestShortestPathLength:
+    def test_same_node(self):
+        assert shortest_path_length(chain_graph(), "a", "a") == 0
+
+    def test_chain_length(self):
+        assert shortest_path_length(chain_graph(), "a", "d") == 3
+
+    def test_unreachable_is_none(self):
+        g = chain_graph()
+        g.add_node("lonely")
+        assert shortest_path_length(g, "a", "lonely") is None
+
+    def test_respects_max_depth(self):
+        assert shortest_path_length(chain_graph(), "a", "d", max_depth=2) is None

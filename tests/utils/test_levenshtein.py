@@ -1,0 +1,74 @@
+"""Unit tests for the Levenshtein edit distance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.levenshtein import levenshtein, normalized_levenshtein
+
+
+class TestLevenshtein:
+    def test_identical_strings(self):
+        assert levenshtein("simrank", "simrank") == 0
+
+    def test_empty_left(self):
+        assert levenshtein("", "abc") == 3
+
+    def test_empty_right(self):
+        assert levenshtein("abc", "") == 3
+
+    def test_both_empty(self):
+        assert levenshtein("", "") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("cat", "car") == 1
+
+    def test_single_insertion(self):
+        assert levenshtein("data structure", "data structures") == 1
+
+    def test_single_deletion(self):
+        assert levenshtein("susan b. davidson", "susan b davidson") == 1
+
+    def test_paper_example_authors(self):
+        # "Susan B. Davidson" vs "Susan Davidson" — the paper's ER example.
+        assert levenshtein("Susan B. Davidson", "Susan Davidson") == 3
+
+    def test_completely_different(self):
+        assert levenshtein("abc", "xyz") == 3
+
+    def test_transposition_costs_two(self):
+        # Plain Levenshtein has no transposition operation.
+        assert levenshtein("ab", "ba") == 2
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=15), st.text(max_size=15), st.text(max_size=15))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_lower_bound_length_difference(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+
+class TestNormalizedLevenshtein:
+    def test_identical(self):
+        assert normalized_levenshtein("abc", "abc") == 0.0
+
+    def test_disjoint(self):
+        assert normalized_levenshtein("aaa", "bbb") == 1.0
+
+    def test_empty_pair(self):
+        assert normalized_levenshtein("", "") == 0.0
+
+    def test_half_different(self):
+        assert normalized_levenshtein("ab", "ax") == pytest.approx(0.5)
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_range(self, a, b):
+        assert 0.0 <= normalized_levenshtein(a, b) <= 1.0

@@ -1,0 +1,39 @@
+"""Unit tests for argument validators."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_fraction, check_positive, check_probability
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("value", [0, -1, math.inf, math.nan])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", value)
+
+
+class TestCheckFraction:
+    def test_accepts_interior(self):
+        assert check_fraction("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 1.1, math.nan])
+    def test_rejects_boundary_and_outside(self, value):
+        with pytest.raises(ConfigurationError):
+            check_fraction("x", value)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.3, 1.0])
+    def test_accepts_closed_interval(self, value):
+        assert check_probability("x", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, math.nan])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability("x", value)
