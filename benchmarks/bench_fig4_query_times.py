@@ -59,7 +59,7 @@ def _estimators(bundle, index, sling):
 
 @pytest.fixture(scope="module")
 def sling_index(amazon_small):
-    return SlingIndex(amazon_small.graph, amazon_small.measure, sem_threshold=0.1)
+    return SlingIndex(amazon_small.graph, amazon_small.measure, theta=0.1)
 
 
 def test_fig4a_time_vs_num_walks(benchmark, show, amazon_small, sling_index):
@@ -133,7 +133,7 @@ def test_fig4_sling_memory_tradeoff(benchmark, show, amazon_small):
     sling = benchmark.pedantic(
         SlingIndex,
         args=(amazon_small.graph, amazon_small.measure),
-        kwargs={"sem_threshold": 0.1},
+        kwargs={"theta": 0.1},
         rounds=1,
         iterations=1,
     )

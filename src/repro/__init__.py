@@ -9,11 +9,12 @@ its datasets, and the evaluation tasks — see DESIGN.md for the full map.
 
 Quick start
 -----------
->>> from repro import SemSim, SimRank
+>>> from repro import QueryEngine
 >>> from repro.datasets import figure1_network
 >>> data = figure1_network()
->>> semsim = SemSim(data.graph, data.measure, decay=0.8, max_iterations=3)
->>> semsim.similarity("John", "Aditi") > semsim.similarity("Bo", "Aditi")
+>>> engine = QueryEngine(data.graph, data.measure, method="iterative",
+...                      decay=0.8, max_iterations=3)
+>>> engine.score("John", "Aditi") > engine.score("Bo", "Aditi")
 True
 """
 
@@ -49,6 +50,7 @@ from repro.core import (
     simrank_scores,
     top_k_similar,
 )
+from repro.api import QueryEngine
 
 __version__ = "1.0.0"
 
@@ -80,5 +82,6 @@ __all__ = [
     "MonteCarloSimRank",
     "SlingIndex",
     "top_k_similar",
+    "QueryEngine",
     "__version__",
 ]

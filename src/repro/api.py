@@ -1,0 +1,364 @@
+"""`repro.api` — the one-object query facade.
+
+Everything the library can answer about node similarity — single pairs,
+whole candidate sets, top-k search, similarity joins — is reachable through
+one :class:`QueryEngine`.  The engine hides the moving parts the paper's
+Section 4 pipeline needs (walk-index construction, proposal policy, the
+semantic matrix that unlocks the vectorised batch path, estimator choice,
+pruning thresholds) behind a single constructor:
+
+>>> from repro.api import QueryEngine
+>>> from repro.datasets import figure1_network
+>>> data = figure1_network()
+>>> engine = QueryEngine(data.graph, data.measure, method="iterative",
+...                      decay=0.8, max_iterations=3)
+>>> engine.score("John", "Aditi") > engine.score("Bo", "Aditi")
+True
+
+Two methods are available:
+
+* ``method="mc"`` (default) — the scalable path: a
+  :class:`~repro.core.walk_index.WalkIndex` (built in parallel when
+  ``workers`` > 1, bit-identically to a serial build) feeding the
+  Importance-Sampling estimator of Algorithm 1; queries run vectorised
+  over stacked walk arrays.
+* ``method="iterative"`` — the exact fixed-point solver of Section 2.3;
+  queries become table lookups.  Right for small graphs and for checking
+  the MC path.
+
+Every engine owns a private :class:`~repro.core.montecarlo.EstimatorStats`
+(nothing accumulates across engines); ``reset_stats()`` zeroes it between
+measurement windows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.bounds import plan_index
+from repro.core.join import candidate_pairs, similarity_join
+from repro.core.montecarlo import EstimatorStats, MonteCarloSemSim, MonteCarloSimRank
+from repro.core.params import (
+    resolve_legacy_kwargs,
+    validate_decay,
+    validate_length,
+    validate_num_walks,
+    validate_theta,
+    validate_workers,
+)
+from repro.core.semsim import SemSim
+from repro.core.simrank import SimRank
+from repro.core.single_source import batch_similarity
+from repro.core.topk import top_k_similar
+from repro.core.walk_index import WalkIndex, WalkPolicy
+from repro.errors import ConfigurationError
+from repro.hin.graph import HIN, Node
+from repro.semantics.base import SemanticMeasure
+from repro.semantics.cache import MatrixMeasure
+
+__all__ = [
+    "QueryEngine",
+    "EstimatorStats",
+    "WalkPolicy",
+    "batch_similarity",
+    "similarity_join",
+    "top_k_similar",
+]
+
+#: Above this node count ``materialize_semantics="auto"`` stops densifying
+#: the semantic measure (the n×n matrix would dominate memory).
+AUTO_MATERIALIZE_LIMIT = 4096
+
+
+class QueryEngine:
+    """Unified similarity-query facade over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The HIN to query.
+    measure:
+        The semantic measure ``sem``; ``None`` drops the semantic layer and
+        the engine answers plain SimRank queries instead.
+    method:
+        ``"mc"`` (scalable Monte-Carlo over a walk index, the default) or
+        ``"iterative"`` (exact fixed point, table lookups).
+    decay, num_walks, length, theta, seed:
+        The five canonical knobs, validated identically to every
+        underlying engine.  ``num_walks``/``length``/``seed`` only apply to
+        ``method="mc"``; ``theta`` is the MC pruning threshold (``None``
+        disables pruning).
+    policy:
+        MC proposal distribution (:class:`WalkPolicy`).
+    workers:
+        Threads for parallel walk-index construction; results are
+        bit-identical to a serial build for the same seed.
+    materialize_semantics:
+        ``"auto"`` (default), ``True`` or ``False`` — whether to densify
+        *measure* into a :class:`~repro.semantics.cache.MatrixMeasure` in
+        index node order, which is what unlocks the fully vectorised batch
+        path.  ``"auto"`` densifies up to ``AUTO_MATERIALIZE_LIMIT`` nodes.
+    pair_index:
+        Optional SLING-style ``SO`` cache forwarded to the MC estimator.
+    max_iterations, tolerance:
+        Fixed-point controls, only for ``method="iterative"`` (defaults
+        follow :class:`~repro.core.semsim.SemSim`).
+    """
+
+    def __init__(
+        self,
+        graph: HIN,
+        measure: SemanticMeasure | None = None,
+        *,
+        method: str = "mc",
+        decay: float = 0.6,
+        num_walks: int = 150,
+        length: int = 15,
+        theta: float | None = 0.05,
+        seed: int | np.random.Generator | None = None,
+        policy: WalkPolicy = WalkPolicy.UNIFORM,
+        workers: int | None = None,
+        materialize_semantics: bool | str = "auto",
+        pair_index=None,
+        max_iterations: int | None = None,
+        tolerance: float | None = None,
+        **legacy,
+    ) -> None:
+        params = resolve_legacy_kwargs(
+            "QueryEngine",
+            legacy,
+            {
+                "decay": decay,
+                "num_walks": num_walks,
+                "length": length,
+                "theta": theta,
+                "seed": seed,
+            },
+            defaults={
+                "decay": 0.6,
+                "num_walks": 150,
+                "length": 15,
+                "theta": 0.05,
+                "seed": None,
+            },
+        )
+        if method not in ("mc", "iterative"):
+            raise ConfigurationError(
+                f"method must be 'mc' or 'iterative', got {method!r}"
+            )
+        self.graph = graph
+        self.method = method
+        self.decay = validate_decay(params["decay"])
+        self.num_walks = validate_num_walks(params["num_walks"])
+        self.length = validate_length(params["length"])
+        self.theta = validate_theta(params["theta"])
+        self.policy = policy
+        self.workers = validate_workers(workers)
+        self.measure = self._prepare_measure(measure, materialize_semantics)
+
+        self.walk_index: WalkIndex | None = None
+        self._table: SemSim | SimRank | None = None
+        if method == "mc":
+            self.walk_index = WalkIndex(
+                graph,
+                num_walks=self.num_walks,
+                length=self.length,
+                policy=policy,
+                seed=params["seed"],
+                workers=self.workers,
+            )
+            if self.measure is None:
+                self.estimator = MonteCarloSimRank(self.walk_index, decay=self.decay)
+            else:
+                self.estimator = MonteCarloSemSim(
+                    self.walk_index,
+                    self.measure,
+                    decay=self.decay,
+                    theta=self.theta,
+                    pair_index=pair_index,
+                )
+            self.stats = self.estimator.stats
+        else:
+            iterative_kwargs = {}
+            if max_iterations is not None:
+                iterative_kwargs["max_iterations"] = max_iterations
+            if tolerance is not None:
+                iterative_kwargs["tolerance"] = tolerance
+            if self.measure is None:
+                self._table = SimRank(graph, decay=self.decay, **iterative_kwargs)
+            else:
+                self._table = SemSim(
+                    graph, self.measure, decay=self.decay, **iterative_kwargs
+                )
+            self.estimator = self._table
+            self.stats = EstimatorStats()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _prepare_measure(
+        self, measure: SemanticMeasure | None, materialize: bool | str
+    ) -> SemanticMeasure | None:
+        if measure is None:
+            return None
+        if materialize not in (True, False, "auto"):
+            raise ConfigurationError(
+                "materialize_semantics must be True, False or 'auto', "
+                f"got {materialize!r}"
+            )
+        nodes = list(self.graph.nodes())
+        already = isinstance(measure, MatrixMeasure) and measure.nodes == nodes
+        if already or materialize is False:
+            return measure
+        if materialize == "auto" and len(nodes) > AUTO_MATERIALIZE_LIMIT:
+            return measure
+        return MatrixMeasure.from_measure(measure, nodes)
+
+    @classmethod
+    def from_error_target(
+        cls,
+        graph: HIN,
+        measure: SemanticMeasure | None = None,
+        *,
+        epsilon: float = 0.1,
+        delta: float = 0.05,
+        decay: float = 0.6,
+        **kwargs,
+    ) -> "QueryEngine":
+        """Build an MC engine sized by the Prop. 4.2 ``(eps, delta)`` plan.
+
+        ``num_walks`` and ``length`` come from
+        :func:`repro.core.bounds.plan_index`; every other keyword is
+        forwarded to the normal constructor.
+        """
+        num_walks, length = plan_index(decay, epsilon, delta, graph.num_nodes)
+        return cls(
+            graph,
+            measure,
+            method="mc",
+            decay=decay,
+            num_walks=num_walks,
+            length=length,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def score(self, u: Node, v: Node) -> float:
+        """Return ``sim(u, v)`` under the engine's configuration."""
+        if self._table is not None:
+            self.stats.queries += 1
+            return self._table.similarity(u, v)
+        return self.estimator.similarity(u, v)
+
+    def score_batch(self, u: Node, candidates: Sequence[Node]) -> np.ndarray:
+        """Return ``sim(u, v)`` for every candidate in one vectorised pass."""
+        candidates = list(candidates)
+        if self._table is not None:
+            self.stats.queries += len(candidates)
+            self.stats.batch_queries += 1
+            self.stats.batch_pairs += len(candidates)
+            self.stats.vectorized_pairs += len(candidates)
+            matrix = self._table.result.matrix
+            position = self._table._position
+            row = position[u]
+            cols = np.fromiter(
+                (position[v] for v in candidates), dtype=np.int64,
+                count=len(candidates),
+            )
+            return matrix[row, cols].astype(np.float64)
+        return self.estimator.similarity_batch(u, candidates)
+
+    def single_source(
+        self, u: Node, candidates: Sequence[Node] | None = None
+    ) -> dict[Node, float]:
+        """Return ``{v: sim(u, v)}`` for every candidate (default: all)."""
+        if candidates is None:
+            candidates = list(self.graph.nodes())
+        else:
+            candidates = list(candidates)
+        scores = self.score_batch(u, candidates)
+        return {node: float(value) for node, value in zip(candidates, scores)}
+
+    def top_k(
+        self,
+        u: Node,
+        k: int,
+        candidates: Sequence[Node] | None = None,
+        use_semantic_bound: bool = True,
+    ) -> list[tuple[Node, float]]:
+        """Return the *k* nodes most similar to *u*, best first.
+
+        With a semantic measure attached, candidates are scanned in
+        decreasing ``sem`` order and the Prop. 2.5 bound stops the scan
+        early; scoring runs through the batched path either way.
+        """
+        if candidates is None:
+            candidates = list(self.graph.nodes())
+        return top_k_similar(
+            u,
+            candidates,
+            k,
+            measure=self.measure,
+            use_semantic_bound=use_semantic_bound,
+            batch_score=self.score_batch,
+        )
+
+    def join(
+        self,
+        min_score: float,
+        restrict_to: set[Node] | None = None,
+    ) -> list[tuple[Node, Node, float]]:
+        """Return all unordered pairs scoring above *min_score*, best first."""
+        if self._table is not None:
+            return self._join_from_table(min_score, restrict_to)
+        return similarity_join(self.estimator, min_score, restrict_to=restrict_to)
+
+    def _join_from_table(
+        self, min_score: float, restrict_to: set[Node] | None
+    ) -> list[tuple[Node, Node, float]]:
+        if not 0 < min_score <= 1:
+            raise ConfigurationError(
+                f"min_score must lie in (0, 1], got {min_score!r}"
+            )
+        table = self._table
+        matrix = table.result.matrix
+        nodes = table.result.nodes
+        allowed = None
+        if restrict_to is not None:
+            allowed = {table._position[node] for node in restrict_to}
+        rows, cols = np.nonzero(np.triu(matrix > min_score, k=1))
+        results = []
+        for i, j in zip(rows, cols):
+            if allowed is not None and (int(i) not in allowed or int(j) not in allowed):
+                continue
+            results.append((nodes[int(i)], nodes[int(j)], float(matrix[i, j])))
+        results.sort(key=lambda row: (-row[2], str(row[0]), str(row[1])))
+        return results
+
+    def candidate_pairs(self, restrict_to: set[Node] | None = None):
+        """Yield the non-zero-score candidate pairs of the MC walk index."""
+        if self.walk_index is None:
+            raise ConfigurationError(
+                "candidate_pairs requires method='mc' (a walk index)"
+            )
+        return candidate_pairs(self.walk_index, restrict_to=restrict_to)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero this engine's work counters in place."""
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        backend = (
+            repr(self.walk_index) if self.walk_index is not None else repr(self._table)
+        )
+        return (
+            f"QueryEngine(method={self.method!r}, decay={self.decay}, "
+            f"theta={self.theta}, backend={backend})"
+        )

@@ -21,13 +21,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import (
-    MonteCarloSemSim,
-    SemSim,
-    SimRank,
-    WalkIndex,
-    top_k_similar,
-)
+from repro.api import QueryEngine
+from repro.core import SemSim, SimRank
 from repro.core.decay import decay_contraction_bound, decay_paper_bound
 from repro.datasets import (
     aminer_like,
@@ -37,6 +32,7 @@ from repro.datasets import (
     wordnet_like,
 )
 from repro.datasets.io import load_bundle_json, save_bundle_json
+from repro.errors import ConfigurationError
 
 GENERATORS = {
     "aminer": aminer_like,
@@ -81,17 +77,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if node not in bundle.graph:
             print(f"error: node {node!r} is not in the bundle", file=sys.stderr)
             return 2
-    if args.method == "iterative":
-        semsim = SemSim(bundle.graph, bundle.measure, decay=args.decay)
-        value = semsim.similarity(u, v)
-    else:
-        index = WalkIndex(
-            bundle.graph, num_walks=args.walks, length=args.length, seed=args.seed
-        )
-        estimator = MonteCarloSemSim(
-            index, bundle.measure, decay=args.decay, theta=args.theta
-        )
-        value = estimator.similarity(u, v)
+    engine = QueryEngine(
+        bundle.graph,
+        bundle.measure,
+        method=args.method,
+        decay=args.decay,
+        num_walks=args.walks,
+        length=args.length,
+        theta=args.theta,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    value = engine.score(u, v)
     simrank = SimRank(bundle.graph, decay=args.decay)
     print(f"sem({u}, {v})     = {bundle.measure.similarity(u, v):.6f}")
     print(f"semsim({u}, {v})  = {value:.6f}   [{args.method}]")
@@ -104,11 +101,18 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     if args.node not in bundle.graph:
         print(f"error: node {args.node!r} is not in the bundle", file=sys.stderr)
         return 2
-    engine = SemSim(bundle.graph, bundle.measure, decay=args.decay)
-    results = top_k_similar(
-        args.node, bundle.entity_nodes, args.k, engine.similarity,
-        measure=bundle.measure,
+    engine = QueryEngine(
+        bundle.graph,
+        bundle.measure,
+        method=args.method,
+        decay=args.decay,
+        num_walks=args.walks,
+        length=args.length,
+        theta=args.theta,
+        seed=args.seed,
+        workers=args.workers,
     )
+    results = engine.top_k(args.node, args.k, candidates=bundle.entity_nodes)
     print(f"top-{args.k} most similar to {args.node}:")
     for node, score in results:
         print(f"  {node:<24} {score:.6f}")
@@ -145,23 +149,32 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(func=_cmd_generate)
 
+    def add_engine_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--method", choices=["iterative", "mc"], default="iterative"
+        )
+        command.add_argument("--decay", type=float, default=0.6)
+        command.add_argument("--walks", type=int, default=150)
+        command.add_argument("--length", type=int, default=15)
+        command.add_argument("--theta", type=float, default=0.05)
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--workers", type=int, default=None,
+            help="threads for parallel walk-index construction (mc only)",
+        )
+
     query = commands.add_parser("query", help="score a single node pair")
     query.add_argument("bundle", help="bundle JSON path")
     query.add_argument("u")
     query.add_argument("v")
-    query.add_argument("--method", choices=["iterative", "mc"], default="iterative")
-    query.add_argument("--decay", type=float, default=0.6)
-    query.add_argument("--walks", type=int, default=150)
-    query.add_argument("--length", type=int, default=15)
-    query.add_argument("--theta", type=float, default=0.05)
-    query.add_argument("--seed", type=int, default=0)
+    add_engine_options(query)
     query.set_defaults(func=_cmd_query)
 
     topk = commands.add_parser("topk", help="top-k similarity search")
     topk.add_argument("bundle", help="bundle JSON path")
     topk.add_argument("node")
     topk.add_argument("-k", type=int, default=10)
-    topk.add_argument("--decay", type=float, default=0.6)
+    add_engine_options(topk)
     topk.set_defaults(func=_cmd_topk)
 
     info = commands.add_parser("info", help="describe a saved bundle")
@@ -174,7 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

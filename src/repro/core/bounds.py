@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 
+from repro.core.params import validate_decay
 from repro.errors import ConfigurationError
 
 
@@ -31,8 +32,7 @@ def required_truncation(decay: float, epsilon: float) -> int:
     >>> required_truncation(0.6, 0.05)
     8
     """
-    if not 0 < decay < 1:
-        raise ConfigurationError(f"decay must lie in (0, 1), got {decay!r}")
+    decay = validate_decay(decay)
     if not 0 < epsilon < 1:
         raise ConfigurationError(f"epsilon must lie in (0, 1), got {epsilon!r}")
     return max(1, math.ceil(math.log(epsilon / 2.0, decay)))

@@ -26,6 +26,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.montecarlo import MonteCarloSemSim, MonteCarloSimRank
+from repro.core.single_source import batch_similarity
 from repro.core.walk_index import WalkIndex
 from repro.errors import ConfigurationError
 from repro.hin.graph import Node
@@ -82,13 +83,19 @@ def similarity_join(
     if not 0 < min_score <= 1:
         raise ConfigurationError(f"min_score must lie in (0, 1], got {min_score!r}")
     walk_index = estimator.walk_index
-    results: list[tuple[Node, Node, float]] = []
     semantic_gate = getattr(estimator, "measure", None)
+    survivors: list[tuple[Node, Node]] = []
     for u, v in candidate_pairs(walk_index, restrict_to=restrict_to):
         if semantic_gate is not None and semantic_gate.similarity(u, v) <= min_score:
             continue  # Prop. 2.5: sim <= sem <= threshold
-        score = estimator.similarity(u, v)
-        if score > min_score:
-            results.append((u, v, score))
+        survivors.append((u, v))
+    # Score every surviving candidate through the batched query path
+    # (grouped by first node — one stacked-array pass per group).
+    scores = batch_similarity(estimator, survivors)
+    results = [
+        (u, v, score)
+        for (u, v), score in zip(survivors, scores)
+        if score > min_score
+    ]
     results.sort(key=lambda row: (-row[2], str(row[0]), str(row[1])))
     return results

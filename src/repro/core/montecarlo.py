@@ -22,6 +22,16 @@ Pruning (Section 4.4) applies two cuts, each bounding the error by θ:
   factor is ≤ θ-tested), so once it drops to ≤ θ the walk's final value is
   frozen there (Def. 4.5).
 
+Both estimators expose a **batched query path**
+(:meth:`MonteCarloSemSim.similarity_batch`): a whole candidate set
+``{(u, v_i)}`` is estimated in one numpy pass — first-meeting detection,
+likelihood-ratio products and the θ walk-cut all run on stacked
+``(num_pairs, num_walks, length)`` arrays instead of per-pair
+``similarity()`` calls.  The batch path reproduces the scalar path's
+arithmetic operation-for-operation, so the two agree to float precision;
+when it cannot run vectorised (no dense semantic matrix is available) it
+falls back to scalar queries and counts the fallback in the stats.
+
 A note on the paper's Algorithm 1 listing: it accumulates ``Pw`` and ``Qw``
 cumulatively *and* multiplies ``Pw/Qw`` into ``sim_w`` at every step, which
 would square earlier step ratios.  We implement the intent defined by
@@ -32,18 +42,58 @@ estimator unbiased (verified statistically in the tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-import numpy as np
+from typing import Sequence
 
-from repro.errors import ConfigurationError
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.params import (
+    resolve_legacy_kwargs,
+    validate_decay,
+    validate_theta,
+)
+from repro.core.walk_index import WalkIndex, WalkPolicy
 from repro.hin.graph import Node
-from repro.core.walk_index import WalkIndex
 from repro.semantics.base import SemanticMeasure
 from repro.semantics.cache import MatrixMeasure
 
 
 @dataclass
 class EstimatorStats:
-    """Work counters for one estimator instance (used by the benchmarks)."""
+    """Work counters for one estimator instance.
+
+    Stats are **per engine**: every estimator (and every
+    :class:`repro.api.QueryEngine`) owns a fresh instance, so counters
+    never leak across reused components; call :meth:`reset` to zero an
+    instance in place between measurement windows.
+
+    Counters
+    --------
+    queries:
+        Pairs scored, through either the scalar or the batch path
+        (identity pairs included).
+    walks_examined:
+        Coupled walks whose meeting status was checked.
+    walks_met:
+        Coupled walks that met and therefore paid the IS correction.
+    walks_pruned:
+        Met walks frozen early by the θ walk-cut (Def. 4.5).
+    so_evaluations:
+        ``SO(u, v)`` denominators computed from scratch.  The batch path
+        deduplicates identical ``(u, v)`` step pairs before evaluating, so
+        this can be far below the scalar path's count for the same work.
+    sem_gate_hits:
+        Pairs short-circuited to 0 by the Prop. 2.5 semantic gate.
+    batch_queries:
+        Calls to a ``similarity_batch`` entry point.
+    batch_pairs:
+        Total pairs submitted through ``similarity_batch``.
+    vectorized_pairs:
+        Batch pairs scored on the stacked-array fast path.
+    scalar_fallbacks:
+        Batch pairs that fell back to per-pair ``similarity()`` calls
+        (no dense semantic matrix available).
+    """
 
     queries: int = 0
     walks_examined: int = 0
@@ -51,16 +101,26 @@ class EstimatorStats:
     walks_pruned: int = 0
     so_evaluations: int = 0
     sem_gate_hits: int = 0
+    batch_queries: int = 0
+    batch_pairs: int = 0
+    vectorized_pairs: int = 0
+    scalar_fallbacks: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
 
 
 class MonteCarloSimRank:
     """Classical MC SimRank over a :class:`WalkIndex` (Section 4.1)."""
 
-    def __init__(self, walk_index: WalkIndex, decay: float = 0.6) -> None:
-        if not 0 < decay < 1:
-            raise ConfigurationError(f"decay must lie in (0, 1), got {decay!r}")
+    def __init__(self, walk_index: WalkIndex, decay: float = 0.6, **legacy) -> None:
+        params = resolve_legacy_kwargs(
+            "MonteCarloSimRank", legacy, {"decay": decay}, defaults={"decay": 0.6}
+        )
         self.walk_index = walk_index
-        self.decay = decay
+        self.decay = validate_decay(params["decay"])
         self.stats = EstimatorStats()
 
     def similarity(self, u: Node, v: Node) -> float:
@@ -75,6 +135,30 @@ class MonteCarloSimRank:
         if met.size == 0:
             return 0.0
         return float(np.sum(self.decay ** met) / self.walk_index.num_walks)
+
+    def similarity_batch(
+        self, u: Node, candidates: Sequence[Node]
+    ) -> np.ndarray:
+        """Estimate ``sim(u, v)`` for every candidate in one numpy pass."""
+        m = len(candidates)
+        self.stats.batch_queries += 1
+        self.stats.batch_pairs += m
+        self.stats.vectorized_pairs += m
+        self.stats.queries += m
+        if m == 0:
+            return np.empty(0, dtype=np.float64)
+        index = self.walk_index
+        meetings = index.first_meetings_batch(u, candidates)  # (m, n_w)
+        positions = index.node_positions(candidates)
+        identity = positions == index.node_position(u)
+        self.stats.walks_examined += int((~identity).sum()) * index.num_walks
+        met = meetings >= 0
+        met[identity] = False
+        self.stats.walks_met += int(met.sum())
+        contrib = np.where(met, self.decay ** np.maximum(meetings, 0), 0.0)
+        scores = contrib.sum(axis=1) / index.num_walks
+        scores[identity] = 1.0
+        return scores
 
 
 class MonteCarloSemSim:
@@ -106,15 +190,18 @@ class MonteCarloSemSim:
         decay: float = 0.6,
         theta: float | None = 0.05,
         pair_index: "SupportsSoLookup | None" = None,
+        **legacy,
     ) -> None:
-        if not 0 < decay < 1:
-            raise ConfigurationError(f"decay must lie in (0, 1), got {decay!r}")
-        if theta is not None and not 0 <= theta <= 1:
-            raise ConfigurationError(f"theta must lie in [0, 1], got {theta!r}")
+        params = resolve_legacy_kwargs(
+            "MonteCarloSemSim",
+            legacy,
+            {"decay": decay, "theta": theta},
+            defaults={"decay": 0.6, "theta": 0.05},
+        )
         self.walk_index = walk_index
         self.measure = measure
-        self.decay = decay
-        self.theta = theta
+        self.decay = validate_decay(params["decay"])
+        self.theta = validate_theta(params["theta"])
         self.pair_index = pair_index
         self.stats = EstimatorStats()
         graph_index = walk_index.index
@@ -127,10 +214,24 @@ class MonteCarloSemSim:
             for v in range(graph_index.num_nodes)
         ]
         # Fast path: a MatrixMeasure whose node order matches the index lets
-        # the O(d²) SO sum collapse to one vectorised bilinear form.
+        # the O(d²) SO sum collapse to one vectorised bilinear form, and is
+        # what unlocks the fully vectorised batch path below.
         self._sem_matrix: np.ndarray | None = None
         if isinstance(measure, MatrixMeasure) and measure.nodes == list(self._nodes):
             self._sem_matrix = measure.matrix
+        # Lazy batch lookup tables (edge-weight keys, Q normalisers) and
+        # SO caches: the dense matrix for the MatrixMeasure fast path (built
+        # once as W sem Wᵀ, read by scalar and batch alike so the two paths
+        # always see bit-identical denominators), the dict for lazy measures.
+        self._edge_keys: np.ndarray | None = None
+        self._edge_weights: np.ndarray | None = None
+        self._so_matrix: np.ndarray | None = None
+        self._so_cache: dict[tuple[int, int], float] = {}
+        # Per-(node, walk, step) edge weight and proposal probability along
+        # the stored walks — the walks never change, so these are gathered
+        # once and reused by every batch query.
+        self._step_weights: np.ndarray | None = None
+        self._step_q: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -155,6 +256,57 @@ class MonteCarloSemSim:
                 walks_u[walk_id], walks_v[walk_id], int(meetings[walk_id])
             )
         return sem_uv * total / self.walk_index.num_walks
+
+    def similarity_batch(
+        self, u: Node, candidates: Sequence[Node]
+    ) -> np.ndarray:
+        """Estimate ``sim(u, v_i)`` for a whole candidate set in one pass.
+
+        Agrees with per-candidate :meth:`similarity` calls to float
+        precision (the arithmetic is replayed in the same operation order
+        on stacked arrays).  Requires a dense semantic matrix to run
+        vectorised — built automatically when *measure* is a
+        :class:`~repro.semantics.cache.MatrixMeasure` in index node order;
+        otherwise every pair falls back to the scalar path (counted in
+        ``stats.scalar_fallbacks``).
+        """
+        m = len(candidates)
+        self.stats.batch_queries += 1
+        self.stats.batch_pairs += m
+        if m == 0:
+            return np.empty(0, dtype=np.float64)
+        if self._sem_matrix is None:
+            self.stats.scalar_fallbacks += m
+            return np.array(
+                [self.similarity(u, v) for v in candidates], dtype=np.float64
+            )
+        self.stats.vectorized_pairs += m
+        self.stats.queries += m
+
+        index = self.walk_index
+        pos_u = index.node_position(u)
+        positions = index.node_positions(candidates)
+        scores = np.zeros(m, dtype=np.float64)
+
+        identity = positions == pos_u
+        scores[identity] = 1.0
+
+        sem_row = self._sem_matrix[pos_u, positions]
+        if self.theta is not None:
+            gated = (sem_row <= self.theta) & ~identity
+            self.stats.sem_gate_hits += int(gated.sum())
+        else:
+            gated = np.zeros(m, dtype=bool)
+        active = ~identity & ~gated
+        active_idx = np.flatnonzero(active)
+        if active_idx.size == 0:
+            return scores
+        self.stats.walks_examined += int(active_idx.size) * index.num_walks
+
+        meetings = index.first_meetings_batch(u, positions[active_idx])
+        totals = self._batch_walk_scores(pos_u, positions[active_idx], meetings)
+        scores[active_idx] = sem_row[active_idx] * totals / index.num_walks
+        return scores
 
     def similarity_with_interval(
         self, u: Node, v: Node, z: float = 1.96
@@ -190,7 +342,7 @@ class MonteCarloSemSim:
         return estimate, float(half_width)
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals — scalar path
     # ------------------------------------------------------------------
     def _walk_score(self, walk_u: np.ndarray, walk_v: np.ndarray, meeting: int) -> float:
         """Likelihood-ratio score of one met coupled walk (Def. 4.5)."""
@@ -229,13 +381,13 @@ class MonteCarloSemSim:
             if cached is not None:
                 return cached
         self.stats.so_evaluations += 1
+        if self._sem_matrix is not None:
+            self._ensure_so_matrix()
+            return float(self._so_matrix[pos_u, pos_v])
         neighbours_u = self._in_lists[pos_u]
         neighbours_v = self._in_lists[pos_v]
         weights_u = self._in_weights[pos_u]
         weights_v = self._in_weights[pos_v]
-        if self._sem_matrix is not None:
-            block = self._sem_matrix[np.ix_(neighbours_u, neighbours_v)]
-            return float(weights_u @ block @ weights_v)
         total = 0.0
         nodes = self._nodes
         similarity = self.measure.similarity
@@ -244,6 +396,217 @@ class MonteCarloSemSim:
             for b, wb in zip(neighbours_v, weights_v):
                 total += wa * wb * similarity(node_a, nodes[int(b)])
         return float(total)
+
+    # ------------------------------------------------------------------
+    # Internals — vectorised batch path
+    # ------------------------------------------------------------------
+    def _ensure_so_matrix(self) -> None:
+        """Materialise all SO denominators at once: ``SO = W sem Wᵀ``.
+
+        ``W`` is the sparse in-weight matrix (``W[v, a] = W(a, v)``), so the
+        build costs O(nnz · n) — negligible next to the n² semantic matrix
+        that gates this path.  One shared table keeps the scalar and batch
+        paths bit-identical.
+        """
+        if self._so_matrix is not None or self._sem_matrix is None:
+            return
+        n = len(self._nodes)
+        rows = np.concatenate(
+            [np.full(self._in_lists[v].size, v, dtype=np.int64) for v in range(n)]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        cols = (
+            np.concatenate([lst for lst in self._in_lists])
+            if n
+            else np.empty(0, dtype=np.int64)
+        )
+        data = (
+            np.concatenate([w for w in self._in_weights])
+            if n
+            else np.empty(0, dtype=np.float64)
+        )
+        weight_matrix = sp.csr_matrix(
+            (data.astype(np.float64), (rows, cols.astype(np.int64))), shape=(n, n)
+        )
+        left = np.asarray(weight_matrix @ self._sem_matrix)          # W sem
+        self._so_matrix = np.asarray(weight_matrix @ left.T).T       # W sem Wᵀ
+
+    def _ensure_step_tables(self) -> None:
+        """Precompute ``W`` and ``Q`` for every stored walk step.
+
+        ``_step_weights[v, w, s]`` is the edge weight of walk *w* of node
+        *v* at step *s* (0 where the walk has ended) and ``_step_q`` the
+        matching proposal probability.  Values are produced by the exact
+        same lookups the per-query path used, so gathering from these
+        tables is bit-identical to recomputing them.
+        """
+        if self._step_weights is not None:
+            return
+        walks = self.walk_index.walks
+        current = walks[:, :, :-1].astype(np.int64)
+        nxt = walks[:, :, 1:].astype(np.int64)
+        valid = (current >= 0) & (nxt >= 0)
+        cur0 = np.where(valid, current, 0)
+        nxt0 = np.where(valid, nxt, 0)
+        weights = self._edge_weight_lookup(cur0, nxt0)
+        q = self._q_probability_lookup(cur0, weights)
+        self._step_weights = np.where(valid, weights, 0.0)
+        self._step_q = np.where(valid, q, 0.0)
+
+    def _ensure_edge_tables(self) -> None:
+        """Build the sorted ``(current, next) -> W(next, current)`` table.
+
+        Edge weights are keyed by ``current * n + next`` into one globally
+        sorted int64 array, so looking up the weight of every step of every
+        stacked walk is a single ``searchsorted``.
+        """
+        if self._edge_keys is not None:
+            return
+        n = len(self._nodes)
+        keys = []
+        weights = []
+        for v in range(n):
+            neighbours = self._in_lists[v]
+            if neighbours.size:
+                keys.append(v * np.int64(n) + neighbours.astype(np.int64))
+                weights.append(self._in_weights[v].astype(np.float64))
+        if keys:
+            all_keys = np.concatenate(keys)
+            all_weights = np.concatenate(weights)
+            order = np.argsort(all_keys)
+            self._edge_keys = all_keys[order]
+            self._edge_weights = all_weights[order]
+        else:
+            self._edge_keys = np.empty(0, dtype=np.int64)
+            self._edge_weights = np.empty(0, dtype=np.float64)
+
+    def _edge_weight_lookup(self, current: np.ndarray, chosen: np.ndarray) -> np.ndarray:
+        """Vectorised ``W(chosen, current)`` for aligned index arrays."""
+        self._ensure_edge_tables()
+        n = len(self._nodes)
+        queries = current.astype(np.int64) * np.int64(n) + chosen.astype(np.int64)
+        position = np.searchsorted(self._edge_keys, queries)
+        position = np.minimum(position, max(self._edge_keys.size - 1, 0))
+        hit = (
+            self._edge_keys[position] == queries
+            if self._edge_keys.size
+            else np.zeros(queries.shape, dtype=bool)
+        )
+        return np.where(hit, self._edge_weights[position], 0.0)
+
+    def _q_probability_lookup(
+        self, current: np.ndarray, edge_weight: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised ``Q[current -> chosen]`` (edge weight already known)."""
+        tables = self.walk_index.tables
+        degrees = tables.degrees[current]
+        if self.walk_index.policy is WalkPolicy.UNIFORM:
+            with np.errstate(divide="ignore"):
+                return np.where(degrees > 0, 1.0 / degrees, 0.0)
+        sums = tables.weight_sums[current]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(sums > 0, edge_weight / sums, 0.0)
+
+    def _batch_walk_scores(
+        self, pos_u: int, positions: np.ndarray, meetings: np.ndarray
+    ) -> np.ndarray:
+        """Sum of per-walk likelihood-ratio scores for each candidate.
+
+        *meetings* is the ``(m, num_walks)`` first-meeting array for
+        ``(pos_u, positions[i])``; the return value's entry *i* equals the
+        scalar path's ``sum_w _walk_score(...)`` for candidate *i*.
+        """
+        m = positions.size
+        totals = np.zeros(m, dtype=np.float64)
+        rows_pair, rows_walk = np.nonzero(meetings >= 1)
+        n_rows = rows_pair.size
+        self.stats.walks_met += n_rows
+        if n_rows == 0:
+            return totals
+        walks = self.walk_index.walks
+        max_k = int(meetings.max())
+        walk_u = walks[pos_u][rows_walk, : max_k + 1].astype(np.int64)  # (R, K+1)
+        walk_v = walks[positions[rows_pair], rows_walk][:, : max_k + 1].astype(np.int64)
+        met_at = meetings[rows_pair, rows_walk]                         # (R,)
+        step_ids = np.arange(max_k)
+        active = step_ids[None, :] < met_at[:, None]                    # (R, K)
+
+        cu = np.where(active, walk_u[:, :max_k], 0)
+        cv = np.where(active, walk_v[:, :max_k], 0)
+        nu = np.where(active, walk_u[:, 1 : max_k + 1], 0)
+        nv = np.where(active, walk_v[:, 1 : max_k + 1], 0)
+
+        # P numerator, replaying the scalar operation order exactly:
+        # (sem(nu, nv) * W(nu -> cu)) * W(nv -> cv).  W and Q come from the
+        # precomputed per-step tables (identical floats, no lookups).
+        self._ensure_step_tables()
+        w_u = np.where(active, self._step_weights[pos_u, rows_walk][:, :max_k], 0.0)
+        w_v = np.where(
+            active,
+            self._step_weights[positions[rows_pair], rows_walk][:, :max_k],
+            0.0,
+        )
+        numerator = self._sem_matrix[nu, nv] * w_u * w_v
+
+        # SO denominators.  Without a pair_index every value comes straight
+        # from the precomputed SO matrix (one fancy-indexing gather, and the
+        # same table the scalar path reads).  With a pair_index, deduplicate
+        # identical (cu, cv) step pairs and route each through the scalar
+        # helper so the index is consulted exactly as in the scalar path.
+        so = np.ones_like(numerator)
+        if self.pair_index is None:
+            self._ensure_so_matrix()
+            self.stats.so_evaluations += int(active.sum())
+            so[active] = self._so_matrix[cu[active], cv[active]]
+        else:
+            pair_keys = cu * np.int64(len(self._nodes)) + cv
+            unique_keys, inverse = np.unique(
+                pair_keys[active], return_inverse=True
+            )
+            unique_so = np.empty(unique_keys.size, dtype=np.float64)
+            n = len(self._nodes)
+            for j, key in enumerate(unique_keys):
+                pair = (int(key) // n, int(key) % n)
+                cached = self._so_cache.get(pair)
+                if cached is None:
+                    cached = self._so_denominator(*pair)
+                    self._so_cache[pair] = cached
+                unique_so[j] = cached
+            so[active] = unique_so[inverse]
+
+        q_u = np.where(active, self._step_q[pos_u, rows_walk][:, :max_k], 0.0)
+        q_v = np.where(
+            active, self._step_q[positions[rows_pair], rows_walk][:, :max_k], 0.0
+        )
+        q_step = q_u * q_v
+
+        # Per-step factor (p_step * c) / q_step, 1 on inactive steps and 0
+        # where the scalar path would bail out (so <= 0 or q <= 0).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            factor = (numerator / so) * self.decay / q_step
+        bad = (so <= 0) | (q_step <= 0)
+        factor = np.where(active & ~bad, factor, np.where(active, 0.0, 1.0))
+
+        running = np.cumprod(factor, axis=1)                            # (R, K)
+        last = running[np.arange(n_rows), met_at - 1]
+        if self.theta is None:
+            totals_rows = last
+        else:
+            cut = (running <= self.theta) & active
+            cut_anywhere = cut.any(axis=1)
+            first_cut = cut.argmax(axis=1)
+            totals_rows = np.where(
+                cut_anywhere, running[np.arange(n_rows), first_cut], last
+            )
+            # Scalar bookkeeping: a bail-out (so/q <= 0) returns without
+            # counting as pruned; a genuine θ freeze does.
+            bailed = (bad & active)[np.arange(n_rows), first_cut]
+            self.stats.walks_pruned += int((cut_anywhere & ~bailed).sum())
+        # Accumulate per candidate in walk order (bincount adds in element
+        # order, matching the scalar loop's summation sequence).
+        return np.bincount(rows_pair, weights=totals_rows, minlength=m).astype(
+            np.float64
+        )
 
 
 class SupportsSoLookup:

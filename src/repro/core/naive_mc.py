@@ -18,7 +18,12 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.core.params import (
+    resolve_legacy_kwargs,
+    validate_decay,
+    validate_length,
+    validate_num_walks,
+)
 from repro.hin.graph import HIN, Node
 from repro.hin.pair_graph import Pair
 from repro.core.sarw import CoupledWalk, SemanticAwareWalker
@@ -36,17 +41,20 @@ class NaivePairSampler:
         num_walks: int = 150,
         length: int = 15,
         seed: int | np.random.Generator | None = None,
+        **legacy,
     ) -> None:
-        if not 0 < decay < 1:
-            raise ConfigurationError(f"decay must lie in (0, 1), got {decay!r}")
-        if num_walks < 1:
-            raise ConfigurationError(f"num_walks must be >= 1, got {num_walks!r}")
+        params = resolve_legacy_kwargs(
+            "NaivePairSampler",
+            legacy,
+            {"decay": decay, "num_walks": num_walks, "length": length, "seed": seed},
+            defaults={"decay": 0.6, "num_walks": 150, "length": 15, "seed": None},
+        )
         self.graph = graph
         self.measure = measure
-        self.decay = decay
-        self.num_walks = num_walks
-        self.length = length
-        self._walker = SemanticAwareWalker(graph, measure, seed=seed)
+        self.decay = validate_decay(params["decay"])
+        self.num_walks = validate_num_walks(params["num_walks"])
+        self.length = validate_length(params["length"])
+        self._walker = SemanticAwareWalker(graph, measure, seed=params["seed"])
         self._samples: dict[Pair, list[CoupledWalk]] = {}
 
     def presample(self, pairs: Iterable[Pair]) -> None:

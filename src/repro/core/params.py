@@ -1,0 +1,132 @@
+"""Shared constructor-parameter validation and legacy keyword shims.
+
+Every engine in the library takes some subset of the same five knobs —
+``decay`` (the SimRank/SemSim decay factor ``c``), ``num_walks`` (MC sample
+size ``n_w``), ``length`` (walk truncation ``t``), ``theta`` (the pruning /
+semantic threshold of Section 4.4) and ``seed`` (RNG seeding).  Historically
+a few constructors spelled these differently (``sem_threshold`` on
+:class:`~repro.core.sling.SlingIndex`, ``walks`` on the CLI, ...).  This
+module centralises
+
+* the **validators**, so an out-of-range value raises the *same*
+  :class:`~repro.errors.ConfigurationError` message no matter which engine
+  rejected it, and
+* the **deprecation shims**: old keyword spellings keep working everywhere
+  but emit a :class:`DeprecationWarning` naming the canonical keyword.
+
+Engines accept the legacy spellings via ``**legacy`` catch-all kwargs and
+call :func:`resolve_legacy_kwargs` first thing in ``__init__``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Legacy keyword -> canonical keyword, shared by every engine constructor.
+LEGACY_ALIASES: dict[str, str] = {
+    # decay factor c
+    "c": "decay",
+    "decay_factor": "decay",
+    # MC sample size n_w
+    "walks": "num_walks",
+    "n_walks": "num_walks",
+    "sample_size": "num_walks",
+    # walk truncation t
+    "walk_length": "length",
+    "t": "length",
+    # pruning / semantic threshold
+    "sem_threshold": "theta",
+    "prune_threshold": "theta",
+    # RNG seeding
+    "rng": "seed",
+    "random_state": "seed",
+}
+
+
+def resolve_legacy_kwargs(
+    owner: str,
+    legacy: dict[str, object],
+    current: dict[str, object],
+    defaults: dict[str, object] | None = None,
+) -> dict[str, object]:
+    """Fold deprecated keyword spellings into their canonical names.
+
+    *legacy* is the ``**legacy`` catch-all of an engine constructor;
+    *current* maps canonical keyword names to the values the caller passed
+    (or defaults); *defaults* maps canonical names to the constructor's
+    signature defaults.  Returns *current* updated in place: each
+    recognised alias fills in its canonical entry and emits a
+    :class:`DeprecationWarning`; unknown keywords raise ``TypeError`` just
+    like a normal unexpected-keyword error would.  Passing an alias
+    alongside a canonical keyword that was explicitly set to a *different*
+    value raises ``TypeError`` rather than silently picking one.
+    """
+    for name, value in legacy.items():
+        canonical = LEGACY_ALIASES.get(name)
+        if canonical is None or canonical not in current:
+            raise TypeError(
+                f"{owner}.__init__() got an unexpected keyword argument {name!r}"
+            )
+        if (
+            defaults is not None
+            and canonical in defaults
+            and current[canonical] != defaults[canonical]
+            and current[canonical] != value
+        ):
+            raise TypeError(
+                f"{owner}.__init__() got both {canonical!r} and its "
+                f"deprecated alias {name!r} with conflicting values"
+            )
+        warnings.warn(
+            f"{owner}: keyword {name!r} is deprecated, use {canonical!r}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        current[canonical] = value
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Validators — one error message per parameter, shared by all engines.
+# ---------------------------------------------------------------------------
+
+def validate_decay(value: float) -> float:
+    """Validate the decay factor ``c`` (must lie strictly inside (0, 1))."""
+    if not 0 < value < 1:
+        raise ConfigurationError(f"decay must lie in (0, 1), got {value!r}")
+    return float(value)
+
+
+def validate_num_walks(value: int) -> int:
+    """Validate the MC sample size ``n_w`` (must be >= 1)."""
+    if value < 1:
+        raise ConfigurationError(f"num_walks must be >= 1, got {value!r}")
+    return int(value)
+
+
+def validate_length(value: int) -> int:
+    """Validate the walk truncation ``t`` (must be >= 1)."""
+    if value < 1:
+        raise ConfigurationError(f"length must be >= 1, got {value!r}")
+    return int(value)
+
+
+def validate_theta(value: float | None) -> float | None:
+    """Validate the pruning threshold θ (``None`` disables pruning)."""
+    if value is not None and not 0 <= value <= 1:
+        raise ConfigurationError(f"theta must lie in [0, 1], got {value!r}")
+    return None if value is None else float(value)
+
+
+def validate_workers(value: int | None) -> int | None:
+    """Validate a worker count (``None`` = serial; otherwise >= 1)."""
+    if value is not None and value < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {value!r}")
+    return value
+
+
+SeedLike = "int | np.random.Generator | None"

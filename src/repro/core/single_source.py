@@ -4,11 +4,10 @@
 top-k search, link prediction and entity resolution.  Three strategies:
 
 * :func:`single_source_mc` — couples the query node's pre-sampled walks
-  against every candidate's walks.  The meeting detection is one vectorised
-  numpy comparison against the whole walk tensor, so the per-candidate cost
-  of the *SimRank part* is O(n_w · t) array work; the SemSim IS correction
-  then runs only for candidates whose walks actually met (usually a small
-  fraction), and the Prop. 2.5 semantic gate skips candidates outright.
+  against every candidate's walks through the estimator's batched query
+  path: one stacked-array pass detects every meeting, the IS correction
+  runs vectorised over the met walks only, and the Prop. 2.5 semantic gate
+  skips candidates outright.
 * :func:`single_source_exact` — one linear solve over the pair graph
   restricted to states reachable from ``{u} × V`` (exact, quadratic
   memory; small graphs only).
@@ -19,8 +18,6 @@ top-k search, link prediction and entity resolution.  Three strategies:
 from __future__ import annotations
 
 from typing import Iterable, Sequence
-
-import numpy as np
 
 from repro.core.montecarlo import MonteCarloSemSim
 from repro.core.pair_engine import semsim_via_pair_graph
@@ -36,41 +33,19 @@ def single_source_mc(
 ) -> dict[Node, float]:
     """Estimate ``sim(query, v)`` for every candidate via the walk index.
 
-    The fast path first finds, in one vectorised pass per candidate block,
-    which coupled walks meet at all; only met walks pay the IS correction.
-    With pruning enabled on *estimator*, candidates below the semantic
-    threshold are gated to 0 without touching their walks (Prop. 2.5).
+    A thin wrapper over the estimator's batched query path: first-meeting
+    detection, likelihood-ratio products and the θ walk-cut all run on
+    stacked arrays (see :meth:`MonteCarloSemSim.similarity_batch`).  With
+    pruning enabled on *estimator*, candidates below the semantic threshold
+    are gated to 0 without touching their walks (Prop. 2.5).
     """
     index = estimator.walk_index
     if candidates is None:
         candidates = list(index.index.nodes)
-    walks_q = index.walks_from(query)
-
-    scores: dict[Node, float] = {}
-    for candidate in candidates:
-        if candidate == query:
-            scores[candidate] = 1.0
-            continue
-        sem = estimator.measure.similarity(query, candidate)
-        if estimator.theta is not None and sem <= estimator.theta:
-            scores[candidate] = 0.0
-            continue
-        walks_c = index.walks_from(candidate)
-        alive = (walks_q >= 0) & (walks_c >= 0)
-        same = (walks_q == walks_c) & alive
-        same[:, 0] = False
-        met_rows = np.flatnonzero(same.any(axis=1))
-        if met_rows.size == 0:
-            scores[candidate] = 0.0
-            continue
-        meetings = same[met_rows].argmax(axis=1)
-        total = 0.0
-        for row, meeting in zip(met_rows, meetings):
-            total += estimator._walk_score(
-                walks_q[row], walks_c[row], int(meeting)
-            )
-        scores[candidate] = sem * total / index.num_walks
-    return scores
+    else:
+        candidates = list(candidates)
+    scores = estimator.similarity_batch(query, candidates)
+    return {node: float(value) for node, value in zip(candidates, scores)}
 
 
 def single_source_exact(
@@ -94,9 +69,24 @@ def batch_similarity(
     estimator,
     pairs: Iterable[tuple[Node, Node]],
 ) -> list[float]:
-    """Evaluate ``estimator.similarity`` over many pairs.
+    """Evaluate many explicit pairs against one estimator.
 
-    Exists so benchmark and task code has one obvious call for bulk
-    evaluation; any object with a ``similarity(u, v)`` method works.
+    When *estimator* exposes ``similarity_batch`` (the MC estimators),
+    pairs are grouped by their first node and each group is scored in one
+    vectorised pass; any other object with a ``similarity(u, v)`` method
+    falls back to per-pair calls.  Output order follows input order either
+    way.
     """
-    return [estimator.similarity(u, v) for u, v in pairs]
+    pair_list = list(pairs)
+    batch = getattr(estimator, "similarity_batch", None)
+    if batch is None:
+        return [estimator.similarity(u, v) for u, v in pair_list]
+    groups: dict[Node, list[int]] = {}
+    for i, (u, _) in enumerate(pair_list):
+        groups.setdefault(u, []).append(i)
+    out: list[float] = [0.0] * len(pair_list)
+    for u, indices in groups.items():
+        scores = batch(u, [pair_list[i][1] for i in indices])
+        for i, value in zip(indices, scores):
+            out[i] = float(value)
+    return out

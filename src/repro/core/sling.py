@@ -20,27 +20,35 @@ speed/space trade-off the paper tabulates.
 from __future__ import annotations
 
 import sys
+
+from repro.core.params import resolve_legacy_kwargs, validate_theta
 from repro.errors import ConfigurationError
 from repro.hin.graph import HIN
 from repro.semantics.base import SemanticMeasure
 
 
 class SlingIndex:
-    """Precomputed ``SO(u, v)`` denominators for semantically close pairs."""
+    """Precomputed ``SO(u, v)`` denominators for semantically close pairs.
+
+    The semantic cut-off is the canonical ``theta`` keyword (the historical
+    ``sem_threshold`` spelling still works but is deprecated).
+    """
 
     def __init__(
         self,
         graph: HIN,
         measure: SemanticMeasure,
-        sem_threshold: float = 0.1,
+        theta: float = 0.1,
+        **legacy,
     ) -> None:
-        if not 0 <= sem_threshold <= 1:
-            raise ConfigurationError(
-                f"sem_threshold must lie in [0, 1], got {sem_threshold!r}"
-            )
+        params = resolve_legacy_kwargs("SlingIndex", legacy, {"theta": theta},
+                                       defaults={"theta": 0.1})
+        theta = validate_theta(params["theta"])
+        if theta is None:
+            raise ConfigurationError("theta must lie in [0, 1], got None")
         self.graph = graph
         self.measure = measure
-        self.sem_threshold = sem_threshold
+        self.theta = theta
         index = graph.index()
         self._table: dict[tuple[int, int], float] = {}
 
@@ -54,7 +62,7 @@ class SlingIndex:
             for pos_v in range(n):
                 if pos_u == pos_v:
                     continue
-                if measure.similarity(nodes[pos_u], nodes[pos_v]) < sem_threshold:
+                if measure.similarity(nodes[pos_u], nodes[pos_v]) < theta:
                     continue
                 neighbours_v = index.in_lists[pos_v]
                 if neighbours_v.size == 0:
@@ -85,8 +93,13 @@ class SlingIndex:
         entry_overhead = sys.getsizeof((0, 0)) + sys.getsizeof(0.0)
         return sys.getsizeof(self._table) + self.num_entries * entry_overhead
 
+    @property
+    def sem_threshold(self) -> float:
+        """Deprecated alias of :attr:`theta` (kept for compatibility)."""
+        return self.theta
+
     def __repr__(self) -> str:
         return (
             f"SlingIndex(entries={self.num_entries}, "
-            f"threshold={self.sem_threshold})"
+            f"threshold={self.theta})"
         )

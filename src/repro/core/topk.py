@@ -23,15 +23,18 @@ from repro.hin.graph import Node
 from repro.semantics.base import SemanticMeasure
 
 ScoreFunction = Callable[[Node, Node], float]
+BatchScoreFunction = Callable[[Node, Sequence[Node]], Sequence[float]]
 
 
 def top_k_similar(
     query: Node,
     candidates: Iterable[Node],
     k: int,
-    score: ScoreFunction,
+    score: ScoreFunction | None = None,
     measure: SemanticMeasure | None = None,
     use_semantic_bound: bool = True,
+    batch_score: BatchScoreFunction | None = None,
+    batch_size: int = 256,
 ) -> list[tuple[Node, float]]:
     """Return the *k* candidates most similar to *query*, best first.
 
@@ -52,32 +55,61 @@ def top_k_similar(
         visited in decreasing ``sem(query, .)`` order and the scan stops
         early once the semantic upper bound can no longer improve the
         result set — sound for SemSim-family scores by Prop. 2.5.
+    batch_score:
+        Optional vectorised oracle ``(u, [v...]) -> [float...]`` (e.g.
+        :meth:`~repro.core.montecarlo.MonteCarloSemSim.similarity_batch`).
+        Candidates are then evaluated in blocks of *batch_size*; results
+        are identical to the scalar scan — the per-candidate semantic-bound
+        stop is applied when consuming each block, so the same candidates
+        enter the heap in the same order.
 
     Ties break deterministically by the string form of the node id.
     """
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k!r}")
+    if score is None and batch_score is None:
+        raise ConfigurationError("top_k_similar needs a score or batch_score oracle")
     pool = [c for c in candidates if c != query]
-    if measure is not None and use_semantic_bound:
-        ordered = sorted(
-            pool, key=lambda c: (-measure.similarity(query, c), str(c))
-        )
+    bounded = measure is not None and use_semantic_bound
+    if bounded:
+        sem_bound = {c: measure.similarity(query, c) for c in pool}
+        ordered = sorted(pool, key=lambda c: (-sem_bound[c], str(c)))
     else:
         ordered = pool
 
     # Min-heap of (score, tiebreak, node) holding the current best k.
     heap: list[tuple[float, str, Node]] = []
-    for candidate in ordered:
-        if measure is not None and use_semantic_bound and len(heap) == k:
-            bound = measure.similarity(query, candidate)
-            if bound <= heap[0][0]:
-                break  # no remaining candidate can enter the top-k
-        value = score(query, candidate)
+
+    def consume(candidate: Node, value: float) -> bool:
+        """Push one evaluated candidate; False once the scan may stop."""
+        if bounded and len(heap) == k and sem_bound[candidate] <= heap[0][0]:
+            return False  # no remaining candidate can enter the top-k
         entry = (value, str(candidate), candidate)
         if len(heap) < k:
             heapq.heappush(heap, entry)
         elif entry > heap[0]:
             heapq.heapreplace(heap, entry)
+        return True
+
+    if batch_score is None:
+        for candidate in ordered:
+            if bounded and len(heap) == k and sem_bound[candidate] <= heap[0][0]:
+                break
+            if not consume(candidate, score(query, candidate)):
+                break
+    else:
+        stopped = False
+        for start in range(0, len(ordered), batch_size):
+            block = ordered[start:start + batch_size]
+            if bounded and len(heap) == k and sem_bound[block[0]] <= heap[0][0]:
+                break
+            values = batch_score(query, block)
+            for candidate, value in zip(block, values):
+                if not consume(candidate, float(value)):
+                    stopped = True
+                    break
+            if stopped:
+                break
     ranked = sorted(heap, key=lambda item: (-item[0], item[1]))
     return [(node, value) for value, _, node in ranked]
 

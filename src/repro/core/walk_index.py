@@ -11,6 +11,19 @@ distribution ``Q`` is sampled per *node*, keeping storage at
 Walks are stored as one dense int32 array with ``-1`` padding after a dead
 end, so coupling two walks is pure array arithmetic.
 
+Sampling is organised for scale:
+
+* the proposal distribution is compiled into **CSR-style transition
+  tables** (``indptr`` / ``targets`` / augmented cumulative probabilities),
+  so advancing *every* live walker of a shard one step is a single
+  ``searchsorted`` over a globally sorted array — no per-node Python loop;
+* randomness is drawn from **per-node child generators** spawned with
+  :class:`numpy.random.SeedSequence`, which makes the sampled tensor
+  independent of how nodes are sharded across workers — ``workers=8``
+  produces bit-identical walks to a serial build with the same seed;
+* shards run on a :class:`concurrent.futures.ThreadPoolExecutor` (the hot
+  loops are numpy calls that release the GIL).
+
 Two proposal policies are provided (ablation A2): ``UNIFORM`` (the paper's
 choice of ``Q``) and ``WEIGHTED`` (steps proportional to edge weight).
 Indexes persist to ``.npz`` via :func:`save_walk_index` /
@@ -22,12 +35,21 @@ from __future__ import annotations
 
 import enum
 import json
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+from typing import Sequence
+
 import numpy as np
 
-from repro.errors import ConfigurationError, GraphError, NodeNotFoundError
+from repro.core.params import (
+    resolve_legacy_kwargs,
+    validate_length,
+    validate_num_walks,
+    validate_workers,
+)
+from repro.errors import GraphError, NodeNotFoundError
 from repro.hin.graph import GraphIndex, HIN, Node
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import spawn_rngs
 
 
 class WalkPolicy(enum.Enum):
@@ -35,6 +57,65 @@ class WalkPolicy(enum.Enum):
 
     UNIFORM = "uniform"
     WEIGHTED = "weighted"
+
+
+class _TransitionTables:
+    """CSR view of the in-adjacency compiled for vectorised stepping.
+
+    ``aug_cumprob`` holds each row's cumulative step probabilities *offset
+    by the row id*: row ``v``'s entries lie in ``(v, v + 1]``, so the whole
+    array is globally sorted and one ``searchsorted(aug_cumprob, v + r)``
+    resolves a uniform draw ``r`` for any mix of current nodes ``v`` in a
+    single call.
+    """
+
+    __slots__ = ("indptr", "targets", "aug_cumprob", "degrees", "weight_sums")
+
+    def __init__(self, index: GraphIndex, policy: WalkPolicy) -> None:
+        n = index.num_nodes
+        degrees = np.array([lst.size for lst in index.in_lists], dtype=np.int64)
+        if degrees.size:
+            indptr = np.concatenate(([0], np.cumsum(degrees)))
+        else:
+            indptr = np.zeros(1, dtype=np.int64)
+        total = int(indptr[-1])
+        if total:
+            targets = np.concatenate(index.in_lists).astype(np.int32)
+            weights = np.concatenate(index.in_weights).astype(np.float64)
+        else:
+            targets = np.empty(0, dtype=np.int32)
+            weights = np.empty(0, dtype=np.float64)
+        self.indptr = indptr
+        self.targets = targets
+        self.degrees = degrees
+
+        # Per-row weight totals (Q's normaliser under the WEIGHTED policy).
+        sums = np.zeros(n, dtype=np.float64)
+        if total:
+            np.add.at(sums, np.repeat(np.arange(n), degrees), weights)
+        self.weight_sums = sums
+
+        masses = np.ones(total) if policy is WalkPolicy.UNIFORM else weights
+        cums = np.cumsum(masses)
+        rows = np.repeat(np.arange(n), degrees)
+        prior = np.concatenate(([0.0], cums))[indptr[:-1]]
+        within = cums - np.repeat(prior, degrees)
+        row_totals = np.repeat(within[indptr[1:] - 1] if total else prior, degrees)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            cumprob = within / row_totals
+        nonempty_ends = indptr[1:][degrees > 0] - 1
+        cumprob[nonempty_ends] = 1.0  # guard float drift at the row end
+        self.aug_cumprob = cumprob + rows
+
+    def step(self, current: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Advance walkers standing on *current* using uniform *draws*.
+
+        Both inputs are 1-D and aligned; every ``current`` entry must be a
+        node with at least one in-neighbour.  Returns the next node ids.
+        """
+        position = np.searchsorted(self.aug_cumprob, current + draws, side="right")
+        np.minimum(position, self.indptr[current + 1] - 1, out=position)
+        return self.targets[position]
 
 
 class WalkIndex:
@@ -45,6 +126,16 @@ class WalkIndex:
     walks:
         int32 array of shape ``(n, num_walks, length + 1)``; ``walks[v, i,
         0] == v`` and ``-1`` marks steps past a dead end.
+
+    Parameters
+    ----------
+    workers:
+        Number of threads used to build the index (``None`` or ``1`` =
+        serial).  The sampled walks are **bit-identical** for any worker
+        count and a fixed *seed*, because randomness is spawned per node.
+    shard_size:
+        Nodes per construction shard; defaults to a size that gives each
+        worker a few shards.  Affects neither results nor storage.
     """
 
     def __init__(
@@ -54,68 +145,104 @@ class WalkIndex:
         length: int = 15,
         policy: WalkPolicy = WalkPolicy.UNIFORM,
         seed: int | np.random.Generator | None = None,
+        workers: int | None = None,
+        shard_size: int | None = None,
+        **legacy,
     ) -> None:
-        if num_walks < 1:
-            raise ConfigurationError(f"num_walks must be >= 1, got {num_walks!r}")
-        if length < 1:
-            raise ConfigurationError(f"length must be >= 1, got {length!r}")
+        params = resolve_legacy_kwargs(
+            "WalkIndex",
+            legacy,
+            {"num_walks": num_walks, "length": length, "seed": seed},
+            defaults={"num_walks": 150, "length": 15, "seed": None},
+        )
         self.graph = graph
         self.index: GraphIndex = graph.index()
-        self.num_walks = num_walks
-        self.length = length
+        self.num_walks = validate_num_walks(params["num_walks"])
+        self.length = validate_length(params["length"])
         self.policy = policy
-        rng = ensure_rng(seed)
-        self.walks = self._sample_all(rng)
+        self._tables: _TransitionTables | None = None
+        self.walks = self._sample_all(
+            params["seed"], workers=validate_workers(workers), shard_size=shard_size
+        )
 
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
-    def _sample_all(self, rng: np.random.Generator) -> np.ndarray:
+    @property
+    def tables(self) -> _TransitionTables:
+        """The CSR transition tables of the proposal distribution ``Q``."""
+        if self._tables is None:
+            self._tables = _TransitionTables(self.index, self.policy)
+        return self._tables
+
+    def _sample_all(
+        self,
+        seed: int | np.random.Generator | None,
+        workers: int | None = None,
+        shard_size: int | None = None,
+    ) -> np.ndarray:
         n = self.index.num_nodes
-        total_walkers = n * self.num_walks
+        if n == 0:
+            return np.empty((0, self.num_walks, self.length + 1), dtype=np.int32)
+        # One child generator per node: the draw stream consumed for node v
+        # depends only on (seed, v), never on sharding or worker count.
+        rngs = spawn_rngs(seed, n)
+        effective_workers = max(1, workers or 1)
+        if shard_size is None:
+            shard_size = n if effective_workers == 1 else max(
+                1, -(-n // (effective_workers * 4))
+            )
+        shards = [
+            (lo, min(lo + shard_size, n)) for lo in range(0, n, shard_size)
+        ]
+        if effective_workers == 1 or len(shards) == 1:
+            parts = [self._sample_shard(lo, hi, rngs[lo:hi]) for lo, hi in shards]
+        else:
+            with ThreadPoolExecutor(max_workers=effective_workers) as pool:
+                parts = list(
+                    pool.map(
+                        lambda span: self._sample_shard(
+                            span[0], span[1], rngs[span[0]:span[1]]
+                        ),
+                        shards,
+                    )
+                )
+        return np.ascontiguousarray(np.concatenate(parts, axis=0))
+
+    def _sample_shard(
+        self, lo: int, hi: int, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Sample the walk tensor of nodes ``[lo, hi)`` — one shard.
+
+        All randomness is pre-drawn per node in a fixed ``(num_walks,
+        length)`` shape (dead walkers simply waste their draws), so the
+        stepping below is deterministic given the draws and the graph.
+        """
+        count = hi - lo
+        tables = self.tables
+        total_walkers = count * self.num_walks
         steps = np.full((self.length + 1, total_walkers), -1, dtype=np.int32)
-        steps[0] = np.repeat(np.arange(n, dtype=np.int32), self.num_walks)
-
-        # Per-node cumulative step distributions under the chosen policy.
-        cumulative: list[np.ndarray | None] = []
-        for v in range(n):
-            neighbours = self.index.in_lists[v]
-            if neighbours.size == 0:
-                cumulative.append(None)
-                continue
-            if self.policy is WalkPolicy.UNIFORM:
-                masses = np.ones(neighbours.size)
-            else:
-                masses = self.index.in_weights[v].astype(np.float64)
-            cumulative.append(np.cumsum(masses / masses.sum()))
-
-        # Advance the entire walker population one step at a time, grouping
-        # walkers by the node they currently stand on so each group is one
-        # vectorised multinomial draw — the Python loop is O(t * n), not
-        # O(t * n * n_w).
+        steps[0] = np.repeat(np.arange(lo, hi, dtype=np.int32), self.num_walks)
+        draws = np.empty((total_walkers, self.length), dtype=np.float64)
+        for offset, rng in enumerate(rngs):
+            start = offset * self.num_walks
+            draws[start:start + self.num_walks] = rng.random(
+                (self.num_walks, self.length)
+            )
         for step in range(self.length):
             current = steps[step]
-            alive = np.flatnonzero(current >= 0)
-            if alive.size == 0:
+            movable = np.flatnonzero(current >= 0)
+            if movable.size == 0:
                 break
-            order = np.argsort(current[alive], kind="stable")
-            sorted_walkers = alive[order]
-            sorted_nodes = current[sorted_walkers]
-            boundaries = np.flatnonzero(np.diff(sorted_nodes)) + 1
-            groups = np.split(sorted_walkers, boundaries)
-            for group in groups:
-                node = int(current[group[0]])
-                cums = cumulative[node]
-                if cums is None:
-                    continue  # dead end: remains -1 from here on
-                draws = rng.random(group.size)
-                choices = np.searchsorted(cums, draws, side="right")
-                np.clip(choices, 0, cums.size - 1, out=choices)
-                steps[step + 1, group] = self.index.in_lists[node][choices]
-
-        return np.ascontiguousarray(
-            steps.T.reshape(n, self.num_walks, self.length + 1)
-        )
+            nodes_here = current[movable].astype(np.int64)
+            live = tables.degrees[nodes_here] > 0
+            movable = movable[live]
+            if movable.size == 0:
+                continue
+            steps[step + 1, movable] = tables.step(
+                nodes_here[live], draws[movable, step]
+            )
+        return steps.T.reshape(count, self.num_walks, self.length + 1)
 
     # ------------------------------------------------------------------
     # Queries
@@ -126,6 +253,14 @@ class WalkIndex:
             return self.index.position[node]
         except KeyError:
             raise NodeNotFoundError(node) from None
+
+    def node_positions(self, nodes: Sequence[Node]) -> np.ndarray:
+        """Return the numeric ids of *nodes* as one int64 array."""
+        return np.fromiter(
+            (self.node_position(node) for node in nodes),
+            dtype=np.int64,
+            count=len(nodes),
+        )
 
     def walks_from(self, node: Node) -> np.ndarray:
         """Return the ``(num_walks, length + 1)`` walk array of *node*."""
@@ -146,6 +281,31 @@ class WalkIndex:
         met_anywhere = same.any(axis=1)
         # argmax over booleans returns the first True column per row.
         first = same.argmax(axis=1)
+        return np.where(met_anywhere, first, -1).astype(np.int64)
+
+    def first_meetings_batch(
+        self, query: Node, candidates: Sequence[Node] | np.ndarray
+    ) -> np.ndarray:
+        """First-meeting steps of *query* against many candidates at once.
+
+        Returns an int64 array of shape ``(len(candidates), num_walks)``
+        whose row *i* equals ``first_meetings(query, candidates[i])`` — but
+        computed in one stacked comparison over the walk tensor instead of
+        one pass per candidate.
+        """
+        positions = (
+            np.asarray(candidates, dtype=np.int64)
+            if isinstance(candidates, np.ndarray)
+            else self.node_positions(candidates)
+        )
+        walks_q = self.walks[self.node_position(query)]  # (n_w, t + 1)
+        walks_c = self.walks[positions]                  # (m, n_w, t + 1)
+        same = (walks_c == walks_q[None, :, :]) & (walks_c >= 0) & (
+            walks_q[None, :, :] >= 0
+        )
+        same[:, :, 0] = False
+        met_anywhere = same.any(axis=2)
+        first = same.argmax(axis=2)
         return np.where(met_anywhere, first, -1).astype(np.int64)
 
     def q_step_probability(self, current: int, chosen: int) -> float:
@@ -224,5 +384,6 @@ def load_walk_index(graph: HIN, path: str | Path) -> WalkIndex:
     index.num_walks = int(metadata["num_walks"])
     index.length = int(metadata["length"])
     index.policy = WalkPolicy(metadata["policy"])
+    index._tables = None
     index.walks = walks
     return index

@@ -1,0 +1,167 @@
+"""Unified constructor keywords: legacy alias shims and shared validators."""
+
+import pytest
+
+from repro.core.params import (
+    LEGACY_ALIASES,
+    resolve_legacy_kwargs,
+    validate_decay,
+    validate_length,
+    validate_num_walks,
+    validate_theta,
+    validate_workers,
+)
+from repro.core import (
+    MonteCarloSemSim,
+    MonteCarloSimRank,
+    SemSim,
+    SimRank,
+    SlingIndex,
+    WalkIndex,
+)
+from repro.core.naive_mc import NaivePairSampler
+from repro.errors import ConfigurationError
+from tests.conftest import build_taxonomy_graph
+
+
+@pytest.fixture(scope="module")
+def taxonomy_graph():
+    return build_taxonomy_graph()
+
+
+class TestResolveLegacyKwargs:
+    def test_alias_maps_to_canonical(self):
+        with pytest.warns(DeprecationWarning, match="decay"):
+            params = resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
+        assert params["decay"] == 0.4
+
+    def test_unknown_kwarg_raises_type_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            resolve_legacy_kwargs("X", {"bogus": 1}, {"decay": 0.6})
+
+    def test_alias_for_parameter_not_taken_raises(self):
+        # "walks" maps to num_walks, which SimRank-style owners don't accept.
+        with pytest.raises(TypeError):
+            resolve_legacy_kwargs("X", {"walks": 5}, {"decay": 0.6})
+
+    def test_every_alias_targets_a_canonical_name(self):
+        assert set(LEGACY_ALIASES.values()) <= {
+            "decay", "num_walks", "length", "theta", "seed"
+        }
+
+    def test_conflicting_alias_and_canonical_raises(self):
+        # caller explicitly set decay=0.9 AND c=0.5: refuse to pick one
+        with pytest.raises(TypeError, match="deprecated alias"):
+            resolve_legacy_kwargs(
+                "X", {"c": 0.5}, {"decay": 0.9}, defaults={"decay": 0.6}
+            )
+
+    def test_alias_agreeing_with_explicit_canonical_is_allowed(self):
+        with pytest.warns(DeprecationWarning):
+            params = resolve_legacy_kwargs(
+                "X", {"c": 0.9}, {"decay": 0.9}, defaults={"decay": 0.6}
+            )
+        assert params["decay"] == 0.9
+
+    def test_alias_with_default_canonical_is_allowed(self):
+        with pytest.warns(DeprecationWarning):
+            params = resolve_legacy_kwargs(
+                "X", {"c": 0.5}, {"decay": 0.6}, defaults={"decay": 0.6}
+            )
+        assert params["decay"] == 0.5
+
+
+class TestValidators:
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2, 1.5])
+    def test_decay_range(self, bad):
+        with pytest.raises(ConfigurationError, match="decay"):
+            validate_decay(bad)
+
+    def test_num_walks_positive(self):
+        with pytest.raises(ConfigurationError, match="num_walks"):
+            validate_num_walks(0)
+
+    def test_length_positive(self):
+        with pytest.raises(ConfigurationError, match="length"):
+            validate_length(0)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_theta_range(self, bad):
+        with pytest.raises(ConfigurationError, match="theta"):
+            validate_theta(bad)
+
+    def test_theta_none_allowed(self):
+        assert validate_theta(None) is None
+
+    def test_workers_positive(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            validate_workers(0)
+        assert validate_workers(None) is None
+
+
+class TestEngineShims:
+    """Every engine accepts its historical spellings with a warning."""
+
+    def test_simrank_c_alias(self, taxonomy_graph):
+        graph, _ = taxonomy_graph
+        with pytest.warns(DeprecationWarning):
+            engine = SimRank(graph, c=0.4, max_iterations=2)
+        assert engine.decay == 0.4
+
+    def test_semsim_decay_factor_alias(self, taxonomy_graph):
+        graph, measure = taxonomy_graph
+        with pytest.warns(DeprecationWarning):
+            engine = SemSim(graph, measure, decay_factor=0.5, max_iterations=2)
+        assert engine.decay == 0.5
+
+    def test_walk_index_walks_alias(self, taxonomy_graph):
+        graph, _ = taxonomy_graph
+        with pytest.warns(DeprecationWarning):
+            index = WalkIndex(graph, walks=7, walk_length=3, seed=0)
+        assert index.num_walks == 7
+        assert index.length == 3
+
+    def test_montecarlo_sem_threshold_alias(self, taxonomy_graph):
+        graph, measure = taxonomy_graph
+        index = WalkIndex(graph, num_walks=5, length=3, seed=0)
+        with pytest.warns(DeprecationWarning):
+            estimator = MonteCarloSemSim(index, measure, sem_threshold=0.2)
+        assert estimator.theta == 0.2
+
+    def test_montecarlo_simrank_c_alias(self, taxonomy_graph):
+        graph, _ = taxonomy_graph
+        index = WalkIndex(graph, num_walks=5, length=3, seed=0)
+        with pytest.warns(DeprecationWarning):
+            estimator = MonteCarloSimRank(index, c=0.3)
+        assert estimator.decay == 0.3
+
+    def test_naive_sampler_aliases(self, taxonomy_graph):
+        graph, measure = taxonomy_graph
+        with pytest.warns(DeprecationWarning):
+            sampler = NaivePairSampler(
+                graph, measure, n_walks=4, t=3, random_state=1
+            )
+        assert sampler.num_walks == 4
+        assert sampler.length == 3
+
+    def test_sling_sem_threshold_alias_and_property(self, taxonomy_graph):
+        graph, measure = taxonomy_graph
+        with pytest.warns(DeprecationWarning):
+            index = SlingIndex(graph, measure, sem_threshold=0.3)
+        assert index.theta == 0.3
+        assert index.sem_threshold == 0.3
+
+    def test_canonical_spelling_warns_nothing(self, taxonomy_graph):
+        graph, measure = taxonomy_graph
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            SimRank(graph, decay=0.6, max_iterations=2)
+            WalkIndex(graph, num_walks=5, length=3, seed=0)
+            SlingIndex(graph, measure, theta=0.5)
+
+    def test_sling_theta_none_rejected(self, taxonomy_graph):
+        graph, measure = taxonomy_graph
+        with pytest.raises(ConfigurationError, match="theta"):
+            SlingIndex(graph, measure, theta=None)

@@ -23,36 +23,36 @@ class TestSlingIndex:
     def test_threshold_validation(self, model):
         graph, measure = model
         with pytest.raises(ConfigurationError):
-            SlingIndex(graph, measure, sem_threshold=1.5)
+            SlingIndex(graph, measure, theta=1.5)
 
     def test_zero_threshold_indexes_all_viable_pairs(self, model):
         graph, measure = model
-        sling = SlingIndex(graph, measure, sem_threshold=0.0)
+        sling = SlingIndex(graph, measure, theta=0.0)
         # every ordered non-singleton pair with in-neighbours on both sides
         assert sling.num_entries > 0
 
     def test_higher_threshold_indexes_fewer(self, model):
         graph, measure = model
-        loose = SlingIndex(graph, measure, sem_threshold=0.0)
-        tight = SlingIndex(graph, measure, sem_threshold=0.8)
+        loose = SlingIndex(graph, measure, theta=0.0)
+        tight = SlingIndex(graph, measure, theta=0.8)
         assert tight.num_entries < loose.num_entries
 
     def test_lookup_hit_and_miss(self, model):
         graph, measure = model
-        sling = SlingIndex(graph, measure, sem_threshold=0.0)
+        sling = SlingIndex(graph, measure, theta=0.0)
         hit = next(iter(sling._table))
         assert sling.so_lookup(*hit) is not None
         assert sling.so_lookup(10_000, 10_001) is None
 
     def test_memory_accounting_positive(self, model):
         graph, measure = model
-        assert SlingIndex(graph, measure, sem_threshold=0.0).memory_bytes > 0
+        assert SlingIndex(graph, measure, theta=0.0).memory_bytes > 0
 
 
 class TestIntegrationWithEstimator:
     def test_same_estimates_with_and_without_index(self, model, index):
         graph, measure = model
-        sling = SlingIndex(graph, measure, sem_threshold=0.0)
+        sling = SlingIndex(graph, measure, theta=0.0)
         plain = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
         indexed = MonteCarloSemSim(index, measure, decay=0.6, theta=None, pair_index=sling)
         for pair in [("mid1", "mid2"), ("root", "mid1"), ("x1", "x2")]:
@@ -62,7 +62,7 @@ class TestIntegrationWithEstimator:
 
     def test_index_cuts_so_evaluations(self, model, index):
         graph, measure = model
-        sling = SlingIndex(graph, measure, sem_threshold=0.0)
+        sling = SlingIndex(graph, measure, theta=0.0)
         plain = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
         indexed = MonteCarloSemSim(index, measure, decay=0.6, theta=None, pair_index=sling)
         plain.similarity("mid1", "mid2")
@@ -71,7 +71,7 @@ class TestIntegrationWithEstimator:
 
     def test_partial_index_still_correct(self, model, index):
         graph, measure = model
-        sling = SlingIndex(graph, measure, sem_threshold=0.5)
+        sling = SlingIndex(graph, measure, theta=0.5)
         plain = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
         partial = MonteCarloSemSim(index, measure, decay=0.6, theta=None, pair_index=sling)
         for pair in [("mid1", "mid2"), ("x2", "x4")]:

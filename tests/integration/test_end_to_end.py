@@ -99,7 +99,7 @@ class TestQueryStack:
     def test_topk_with_mc_estimator_and_sling(self):
         bundle = wikipedia_like(num_articles=50, seed=2)
         index = WalkIndex(bundle.graph, num_walks=80, length=10, seed=2)
-        sling = SlingIndex(bundle.graph, bundle.measure, sem_threshold=0.1)
+        sling = SlingIndex(bundle.graph, bundle.measure, theta=0.1)
         estimator = MonteCarloSemSim(
             index, bundle.measure, decay=0.6, theta=0.05, pair_index=sling
         )
