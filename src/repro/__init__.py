@@ -50,6 +50,7 @@ from repro.core import (
     simrank_scores,
     top_k_similar,
 )
+from repro.store import ArtifactStore, StoreError
 from repro.api import QueryEngine
 
 __version__ = "1.0.0"
@@ -82,6 +83,8 @@ __all__ = [
     "MonteCarloSimRank",
     "SlingIndex",
     "top_k_similar",
+    "ArtifactStore",
+    "StoreError",
     "QueryEngine",
     "__version__",
 ]

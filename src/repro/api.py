@@ -33,11 +33,14 @@ measurement windows.
 
 from __future__ import annotations
 
+import warnings
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.bounds import plan_index
+from repro.core.iterative import FixedPointResult
 from repro.core.join import candidate_pairs, similarity_join
 from repro.core.montecarlo import EstimatorStats, MonteCarloSemSim, MonteCarloSimRank
 from repro.core.params import (
@@ -52,11 +55,32 @@ from repro.core.semsim import SemSim
 from repro.core.simrank import SimRank
 from repro.core.single_source import batch_similarity
 from repro.core.topk import top_k_similar
-from repro.core.walk_index import WalkIndex, WalkPolicy
+from repro.core.walk_index import (
+    WalkIndex,
+    WalkPolicy,
+    _TransitionTables,
+    load_walk_index,
+    save_walk_index,
+)
 from repro.errors import ConfigurationError
 from repro.hin.graph import HIN, Node
 from repro.semantics.base import SemanticMeasure
 from repro.semantics.cache import MatrixMeasure
+from repro.store.artifacts import (
+    ArtifactStore,
+    StoredArtifact,
+    StoreError,
+    read_artifact,
+    write_artifact,
+)
+from repro.store.engine_io import (
+    PROPOSAL_ARRAYS,
+    canonical_params,
+    engine_identity,
+    graph_from_artifact,
+    measure_from_artifact,
+    snapshot_engine,
+)
 
 __all__ = [
     "QueryEngine",
@@ -105,6 +129,21 @@ class QueryEngine:
     max_iterations, tolerance:
         Fixed-point controls, only for ``method="iterative"`` (defaults
         follow :class:`~repro.core.semsim.SemSim`).
+    cache_dir:
+        Root of a content-addressed :class:`~repro.store.ArtifactStore`.
+        When given, construction first looks up an artifact keyed by
+        (graph content, measure, canonical parameters, format version):
+        a hit warm-starts the engine from memory-mapped arrays (zero copy,
+        shared page cache across processes) with **bit-identical** scores;
+        a miss builds normally and writes the artifact through for the
+        next process.  Stale or corrupt artifacts are rebuilt with a
+        warning — never served.
+    walks_path:
+        Path to a ``.npz`` written by :meth:`save_walks` /
+        :func:`~repro.core.walk_index.save_walk_index`; loads the walk
+        tensor instead of sampling (``method="mc"`` only).  The stored
+        ``num_walks``/``length``/``policy`` take precedence over the
+        matching constructor arguments.
     """
 
     def __init__(
@@ -124,6 +163,9 @@ class QueryEngine:
         pair_index=None,
         max_iterations: int | None = None,
         tolerance: float | None = None,
+        cache_dir: str | Path | None = None,
+        walks_path: str | Path | None = None,
+        _artifact: StoredArtifact | None = None,
         **legacy,
     ) -> None:
         params = resolve_legacy_kwargs(
@@ -156,19 +198,64 @@ class QueryEngine:
         self.theta = validate_theta(params["theta"])
         self.policy = policy
         self.workers = validate_workers(workers)
-        self.measure = self._prepare_measure(measure, materialize_semantics)
+        self.pair_index = pair_index
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+        seed_param = params["seed"]
+        self._seed_key = (
+            int(seed_param)
+            if isinstance(seed_param, (int, np.integer))
+            else None
+        )
+        self._store: ArtifactStore | None = None
+        self.cache_key: str | None = None
+        self._cache_identity: dict | None = None
 
         self.walk_index: WalkIndex | None = None
         self._table: SemSim | SimRank | None = None
-        if method == "mc":
-            self.walk_index = WalkIndex(
-                graph,
-                num_walks=self.num_walks,
-                length=self.length,
-                policy=policy,
-                seed=params["seed"],
-                workers=self.workers,
+
+        artifact = _artifact
+        if artifact is None and cache_dir is not None:
+            artifact = self._cache_lookup(
+                measure, materialize_semantics, cache_dir, seed_param, walks_path
             )
+        if artifact is not None:
+            try:
+                self._restore_backend(artifact)
+                return
+            except (StoreError, ConfigurationError) as exc:
+                if _artifact is not None:
+                    raise
+                warnings.warn(
+                    f"cached engine artifact is unusable, rebuilding: {exc}",
+                    stacklevel=2,
+                )
+        self.measure = self._prepare_measure(measure, materialize_semantics)
+        self._build_backend(seed_param, walks_path)
+        if self._store is not None and self.cache_key is not None:
+            self._write_through()
+
+    def _build_backend(
+        self,
+        seed: int | np.random.Generator | None,
+        walks_path: str | Path | None,
+    ) -> None:
+        """Construct the estimator stack from scratch (the cold path)."""
+        if self.method == "mc":
+            if walks_path is not None:
+                self.walk_index = load_walk_index(self.graph, walks_path)
+                self.num_walks = self.walk_index.num_walks
+                self.length = self.walk_index.length
+                self.policy = self.walk_index.policy
+            else:
+                self.walk_index = WalkIndex(
+                    self.graph,
+                    num_walks=self.num_walks,
+                    length=self.length,
+                    policy=self.policy,
+                    seed=seed,
+                    workers=self.workers,
+                )
             if self.measure is None:
                 self.estimator = MonteCarloSimRank(self.walk_index, decay=self.decay)
             else:
@@ -177,20 +264,24 @@ class QueryEngine:
                     self.measure,
                     decay=self.decay,
                     theta=self.theta,
-                    pair_index=pair_index,
+                    pair_index=self.pair_index,
                 )
             self.stats = self.estimator.stats
         else:
+            if walks_path is not None:
+                raise ConfigurationError(
+                    "walks_path only applies to method='mc'"
+                )
             iterative_kwargs = {}
-            if max_iterations is not None:
-                iterative_kwargs["max_iterations"] = max_iterations
-            if tolerance is not None:
-                iterative_kwargs["tolerance"] = tolerance
+            if self._max_iterations is not None:
+                iterative_kwargs["max_iterations"] = self._max_iterations
+            if self._tolerance is not None:
+                iterative_kwargs["tolerance"] = self._tolerance
             if self.measure is None:
-                self._table = SimRank(graph, decay=self.decay, **iterative_kwargs)
+                self._table = SimRank(self.graph, decay=self.decay, **iterative_kwargs)
             else:
                 self._table = SemSim(
-                    graph, self.measure, decay=self.decay, **iterative_kwargs
+                    self.graph, self.measure, decay=self.decay, **iterative_kwargs
                 )
             self.estimator = self._table
             self.stats = EstimatorStats()
@@ -203,18 +294,253 @@ class QueryEngine:
     ) -> SemanticMeasure | None:
         if measure is None:
             return None
+        nodes = list(self.graph.nodes())
+        if not self._will_materialize(measure, materialize, nodes):
+            return measure
+        if isinstance(measure, MatrixMeasure) and measure.nodes == nodes:
+            return measure
+        return MatrixMeasure.from_measure(measure, nodes)
+
+    def _will_materialize(
+        self,
+        measure: SemanticMeasure | None,
+        materialize: bool | str,
+        nodes: list[Node] | None = None,
+    ) -> bool:
+        """Decide (without doing the work) whether *measure* densifies."""
         if materialize not in (True, False, "auto"):
             raise ConfigurationError(
                 "materialize_semantics must be True, False or 'auto', "
                 f"got {materialize!r}"
             )
-        nodes = list(self.graph.nodes())
-        already = isinstance(measure, MatrixMeasure) and measure.nodes == nodes
-        if already or materialize is False:
-            return measure
-        if materialize == "auto" and len(nodes) > AUTO_MATERIALIZE_LIMIT:
-            return measure
-        return MatrixMeasure.from_measure(measure, nodes)
+        if measure is None:
+            return False
+        if nodes is None:
+            nodes = list(self.graph.nodes())
+        if isinstance(measure, MatrixMeasure) and measure.nodes == nodes:
+            return True
+        if materialize is False:
+            return False
+        return materialize is True or len(nodes) <= AUTO_MATERIALIZE_LIMIT
+
+    # ------------------------------------------------------------------
+    # Persistence — the preprocess-once / query-many split of Fig. 4
+    # ------------------------------------------------------------------
+    def _canonical_params(self, materialized: bool) -> dict:
+        return canonical_params(
+            method=self.method,
+            decay=self.decay,
+            num_walks=self.num_walks,
+            length=self.length,
+            theta=self.theta,
+            policy=self.policy.value,
+            seed=self._seed_key,
+            materialized=materialized,
+            max_iterations=self._max_iterations,
+            tolerance=self._tolerance,
+        )
+
+    def _cache_lookup(
+        self,
+        measure: SemanticMeasure | None,
+        materialize: bool | str,
+        cache_dir: str | Path,
+        seed: int | np.random.Generator | None,
+        walks_path: str | Path | None,
+    ) -> StoredArtifact | None:
+        """Resolve ``cache_dir`` to a hit (validated artifact) or a miss.
+
+        Configurations the artifact format cannot replay — an external
+        ``pair_index``, an explicit ``walks_path``, a live ``Generator``
+        seed, a measure that stays lazy — skip caching with a warning
+        instead of risking a wrong answer.
+        """
+        not_cacheable = None
+        if self.pair_index is not None:
+            not_cacheable = "an external pair_index is not part of artifacts"
+        elif walks_path is not None:
+            not_cacheable = "walks_path already names its own artifact"
+        elif isinstance(seed, np.random.Generator):
+            not_cacheable = (
+                "a live Generator seed has no stable content fingerprint "
+                "(pass an int seed to enable caching)"
+            )
+        elif measure is not None and not self._will_materialize(measure, materialize):
+            not_cacheable = (
+                "a non-materialised measure cannot be replayed from disk "
+                "(pass materialize_semantics=True to enable caching)"
+            )
+        if not_cacheable is not None:
+            warnings.warn(f"cache_dir ignored: {not_cacheable}", stacklevel=3)
+            return None
+        self._store = ArtifactStore(cache_dir)
+        materialized = self._will_materialize(measure, materialize)
+        key, identity = engine_identity(
+            self.graph, measure, self._canonical_params(materialized)
+        )
+        self.cache_key = key
+        self._cache_identity = identity
+        if not self._store.contains(key):
+            return None
+        try:
+            return self._store.get(key)
+        except StoreError as exc:
+            warnings.warn(
+                f"cached engine artifact for key {key[:12]}… is stale or "
+                f"corrupt, rebuilding: {exc}",
+                stacklevel=3,
+            )
+            return None
+
+    def _restore_backend(self, artifact: StoredArtifact) -> None:
+        """Warm-start the estimator stack from a validated artifact.
+
+        Every array comes straight from the mapped files — the same bytes
+        a cold build produced — so restored engines answer bit-identically
+        to fresh ones.
+        """
+        self.measure = measure_from_artifact(artifact, self.graph)
+        if self.method == "mc":
+            walks = artifact.arrays.get("walks")
+            if walks is None:
+                raise StoreError(
+                    f"artifact at {artifact.path} stores no walk tensor "
+                    f"(was it built with method='mc'?)"
+                )
+            tables = None
+            if all(name in artifact.arrays for name, _ in PROPOSAL_ARRAYS):
+                tables = _TransitionTables.from_arrays(
+                    *(artifact.arrays[name] for name, _ in PROPOSAL_ARRAYS)
+                )
+            self.walk_index = WalkIndex.from_arrays(
+                self.graph,
+                walks,
+                num_walks=self.num_walks,
+                length=self.length,
+                policy=self.policy,
+                tables=tables,
+            )
+            if self.measure is None:
+                self.estimator = MonteCarloSimRank(self.walk_index, decay=self.decay)
+            else:
+                self.estimator = MonteCarloSemSim(
+                    self.walk_index,
+                    self.measure,
+                    decay=self.decay,
+                    theta=self.theta,
+                )
+                self.estimator.attach_precomputed(
+                    so_matrix=artifact.arrays.get("so_matrix"),
+                    step_weights=artifact.arrays.get("step_weights"),
+                    step_q=artifact.arrays.get("step_q"),
+                )
+            self.stats = self.estimator.stats
+        else:
+            scores = artifact.arrays.get("scores")
+            if scores is None:
+                raise StoreError(
+                    f"artifact at {artifact.path} stores no score table "
+                    f"(was it built with method='iterative'?)"
+                )
+            nodes = list(self.graph.nodes())
+            if scores.shape != (len(nodes), len(nodes)):
+                raise StoreError(
+                    f"stored score table shape {scores.shape} does not match "
+                    f"{len(nodes)} graph nodes"
+                )
+            result = FixedPointResult.from_matrix(
+                nodes, scores, converged=bool(artifact.meta.get("converged", True))
+            )
+            if self.measure is None:
+                self._table = SimRank.from_result(self.graph, self.decay, result)
+            else:
+                self._table = SemSim.from_result(
+                    self.graph, self.measure, self.decay, result
+                )
+            self.estimator = self._table
+            self.stats = EstimatorStats()
+
+    def _write_through(self) -> None:
+        """Persist the freshly built engine under its cache key."""
+        try:
+            manifest, arrays, documents = snapshot_engine(self, self._cache_identity)
+            self._store.put(self.cache_key, manifest, arrays, documents)
+        except (ConfigurationError, StoreError) as exc:
+            warnings.warn(
+                f"engine built but its artifact could not be persisted: {exc}",
+                stacklevel=3,
+            )
+
+    def save(self, path: str | Path) -> Path:
+        """Write this engine's precomputed state as an artifact at *path*.
+
+        The artifact is self-contained (it embeds the graph), so
+        :meth:`open` can serve from it with no other inputs.  Forces every
+        lazy preprocessing table first — *save* is the preprocessing step,
+        *open* is a pure memory-map.  Engines holding an external
+        ``pair_index``, or a semantic measure that was not materialised,
+        cannot be persisted (:class:`ConfigurationError`).
+        """
+        materialized = isinstance(self.measure, MatrixMeasure)
+        _, identity = engine_identity(
+            self.graph, self.measure, self._canonical_params(materialized)
+        )
+        manifest, arrays, documents = snapshot_engine(self, identity)
+        return write_artifact(path, manifest, arrays, documents)
+
+    @classmethod
+    def open(cls, path: str | Path) -> "QueryEngine":
+        """Warm-start an engine from an artifact written by :meth:`save`.
+
+        Arrays are memory-mapped, not copied: time-to-first-query is
+        dominated by reading the manifest and the embedded graph, the OS
+        page cache shares the array bytes across every process serving the
+        same artifact, and scores are bit-identical to the engine that was
+        saved.  Any structural problem — truncated file, version drift,
+        manifest mismatch — raises :class:`~repro.store.StoreError`.
+        """
+        artifact = read_artifact(path)
+        graph = graph_from_artifact(artifact)
+        params = artifact.meta.get("params")
+        if not isinstance(params, dict) or "method" not in params:
+            raise StoreError(
+                f"artifact at {artifact.path} records no engine parameters"
+            )
+        method = params["method"]
+        kwargs: dict[str, object] = {
+            "method": method,
+            "decay": params.get("decay", 0.6),
+            "theta": params.get("theta"),
+            "_artifact": artifact,
+        }
+        if method == "mc":
+            try:
+                kwargs["policy"] = WalkPolicy(params.get("policy", "uniform"))
+            except ValueError:
+                raise StoreError(
+                    f"artifact at {artifact.path} names unknown proposal "
+                    f"policy {params.get('policy')!r}"
+                ) from None
+            kwargs["num_walks"] = params.get("num_walks", 150)
+            kwargs["length"] = params.get("length", 15)
+            kwargs["seed"] = params.get("seed")
+        else:
+            kwargs["max_iterations"] = params.get("max_iterations")
+            kwargs["tolerance"] = params.get("tolerance")
+        return cls(graph, None, **kwargs)
+
+    def save_walks(self, path: str | Path) -> None:
+        """Persist just the walk tensor as a portable ``.npz``.
+
+        Shim over :func:`~repro.core.walk_index.save_walk_index`; reload
+        through the ``walks_path`` constructor argument.  Only meaningful
+        for ``method="mc"``.
+        """
+        if self.walk_index is None:
+            raise ConfigurationError(
+                "save_walks requires method='mc' (a walk index)"
+            )
+        save_walk_index(self.walk_index, path)
 
     @classmethod
     def from_error_target(

@@ -14,11 +14,21 @@ Commands
     Top-k similarity search from a node on a saved bundle.
 ``info``
     Print a saved bundle's shape and the decay-factor bounds.
+``index build``
+    Preprocess a bundle once into a self-contained engine artifact
+    (and optionally the portable walk-tensor ``.npz``).
+``index info``
+    Describe a saved engine artifact without loading its arrays.
+
+``query`` and ``topk`` also accept ``--index`` (serve from a prebuilt
+artifact — no preprocessing at all) and ``--cache`` (transparent
+content-addressed store: hit-or-build-and-persist).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.api import QueryEngine
@@ -32,7 +42,8 @@ from repro.datasets import (
     wordnet_like,
 )
 from repro.datasets.io import load_bundle_json, save_bundle_json
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GraphError
+from repro.store import StoreError, read_artifact
 
 GENERATORS = {
     "aminer": aminer_like,
@@ -70,14 +81,17 @@ def _load_bundle_or_fail(path: str):
         raise SystemExit(2) from None
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    bundle = _load_bundle_or_fail(args.bundle)
-    u, v = args.u, args.v
-    for node in (u, v):
-        if node not in bundle.graph:
-            print(f"error: node {node!r} is not in the bundle", file=sys.stderr)
-            return 2
-    engine = QueryEngine(
+def _make_engine(args: argparse.Namespace, bundle=None) -> QueryEngine:
+    """Build (or warm-start) the engine a query/topk invocation asked for.
+
+    ``--index`` wins outright: the artifact is self-contained, so the
+    bundle is not even read.  Otherwise the engine is built from the
+    bundle, routed through ``--cache`` when given so a second invocation
+    with the same inputs memory-maps instead of recomputing.
+    """
+    if args.index is not None:
+        return QueryEngine.open(args.index)
+    return QueryEngine(
         bundle.graph,
         bundle.measure,
         method=args.method,
@@ -87,7 +101,39 @@ def _cmd_query(args: argparse.Namespace) -> int:
         theta=args.theta,
         seed=args.seed,
         workers=args.workers,
+        cache_dir=args.cache,
+        walks_path=args.walks_file,
     )
+
+
+def _require_bundle_arg(args: argparse.Namespace) -> bool:
+    if args.index is None and args.bundle is None:
+        print("error: a bundle path is required unless --index is given",
+              file=sys.stderr)
+        return False
+    return True
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if not _require_bundle_arg(args):
+        return 2
+    u, v = args.u, args.v
+    if args.index is not None:
+        engine = _make_engine(args)
+        for node in (u, v):
+            if node not in engine.graph:
+                print(f"error: node {node!r} is not in the index", file=sys.stderr)
+                return 2
+        label = "semsim" if engine.measure is not None else "simrank"
+        print(f"{label}({u}, {v})  = {engine.score(u, v):.6f}   "
+              f"[{engine.method}, from index]")
+        return 0
+    bundle = _load_bundle_or_fail(args.bundle)
+    for node in (u, v):
+        if node not in bundle.graph:
+            print(f"error: node {node!r} is not in the bundle", file=sys.stderr)
+            return 2
+    engine = _make_engine(args, bundle)
     value = engine.score(u, v)
     simrank = SimRank(bundle.graph, decay=args.decay)
     print(f"sem({u}, {v})     = {bundle.measure.similarity(u, v):.6f}")
@@ -97,10 +143,28 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
-    bundle = _load_bundle_or_fail(args.bundle)
-    if args.node not in bundle.graph:
-        print(f"error: node {args.node!r} is not in the bundle", file=sys.stderr)
+    if not _require_bundle_arg(args):
         return 2
+    if args.index is not None:
+        engine = _make_engine(args)
+        candidates = None
+    else:
+        bundle = _load_bundle_or_fail(args.bundle)
+        engine = _make_engine(args, bundle)
+        candidates = bundle.entity_nodes
+    if args.node not in engine.graph:
+        where = "index" if args.index is not None else "bundle"
+        print(f"error: node {args.node!r} is not in the {where}", file=sys.stderr)
+        return 2
+    results = engine.top_k(args.node, args.k, candidates=candidates)
+    print(f"top-{args.k} most similar to {args.node}:")
+    for node, score in results:
+        print(f"  {node:<24} {score:.6f}")
+    return 0
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    bundle = _load_bundle_or_fail(args.bundle)
     engine = QueryEngine(
         bundle.graph,
         bundle.measure,
@@ -111,11 +175,34 @@ def _cmd_topk(args: argparse.Namespace) -> int:
         theta=args.theta,
         seed=args.seed,
         workers=args.workers,
+        materialize_semantics=True,
     )
-    results = engine.top_k(args.node, args.k, candidates=bundle.entity_nodes)
-    print(f"top-{args.k} most similar to {args.node}:")
-    for node, score in results:
-        print(f"  {node:<24} {score:.6f}")
+    path = engine.save(args.out)
+    manifest = json.loads((path / "manifest.json").read_text())
+    total = sum(entry["nbytes"] for entry in manifest["arrays"].values())
+    print(f"wrote engine artifact -> {path}")
+    print(f"  method={args.method} arrays={len(manifest['arrays'])} "
+          f"bytes={total}")
+    if args.walks_out is not None:
+        engine.save_walks(args.walks_out)
+        print(f"wrote walk tensor -> {args.walks_out}")
+    return 0
+
+
+def _cmd_index_info(args: argparse.Namespace) -> int:
+    artifact = read_artifact(args.index, mmap=True)
+    meta = artifact.meta
+    params = meta.get("params", {})
+    print(f"engine artifact at {artifact.path}")
+    print(f"  key:    {artifact.manifest.get('key', '(unkeyed)')}")
+    print(f"  method: {params.get('method', '?')}")
+    print(f"  graph:  {meta.get('graph_nodes', '?')} nodes, "
+          f"{meta.get('graph_edges', '?')} edges")
+    print(f"  params: {json.dumps(params, sort_keys=True)}")
+    print(f"  arrays ({artifact.nbytes} bytes):")
+    for name, entry in sorted(artifact.manifest["arrays"].items()):
+        print(f"    {name:<22} {entry['dtype']:<8} "
+              f"{'x'.join(map(str, entry['shape'])):<16} {entry['nbytes']}")
     return 0
 
 
@@ -149,7 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(func=_cmd_generate)
 
-    def add_engine_options(command: argparse.ArgumentParser) -> None:
+    def add_engine_options(
+        command: argparse.ArgumentParser, serving: bool = False
+    ) -> None:
         command.add_argument(
             "--method", choices=["iterative", "mc"], default="iterative"
         )
@@ -162,20 +251,62 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=None,
             help="threads for parallel walk-index construction (mc only)",
         )
+        if serving:
+            command.add_argument(
+                "--cache", default=None, metavar="DIR",
+                help="content-addressed artifact store: warm-start on hit, "
+                     "build-and-persist on miss",
+            )
+            command.add_argument(
+                "--index", default=None, metavar="PATH",
+                help="serve from a prebuilt 'repro index build' artifact "
+                     "(bundle and engine options are ignored)",
+            )
+            command.add_argument(
+                "--walks-file", default=None, metavar="PATH",
+                help="load the walk tensor from a saved .npz instead of "
+                     "sampling (mc only)",
+            )
 
     query = commands.add_parser("query", help="score a single node pair")
-    query.add_argument("bundle", help="bundle JSON path")
+    query.add_argument("bundle", nargs="?", default=None,
+                       help="bundle JSON path (omit with --index)")
     query.add_argument("u")
     query.add_argument("v")
-    add_engine_options(query)
+    add_engine_options(query, serving=True)
     query.set_defaults(func=_cmd_query)
 
     topk = commands.add_parser("topk", help="top-k similarity search")
-    topk.add_argument("bundle", help="bundle JSON path")
+    topk.add_argument("bundle", nargs="?", default=None,
+                      help="bundle JSON path (omit with --index)")
     topk.add_argument("node")
     topk.add_argument("-k", type=int, default=10)
-    add_engine_options(topk)
+    add_engine_options(topk, serving=True)
     topk.set_defaults(func=_cmd_topk)
+
+    index = commands.add_parser(
+        "index", help="build or inspect persistent engine artifacts"
+    )
+    index_commands = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_commands.add_parser(
+        "build", help="preprocess a bundle into an engine artifact"
+    )
+    index_build.add_argument("bundle", help="bundle JSON path")
+    index_build.add_argument("--out", required=True,
+                             help="artifact directory to write")
+    index_build.add_argument(
+        "--walks-out", default=None, metavar="PATH",
+        help="also save the walk tensor as a portable .npz (mc only)",
+    )
+    add_engine_options(index_build)
+    index_build.set_defaults(func=_cmd_index_build)
+
+    index_info = index_commands.add_parser(
+        "info", help="describe an engine artifact"
+    )
+    index_info.add_argument("index", help="artifact directory path")
+    index_info.set_defaults(func=_cmd_index_info)
 
     info = commands.add_parser("info", help="describe a saved bundle")
     info.add_argument("bundle", help="bundle JSON path")
@@ -189,8 +320,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except ConfigurationError as exc:
+    except (ConfigurationError, GraphError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
         return 2
 
 

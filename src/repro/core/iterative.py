@@ -78,6 +78,21 @@ class FixedPointResult:
     trace: IterationTrace
     converged: bool
 
+    @classmethod
+    def from_matrix(
+        cls,
+        nodes: Sequence[Node],
+        matrix: np.ndarray,
+        converged: bool = True,
+    ) -> "FixedPointResult":
+        """Wrap a previously computed score table (warm-start restore).
+
+        The per-iteration trace is not part of persisted artifacts, so the
+        restored result carries an empty one; scores and node order are
+        exactly the stored arrays (*matrix* may be a read-only memmap).
+        """
+        return cls(list(nodes), matrix, IterationTrace(), converged)
+
     def score(self, u: Node, v: Node) -> float:
         """Return the computed similarity of a single pair."""
         i = self.nodes.index(u)

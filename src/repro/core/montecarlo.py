@@ -53,6 +53,7 @@ from repro.core.params import (
     validate_theta,
 )
 from repro.core.walk_index import WalkIndex, WalkPolicy
+from repro.errors import ConfigurationError
 from repro.hin.graph import Node
 from repro.semantics.base import SemanticMeasure
 from repro.semantics.cache import MatrixMeasure
@@ -236,6 +237,41 @@ class MonteCarloSemSim:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def attach_precomputed(
+        self,
+        so_matrix: np.ndarray | None = None,
+        step_weights: np.ndarray | None = None,
+        step_q: np.ndarray | None = None,
+    ) -> None:
+        """Adopt preprocessing tables computed by a previous run.
+
+        The artifact store's warm-start path hands back the exact arrays a
+        cold build produced (typically as read-only memmaps), so queries
+        against them are bit-identical to a fresh build while skipping the
+        ``SO = W sem Wᵀ`` products and the per-step gathers entirely.
+        Shapes are validated against this estimator's walk index; a table
+        that does not fit raises :class:`ConfigurationError`.
+        """
+        n = len(self._nodes)
+        steps_shape = (n, self.walk_index.num_walks, self.walk_index.length)
+        if so_matrix is not None:
+            if so_matrix.shape != (n, n):
+                raise ConfigurationError(
+                    f"precomputed SO matrix shape {so_matrix.shape} does not "
+                    f"match {n} nodes"
+                )
+            self._so_matrix = so_matrix
+        for name, table in (("step_weights", step_weights), ("step_q", step_q)):
+            if table is not None and table.shape != steps_shape:
+                raise ConfigurationError(
+                    f"precomputed {name} shape {table.shape} does not match "
+                    f"the walk tensor (expected {steps_shape})"
+                )
+        if step_weights is not None:
+            self._step_weights = step_weights
+        if step_q is not None:
+            self._step_q = step_q
+
     def similarity(self, u: Node, v: Node) -> float:
         """Return the Algorithm-1 estimate of ``sim(u, v)``."""
         self.stats.queries += 1

@@ -104,6 +104,29 @@ class SemSim:
         )
         self._position = {node: i for i, node in enumerate(self.result.nodes)}
 
+    @classmethod
+    def from_result(
+        cls,
+        graph: HIN,
+        measure: SemanticMeasure,
+        decay: float,
+        result: FixedPointResult,
+    ) -> "SemSim":
+        """Wrap an already-computed score table without iterating.
+
+        The warm-start constructor used by the artifact store: *result*
+        holds the persisted all-pairs table (possibly a read-only memmap),
+        and queries against the returned object are plain lookups into
+        those exact bytes.
+        """
+        engine = cls.__new__(cls)
+        engine.graph = graph
+        engine.measure = measure
+        engine.decay = validate_decay(decay)
+        engine.result = result
+        engine._position = {node: i for i, node in enumerate(result.nodes)}
+        return engine
+
     def similarity(self, u: Node, v: Node) -> float:
         """Return ``sim(u, v)``."""
         return float(self.result.matrix[self._position[u], self._position[v]])

@@ -82,6 +82,22 @@ class SimRank:
         )
         self._position = {node: i for i, node in enumerate(self.result.nodes)}
 
+    @classmethod
+    def from_result(
+        cls, graph: HIN, decay: float, result: FixedPointResult
+    ) -> "SimRank":
+        """Wrap an already-computed score table without iterating.
+
+        Warm-start counterpart of the normal constructor (see
+        :meth:`repro.core.semsim.SemSim.from_result`).
+        """
+        engine = cls.__new__(cls)
+        engine.graph = graph
+        engine.decay = validate_decay(decay)
+        engine.result = result
+        engine._position = {node: i for i, node in enumerate(result.nodes)}
+        return engine
+
     def similarity(self, u: Node, v: Node) -> float:
         """Return ``simrank(u, v)``."""
         return float(self.result.matrix[self._position[u], self._position[v]])

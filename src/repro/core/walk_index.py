@@ -34,7 +34,6 @@ once per graph.
 from __future__ import annotations
 
 import enum
-import json
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Sequence
@@ -107,6 +106,28 @@ class _TransitionTables:
         cumprob[nonempty_ends] = 1.0  # guard float drift at the row end
         self.aug_cumprob = cumprob + rows
 
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        targets: np.ndarray,
+        aug_cumprob: np.ndarray,
+        degrees: np.ndarray,
+        weight_sums: np.ndarray,
+    ) -> "_TransitionTables":
+        """Rehydrate tables from previously compiled arrays (no recompute).
+
+        Used by the artifact store's warm-start path; arrays may be
+        read-only memmaps — every consumer only reads them.
+        """
+        tables = cls.__new__(cls)
+        tables.indptr = indptr
+        tables.targets = targets
+        tables.aug_cumprob = aug_cumprob
+        tables.degrees = degrees
+        tables.weight_sums = weight_sums
+        return tables
+
     def step(self, current: np.ndarray, draws: np.ndarray) -> np.ndarray:
         """Advance walkers standing on *current* using uniform *draws*.
 
@@ -164,6 +185,45 @@ class WalkIndex:
         self.walks = self._sample_all(
             params["seed"], workers=validate_workers(workers), shard_size=shard_size
         )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        graph: HIN,
+        walks: np.ndarray,
+        *,
+        num_walks: int,
+        length: int,
+        policy: WalkPolicy = WalkPolicy.UNIFORM,
+        tables: _TransitionTables | None = None,
+    ) -> "WalkIndex":
+        """Build an index around a pre-sampled walk tensor (no sampling).
+
+        This is the warm-start constructor behind
+        :func:`load_walk_index` and the artifact store: *walks* may be a
+        read-only memmap, and *tables* (when given) skips recompiling the
+        CSR proposal tables.  The tensor must match *graph* —
+        ``(num_nodes, num_walks, length + 1)`` with ``walks[v, :, 0] == v``.
+        """
+        index = cls.__new__(cls)
+        index.graph = graph
+        index.index = graph.index()
+        index.num_walks = validate_num_walks(num_walks)
+        index.length = validate_length(length)
+        index.policy = policy
+        index._tables = tables
+        expected = (index.index.num_nodes, index.num_walks, index.length + 1)
+        if walks.shape != expected:
+            raise GraphError(
+                f"walk tensor shape {walks.shape} does not match this graph "
+                f"and configuration (expected {expected})"
+            )
+        if not np.issubdtype(walks.dtype, np.integer):
+            raise GraphError(
+                f"walk tensor must hold integers, got dtype {walks.dtype}"
+            )
+        index.walks = walks
+        return index
 
     # ------------------------------------------------------------------
     # Sampling
@@ -343,47 +403,54 @@ class WalkIndex:
 
 
 def save_walk_index(index: WalkIndex, path: str | Path) -> None:
-    """Persist *index* to a compressed ``.npz`` file.
+    """Persist *index* to a versioned compressed ``.npz`` file.
 
-    Stores the walk tensor plus enough metadata to verify compatibility on
-    load.  Node identifiers are stored as strings; graphs with non-string
-    ids round-trip as long as their ``str()`` forms are unique.
+    Thin shim over :func:`repro.store.walk_io.save_walks_npz`.  Node
+    identifiers are stored as strings; graphs with non-string ids
+    round-trip as long as their ``str()`` forms are unique.
     """
-    metadata = {
-        "num_walks": index.num_walks,
-        "length": index.length,
-        "policy": index.policy.value,
-        "nodes": [str(node) for node in index.index.nodes],
-    }
-    np.savez_compressed(
+    from repro.store.walk_io import save_walks_npz
+
+    save_walks_npz(
         path,
-        walks=index.walks,
-        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+        index.walks,
+        num_walks=index.num_walks,
+        length=index.length,
+        policy=index.policy.value,
+        nodes=[str(node) for node in index.index.nodes],
     )
 
 
 def load_walk_index(graph: HIN, path: str | Path) -> WalkIndex:
     """Load an index written by :func:`save_walk_index` for *graph*.
 
-    The graph must contain the same nodes in the same order as when the
-    index was built (edge changes are tolerated for loading but make the
-    stored walks stale — rebuild or use
-    :class:`~repro.core.dynamic.DynamicWalkIndex` in that case).
+    Thin shim over :func:`repro.store.walk_io.load_walks_npz` plus the
+    graph-compatibility check: the graph must contain the same nodes in
+    the same order as when the index was built (edge changes are tolerated
+    for loading but make the stored walks stale — rebuild or use
+    :class:`~repro.core.dynamic.DynamicWalkIndex` in that case).  Corrupt,
+    truncated or wrong-version files raise
+    :class:`~repro.errors.GraphError` with a message naming the problem.
     """
-    with np.load(path) as payload:
-        walks = payload["walks"]
-        metadata = json.loads(bytes(payload["metadata"].tobytes()).decode("utf-8"))
+    from repro.store.walk_io import load_walks_npz
+
+    walks, metadata = load_walks_npz(path)
     current_nodes = [str(node) for node in graph.nodes()]
     if current_nodes != metadata["nodes"]:
         raise GraphError(
             "stored walk index does not match this graph's node set/order"
         )
-    index = WalkIndex.__new__(WalkIndex)
-    index.graph = graph
-    index.index = graph.index()
-    index.num_walks = int(metadata["num_walks"])
-    index.length = int(metadata["length"])
-    index.policy = WalkPolicy(metadata["policy"])
-    index._tables = None
-    index.walks = walks
-    return index
+    try:
+        policy = WalkPolicy(metadata["policy"])
+    except ValueError:
+        raise GraphError(
+            f"stored walk index uses unknown proposal policy "
+            f"{metadata['policy']!r}"
+        ) from None
+    return WalkIndex.from_arrays(
+        graph,
+        walks,
+        num_walks=int(metadata["num_walks"]),
+        length=int(metadata["length"]),
+        policy=policy,
+    )

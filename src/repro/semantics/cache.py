@@ -25,11 +25,16 @@ class CachedMeasure:
 
     Unordered pairs are cached under a canonical key, so the wrapper also
     enforces symmetry of responses even for an inner measure with asymmetric
-    floating-point noise.
+    floating-point noise.  *inner* may be a measure object or a bare
+    ``f(a, b) -> float`` callable — the latter lets taxonomy measures reuse
+    this memo for their own pair computation instead of hand-rolling one.
     """
 
     def __init__(self, inner: SemanticMeasure) -> None:
         self.inner = inner
+        self._similarity = (
+            inner.similarity if hasattr(inner, "similarity") else inner
+        )
         self._cache: dict[tuple[Node, Node], float] = {}
 
     def similarity(self, a: Node, b: Node) -> float:
@@ -39,7 +44,7 @@ class CachedMeasure:
         key = (a, b) if repr(a) <= repr(b) else (b, a)
         cached = self._cache.get(key)
         if cached is None:
-            cached = self.inner.similarity(*key)
+            cached = self._similarity(*key)
             self._cache[key] = cached
         return cached
 

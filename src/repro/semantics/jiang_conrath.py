@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping
 
+from repro.semantics.cache import CachedMeasure
 from repro.taxonomy.ic import seco_information_content
 from repro.taxonomy.lca import most_informative_common_ancestor
 from repro.taxonomy.taxonomy import Concept, Taxonomy
@@ -30,19 +31,14 @@ class JiangConrathMeasure:
     ) -> None:
         self.taxonomy = taxonomy
         self.ic = dict(ic) if ic is not None else seco_information_content(taxonomy)
-        self._cache: dict[tuple[Concept, Concept], float] = {}
+        self._memo = CachedMeasure(self._jc_similarity)
 
     def similarity(self, a: Hashable, b: Hashable) -> float:
         """Return JC similarity in ``(0, 1]``."""
-        if a == b:
-            return 1.0
-        key = (a, b) if repr(a) <= repr(b) else (b, a)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        value = 1.0 / (1.0 + self._distance(a, b))
-        self._cache[key] = value
-        return value
+        return self._memo.similarity(a, b)
+
+    def _jc_similarity(self, a: Concept, b: Concept) -> float:
+        return 1.0 / (1.0 + self._distance(a, b))
 
     def _distance(self, a: Concept, b: Concept) -> float:
         if a not in self.taxonomy or b not in self.taxonomy:

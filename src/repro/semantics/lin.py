@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Hashable, Mapping
 
 from repro.errors import ConfigurationError, TaxonomyError
+from repro.semantics.cache import CachedMeasure
 from repro.taxonomy.ic import seco_information_content
 from repro.taxonomy.lca import TreeLCA, most_informative_common_ancestor
 from repro.taxonomy.taxonomy import Concept, Taxonomy
@@ -68,19 +69,11 @@ class LinMeasure:
                 self._tree_lca = TreeLCA(taxonomy)
             except TaxonomyError:  # pragma: no cover - is_tree() already vetted
                 self._tree_lca = None
-        self._cache: dict[tuple[Concept, Concept], float] = {}
+        self._memo = CachedMeasure(self._compute)
 
     def similarity(self, a: Hashable, b: Hashable) -> float:
         """Return ``Lin(a, b)`` clamped into ``[floor, 1]``."""
-        if a == b:
-            return 1.0
-        key = (a, b) if repr(a) <= repr(b) else (b, a)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        value = self._compute(a, b)
-        self._cache[key] = value
-        return value
+        return self._memo.similarity(a, b)
 
     def lowest_common_ancestor(self, a: Concept, b: Concept) -> Concept | None:
         """Return the LCA used for the pair (``None`` if disjoint)."""

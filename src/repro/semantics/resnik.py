@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Hashable, Mapping
 
 from repro.errors import ConfigurationError
+from repro.semantics.cache import CachedMeasure
 from repro.semantics.lin import DEFAULT_FLOOR
 from repro.taxonomy.ic import seco_information_content
 from repro.taxonomy.lca import most_informative_common_ancestor
@@ -37,19 +38,11 @@ class ResnikMeasure:
         self.taxonomy = taxonomy
         self.ic = dict(ic) if ic is not None else seco_information_content(taxonomy)
         self.floor = float(floor)
-        self._cache: dict[tuple[Concept, Concept], float] = {}
+        self._memo = CachedMeasure(self._compute)
 
     def similarity(self, a: Hashable, b: Hashable) -> float:
         """Return normalised Resnik similarity, clamped into ``[floor, 1]``."""
-        if a == b:
-            return 1.0
-        key = (a, b) if repr(a) <= repr(b) else (b, a)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        value = self._compute(a, b)
-        self._cache[key] = value
-        return value
+        return self._memo.similarity(a, b)
 
     def _compute(self, a: Concept, b: Concept) -> float:
         if a not in self.taxonomy or b not in self.taxonomy:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.errors import ConfigurationError
+from repro.semantics.cache import CachedMeasure
 from repro.semantics.lin import DEFAULT_FLOOR
 from repro.taxonomy.taxonomy import Concept, Taxonomy
 
@@ -37,19 +38,11 @@ class TverskyMeasure:
         self.taxonomy = taxonomy
         self.alpha = float(alpha)
         self.floor = float(floor)
-        self._cache: dict[tuple[Concept, Concept], float] = {}
+        self._memo = CachedMeasure(self._compute)
 
     def similarity(self, a: Hashable, b: Hashable) -> float:
         """Return the Tversky ratio clamped into ``[floor, 1]``."""
-        if a == b:
-            return 1.0
-        key = (a, b) if repr(a) <= repr(b) else (b, a)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        value = self._compute(*key)
-        self._cache[key] = value
-        return value
+        return self._memo.similarity(a, b)
 
     def _compute(self, a: Concept, b: Concept) -> float:
         if a not in self.taxonomy or b not in self.taxonomy:

@@ -1,0 +1,52 @@
+"""``repro.store`` — content-addressed persistence for query engines.
+
+The paper's Section 4 pipeline is preprocess-once / query-many; this
+package makes the "once" literal across processes.  Artifacts (walk
+tensors, proposal tables, semantic and ``SO`` matrices, iterative score
+tables) are written once under a content hash of *everything that shaped
+them* — graph, measure, canonical parameters, format version — and opened
+with ``np.load(mmap_mode="r")``: zero copies, lazily paged, and shared
+through the OS page cache by any number of reader processes.
+
+Layers
+------
+:mod:`repro.store.fingerprint`
+    content hashes and the manifest key;
+:mod:`repro.store.artifacts`
+    the artifact directory format, atomic writes, fail-closed reads, and
+    the :class:`ArtifactStore` cache;
+:mod:`repro.store.engine_io`
+    snapshot/restore of :class:`repro.api.QueryEngine` state;
+:mod:`repro.store.walk_io`
+    the portable single-file ``.npz`` walk-tensor format.
+"""
+
+from repro.store.artifacts import (
+    ArtifactStore,
+    StoredArtifact,
+    StoreError,
+    read_artifact,
+    write_artifact,
+)
+from repro.store.fingerprint import (
+    FORMAT_VERSION,
+    fingerprint_graph,
+    fingerprint_measure,
+    manifest_key,
+)
+from repro.store.walk_io import WALK_FORMAT_VERSION, load_walks_npz, save_walks_npz
+
+__all__ = [
+    "ArtifactStore",
+    "StoredArtifact",
+    "StoreError",
+    "read_artifact",
+    "write_artifact",
+    "FORMAT_VERSION",
+    "fingerprint_graph",
+    "fingerprint_measure",
+    "manifest_key",
+    "WALK_FORMAT_VERSION",
+    "load_walks_npz",
+    "save_walks_npz",
+]

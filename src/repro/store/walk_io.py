@@ -1,0 +1,130 @@
+"""Versioned ``.npz`` persistence for walk tensors.
+
+This is the portable single-file cousin of the directory artifacts in
+:mod:`repro.store.artifacts`: one compressed ``.npz`` holding the walk
+tensor plus a JSON metadata record (format marker, version, sampling
+parameters, node order).  :func:`repro.core.walk_index.save_walk_index` /
+``load_walk_index`` are thin shims over these functions.
+
+Loading **fails closed**: a truncated or corrupt file, a missing array or
+metadata key, an unknown format or version, or a tensor whose shape
+disagrees with its own metadata all raise
+:class:`~repro.errors.GraphError` with a message naming the problem —
+never a leaked ``KeyError``/``ValueError`` and never a silently wrong
+index.  (Matching the payload against a live graph is the caller's job;
+the loader only guarantees internal consistency.)
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphError
+
+WALK_FORMAT = "repro-walk-index"
+#: Version 1 was the unversioned seed format (still readable); version 2
+#: added the format/version markers this module enforces.
+WALK_FORMAT_VERSION = 2
+
+_REQUIRED_METADATA = ("num_walks", "length", "policy", "nodes")
+
+
+def save_walks_npz(
+    path: str | Path,
+    walks: np.ndarray,
+    *,
+    num_walks: int,
+    length: int,
+    policy: str,
+    nodes: list[str],
+) -> None:
+    """Write one walk tensor and its metadata to a compressed ``.npz``."""
+    metadata = {
+        "format": WALK_FORMAT,
+        "version": WALK_FORMAT_VERSION,
+        "num_walks": int(num_walks),
+        "length": int(length),
+        "policy": str(policy),
+        "nodes": list(nodes),
+    }
+    np.savez_compressed(
+        path,
+        walks=np.ascontiguousarray(walks),
+        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_walks_npz(path: str | Path) -> tuple[np.ndarray, dict]:
+    """Read and validate a file written by :func:`save_walks_npz`.
+
+    Returns ``(walks, metadata)``.  Raises :class:`GraphError` on any
+    structural problem; ``FileNotFoundError`` propagates unchanged so
+    callers can distinguish "absent" from "broken".
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as payload:
+            for entry in ("walks", "metadata"):
+                if entry not in payload:
+                    raise GraphError(
+                        f"walk-index file {path} is missing its {entry!r} "
+                        f"entry — not a repro walk index, or written by an "
+                        f"incompatible version"
+                    )
+            walks = np.asarray(payload["walks"])
+            raw_metadata = payload["metadata"]
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise GraphError(
+            f"walk-index file {path} is corrupt or truncated: {exc}"
+        ) from None
+    try:
+        metadata = json.loads(bytes(np.asarray(raw_metadata).tobytes()).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise GraphError(
+            f"walk-index file {path} has unreadable metadata: {exc}"
+        ) from None
+    if not isinstance(metadata, dict):
+        raise GraphError(f"walk-index file {path} has malformed metadata")
+    declared_format = metadata.get("format")
+    if declared_format is not None and declared_format != WALK_FORMAT:
+        raise GraphError(
+            f"walk-index file {path} declares format {declared_format!r}, "
+            f"expected {WALK_FORMAT!r}"
+        )
+    version = metadata.get("version", 1 if declared_format is None else None)
+    if version not in (1, WALK_FORMAT_VERSION):
+        raise GraphError(
+            f"walk-index file {path} has unsupported format version "
+            f"{metadata.get('version')!r}; this library reads versions 1 "
+            f"and {WALK_FORMAT_VERSION}"
+        )
+    missing = [key for key in _REQUIRED_METADATA if key not in metadata]
+    if missing:
+        raise GraphError(
+            f"walk-index file {path} is missing metadata keys {missing}"
+        )
+    try:
+        num_walks = int(metadata["num_walks"])
+        length = int(metadata["length"])
+    except (TypeError, ValueError):
+        raise GraphError(
+            f"walk-index file {path} has non-numeric sampling parameters"
+        ) from None
+    if not np.issubdtype(walks.dtype, np.integer) or walks.ndim != 3:
+        raise GraphError(
+            f"walk-index file {path} holds an invalid walk tensor "
+            f"(dtype {walks.dtype}, {walks.ndim} dimensions)"
+        )
+    expected = (len(metadata["nodes"]), num_walks, length + 1)
+    if walks.shape != expected:
+        raise GraphError(
+            f"walk-index file {path} is internally inconsistent: tensor shape "
+            f"{walks.shape} does not match metadata {expected}"
+        )
+    return walks, metadata

@@ -1,5 +1,7 @@
 """Tests for walk-index persistence and the sparse iterative engine."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -57,6 +59,132 @@ class TestWalkIndexPersistence:
         other.add_edge("a", "b")
         with pytest.raises(GraphError):
             load_walk_index(other, path)
+
+
+def _metadata_array(metadata: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+
+
+class TestHardenedWalkIndexLoad:
+    """Every broken payload must raise GraphError — never a wrong index."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        graph, _ = build_taxonomy_graph()
+        index = WalkIndex(graph, num_walks=5, length=4, seed=0)
+        path = tmp_path / "index.npz"
+        save_walk_index(index, path)
+        return graph, index, path
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        graph, _ = build_taxonomy_graph()
+        with pytest.raises(FileNotFoundError):
+            load_walk_index(graph, tmp_path / "absent.npz")
+
+    def test_truncated_file_rejected(self, saved):
+        graph, _, path = saved
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(GraphError, match="corrupt or truncated"):
+            load_walk_index(graph, path)
+
+    def test_garbage_file_rejected(self, saved):
+        graph, _, path = saved
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(GraphError, match="corrupt or truncated"):
+            load_walk_index(graph, path)
+
+    def test_missing_walks_entry_rejected(self, saved):
+        graph, index, path = saved
+        np.savez_compressed(
+            path,
+            metadata=_metadata_array({
+                "format": "repro-walk-index", "version": 2,
+                "num_walks": 5, "length": 4, "policy": "uniform",
+                "nodes": [str(node) for node in graph.nodes()],
+            }),
+        )
+        with pytest.raises(GraphError, match="missing its 'walks' entry"):
+            load_walk_index(graph, path)
+
+    def test_missing_metadata_entry_rejected(self, saved):
+        graph, index, path = saved
+        np.savez_compressed(path, walks=index.walks)
+        with pytest.raises(GraphError, match="missing its 'metadata' entry"):
+            load_walk_index(graph, path)
+
+    def test_unreadable_metadata_rejected(self, saved):
+        graph, index, path = saved
+        np.savez_compressed(
+            path,
+            walks=index.walks,
+            metadata=np.frombuffer(b"{not json", dtype=np.uint8),
+        )
+        with pytest.raises(GraphError, match="unreadable metadata"):
+            load_walk_index(graph, path)
+
+    def test_wrong_format_marker_rejected(self, saved):
+        graph, index, path = saved
+        self._rewrite(path, index, graph, format="some-other-format")
+        with pytest.raises(GraphError, match="declares format"):
+            load_walk_index(graph, path)
+
+    def test_future_version_rejected(self, saved):
+        graph, index, path = saved
+        self._rewrite(path, index, graph, version=99)
+        with pytest.raises(GraphError, match="unsupported format version"):
+            load_walk_index(graph, path)
+
+    def test_legacy_unversioned_payload_accepted(self, saved):
+        graph, index, path = saved
+        self._rewrite(path, index, graph, format=None, version=None)
+        restored = load_walk_index(graph, path)
+        assert np.array_equal(restored.walks, index.walks)
+
+    def test_missing_metadata_keys_rejected(self, saved):
+        graph, index, path = saved
+        self._rewrite(path, index, graph, drop=("policy", "nodes"))
+        with pytest.raises(GraphError, match="missing metadata keys"):
+            load_walk_index(graph, path)
+
+    def test_shape_metadata_disagreement_rejected(self, saved):
+        graph, index, path = saved
+        self._rewrite(path, index, graph, num_walks=7)
+        with pytest.raises(GraphError, match="internally inconsistent"):
+            load_walk_index(graph, path)
+
+    def test_float_walk_tensor_rejected(self, saved):
+        graph, index, path = saved
+        self._rewrite(path, index, graph, walks=index.walks.astype(np.float64))
+        with pytest.raises(GraphError, match="invalid walk tensor"):
+            load_walk_index(graph, path)
+
+    def test_unknown_policy_rejected(self, saved):
+        graph, index, path = saved
+        self._rewrite(path, index, graph, policy="antigravity")
+        with pytest.raises(GraphError, match="unknown proposal policy"):
+            load_walk_index(graph, path)
+
+    @staticmethod
+    def _rewrite(path, index, graph, walks=None, drop=(), **overrides):
+        metadata = {
+            "format": "repro-walk-index",
+            "version": 2,
+            "num_walks": index.num_walks,
+            "length": index.length,
+            "policy": index.policy.value,
+            "nodes": [str(node) for node in graph.nodes()],
+        }
+        metadata.update(overrides)
+        metadata = {
+            key: value for key, value in metadata.items()
+            if value is not None and key not in drop
+        }
+        np.savez_compressed(
+            path,
+            walks=index.walks if walks is None else walks,
+            metadata=_metadata_array(metadata),
+        )
 
 
 class TestSparseEngine:

@@ -1,0 +1,122 @@
+"""Cache-key semantics: what must (and must not) split the store."""
+
+import numpy as np
+import pytest
+
+from repro.semantics import ConstantMeasure, LinMeasure, MatrixMeasure
+from repro.store.fingerprint import (
+    FORMAT_VERSION,
+    fingerprint_graph,
+    fingerprint_measure,
+    manifest_key,
+)
+from repro.taxonomy import Taxonomy
+
+from tests.conftest import build_taxonomy_graph
+
+
+def _params(**overrides):
+    params = {"method": "mc", "decay": 0.6, "num_walks": 10, "seed": 0}
+    params.update(overrides)
+    return params
+
+
+class TestGraphFingerprint:
+    def test_deterministic(self):
+        a, _ = build_taxonomy_graph()
+        b, _ = build_taxonomy_graph()
+        assert fingerprint_graph(a) == fingerprint_graph(b)
+
+    def test_edge_weight_changes_fingerprint(self):
+        a, _ = build_taxonomy_graph()
+        b, _ = build_taxonomy_graph()
+        b.add_edge("x1", "x3", weight=0.5)
+        assert fingerprint_graph(a) != fingerprint_graph(b)
+
+    def test_node_label_changes_fingerprint(self):
+        from repro.hin import HIN
+
+        a, b = HIN(), HIN()
+        a.add_node("n", label="entity")
+        b.add_node("n", label="concept")
+        assert fingerprint_graph(a) != fingerprint_graph(b)
+
+
+class TestMeasureFingerprint:
+    def test_none_is_stable(self):
+        assert fingerprint_measure(None) == fingerprint_measure(None)
+
+    def test_taxonomy_measures_fingerprint_by_content(self):
+        _, lin_a = build_taxonomy_graph()
+        _, lin_b = build_taxonomy_graph()
+        assert fingerprint_measure(lin_a) == fingerprint_measure(lin_b)
+
+    def test_different_ic_tables_split(self):
+        taxonomy = Taxonomy.from_edges([("a", "root"), ("b", "root")])
+        base = LinMeasure(taxonomy)
+        shifted = LinMeasure(
+            taxonomy, ic={c: v * 0.5 for c, v in base.ic.items()}
+        )
+        assert fingerprint_measure(base) != fingerprint_measure(shifted)
+
+    def test_matrix_measure_fingerprints_bytes(self):
+        nodes = ["a", "b"]
+        m1 = MatrixMeasure(nodes, np.eye(2))
+        m2 = MatrixMeasure(nodes, np.eye(2))
+        m3 = MatrixMeasure(nodes, np.array([[1.0, 0.5], [0.5, 1.0]]))
+        assert fingerprint_measure(m1) == fingerprint_measure(m2)
+        assert fingerprint_measure(m1) != fingerprint_measure(m3)
+
+    def test_scalar_attrs_split_generic_measures(self):
+        assert fingerprint_measure(ConstantMeasure(1.0)) != fingerprint_measure(
+            ConstantMeasure(0.5)
+        )
+
+
+class TestManifestKey:
+    def test_any_component_changes_key(self):
+        graph, measure = build_taxonomy_graph()
+        g_fp, m_fp = fingerprint_graph(graph), fingerprint_measure(measure)
+        base = manifest_key(
+            method="mc", graph_fingerprint=g_fp, measure_fingerprint=m_fp,
+            params=_params(),
+        )
+        assert base == manifest_key(
+            method="mc", graph_fingerprint=g_fp, measure_fingerprint=m_fp,
+            params=_params(),
+        )
+        variants = [
+            manifest_key(method="iterative", graph_fingerprint=g_fp,
+                         measure_fingerprint=m_fp, params=_params()),
+            manifest_key(method="mc", graph_fingerprint="other",
+                         measure_fingerprint=m_fp, params=_params()),
+            manifest_key(method="mc", graph_fingerprint=g_fp,
+                         measure_fingerprint="other", params=_params()),
+            manifest_key(method="mc", graph_fingerprint=g_fp,
+                         measure_fingerprint=m_fp, params=_params(seed=1)),
+            manifest_key(method="mc", graph_fingerprint=g_fp,
+                         measure_fingerprint=m_fp, params=_params(),
+                         format_version=FORMAT_VERSION + 1),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_param_order_does_not_matter(self):
+        graph, _ = build_taxonomy_graph()
+        g_fp = fingerprint_graph(graph)
+        forward = dict(sorted(_params().items()))
+        backward = dict(sorted(_params().items(), reverse=True))
+        key = lambda p: manifest_key(  # noqa: E731
+            method="mc", graph_fingerprint=g_fp,
+            measure_fingerprint="m", params=p,
+        )
+        assert key(forward) == key(backward)
+
+
+class TestUnfingerprintableMeasure:
+    def test_unhelpful_object_still_fingerprints(self):
+        class Opaque:
+            def similarity(self, a, b):  # pragma: no cover
+                return 1.0
+
+        fp = fingerprint_measure(Opaque())
+        assert isinstance(fp, str) and fp

@@ -57,6 +57,92 @@ class TestGenerateAndInspect:
         assert len([l for l in out.splitlines() if l.startswith("  n")]) == 3
 
 
+class TestIndexCommands:
+    @pytest.fixture(scope="class")
+    def bundle_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-index") / "wordnet.json"
+        assert main(["generate", "wordnet", "--out", str(path), "--seed", "1"]) == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def index_path(self, bundle_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-index") / "wordnet.idx"
+        assert main([
+            "index", "build", str(bundle_path), "--out", str(path),
+            "--method", "mc", "--walks", "30", "--length", "6", "--seed", "5",
+        ]) == 0
+        return path
+
+    def test_index_build_reports_arrays(self, bundle_path, tmp_path, capsys):
+        out_path = tmp_path / "it.idx"
+        assert main([
+            "index", "build", str(bundle_path), "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote engine artifact" in out
+        assert (out_path / "manifest.json").is_file()
+
+    def test_index_build_walks_out(self, bundle_path, tmp_path, capsys):
+        out_path = tmp_path / "mc.idx"
+        walks_path = tmp_path / "walks.npz"
+        assert main([
+            "index", "build", str(bundle_path), "--out", str(out_path),
+            "--method", "mc", "--walks-out", str(walks_path),
+        ]) == 0
+        assert walks_path.is_file()
+
+    def test_index_info(self, index_path, capsys):
+        assert main(["index", "info", str(index_path)]) == 0
+        out = capsys.readouterr().out
+        assert "method: mc" in out
+        assert "walks" in out
+
+    def test_query_from_index(self, index_path, capsys):
+        assert main(["query", "--index", str(index_path), "n3", "n4"]) == 0
+        out = capsys.readouterr().out
+        assert "from index" in out
+
+    def test_query_from_index_matches_bundle(self, bundle_path, index_path, capsys):
+        assert main(["query", "--index", str(index_path), "n3", "n4"]) == 0
+        from_index = capsys.readouterr().out
+        assert main([
+            "query", str(bundle_path), "n3", "n4",
+            "--method", "mc", "--walks", "30", "--length", "6", "--seed", "5",
+        ]) == 0
+        from_bundle = capsys.readouterr().out
+        score = next(
+            line.split("=")[1].split("[")[0].strip()
+            for line in from_index.splitlines() if line.startswith("semsim")
+        )
+        assert score in from_bundle
+
+    def test_topk_from_index(self, index_path, capsys):
+        assert main(["topk", "--index", str(index_path), "n3", "-k", "3"]) == 0
+        assert "top-3" in capsys.readouterr().out
+
+    def test_query_with_cache_hits_second_time(self, bundle_path, tmp_path, capsys):
+        cache = tmp_path / "store"
+        args = ["query", str(bundle_path), "n3", "n4", "--cache", str(cache)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert any(cache.iterdir())
+
+    def test_index_unknown_node(self, index_path, capsys):
+        assert main(["query", "--index", str(index_path), "ghost", "n3"]) == 2
+        assert "not in the index" in capsys.readouterr().err
+
+    def test_missing_bundle_and_index(self, capsys):
+        assert main(["query", "n3", "n4"]) == 2
+        assert "--index" in capsys.readouterr().err
+
+    def test_index_info_missing_artifact(self, tmp_path, capsys):
+        assert main(["index", "info", str(tmp_path / "absent")]) == 2
+        assert "no artifact" in capsys.readouterr().err
+
+
 class TestErrorPaths:
     def test_missing_bundle_file(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
