@@ -1,6 +1,18 @@
-"""Formatting helpers shared by the benchmark modules."""
+"""Formatting and metrics-capture helpers shared by the benchmark modules."""
 
 from __future__ import annotations
+
+from repro.obs.registry import get_registry, snapshot_delta
+
+
+def metrics_snapshot() -> dict:
+    """Flat snapshot of the process metrics registry (counters/gauges/hists)."""
+    return get_registry().snapshot()
+
+
+def metrics_delta(before: dict) -> dict:
+    """What the registry accumulated since *before* (zero growth dropped)."""
+    return snapshot_delta(before, get_registry().snapshot())
 
 
 def fmt_row(label: str, values: list, width: int = 12) -> str:

@@ -14,13 +14,49 @@ trends go).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from benchmarks._shared import metrics_delta, metrics_snapshot
 from repro.datasets import aminer_like, amazon_like, wikipedia_like, wordnet_like
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: nodeid -> registry growth during that bench, written at session end.
+_METRICS_BY_BENCH: dict[str, dict] = {}
+
+
+@pytest.fixture(autouse=True)
+def _capture_bench_metrics(request):
+    """Record what each bench put into the metrics registry.
+
+    The per-bench deltas (plus a final whole-registry dump) land in
+    ``benchmarks/results/metrics.json`` — the observability counterpart of
+    the per-bench ``.txt`` reports.
+    """
+    before = metrics_snapshot()
+    yield
+    delta = metrics_delta(before)
+    if delta:
+        _METRICS_BY_BENCH[request.node.nodeid] = delta
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _METRICS_BY_BENCH:
+        return
+    from repro.obs.registry import get_registry
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "per_bench_delta": _METRICS_BY_BENCH,
+        "registry": get_registry().as_dict(),
+    }
+    path = RESULTS_DIR / "metrics.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""CI assertion over the CLI's observability output.
+
+Usage::
+
+    python scripts/check_metrics.py METRICS_JSON [--trace TRACE_JSONL]
+        [--expect-counter NAME ...] [--expect-histogram NAME ...]
+
+Parses the ``--metrics-out`` dump of one ``python -m repro`` invocation
+and fails (exit 1, with a message) unless
+
+* the file is valid JSON with the ``counters``/``gauges``/``histograms``
+  sections;
+* every ``--expect-counter`` family exists and has at least one series
+  with value > 0;
+* every ``--expect-histogram`` family exists and has at least one series
+  with count > 0, a ``+Inf`` bucket equal to that count, and a
+  non-negative sum;
+* when ``--trace`` is given, the file is non-empty and every line parses
+  as a JSON object with ``span``/``wall_seconds``/``status`` fields.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fail(message: str) -> None:
+    print(f"check_metrics: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_counter(dump: dict, name: str) -> float:
+    family = dump.get("counters", {}).get(name)
+    if family is None:
+        fail(f"counter {name!r} is not registered")
+    total = sum(sample["value"] for sample in family["samples"])
+    if total <= 0:
+        fail(f"counter {name!r} never incremented (total {total})")
+    return total
+
+
+def check_histogram(dump: dict, name: str) -> int:
+    family = dump.get("histograms", {}).get(name)
+    if family is None:
+        fail(f"histogram {name!r} is not registered")
+    live = [s for s in family["samples"] if s["count"] > 0]
+    if not live:
+        fail(f"histogram {name!r} has no observations")
+    for sample in live:
+        if sample["buckets"].get("+Inf") != sample["count"]:
+            fail(f"histogram {name!r}: +Inf bucket != count in {sample}")
+        if sample["sum"] < 0:
+            fail(f"histogram {name!r}: negative sum in {sample}")
+    return sum(s["count"] for s in live)
+
+
+def check_trace(path: Path) -> int:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        fail(f"trace file {path} is empty")
+    for i, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"trace line {i} is not JSON: {exc}")
+        for field in ("span", "wall_seconds", "status"):
+            if field not in record:
+                fail(f"trace line {i} lacks {field!r}: {line}")
+    return len(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("metrics", type=Path, help="--metrics-out JSON file")
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="--trace-out JSONL file to validate too")
+    parser.add_argument("--expect-counter", action="append", default=[],
+                        metavar="NAME", help="counter that must be > 0")
+    parser.add_argument("--expect-histogram", action="append", default=[],
+                        metavar="NAME", help="histogram that must have counts")
+    args = parser.parse_args(argv)
+
+    try:
+        dump = json.loads(args.metrics.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot parse {args.metrics}: {exc}")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in dump:
+            fail(f"{args.metrics} lacks the {section!r} section")
+
+    for name in args.expect_counter:
+        total = check_counter(dump, name)
+        print(f"check_metrics: ok: counter {name} = {total:g}")
+    for name in args.expect_histogram:
+        count = check_histogram(dump, name)
+        print(f"check_metrics: ok: histogram {name} count = {count}")
+    if args.trace is not None:
+        spans = check_trace(args.trace)
+        print(f"check_metrics: ok: {spans} trace spans parse")
+    print(f"check_metrics: PASS ({args.metrics})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ measurement windows.
 
 from __future__ import annotations
 
+import time
 import warnings
 from pathlib import Path
 from typing import Sequence
@@ -64,9 +65,15 @@ from repro.core.walk_index import (
 )
 from repro.errors import ConfigurationError
 from repro.hin.graph import HIN, Node
+from repro.obs.logging import get_logger, log_event
+from repro.obs.registry import get_registry, is_enabled
+from repro.obs.trace import span
 from repro.semantics.base import SemanticMeasure
 from repro.semantics.cache import MatrixMeasure
 from repro.store.artifacts import (
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_STALE,
     ArtifactStore,
     StoredArtifact,
     StoreError,
@@ -94,6 +101,20 @@ __all__ = [
 #: Above this node count ``materialize_semantics="auto"`` stops densifying
 #: the semantic measure (the n×n matrix would dominate memory).
 AUTO_MATERIALIZE_LIMIT = 4096
+
+_LOG = get_logger("api")
+
+_QUERY_LATENCY = get_registry().histogram(
+    "query_latency_seconds",
+    help="End-to-end QueryEngine latency per score()/score_batch() call.",
+    labelnames=("method", "mode"),
+)
+_BATCH_CANDIDATES = get_registry().histogram(
+    "query_batch_candidates",
+    help="Candidate-set sizes submitted to score_batch().",
+    buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+             1000.0, 2500.0, 5000.0, 10000.0),
+)
 
 
 class QueryEngine:
@@ -213,6 +234,8 @@ class QueryEngine:
 
         self.walk_index: WalkIndex | None = None
         self._table: SemSim | SimRank | None = None
+        self._latency_single = _QUERY_LATENCY.labels(method=method, mode="single")
+        self._latency_batch = _QUERY_LATENCY.labels(method=method, mode="batch")
 
         artifact = _artifact
         if artifact is None and cache_dir is not None:
@@ -221,17 +244,33 @@ class QueryEngine:
             )
         if artifact is not None:
             try:
-                self._restore_backend(artifact)
+                with span("engine.restore", labels={"method": self.method}):
+                    self._restore_backend(artifact)
+                log_event(
+                    _LOG, "engine.restore",
+                    method=self.method, nodes=graph.num_nodes,
+                    artifact=str(artifact.path),
+                )
                 return
             except (StoreError, ConfigurationError) as exc:
                 if _artifact is not None:
                     raise
+                if is_enabled():
+                    CACHE_STALE.inc()
                 warnings.warn(
                     f"cached engine artifact is unusable, rebuilding: {exc}",
                     stacklevel=2,
                 )
         self.measure = self._prepare_measure(measure, materialize_semantics)
-        self._build_backend(seed_param, walks_path)
+        with span(
+            "engine.build", labels={"method": self.method},
+            nodes=graph.num_nodes, edges=graph.num_edges,
+        ):
+            self._build_backend(seed_param, walks_path)
+        log_event(
+            _LOG, "engine.build",
+            method=self.method, nodes=graph.num_nodes, edges=graph.num_edges,
+        )
         if self._store is not None and self.cache_key is not None:
             self._write_through()
 
@@ -284,7 +323,7 @@ class QueryEngine:
                     self.graph, self.measure, decay=self.decay, **iterative_kwargs
                 )
             self.estimator = self._table
-            self.stats = EstimatorStats()
+            self.stats = EstimatorStats(method="iterative", estimator="table")
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -381,16 +420,26 @@ class QueryEngine:
         self.cache_key = key
         self._cache_identity = identity
         if not self._store.contains(key):
+            if is_enabled():
+                CACHE_MISS.inc()
+            log_event(_LOG, "cache.miss", key=key[:12], method=self.method)
             return None
         try:
-            return self._store.get(key)
+            artifact = self._store.get(key)
         except StoreError as exc:
+            if is_enabled():
+                CACHE_STALE.inc()
+            log_event(_LOG, "cache.stale", key=key[:12], error=str(exc))
             warnings.warn(
                 f"cached engine artifact for key {key[:12]}… is stale or "
                 f"corrupt, rebuilding: {exc}",
                 stacklevel=3,
             )
             return None
+        if is_enabled():
+            CACHE_HIT.inc()
+        log_event(_LOG, "cache.hit", key=key[:12], method=self.method)
+        return artifact
 
     def _restore_backend(self, artifact: StoredArtifact) -> None:
         """Warm-start the estimator stack from a validated artifact.
@@ -458,12 +507,15 @@ class QueryEngine:
                     self.graph, self.measure, self.decay, result
                 )
             self.estimator = self._table
-            self.stats = EstimatorStats()
+            self.stats = EstimatorStats(method="iterative", estimator="table")
 
     def _write_through(self) -> None:
         """Persist the freshly built engine under its cache key."""
         try:
-            manifest, arrays, documents = snapshot_engine(self, self._cache_identity)
+            with span("engine.snapshot", labels={"method": self.method}):
+                manifest, arrays, documents = snapshot_engine(
+                    self, self._cache_identity
+                )
             self._store.put(self.cache_key, manifest, arrays, documents)
         except (ConfigurationError, StoreError) as exc:
             warnings.warn(
@@ -575,13 +627,19 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def score(self, u: Node, v: Node) -> float:
         """Return ``sim(u, v)`` under the engine's configuration."""
+        start = time.perf_counter()
         if self._table is not None:
             self.stats.queries += 1
-            return self._table.similarity(u, v)
-        return self.estimator.similarity(u, v)
+            value = self._table.similarity(u, v)
+        else:
+            value = self.estimator.similarity(u, v)
+        if is_enabled():
+            self._latency_single.observe(time.perf_counter() - start)
+        return value
 
     def score_batch(self, u: Node, candidates: Sequence[Node]) -> np.ndarray:
         """Return ``sim(u, v)`` for every candidate in one vectorised pass."""
+        start = time.perf_counter()
         candidates = list(candidates)
         if self._table is not None:
             self.stats.queries += len(candidates)
@@ -595,8 +653,13 @@ class QueryEngine:
                 (position[v] for v in candidates), dtype=np.int64,
                 count=len(candidates),
             )
-            return matrix[row, cols].astype(np.float64)
-        return self.estimator.similarity_batch(u, candidates)
+            scores = matrix[row, cols].astype(np.float64)
+        else:
+            scores = self.estimator.similarity_batch(u, candidates)
+        if is_enabled():
+            _BATCH_CANDIDATES.observe(len(candidates))
+            self._latency_batch.observe(time.perf_counter() - start)
+        return scores
 
     def single_source(
         self, u: Node, candidates: Sequence[Node] | None = None

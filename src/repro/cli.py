@@ -23,6 +23,13 @@ Commands
 ``query`` and ``topk`` also accept ``--index`` (serve from a prebuilt
 artifact — no preprocessing at all) and ``--cache`` (transparent
 content-addressed store: hit-or-build-and-persist).
+
+Observability (see ``docs/observability.md``): ``query``, ``topk`` and
+``index build`` take ``--log-json`` (structured JSON logs on stderr),
+``--trace-out PATH`` (JSON-lines span traces) and ``--metrics-out PATH``
+(dump the metrics registry as JSON when the command finishes; ``-`` means
+stdout).  ``metrics dump`` renders the registry on demand in JSON or
+Prometheus text format.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.api import QueryEngine
 from repro.core import SemSim, SimRank
@@ -43,6 +51,9 @@ from repro.datasets import (
 )
 from repro.datasets.io import load_bundle_json, save_bundle_json
 from repro.errors import ConfigurationError, GraphError
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.logging import configure_logging
+from repro.obs.trace import set_trace_writer
 from repro.store import StoreError, read_artifact
 
 GENERATORS = {
@@ -206,6 +217,40 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics_dump(args: argparse.Namespace) -> int:
+    text = render_json() if args.format == "json" else render_prometheus()
+    if not text.endswith("\n"):
+        text += "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote metrics -> {args.out}")
+    return 0
+
+
+def _configure_observability(args: argparse.Namespace) -> None:
+    """Arm the obs flags before the command runs (no-ops when absent)."""
+    if getattr(args, "log_json", False):
+        configure_logging(json_format=True)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        set_trace_writer(sys.stdout if trace_out == "-" else trace_out)
+
+
+def _finalize_observability(args: argparse.Namespace) -> None:
+    """Flush obs outputs after the command, even on error exits."""
+    if getattr(args, "trace_out", None) is not None:
+        set_trace_writer(None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        text = render_json() + "\n"
+        if metrics_out == "-":
+            sys.stdout.write(text)
+        else:
+            Path(metrics_out).write_text(text, encoding="utf-8")
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     bundle = _load_bundle_or_fail(args.bundle)
     print(bundle)
@@ -268,12 +313,28 @@ def build_parser() -> argparse.ArgumentParser:
                      "sampling (mc only)",
             )
 
+    def add_obs_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--log-json", action="store_true",
+            help="emit structured JSON logs on stderr",
+        )
+        command.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help="append JSON-lines span traces to PATH ('-' = stdout)",
+        )
+        command.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="after the command, dump the metrics registry as JSON "
+                 "to PATH ('-' = stdout)",
+        )
+
     query = commands.add_parser("query", help="score a single node pair")
     query.add_argument("bundle", nargs="?", default=None,
                        help="bundle JSON path (omit with --index)")
     query.add_argument("u")
     query.add_argument("v")
     add_engine_options(query, serving=True)
+    add_obs_options(query)
     query.set_defaults(func=_cmd_query)
 
     topk = commands.add_parser("topk", help="top-k similarity search")
@@ -282,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("node")
     topk.add_argument("-k", type=int, default=10)
     add_engine_options(topk, serving=True)
+    add_obs_options(topk)
     topk.set_defaults(func=_cmd_topk)
 
     index = commands.add_parser(
@@ -300,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also save the walk tensor as a portable .npz (mc only)",
     )
     add_engine_options(index_build)
+    add_obs_options(index_build)
     index_build.set_defaults(func=_cmd_index_build)
 
     index_info = index_commands.add_parser(
@@ -312,12 +375,30 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("bundle", help="bundle JSON path")
     info.set_defaults(func=_cmd_info)
 
+    metrics = commands.add_parser(
+        "metrics", help="inspect the in-process metrics registry"
+    )
+    metrics_commands = metrics.add_subparsers(dest="metrics_command", required=True)
+    metrics_dump = metrics_commands.add_parser(
+        "dump", help="render every registered metric family"
+    )
+    metrics_dump.add_argument(
+        "--format", choices=["json", "prom"], default="json",
+        help="JSON registry dump or Prometheus text exposition",
+    )
+    metrics_dump.add_argument(
+        "--out", default="-", metavar="PATH",
+        help="output path ('-' = stdout)",
+    )
+    metrics_dump.set_defaults(func=_cmd_metrics_dump)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_observability(args)
     try:
         return args.func(args)
     except (ConfigurationError, GraphError, StoreError) as exc:
@@ -326,6 +407,8 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
         return 2
+    finally:
+        _finalize_observability(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,12 +27,24 @@ import scipy.sparse as sp
 
 from repro.errors import ConfigurationError
 from repro.hin.graph import HIN, Node
+from repro.obs.registry import get_registry, is_enabled
+from repro.obs.trace import span
 from repro.semantics.base import SemanticMeasure, semantic_matrix
 
 #: Convergence threshold the paper uses when it reports "converged after 5
 #: iterations" (average differences below 1e-3); we default tighter.
 DEFAULT_TOLERANCE = 1e-4
 DEFAULT_MAX_ITERATIONS = 100
+
+_RESIDUAL = get_registry().gauge(
+    "iterative_residual",
+    help="Max absolute off-diagonal score change of the latest fixed-point "
+    "iteration (the stopping-rule residual).",
+)
+_ITERATIONS = get_registry().counter(
+    "iterative_iterations_total",
+    help="Fixed-point update steps performed across all solves.",
+)
 
 
 @dataclass
@@ -207,20 +219,24 @@ def iterate_fixed_point(
 
     current = np.eye(n)
     converged = False
-    for _ in range(max_iterations):
-        accumulated = np.zeros((n, n))
-        for matrix in adjacencies:
-            accumulated += sandwich(matrix, current)
-        updated = np.zeros((n, n))
-        np.divide(
-            decay * sem * accumulated, normaliser, out=updated, where=supported
-        )
-        np.fill_diagonal(updated, 1.0)
-        trace.record(current, updated)
-        current = updated
-        if trace.max_absolute_diff[-1] < tolerance:
-            converged = True
-            break
+    with span("iterative.solve", nodes=n, max_iterations=max_iterations):
+        for _ in range(max_iterations):
+            accumulated = np.zeros((n, n))
+            for matrix in adjacencies:
+                accumulated += sandwich(matrix, current)
+            updated = np.zeros((n, n))
+            np.divide(
+                decay * sem * accumulated, normaliser, out=updated, where=supported
+            )
+            np.fill_diagonal(updated, 1.0)
+            trace.record(current, updated)
+            current = updated
+            if is_enabled():
+                _ITERATIONS.inc()
+                _RESIDUAL.set(trace.max_absolute_diff[-1])
+            if trace.max_absolute_diff[-1] < tolerance:
+                converged = True
+                break
     return FixedPointResult(nodes, current, trace, converged)
 
 

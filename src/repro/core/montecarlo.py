@@ -41,7 +41,6 @@ estimator unbiased (verified statistically in the tests).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -55,11 +54,26 @@ from repro.core.params import (
 from repro.core.walk_index import WalkIndex, WalkPolicy
 from repro.errors import ConfigurationError
 from repro.hin.graph import Node
+from repro.obs.registry import get_registry, is_enabled
 from repro.semantics.base import SemanticMeasure
 from repro.semantics.cache import MatrixMeasure
 
+#: Counter fields of :class:`EstimatorStats`, with the help text of the
+#: mirrored registry families (``estimator_<field>_total``).
+_STAT_HELP: dict[str, str] = {
+    "queries": "Pairs scored, through either the scalar or the batch path.",
+    "walks_examined": "Coupled walks whose meeting status was checked.",
+    "walks_met": "Coupled walks that met and paid the IS correction.",
+    "walks_pruned": "Met walks frozen early by the theta walk-cut (Def. 4.5).",
+    "so_evaluations": "SO(u, v) denominators computed from scratch.",
+    "sem_gate_hits": "Pairs short-circuited to 0 by the Prop. 2.5 semantic gate.",
+    "batch_queries": "Calls to a similarity_batch entry point.",
+    "batch_pairs": "Total pairs submitted through similarity_batch.",
+    "vectorized_pairs": "Batch pairs scored on the stacked-array fast path.",
+    "scalar_fallbacks": "Batch pairs that fell back to scalar similarity().",
+}
 
-@dataclass
+
 class EstimatorStats:
     """Work counters for one estimator instance.
 
@@ -67,6 +81,14 @@ class EstimatorStats:
     :class:`repro.api.QueryEngine`) owns a fresh instance, so counters
     never leak across reused components; call :meth:`reset` to zero an
     instance in place between measurement windows.
+
+    When constructed with *method* and *estimator* identity labels, every
+    positive increment is additionally mirrored into the process-wide
+    metrics registry as ``estimator_<field>_total{method=..., estimator=...}``
+    series.  The mirror is one-way: the registry counters are monotonic
+    across the process lifetime and :meth:`reset` never touches them — it
+    zeroes only this instance's view, so two engines sharing a label set
+    reset independently while the global series keeps the full history.
 
     Counters
     --------
@@ -96,21 +118,76 @@ class EstimatorStats:
         (no dense semantic matrix available).
     """
 
-    queries: int = 0
-    walks_examined: int = 0
-    walks_met: int = 0
-    walks_pruned: int = 0
-    so_evaluations: int = 0
-    sem_gate_hits: int = 0
-    batch_queries: int = 0
-    batch_pairs: int = 0
-    vectorized_pairs: int = 0
-    scalar_fallbacks: int = 0
+    __slots__ = ("_values", "_cells")
+
+    _FIELDS = tuple(_STAT_HELP)
+
+    def __init__(
+        self,
+        method: str | None = None,
+        estimator: str | None = None,
+        **counts: int,
+    ) -> None:
+        object.__setattr__(self, "_values", dict.fromkeys(self._FIELDS, 0))
+        cells: dict[str, object] = {}
+        if method is not None and estimator is not None:
+            registry = get_registry()
+            for field, help_text in _STAT_HELP.items():
+                family = registry.counter(
+                    f"estimator_{field}_total",
+                    help=f"{help_text} Process-wide, monotonic across resets.",
+                    labelnames=("method", "estimator"),
+                )
+                cells[field] = family.labels(method=method, estimator=estimator)
+        object.__setattr__(self, "_cells", cells)
+        for field, value in counts.items():
+            setattr(self, field, value)
+
+    def __getattr__(self, name: str):
+        values = object.__getattribute__(self, "_values")
+        try:
+            return values[name]
+        except KeyError:
+            raise AttributeError(
+                f"{type(self).__name__} has no counter {name!r}"
+            ) from None
+
+    def __setattr__(self, name: str, value: int) -> None:
+        values = self._values
+        if name not in values:
+            raise AttributeError(
+                f"{type(self).__name__} has no counter {name!r}"
+            )
+        delta = value - values[name]
+        values[name] = value
+        if delta > 0:
+            cell = self._cells.get(name)
+            if cell is not None and is_enabled():
+                cell.inc(delta)
 
     def reset(self) -> None:
-        """Zero every counter in place."""
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
+        """Zero this instance's counters in place.
+
+        Only the per-engine view moves; the mirrored process-wide registry
+        series stay monotonic (resetting an engine must never erase another
+        engine's — or the process's — history).
+        """
+        values = self._values
+        for field in self._FIELDS:
+            values[field] = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counter values as a plain ``{field: value}`` dict."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f}={self._values[f]}" for f in self._FIELDS)
+        return f"EstimatorStats({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EstimatorStats):
+            return self._values == other._values
+        return NotImplemented
 
 
 class MonteCarloSimRank:
@@ -122,7 +199,7 @@ class MonteCarloSimRank:
         )
         self.walk_index = walk_index
         self.decay = validate_decay(params["decay"])
-        self.stats = EstimatorStats()
+        self.stats = EstimatorStats(method="mc", estimator="simrank")
 
     def similarity(self, u: Node, v: Node) -> float:
         """Return the MC SimRank estimate ``(1/n_w) * sum c^tau``."""
@@ -204,7 +281,7 @@ class MonteCarloSemSim:
         self.decay = validate_decay(params["decay"])
         self.theta = validate_theta(params["theta"])
         self.pair_index = pair_index
-        self.stats = EstimatorStats()
+        self.stats = EstimatorStats(method="mc", estimator="semsim")
         graph_index = walk_index.index
         self._nodes = graph_index.nodes
         self._in_lists = graph_index.in_lists
@@ -284,13 +361,21 @@ class MonteCarloSemSim:
         walks_u = self.walk_index.walks_from(u)
         walks_v = self.walk_index.walks_from(v)
         meetings = self.walk_index.first_meetings(u, v)
-        self.stats.walks_examined += meetings.size
         total = 0.0
+        met = so_evals = pruned = 0
         for walk_id in np.flatnonzero(meetings >= 0):
-            self.stats.walks_met += 1
-            total += self._walk_score(
+            met += 1
+            score, evals, cut = self._walk_score(
                 walks_u[walk_id], walks_v[walk_id], int(meetings[walk_id])
             )
+            total += score
+            so_evals += evals
+            pruned += cut
+        stats = self.stats
+        stats.walks_examined += meetings.size
+        stats.walks_met += met
+        stats.so_evaluations += so_evals
+        stats.walks_pruned += pruned
         return sem_uv * total / self.walk_index.num_walks
 
     def similarity_batch(
@@ -365,13 +450,21 @@ class MonteCarloSemSim:
         walks_u = self.walk_index.walks_from(u)
         walks_v = self.walk_index.walks_from(v)
         meetings = self.walk_index.first_meetings(u, v)
-        self.stats.walks_examined += meetings.size
         contributions = np.zeros(self.walk_index.num_walks)
+        met = so_evals = pruned = 0
         for walk_id in np.flatnonzero(meetings >= 0):
-            self.stats.walks_met += 1
-            contributions[walk_id] = self._walk_score(
+            met += 1
+            score, evals, cut = self._walk_score(
                 walks_u[walk_id], walks_v[walk_id], int(meetings[walk_id])
             )
+            contributions[walk_id] = score
+            so_evals += evals
+            pruned += cut
+        stats = self.stats
+        stats.walks_examined += meetings.size
+        stats.walks_met += met
+        stats.so_evaluations += so_evals
+        stats.walks_pruned += pruned
         estimate = sem_uv * float(contributions.mean())
         spread = float(contributions.std(ddof=1)) if contributions.size > 1 else 0.0
         half_width = sem_uv * z * spread / np.sqrt(self.walk_index.num_walks)
@@ -380,9 +473,18 @@ class MonteCarloSemSim:
     # ------------------------------------------------------------------
     # Internals — scalar path
     # ------------------------------------------------------------------
-    def _walk_score(self, walk_u: np.ndarray, walk_v: np.ndarray, meeting: int) -> float:
-        """Likelihood-ratio score of one met coupled walk (Def. 4.5)."""
+    def _walk_score(
+        self, walk_u: np.ndarray, walk_v: np.ndarray, meeting: int
+    ) -> tuple[float, int, int]:
+        """Likelihood-ratio score of one met coupled walk (Def. 4.5).
+
+        Returns ``(score, so_evaluations, pruned)`` so the per-step loop
+        stays free of stats bookkeeping — callers fold the tallies into
+        :class:`EstimatorStats` once per public query, which is what keeps
+        the registry-mirrored counters off this hot path.
+        """
         score = 1.0
+        so_evals = 0
         for step in range(meeting):
             current_u = int(walk_u[step])
             current_v = int(walk_v[step])
@@ -393,33 +495,44 @@ class MonteCarloSemSim:
                 * self._weight_to[current_u][next_u]
                 * self._weight_to[current_v][next_v]
             )
-            so = self._so_denominator(current_u, current_v)
+            so, fresh = self._so_value(current_u, current_v)
+            so_evals += fresh
             if so <= 0:
-                return 0.0
+                return 0.0, so_evals, 0
             p_step = numerator / so
             q_step = (
                 self.walk_index.q_step_probability(current_u, next_u)
                 * self.walk_index.q_step_probability(current_v, next_v)
             )
             if q_step <= 0:
-                return 0.0
+                return 0.0, so_evals, 0
             score *= p_step * self.decay / q_step
             if self.theta is not None and score <= self.theta:
                 # Def. 4.5: freeze the walk's value at its first ≤ θ bound.
-                self.stats.walks_pruned += 1
-                return score
-        return score
+                return score, so_evals, 1
+        return score, so_evals, 0
 
     def _so_denominator(self, pos_u: int, pos_v: int) -> float:
-        """``SO(u, v) = sum_{a,b} W(a,u) W(b,v) sem(a,b)`` — the O(d²) core."""
+        """``SO(u, v)``, counting fresh evaluations into the stats."""
+        value, fresh = self._so_value(pos_u, pos_v)
+        if fresh:
+            self.stats.so_evaluations += fresh
+        return value
+
+    def _so_value(self, pos_u: int, pos_v: int) -> tuple[float, int]:
+        """``SO(u, v) = sum_{a,b} W(a,u) W(b,v) sem(a,b)`` — the O(d²) core.
+
+        Returns ``(value, fresh)`` where *fresh* is 1 when the denominator
+        was computed from scratch and 0 on a ``pair_index`` hit; callers
+        own the ``so_evaluations`` bookkeeping.
+        """
         if self.pair_index is not None:
             cached = self.pair_index.so_lookup(pos_u, pos_v)
             if cached is not None:
-                return cached
-        self.stats.so_evaluations += 1
+                return cached, 0
         if self._sem_matrix is not None:
             self._ensure_so_matrix()
-            return float(self._so_matrix[pos_u, pos_v])
+            return float(self._so_matrix[pos_u, pos_v]), 1
         neighbours_u = self._in_lists[pos_u]
         neighbours_v = self._in_lists[pos_v]
         weights_u = self._in_weights[pos_u]
@@ -431,7 +544,7 @@ class MonteCarloSemSim:
             node_a = nodes[int(a)]
             for b, wb in zip(neighbours_v, weights_v):
                 total += wa * wb * similarity(node_a, nodes[int(b)])
-        return float(total)
+        return float(total), 1
 
     # ------------------------------------------------------------------
     # Internals — vectorised batch path

@@ -16,15 +16,35 @@ module centralises
 
 Engines accept the legacy spellings via ``**legacy`` catch-all kwargs and
 call :func:`resolve_legacy_kwargs` first thing in ``__init__``.
+
+Each ``(owner, alias)`` pair warns **once per process**: a serving loop that
+constructs thousands of engines with a stale keyword gets one
+:class:`DeprecationWarning` plus one structured ``deprecated_kwarg`` log
+event, not a warning flood.  Tests use :func:`reset_deprecation_state` to
+re-arm the warnings.
 """
 
 from __future__ import annotations
 
+import threading
 import warnings
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.logging import get_logger, log_event
+
+_LOG = get_logger("core.params")
+
+#: ``(owner, alias)`` pairs that already warned this process.
+_EMITTED: set[tuple[str, str]] = set()
+_EMITTED_LOCK = threading.Lock()
+
+
+def reset_deprecation_state() -> None:
+    """Re-arm the once-per-process deprecation warnings (testing aid)."""
+    with _EMITTED_LOCK:
+        _EMITTED.clear()
 
 #: Legacy keyword -> canonical keyword, shared by every engine constructor.
 LEGACY_ALIASES: dict[str, str] = {
@@ -60,10 +80,12 @@ def resolve_legacy_kwargs(
     (or defaults); *defaults* maps canonical names to the constructor's
     signature defaults.  Returns *current* updated in place: each
     recognised alias fills in its canonical entry and emits a
-    :class:`DeprecationWarning`; unknown keywords raise ``TypeError`` just
-    like a normal unexpected-keyword error would.  Passing an alias
-    alongside a canonical keyword that was explicitly set to a *different*
-    value raises ``TypeError`` rather than silently picking one.
+    :class:`DeprecationWarning` plus a structured ``deprecated_kwarg`` log
+    event — both at most once per process per ``(owner, alias)`` pair;
+    unknown keywords raise ``TypeError`` just like a normal
+    unexpected-keyword error would.  Passing an alias alongside a canonical
+    keyword that was explicitly set to a *different* value raises
+    ``TypeError`` rather than silently picking one.
     """
     for name, value in legacy.items():
         canonical = LEGACY_ALIASES.get(name)
@@ -81,11 +103,20 @@ def resolve_legacy_kwargs(
                 f"{owner}.__init__() got both {canonical!r} and its "
                 f"deprecated alias {name!r} with conflicting values"
             )
-        warnings.warn(
-            f"{owner}: keyword {name!r} is deprecated, use {canonical!r}",
-            DeprecationWarning,
-            stacklevel=3,
-        )
+        with _EMITTED_LOCK:
+            first_use = (owner, name) not in _EMITTED
+            if first_use:
+                _EMITTED.add((owner, name))
+        if first_use:
+            warnings.warn(
+                f"{owner}: keyword {name!r} is deprecated, use {canonical!r}",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            log_event(
+                _LOG, "deprecated_kwarg",
+                owner=owner, alias=name, canonical=canonical,
+            )
         current[canonical] = value
     return current
 

@@ -48,7 +48,14 @@ from repro.core.params import (
 )
 from repro.errors import GraphError, NodeNotFoundError
 from repro.hin.graph import GraphIndex, HIN, Node
+from repro.obs.registry import get_registry, is_enabled
+from repro.obs.trace import span
 from repro.utils.rng import spawn_rngs
+
+_WALKS_PER_SECOND = get_registry().gauge(
+    "walk_index_walks_per_second",
+    help="Sampling throughput (walks/second) of the latest walk-index build.",
+)
 
 
 class WalkPolicy(enum.Enum):
@@ -255,19 +262,29 @@ class WalkIndex:
         shards = [
             (lo, min(lo + shard_size, n)) for lo in range(0, n, shard_size)
         ]
-        if effective_workers == 1 or len(shards) == 1:
-            parts = [self._sample_shard(lo, hi, rngs[lo:hi]) for lo, hi in shards]
-        else:
-            with ThreadPoolExecutor(max_workers=effective_workers) as pool:
-                parts = list(
-                    pool.map(
-                        lambda span: self._sample_shard(
-                            span[0], span[1], rngs[span[0]:span[1]]
-                        ),
-                        shards,
+        with span(
+            "walk_index.build",
+            nodes=n, num_walks=self.num_walks, length=self.length,
+            workers=effective_workers, shards=len(shards),
+        ) as build_span:
+            if effective_workers == 1 or len(shards) == 1:
+                parts = [
+                    self._sample_shard(lo, hi, rngs[lo:hi]) for lo, hi in shards
+                ]
+            else:
+                with ThreadPoolExecutor(max_workers=effective_workers) as pool:
+                    parts = list(
+                        pool.map(
+                            lambda bounds: self._sample_shard(
+                                bounds[0], bounds[1], rngs[bounds[0]:bounds[1]]
+                            ),
+                            shards,
+                        )
                     )
-                )
-        return np.ascontiguousarray(np.concatenate(parts, axis=0))
+            walks = np.ascontiguousarray(np.concatenate(parts, axis=0))
+        if is_enabled() and build_span.wall_seconds:
+            _WALKS_PER_SECOND.set(n * self.num_walks / build_span.wall_seconds)
+        return walks
 
     def _sample_shard(
         self, lo: int, hi: int, rngs: Sequence[np.random.Generator]
@@ -279,30 +296,35 @@ class WalkIndex:
         stepping below is deterministic given the draws and the graph.
         """
         count = hi - lo
-        tables = self.tables
-        total_walkers = count * self.num_walks
-        steps = np.full((self.length + 1, total_walkers), -1, dtype=np.int32)
-        steps[0] = np.repeat(np.arange(lo, hi, dtype=np.int32), self.num_walks)
-        draws = np.empty((total_walkers, self.length), dtype=np.float64)
-        for offset, rng in enumerate(rngs):
-            start = offset * self.num_walks
-            draws[start:start + self.num_walks] = rng.random(
-                (self.num_walks, self.length)
+        # Worker-pool threads open their own span stacks (depth 0); the
+        # shard spans still land in walk_index_sample_shard_seconds.
+        with span("walk_index.sample_shard", lo=lo, hi=hi, nodes=count):
+            tables = self.tables
+            total_walkers = count * self.num_walks
+            steps = np.full((self.length + 1, total_walkers), -1, dtype=np.int32)
+            steps[0] = np.repeat(
+                np.arange(lo, hi, dtype=np.int32), self.num_walks
             )
-        for step in range(self.length):
-            current = steps[step]
-            movable = np.flatnonzero(current >= 0)
-            if movable.size == 0:
-                break
-            nodes_here = current[movable].astype(np.int64)
-            live = tables.degrees[nodes_here] > 0
-            movable = movable[live]
-            if movable.size == 0:
-                continue
-            steps[step + 1, movable] = tables.step(
-                nodes_here[live], draws[movable, step]
-            )
-        return steps.T.reshape(count, self.num_walks, self.length + 1)
+            draws = np.empty((total_walkers, self.length), dtype=np.float64)
+            for offset, rng in enumerate(rngs):
+                start = offset * self.num_walks
+                draws[start:start + self.num_walks] = rng.random(
+                    (self.num_walks, self.length)
+                )
+            for step in range(self.length):
+                current = steps[step]
+                movable = np.flatnonzero(current >= 0)
+                if movable.size == 0:
+                    break
+                nodes_here = current[movable].astype(np.int64)
+                live = tables.degrees[nodes_here] > 0
+                movable = movable[live]
+                if movable.size == 0:
+                    continue
+                steps[step + 1, movable] = tables.step(
+                    nodes_here[live], draws[movable, step]
+                )
+            return steps.T.reshape(count, self.num_walks, self.length + 1)
 
     # ------------------------------------------------------------------
     # Queries

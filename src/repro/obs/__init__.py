@@ -1,0 +1,71 @@
+"""``repro.obs`` — the serving-grade instrumentation layer.
+
+Production SimRank serving lives and dies by the preprocessing/query-time
+trade-off the paper's Fig. 4 measures; this package makes those axes
+observable in-process, with zero dependencies beyond the standard library:
+
+:mod:`repro.obs.registry`
+    a process-wide metrics registry — thread-safe, label-aware counters,
+    gauges and fixed-bucket histograms (``method``/``measure``/``phase``
+    style labels, bounded cardinality);
+:mod:`repro.obs.export`
+    JSON and Prometheus text-exposition renderers over the registry;
+:mod:`repro.obs.trace`
+    ``span("walk_index.build", **attrs)`` timing contexts that record
+    wall/CPU time, nest per thread, feed ``<name>_seconds`` histograms and
+    optionally stream JSON-lines trace records;
+:mod:`repro.obs.logging`
+    structured (JSON) logging under the ``repro.*`` logger hierarchy.
+
+Everything is opt-out: the registry always accumulates (a counter add is
+nanoseconds), while :func:`set_enabled` / :func:`disabled` pause metric and
+span recording entirely for overhead-sensitive measurement windows (see
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.logging import (
+    JsonLogFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+    reset_logging,
+)
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disabled,
+    get_registry,
+    is_enabled,
+    set_enabled,
+    snapshot_delta,
+)
+from repro.obs.trace import Span, current_span, set_trace_writer, span, trace_to
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "get_registry",
+    "snapshot_delta",
+    "set_enabled",
+    "is_enabled",
+    "disabled",
+    "render_json",
+    "render_prometheus",
+    "Span",
+    "span",
+    "current_span",
+    "set_trace_writer",
+    "trace_to",
+    "JsonLogFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+    "reset_logging",
+]

@@ -1,0 +1,85 @@
+"""Renderers over the metrics registry: JSON and Prometheus text exposition.
+
+Two stable output formats for the same registry state:
+
+* :func:`render_json` — the registry's :meth:`~repro.obs.registry.
+  MetricsRegistry.as_dict` snapshot serialised with sorted keys, the format
+  the CLI's ``--metrics-out`` flag and ``repro metrics dump`` emit and the
+  CI smoke job parses;
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): ``# HELP``/``# TYPE`` headers, escaped label values,
+  deterministic (sorted) label ordering, and for histograms the cumulative
+  ``_bucket{le=...}`` series ending at ``le="+Inf"`` plus the ``_sum`` and
+  ``_count`` series, with ``+Inf``'s cumulative count equal to ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.registry import Histogram, MetricsRegistry, get_registry
+
+__all__ = ["render_json", "render_prometheus"]
+
+
+def render_json(registry: MetricsRegistry | None = None, indent: int | None = 2) -> str:
+    """Serialise *registry* (default: the process registry) as JSON text."""
+    registry = registry if registry is not None else get_registry()
+    return json.dumps(registry.as_dict(), indent=indent, sort_keys=True)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+    pairs = [(k, str(v)) for k, v in sorted(labels.items())]
+    if extra is not None:
+        pairs.append(extra)  # le goes last, after the sorted user labels
+    if not pairs:
+        return ""
+    rendered = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + rendered + "}"
+
+
+def _format_number(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Render *registry* (default: the process registry) as exposition text."""
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, Histogram):
+            for labels, child in family.samples():
+                for bound, cumulative in child.cumulative_buckets():
+                    le = _render_labels(labels, extra=("le", _format_number(bound)))
+                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                suffix = _render_labels(labels)
+                lines.append(
+                    f"{family.name}_sum{suffix} {_format_number(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{suffix} {child.count}")
+        else:
+            for labels, child in family.samples():
+                suffix = _render_labels(labels)
+                lines.append(
+                    f"{family.name}{suffix} {_format_number(child.value)}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,257 @@
+"""Structured timing spans over the hot preprocessing and query paths.
+
+A *span* is a context manager that measures one named unit of work:
+
+>>> from repro.obs.trace import span
+>>> with span("walk_index.build", nodes=100, workers=4) as sp:
+...     pass  # the work
+>>> sp.wall_seconds >= 0 and sp.cpu_seconds >= 0
+True
+
+On exit — **including exit by exception** — a span
+
+* records wall-clock (``perf_counter``) and CPU (``process_time``) time;
+* feeds the histogram named after it (``walk_index.build`` observes into
+  ``walk_index_build_seconds`` in the process registry), so every spanned
+  phase automatically has a latency distribution;
+* appends one JSON line to the installed trace writer (opt-in, see
+  :func:`set_trace_writer` / :func:`trace_to`) carrying the timings, the
+  free-form attributes, the nesting depth and the parent span name.
+
+Nesting is tracked per thread: spans opened inside another span on the
+same thread record their depth and parent; worker-pool threads (e.g. the
+sharded walk-index build) start their own stacks at depth 0.
+
+When recording is paused (:func:`repro.obs.registry.set_enabled`), spans
+still run their body and still time themselves, but skip the histogram
+observation and the trace line — the measurement window of
+``bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    get_registry,
+    is_enabled,
+)
+
+__all__ = [
+    "Span",
+    "span",
+    "current_span",
+    "set_trace_writer",
+    "trace_to",
+    "histogram_name_for",
+]
+
+_stack_local = threading.local()
+
+_writer: IO[str] | None = None
+_writer_owned = False
+_writer_lock = threading.Lock()
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _stack() -> list["Span"]:
+    stack = getattr(_stack_local, "spans", None)
+    if stack is None:
+        stack = []
+        _stack_local.spans = stack
+    return stack
+
+
+def histogram_name_for(span_name: str) -> str:
+    """The registry histogram a span feeds: ``a.b-c`` -> ``a_b_c_seconds``."""
+    return _INVALID_METRIC_CHARS.sub("_", span_name) + "_seconds"
+
+
+def current_span() -> "Span | None":
+    """Return the innermost open span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class Span:
+    """One timed, optionally traced, unit of work (use via :func:`span`)."""
+
+    __slots__ = (
+        "name", "attrs", "labels", "record",
+        "wall_seconds", "cpu_seconds", "status", "error",
+        "depth", "parent_name",
+        "_start_ts", "_wall0", "_cpu0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, object],
+        labels: dict[str, str] | None,
+        record: bool,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.labels = labels
+        self.record = record
+        self.wall_seconds: float | None = None
+        self.cpu_seconds: float | None = None
+        self.status: str | None = None
+        self.error: str | None = None
+        self.depth = 0
+        self.parent_name: str | None = None
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.depth = len(stack)
+        self.parent_name = stack[-1].name if stack else None
+        stack.append(self)
+        self._start_ts = time.time()
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_seconds = time.perf_counter() - self._wall0
+        self.cpu_seconds = time.process_time() - self._cpu0
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is None:
+            self.status = "ok"
+        else:
+            self.status = "error"
+            self.error = f"{exc_type.__name__}: {exc}"
+        if is_enabled():
+            if self.record:
+                self._observe()
+            self._write_trace_line()
+        return False  # never swallow the exception
+
+    def _observe(self) -> None:
+        histogram = get_registry().histogram(
+            histogram_name_for(self.name),
+            help=f"Wall-clock seconds of {self.name!r} spans.",
+            labelnames=sorted(self.labels) if self.labels else (),
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        if self.labels:
+            histogram.labels(**self.labels).observe(self.wall_seconds)
+        else:
+            histogram.observe(self.wall_seconds)
+
+    def _write_trace_line(self) -> None:
+        writer = _writer
+        if writer is None:
+            return
+        payload: dict[str, object] = {
+            "ts": round(self._start_ts, 6),
+            "span": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "depth": self.depth,
+            "status": self.status,
+        }
+        if self.parent_name is not None:
+            payload["parent"] = self.parent_name
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.labels:
+            payload["labels"] = self.labels
+        if self.attrs:
+            payload["attrs"] = {
+                key: value for key, value in self.attrs.items()
+            }
+        line = json.dumps(payload, sort_keys=True, default=str)
+        with _writer_lock:
+            if _writer is writer:  # not swapped out underneath us
+                writer.write(line + "\n")
+
+    def __repr__(self) -> str:
+        timing = (
+            f"wall={self.wall_seconds:.6f}s" if self.wall_seconds is not None
+            else "open"
+        )
+        return f"Span({self.name!r}, {timing}, status={self.status})"
+
+
+def span(
+    name: str,
+    *,
+    labels: dict[str, str] | None = None,
+    record: bool = True,
+    **attrs: object,
+) -> Span:
+    """Open a timing span named *name*.
+
+    Parameters
+    ----------
+    name:
+        Dotted phase name (``"walk_index.build"``); the fed histogram is
+        :func:`histogram_name_for` of it.
+    labels:
+        Optional registry labels for the histogram series.  Keep the value
+        set small and bounded — labels are time-series cardinality, use
+        ``**attrs`` for free-form context instead.
+    record:
+        ``False`` skips the histogram (the span still times itself and
+        still writes a trace line).
+    attrs:
+        Free-form attributes copied into the JSON trace line only.
+    """
+    return Span(name, attrs, labels, record)
+
+
+def set_trace_writer(target: str | Path | IO[str] | None) -> None:
+    """Install (or clear, with ``None``) the process JSON-lines trace sink.
+
+    *target* may be a path — opened for append, closed when replaced — or
+    any open text file object (kept open; the caller owns it).
+    """
+    global _writer, _writer_owned
+    with _writer_lock:
+        if _writer is not None and _writer_owned:
+            try:
+                _writer.close()
+            except OSError:
+                pass
+        if target is None:
+            _writer, _writer_owned = None, False
+        elif isinstance(target, (str, Path)):
+            _writer = open(target, "a", encoding="utf-8")
+            _writer_owned = True
+        else:
+            _writer, _writer_owned = target, False
+
+
+@contextmanager
+def trace_to(target: str | Path | IO[str]) -> Iterator[None]:
+    """Scope a trace writer: installed on entry, restored on exit.
+
+    The previously installed writer (if any) is left untouched and comes
+    back when the context closes.
+    """
+    global _writer, _writer_owned
+    own = isinstance(target, (str, Path))
+    handle = open(target, "a", encoding="utf-8") if own else target
+    with _writer_lock:
+        previous, previous_owned = _writer, _writer_owned
+        _writer, _writer_owned = handle, own
+    try:
+        yield
+    finally:
+        with _writer_lock:
+            _writer, _writer_owned = previous, previous_owned
+        if own:
+            try:
+                handle.close()
+            except OSError:
+                pass

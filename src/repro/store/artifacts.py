@@ -41,10 +41,51 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from repro.errors import ReproError
+from repro.obs.registry import get_registry, is_enabled
+from repro.obs.trace import span
 from repro.store.fingerprint import FORMAT_VERSION
 
 MANIFEST_NAME = "manifest.json"
 ARTIFACT_FORMAT = "repro-engine-artifact"
+
+_REGISTRY = get_registry()
+
+#: Engine cache lookups, incremented by the cache-level caller
+#: (:class:`repro.api.QueryEngine`) which owns the hit/miss/rebuild
+#: decision this store deliberately does not make.
+CACHE_HIT = _REGISTRY.counter(
+    "store_cache_hit_total",
+    help="Engine cache lookups served by a validated stored artifact.",
+)
+CACHE_MISS = _REGISTRY.counter(
+    "store_cache_miss_total",
+    help="Engine cache lookups that found no artifact under the key.",
+)
+CACHE_STALE = _REGISTRY.counter(
+    "store_cache_stale_rebuild_total",
+    help="Cached artifacts rejected as stale, corrupt or unusable and rebuilt.",
+)
+
+_BYTES_WRITTEN = _REGISTRY.counter(
+    "store_bytes_written_total",
+    help="Array bytes serialised into artifact directories.",
+)
+_BYTES_READ = _REGISTRY.counter(
+    "store_bytes_read_total",
+    help="Array bytes opened from artifacts, by access mode.",
+    labelnames=("mode",),
+)
+_ARTIFACTS_OPENED = _REGISTRY.counter(
+    "store_artifact_open_total",
+    help="Artifacts opened for reading, by array access mode "
+    "(mmap = zero-copy page-cache sharing, copy = materialised).",
+    labelnames=("mode",),
+)
+# Pre-create both mode series so exports always show them, even at zero.
+_READ_MMAP = _BYTES_READ.labels(mode="mmap")
+_READ_COPY = _BYTES_READ.labels(mode="copy")
+_OPENED_MMAP = _ARTIFACTS_OPENED.labels(mode="mmap")
+_OPENED_COPY = _ARTIFACTS_OPENED.labels(mode="copy")
 
 
 class StoreError(ReproError):
@@ -124,6 +165,10 @@ def write_artifact(
     except BaseException:
         shutil.rmtree(staging, ignore_errors=True)
         raise
+    if is_enabled():
+        _BYTES_WRITTEN.inc(
+            sum(int(spec["nbytes"]) for spec in manifest["arrays"].values())
+        )
     return path
 
 
@@ -189,6 +234,11 @@ def read_artifact(path: str | Path, mmap: bool = True) -> StoredArtifact:
             raise StoreError(
                 f"artifact document {name}.json at {path} is corrupt: {exc}"
             ) from None
+    if is_enabled():
+        (_OPENED_MMAP if mmap else _OPENED_COPY).inc()
+        (_READ_MMAP if mmap else _READ_COPY).inc(
+            sum(int(spec["nbytes"]) for spec in specs.values())
+        )
     return StoredArtifact(path=path, manifest=manifest, arrays=arrays,
                           documents=documents)
 
@@ -224,18 +274,20 @@ class ArtifactStore:
         """Write an artifact under *key* (atomic; replaces any previous one)."""
         manifest = dict(manifest)
         manifest["key"] = key
-        return write_artifact(self.path_for(key), manifest, arrays, documents)
+        with span("store.put", key=key[:12]):
+            return write_artifact(self.path_for(key), manifest, arrays, documents)
 
     def get(self, key: str, mmap: bool = True) -> StoredArtifact:
         """Open, validate and return the artifact stored under *key*."""
-        artifact = read_artifact(self.path_for(key), mmap=mmap)
-        stored_key = artifact.manifest.get("key")
-        if stored_key != key:
-            raise StoreError(
-                f"artifact at {artifact.path} was stored under key "
-                f"{stored_key!r}, not {key!r}"
-            )
-        return artifact
+        with span("store.get", key=key[:12], mmap=mmap):
+            artifact = read_artifact(self.path_for(key), mmap=mmap)
+            stored_key = artifact.manifest.get("key")
+            if stored_key != key:
+                raise StoreError(
+                    f"artifact at {artifact.path} was stored under key "
+                    f"{stored_key!r}, not {key!r}"
+                )
+            return artifact
 
     def delete(self, key: str) -> bool:
         """Remove the artifact for *key*; return whether one existed."""

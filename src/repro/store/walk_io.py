@@ -24,6 +24,18 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import GraphError
+from repro.obs.registry import get_registry, is_enabled
+from repro.obs.trace import span
+
+_REGISTRY = get_registry()
+_WALK_BYTES_WRITTEN = _REGISTRY.counter(
+    "store_walk_bytes_written_total",
+    help="Uncompressed walk-tensor bytes saved to .npz files.",
+)
+_WALK_BYTES_READ = _REGISTRY.counter(
+    "store_walk_bytes_read_total",
+    help="Uncompressed walk-tensor bytes loaded from .npz files.",
+)
 
 WALK_FORMAT = "repro-walk-index"
 #: Version 1 was the unversioned seed format (still readable); version 2
@@ -51,11 +63,16 @@ def save_walks_npz(
         "policy": str(policy),
         "nodes": list(nodes),
     }
-    np.savez_compressed(
-        path,
-        walks=np.ascontiguousarray(walks),
-        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
-    )
+    with span("store.save_walks", nodes=len(nodes), num_walks=num_walks):
+        np.savez_compressed(
+            path,
+            walks=np.ascontiguousarray(walks),
+            metadata=np.frombuffer(
+                json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+    if is_enabled():
+        _WALK_BYTES_WRITTEN.inc(walks.nbytes)
 
 
 def load_walks_npz(path: str | Path) -> tuple[np.ndarray, dict]:
@@ -127,4 +144,6 @@ def load_walks_npz(path: str | Path) -> tuple[np.ndarray, dict]:
             f"walk-index file {path} is internally inconsistent: tensor shape "
             f"{walks.shape} does not match metadata {expected}"
         )
+    if is_enabled():
+        _WALK_BYTES_READ.inc(walks.nbytes)
     return walks, metadata

@@ -75,3 +75,73 @@ class TestSemSimStats:
         b = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
         a.similarity("mid1", "mid2")
         assert b.stats.queries == 0
+
+
+class TestStatsResetAndRegistryMirror:
+    def test_reset_zeroes_every_field(self, setup):
+        _, measure, index = setup
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        estimator.similarity("mid1", "mid2")
+        assert estimator.stats.queries == 1
+        estimator.stats.reset()
+        assert all(v == 0 for v in estimator.stats.as_dict().values())
+
+    def test_reset_is_per_engine_not_global(self, setup):
+        """Resetting one engine's view leaves the other engine untouched."""
+        _, measure, index = setup
+        a = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        b = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        a.similarity("mid1", "mid2")
+        b.similarity("x1", "x2")
+        b_before = b.stats.as_dict()
+        a.stats.reset()
+        assert all(v == 0 for v in a.stats.as_dict().values())
+        assert b.stats.as_dict() == b_before
+
+    def test_reset_never_rolls_back_the_registry(self, setup):
+        """The process-wide counters are monotonic across engine resets."""
+        from repro.obs.registry import get_registry
+
+        _, measure, index = setup
+        cell = get_registry().counter(
+            "estimator_queries_total", labelnames=("method", "estimator")
+        ).labels(method="mc", estimator="semsim")
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        estimator.similarity("mid1", "mid2")
+        after_query = cell.value
+        estimator.stats.reset()
+        assert cell.value == after_query
+        estimator.similarity("mid1", "mid2")
+        assert cell.value == after_query + 1
+
+    def test_counting_work_after_reset_resumes_from_zero(self, setup):
+        _, measure, index = setup
+        estimator = MonteCarloSemSim(index, measure, decay=0.6, theta=None)
+        estimator.similarity("mid1", "mid2")
+        baseline = estimator.stats.so_evaluations
+        estimator.stats.reset()
+        estimator.similarity("mid1", "mid2")
+        assert estimator.stats.queries == 1
+        assert estimator.stats.so_evaluations == baseline
+
+    def test_unknown_field_rejected(self, setup):
+        _, _, index = setup
+        estimator = MonteCarloSimRank(index, decay=0.6)
+        with pytest.raises(AttributeError):
+            estimator.stats.typo_field
+        with pytest.raises(AttributeError):
+            estimator.stats.typo_field = 1
+
+    def test_disabled_recording_skips_the_registry_mirror(self, setup):
+        from repro.obs.registry import disabled, get_registry
+
+        _, _, index = setup
+        cell = get_registry().counter(
+            "estimator_queries_total", labelnames=("method", "estimator")
+        ).labels(method="mc", estimator="simrank")
+        estimator = MonteCarloSimRank(index, decay=0.6)
+        before = cell.value
+        with disabled():
+            estimator.similarity("mid1", "mid2")
+        assert estimator.stats.queries == 1  # the local view always counts
+        assert cell.value == before

@@ -71,6 +71,59 @@ class TestResolveLegacyKwargs:
         assert params["decay"] == 0.5
 
 
+class TestOncePerProcessWarning:
+    """A serving loop must see one warning per (owner, alias), not a flood."""
+
+    def test_second_use_stays_silent_but_still_resolves(self):
+        import warnings
+
+        with pytest.warns(DeprecationWarning):
+            resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a repeat warning would raise
+            params = resolve_legacy_kwargs("X", {"c": 0.3}, {"decay": 0.6})
+        assert params["decay"] == 0.3
+
+    def test_distinct_owners_and_aliases_each_warn(self):
+        with pytest.warns(DeprecationWarning):
+            resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
+        with pytest.warns(DeprecationWarning):
+            resolve_legacy_kwargs("Y", {"c": 0.4}, {"decay": 0.6})
+        with pytest.warns(DeprecationWarning):
+            resolve_legacy_kwargs("X", {"decay_factor": 0.4}, {"decay": 0.6})
+
+    def test_reset_rearms_the_warning(self):
+        from repro.core.params import reset_deprecation_state
+
+        with pytest.warns(DeprecationWarning):
+            resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
+        reset_deprecation_state()
+        with pytest.warns(DeprecationWarning):
+            resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
+
+    def test_first_use_emits_a_structured_log_event(self):
+        import io
+        import json
+
+        from repro.obs.logging import configure_logging, reset_logging
+
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        try:
+            with pytest.warns(DeprecationWarning):
+                resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
+            record = json.loads(stream.getvalue())
+            assert record["event"] == "deprecated_kwarg"
+            assert record["owner"] == "X"
+            assert record["alias"] == "c"
+            assert record["canonical"] == "decay"
+            # the deduplicated second use logs nothing either
+            resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
+            assert stream.getvalue().count("\n") == 1
+        finally:
+            reset_logging()
+
+
 class TestValidators:
     @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2, 1.5])
     def test_decay_range(self, bad):

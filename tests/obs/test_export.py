@@ -1,0 +1,117 @@
+"""Tests for the JSON and Prometheus text-exposition renderers."""
+
+import json
+
+import pytest
+
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestRenderJson:
+    def test_output_parses_and_is_sorted(self, registry):
+        registry.counter("hits_total", help="h").inc(2)
+        registry.gauge("depth").set(1.5)
+        text = render_json(registry)
+        parsed = json.loads(text)
+        assert parsed["counters"]["hits_total"]["samples"][0]["value"] == 2
+        assert text == json.dumps(parsed, indent=2, sort_keys=True)
+
+    def test_compact_indent(self, registry):
+        registry.counter("hits_total")
+        assert "\n" not in render_json(registry, indent=None)
+
+
+class TestPrometheusScalars:
+    def test_help_and_type_headers(self, registry):
+        registry.counter("hits_total", help="Cache hits.").inc(3)
+        text = render_prometheus(registry)
+        assert "# HELP hits_total Cache hits." in text
+        assert "# TYPE hits_total counter" in text
+        assert "\nhits_total 3\n" in text
+
+    def test_help_escaping(self, registry):
+        registry.counter("hits_total", help="line one\nback\\slash")
+        text = render_prometheus(registry)
+        assert "# HELP hits_total line one\\nback\\\\slash" in text
+
+    def test_label_value_escaping(self, registry):
+        family = registry.counter("events_total", labelnames=("path",))
+        family.labels(path='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'events_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_labels_render_sorted_by_name(self, registry):
+        family = registry.counter("events_total", labelnames=("zeta", "alpha"))
+        family.labels(zeta="z", alpha="a").inc()
+        text = render_prometheus(registry)
+        assert 'events_total{alpha="a",zeta="z"} 1' in text
+
+    def test_integral_floats_render_as_ints(self, registry):
+        registry.gauge("depth").set(4.0)
+        assert "\ndepth 4\n" in render_prometheus(registry)
+
+    def test_fractional_values_render_exactly(self, registry):
+        registry.gauge("depth").set(0.125)
+        assert "\ndepth 0.125\n" in render_prometheus(registry)
+
+    def test_unused_family_still_renders_at_zero(self, registry):
+        registry.counter("never_total")
+        assert "\nnever_total 0\n" in render_prometheus(registry)
+
+
+class TestPrometheusHistograms:
+    def test_bucket_series_end_at_inf_equal_to_count(self, registry):
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 9.0):
+            hist.observe(value)
+        lines = render_prometheus(registry).splitlines()
+        buckets = [l for l in lines if l.startswith("lat_seconds_bucket")]
+        assert buckets == [
+            'lat_seconds_bucket{le="0.1"} 1',
+            'lat_seconds_bucket{le="1"} 2',
+            'lat_seconds_bucket{le="+Inf"} 3',
+        ]
+        assert "lat_seconds_count 3" in lines
+
+    def test_sum_and_count_series(self, registry):
+        hist = registry.histogram("lat_seconds", buckets=(1.0,))
+        hist.observe(0.25)
+        hist.observe(0.25)
+        lines = render_prometheus(registry).splitlines()
+        assert "lat_seconds_sum 0.5" in lines
+        assert "lat_seconds_count 2" in lines
+
+    def test_le_label_comes_after_sorted_user_labels(self, registry):
+        hist = registry.histogram(
+            "lat_seconds", labelnames=("method",), buckets=(1.0,)
+        )
+        hist.labels(method="mc").observe(0.5)
+        text = render_prometheus(registry)
+        assert 'lat_seconds_bucket{method="mc",le="1"} 1' in text
+        assert 'lat_seconds_bucket{method="mc",le="+Inf"} 1' in text
+        assert 'lat_seconds_sum{method="mc"} 0.5' in text
+        assert 'lat_seconds_count{method="mc"} 1' in text
+
+    def test_type_header_says_histogram(self, registry):
+        registry.histogram("lat_seconds", buckets=(1.0,))
+        assert "# TYPE lat_seconds histogram" in render_prometheus(registry)
+
+    def test_scrape_invariants_on_busy_registry(self, registry):
+        """Cumulative buckets are sorted and +Inf always equals _count."""
+        hist = registry.histogram(
+            "lat_seconds", labelnames=("mode",), buckets=(0.01, 0.1, 1.0)
+        )
+        for i in range(50):
+            hist.labels(mode="single").observe(i / 25.0)
+            hist.labels(mode="batch").observe(i / 5.0)
+        for mode in ("single", "batch"):
+            child = hist.labels(mode=mode)
+            cumulative = [count for _, count in child.cumulative_buckets()]
+            assert cumulative == sorted(cumulative)
+            assert cumulative[-1] == child.count == 50

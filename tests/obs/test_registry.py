@@ -1,0 +1,270 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    disabled,
+    get_registry,
+    is_enabled,
+    set_enabled,
+    snapshot_delta,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_grows(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("hits_total")
+        assert hits.value() == 0
+        hits.inc()
+        hits.inc(2.5)
+        assert hits.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("hits_total")
+        with pytest.raises(ValueError, match="only grow"):
+            hits.inc(-1)
+        assert hits.value() == 0
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        reads = registry.counter("reads_total", labelnames=("mode",))
+        reads.labels(mode="mmap").inc(10)
+        reads.labels(mode="copy").inc(1)
+        assert reads.value(mode="mmap") == 10
+        assert reads.value(mode="copy") == 1
+
+    def test_labels_returns_cached_child(self):
+        registry = MetricsRegistry()
+        reads = registry.counter("reads_total", labelnames=("mode",))
+        assert reads.labels(mode="mmap") is reads.labels(mode="mmap")
+
+    def test_wrong_label_set_rejected(self):
+        registry = MetricsRegistry()
+        reads = registry.counter("reads_total", labelnames=("mode",))
+        with pytest.raises(ValueError, match="do not match"):
+            reads.labels(mode="mmap", extra="x")
+        with pytest.raises(ValueError, match="do not match"):
+            reads.labels()
+
+    def test_label_free_passthrough_refused_on_labelled_family(self):
+        registry = MetricsRegistry()
+        reads = registry.counter("reads_total", labelnames=("mode",))
+        with pytest.raises(ValueError, match="declares labels"):
+            reads.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5.0)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value() == 3.0
+
+
+class TestHistogram:
+    def test_observations_land_in_inclusive_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.1)    # == bound -> bucket le=0.1 (inclusive)
+        hist.observe(0.5)    # -> le=1.0
+        hist.observe(100.0)  # -> +Inf
+        buckets = dict(hist.labels().cumulative_buckets())
+        assert buckets[0.1] == 1
+        assert buckets[1.0] == 2
+        assert buckets[float("inf")] == 3
+        assert hist.count() == 3
+        assert hist.sum() == pytest.approx(100.6)
+
+    def test_cumulative_counts_are_monotone_and_end_at_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        cumulative = [count for _, count in hist.labels().cumulative_buckets()]
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == hist.count() == 5
+
+    def test_bucket_bounds_must_strictly_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("bad_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one bucket"):
+            registry.histogram("empty_seconds", buckets=())
+
+    def test_default_buckets_cover_five_decades(self):
+        assert DEFAULT_TIME_BUCKETS[0] == 0.0001
+        assert DEFAULT_TIME_BUCKETS[-1] == 10.0
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", help="h")
+        second = registry.counter("hits_total")
+        assert first is second
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.gauge("hits_total")
+
+    def test_labelnames_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", labelnames=("mode",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            registry.counter("hits_total", labelnames=("method",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("0bad")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("fine_total", labelnames=("0bad",))
+
+    def test_label_free_family_visible_at_zero(self):
+        """Unused families still export — metric-name drift stays visible."""
+        registry = MetricsRegistry()
+        registry.counter("never_touched_total")
+        samples = registry.get("never_touched_total").samples()
+        assert len(samples) == 1
+        assert samples[0][1].value == 0
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz_total")
+        registry.gauge("aaa")
+        assert [f.name for f in registry.families()] == ["aaa", "zzz_total"]
+
+    def test_as_dict_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc(2)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"]["hits_total"]["samples"][0]["value"] == 2
+        assert snapshot["gauges"]["depth"]["samples"][0]["value"] == 7
+        hist = snapshot["histograms"]["lat_seconds"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"]["+Inf"] == 1
+
+    def test_clear_values_zeroes_but_keeps_handles_live(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("hits_total")
+        hist = registry.histogram("lat_seconds", buckets=(1.0,))
+        hits.inc(5)
+        hist.observe(0.2)
+        registry.clear_values()
+        assert hits.value() == 0
+        assert hist.count() == 0
+        hits.inc()  # the pre-clear handle still feeds the registry
+        assert registry.get("hits_total").value() == 1
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("hits_total")
+        child = hits.labels()
+
+        def hammer():
+            for _ in range(1000):
+                child.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hits.value() == 8000
+
+
+class TestSnapshotDelta:
+    def test_counter_growth_reported(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("hits_total")
+        before = registry.snapshot()
+        hits.inc(3)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"]["hits_total"] == 3
+
+    def test_zero_growth_dropped(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total")
+        before = registry.snapshot()
+        assert snapshot_delta(before, registry.snapshot()) == {}
+
+    def test_histogram_contributes_count_and_sum(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(1.0,))
+        before = registry.snapshot()
+        hist.observe(0.25)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["histograms"]["lat_seconds_count"] == 1
+        assert delta["histograms"]["lat_seconds_sum"] == pytest.approx(0.25)
+
+    def test_labelled_keys_render_sorted(self):
+        registry = MetricsRegistry()
+        reads = registry.counter("reads_total", labelnames=("mode", "kind"))
+        before = registry.snapshot()
+        reads.labels(mode="mmap", kind="walk").inc()
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"] == {'reads_total{kind="walk",mode="mmap"}': 1}
+
+    def test_gauges_report_latest_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(1)
+        before = registry.snapshot()
+        gauge.set(9)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["gauges"]["depth"] == 9
+
+
+class TestEnabledSwitch:
+    def test_disabled_context_restores_previous_state(self):
+        assert is_enabled()
+        with disabled():
+            assert not is_enabled()
+            with disabled():
+                assert not is_enabled()
+            assert not is_enabled()
+        assert is_enabled()
+
+    def test_set_enabled_returns_previous(self):
+        previous = set_enabled(False)
+        try:
+            assert previous is True
+            assert set_enabled(True) is False
+        finally:
+            set_enabled(True)
+
+
+class TestProcessRegistry:
+    def test_get_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_instrumented_families_register_on_import(self):
+        """Importing the serving stack registers the core families."""
+        import repro.api  # noqa: F401
+        import repro.core.iterative  # noqa: F401
+        import repro.core.walk_index  # noqa: F401
+        import repro.store.artifacts  # noqa: F401
+
+        registry = get_registry()
+        for name in (
+            "query_latency_seconds",
+            "store_cache_hit_total",
+            "store_cache_miss_total",
+            "store_cache_stale_rebuild_total",
+            "walk_index_walks_per_second",
+            "iterative_residual",
+        ):
+            assert registry.get(name) is not None, name

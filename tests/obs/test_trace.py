@@ -1,0 +1,191 @@
+"""Tests for tracing spans: timing, nesting, exceptions, trace output."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.registry import disabled, get_registry
+from repro.obs.trace import (
+    current_span,
+    histogram_name_for,
+    set_trace_writer,
+    span,
+    trace_to,
+)
+
+
+class TestHistogramNameFor:
+    def test_dots_and_dashes_become_underscores(self):
+        assert histogram_name_for("walk_index.build") == "walk_index_build_seconds"
+        assert histogram_name_for("a.b-c") == "a_b_c_seconds"
+
+
+class TestSpanTiming:
+    def test_records_wall_and_cpu_time(self):
+        with span("tests.timing", record=False) as sp:
+            sum(range(1000))
+        assert sp.wall_seconds is not None and sp.wall_seconds >= 0
+        assert sp.cpu_seconds is not None and sp.cpu_seconds >= 0
+        assert sp.status == "ok"
+
+    def test_attrs_are_kept(self):
+        with span("tests.attrs", record=False, nodes=10, mode="mc") as sp:
+            pass
+        assert sp.attrs == {"nodes": 10, "mode": "mc"}
+
+
+class TestNesting:
+    def test_depth_and_parent_tracked(self):
+        with span("tests.outer", record=False) as outer:
+            assert current_span() is outer
+            with span("tests.inner", record=False) as inner:
+                assert inner.depth == 1
+                assert inner.parent_name == "tests.outer"
+                assert current_span() is inner
+            assert current_span() is outer
+        assert outer.depth == 0
+        assert outer.parent_name is None
+        assert current_span() is None
+
+    def test_worker_threads_start_fresh_stacks(self):
+        depths = {}
+
+        def worker():
+            with span("tests.worker", record=False) as sp:
+                depths["worker"] = (sp.depth, sp.parent_name)
+
+        with span("tests.main", record=False):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert depths["worker"] == (0, None)
+
+
+class TestExceptionSafety:
+    def test_exception_propagates_with_error_status(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("tests.explode", record=False) as sp:
+                raise RuntimeError("boom")
+        assert sp.status == "error"
+        assert sp.error == "RuntimeError: boom"
+        assert sp.wall_seconds is not None
+
+    def test_stack_is_popped_after_exception(self):
+        with pytest.raises(ValueError):
+            with span("tests.explode", record=False):
+                raise ValueError("x")
+        assert current_span() is None
+
+    def test_error_spans_still_observe_their_histogram(self):
+        name = "tests.explode_observed"
+        with pytest.raises(ValueError):
+            with span(name):
+                raise ValueError("x")
+        hist = get_registry().get(histogram_name_for(name))
+        assert hist.count() == 1
+
+
+class TestHistogramFeeding:
+    def test_span_feeds_its_named_histogram(self):
+        name = "tests.feeding"
+        with span(name):
+            pass
+        hist = get_registry().get(histogram_name_for(name))
+        assert hist.count() == 1
+        with span(name):
+            pass
+        assert hist.count() == 2
+
+    def test_labels_create_labelled_series(self):
+        name = "tests.feeding_labelled"
+        with span(name, labels={"method": "mc"}):
+            pass
+        hist = get_registry().get(histogram_name_for(name))
+        assert hist.labelnames == ("method",)
+        assert hist.count(method="mc") == 1
+
+    def test_record_false_skips_the_histogram(self):
+        name = "tests.feeding_skipped"
+        with span(name, record=False):
+            pass
+        assert get_registry().get(histogram_name_for(name)) is None
+
+    def test_disabled_skips_histogram_but_still_times(self):
+        name = "tests.feeding_disabled"
+        with disabled():
+            with span(name) as sp:
+                pass
+        assert sp.wall_seconds is not None
+        assert get_registry().get(histogram_name_for(name)) is None
+
+
+class TestTraceWriter:
+    def test_trace_to_writes_parseable_json_lines(self):
+        sink = io.StringIO()
+        with trace_to(sink):
+            with span("tests.traced", record=False, nodes=3):
+                with span("tests.traced_child", record=False):
+                    pass
+        lines = [json.loads(l) for l in sink.getvalue().splitlines()]
+        # children close (and hence write) before their parents
+        assert [l["span"] for l in lines] == [
+            "tests.traced_child", "tests.traced"
+        ]
+        child, parent = lines
+        assert child["parent"] == "tests.traced"
+        assert child["depth"] == 1
+        assert child["status"] == "ok"
+        assert parent["attrs"] == {"nodes": 3}
+        assert parent["wall_seconds"] >= 0
+
+    def test_error_lines_carry_the_error(self):
+        sink = io.StringIO()
+        with trace_to(sink):
+            with pytest.raises(RuntimeError):
+                with span("tests.traced_error", record=False):
+                    raise RuntimeError("boom")
+        (line,) = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert line["status"] == "error"
+        assert line["error"] == "RuntimeError: boom"
+
+    def test_trace_to_restores_previous_writer(self):
+        outer_sink, inner_sink = io.StringIO(), io.StringIO()
+        set_trace_writer(outer_sink)
+        try:
+            with trace_to(inner_sink):
+                with span("tests.routing_inner", record=False):
+                    pass
+            with span("tests.routing_outer", record=False):
+                pass
+        finally:
+            set_trace_writer(None)
+        assert "tests.routing_inner" in inner_sink.getvalue()
+        assert "tests.routing_inner" not in outer_sink.getvalue()
+        assert "tests.routing_outer" in outer_sink.getvalue()
+
+    def test_path_target_appends_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with trace_to(path):
+            with span("tests.to_file", record=False):
+                pass
+        with trace_to(path):
+            with span("tests.to_file", record=False):
+                pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(l)["span"] == "tests.to_file" for l in lines)
+
+    def test_disabled_suppresses_trace_lines(self):
+        sink = io.StringIO()
+        with trace_to(sink):
+            with disabled():
+                with span("tests.muted", record=False):
+                    pass
+        assert sink.getvalue() == ""
+
+    def test_no_writer_is_a_no_op(self):
+        set_trace_writer(None)
+        with span("tests.unwritten", record=False):
+            pass  # must simply not crash

@@ -161,3 +161,151 @@ class TestErrorPaths:
         assert main(["generate", "wordnet", "--out", str(path), "--seed", "1"]) == 0
         assert main(["topk", str(path), "ghost"]) == 2
         assert "ghost" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    """--log-json / --trace-out / --metrics-out and `metrics dump`."""
+
+    @pytest.fixture(scope="class")
+    def bundle_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-obs") / "wordnet.json"
+        assert main(["generate", "wordnet", "--out", str(path), "--seed", "1"]) == 0
+        return path
+
+    @pytest.fixture(autouse=True)
+    def _clean_obs_state(self):
+        yield
+        from repro.obs.logging import reset_logging
+        from repro.obs.trace import set_trace_writer
+
+        reset_logging()
+        set_trace_writer(None)
+
+    def test_metrics_out_file_carries_core_families(
+        self, bundle_path, tmp_path, capsys
+    ):
+        import json as _json
+
+        from repro.obs.registry import get_registry, snapshot_delta
+
+        metrics_path = tmp_path / "metrics.json"
+        before = get_registry().snapshot()
+        assert main([
+            "query", str(bundle_path), "n3", "n4",
+            "--method", "mc", "--walks", "20",
+            "--cache", str(tmp_path / "store"),
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        capsys.readouterr()
+        dump = _json.loads(metrics_path.read_text())
+        latency = dump["histograms"]["query_latency_seconds"]["samples"]
+        assert any(
+            s["labels"] == {"method": "mc", "mode": "single"} and s["count"] > 0
+            for s in latency
+        )
+        assert "walk_index_build_seconds" in dump["histograms"]
+        # this run started with an empty cache: one miss, no hit
+        delta = snapshot_delta(before, get_registry().snapshot())
+        assert delta["counters"]["store_cache_miss_total"] == 1
+        assert "store_cache_hit_total" not in delta["counters"]
+        assert delta["histograms"]["walk_index_build_seconds_count"] >= 1
+
+    def test_second_cached_run_records_a_hit(self, bundle_path, tmp_path, capsys):
+        from repro.obs.registry import get_registry, snapshot_delta
+
+        args = [
+            "query", str(bundle_path), "n3", "n4",
+            "--method", "mc", "--walks", "20",
+            "--cache", str(tmp_path / "store"),
+        ]
+        assert main(args) == 0
+        before = get_registry().snapshot()
+        assert main(args) == 0
+        capsys.readouterr()
+        delta = snapshot_delta(before, get_registry().snapshot())
+        assert delta["counters"]["store_cache_hit_total"] == 1
+        assert "store_cache_miss_total" not in delta["counters"]
+
+    def test_metrics_out_stdout_appends_parseable_json(
+        self, bundle_path, capsys
+    ):
+        import json as _json
+
+        assert main([
+            "query", str(bundle_path), "n3", "n4", "--metrics-out", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        json_start = out.index("\n{")  # the dump follows the query output
+        dump = _json.loads(out[json_start:])
+        assert set(dump) == {"counters", "gauges", "histograms"}
+
+    def test_trace_out_writes_span_lines(self, bundle_path, tmp_path, capsys):
+        import json as _json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "query", str(bundle_path), "n3", "n4",
+            "--method", "mc", "--walks", "20",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        lines = [
+            _json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert lines, "trace file must not be empty"
+        spans = {line["span"] for line in lines}
+        assert "walk_index.build" in spans
+        assert "engine.build" in spans
+        assert all(line["status"] == "ok" for line in lines)
+        assert all(line["wall_seconds"] >= 0 for line in lines)
+
+    def test_log_json_emits_structured_events_on_stderr(
+        self, bundle_path, tmp_path, capsys
+    ):
+        import json as _json
+
+        assert main([
+            "query", str(bundle_path), "n3", "n4",
+            "--method", "mc", "--walks", "20",
+            "--cache", str(tmp_path / "store"),
+            "--log-json",
+        ]) == 0
+        err = capsys.readouterr().err
+        events = [_json.loads(line) for line in err.splitlines()]
+        assert {"cache.miss", "engine.build"} <= {e["event"] for e in events}
+        assert all(e["logger"].startswith("repro") for e in events)
+
+    def test_metrics_dump_json(self, capsys):
+        import json as _json
+
+        assert main(["metrics", "dump"]) == 0
+        dump = _json.loads(capsys.readouterr().out)
+        assert "query_latency_seconds" in dump["histograms"]
+        assert "store_cache_hit_total" in dump["counters"]
+
+    def test_metrics_dump_prometheus(self, capsys):
+        assert main(["metrics", "dump", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE query_latency_seconds histogram" in out
+        assert "# TYPE store_cache_hit_total counter" in out
+        assert 'le="+Inf"' in out
+
+    def test_metrics_dump_to_file(self, tmp_path, capsys):
+        import json as _json
+
+        out_path = tmp_path / "registry.json"
+        assert main(["metrics", "dump", "--out", str(out_path)]) == 0
+        assert "wrote metrics" in capsys.readouterr().out
+        assert "counters" in _json.loads(out_path.read_text())
+
+    def test_metrics_out_flushes_even_on_error_exit(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "query", str(tmp_path / "absent.json"), "a", "b",
+                "--metrics-out", str(metrics_path),
+            ])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+        assert metrics_path.exists()
