@@ -1,0 +1,138 @@
+"""Serving-layer overhead — QueryService vs calling QueryEngine directly.
+
+The resilience wrapper (deadlines, degradation annotation, outcome
+metrics) must be nearly free on the happy path: the engine is published
+as one immutable state read without locks, and each request adds only
+two clock reads, a membership check, a response object and one counter
+increment.  This bench times the same single-pair query workload through
+:class:`~repro.serve.QueryService` and through the *very same*
+:class:`~repro.api.QueryEngine` instance it serves, and holds the median
+overhead to the ISSUE's <= 3% acceptance bound.
+
+Measurement design: per-query times in this container jitter by several
+percent between rounds (frequency scaling, cache churn), and the pairs
+themselves are heterogeneous (a theta-gated pair answers in microseconds,
+a heavy pair in hundreds), so batch-level medians flap by +-7% — far
+above the microsecond-scale signal.  Instead every pair is timed through
+*both* paths back to back in the same wall-clock slice, and the overhead
+is the **median of the paired per-query differences** over the pooled
+samples: pair heterogeneity subtracts out exactly, drift hits both
+halves of a difference equally, and alternating which path runs first
+cancels the warm-cache advantage of going second.  The paired median is
+stable to ~0.1% where unpaired estimators needed 3x the budget to get
+within +-2%.  GC stays off during timed rounds (collections land on
+whichever path happens to allocate past the threshold).
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+import pytest
+
+from repro.datasets import aminer_like
+from repro.serve import IndexManager, QueryService
+
+DECAY = 0.6
+THETA = 0.05
+NUM_WALKS = 300
+LENGTH = 15
+QUERIES_PER_ROUND = 1000
+ROUNDS = 5
+OVERHEAD_CEILING = 0.03  # the ISSUE's acceptance bound: <= 3%
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return aminer_like(num_authors=300, num_terms=150, seed=11)
+
+
+def _collect(engine, service, pairs, rounds):
+    """Paired per-query samples for both modes, order-balanced.
+
+    Each pair is scored through both paths back to back, so clock drift
+    and cache churn hit the two halves of a paired difference equally;
+    ``(i + r) % 2`` alternates which path goes first so the warm-cache
+    advantage of running second cancels across the pool.
+    """
+    perf = time.perf_counter
+    direct_samples: list[float] = []
+    served_samples: list[float] = []
+    for r in range(rounds):
+        for i, (u, v) in enumerate(pairs):
+            if (i + r) % 2:
+                t0 = perf()
+                service.query(u, v)
+                t1 = perf()
+                engine.score(u, v)
+                t2 = perf()
+                served_samples.append(t1 - t0)
+                direct_samples.append(t2 - t1)
+            else:
+                t0 = perf()
+                engine.score(u, v)
+                t1 = perf()
+                service.query(u, v)
+                t2 = perf()
+                direct_samples.append(t1 - t0)
+                served_samples.append(t2 - t1)
+    return direct_samples, served_samples
+
+
+def test_serving_overhead_under_ceiling(bundle, show):
+    manager = IndexManager(
+        bundle.graph, bundle.measure,
+        engine_kwargs=dict(
+            method="mc", decay=DECAY, num_walks=NUM_WALKS,
+            length=LENGTH, theta=THETA, seed=7,
+        ),
+    )
+    service = QueryService(manager)
+    engine = manager.engine()  # the exact engine the service wraps
+
+    entities = bundle.entity_nodes
+    pairs = [
+        (entities[i % len(entities)], entities[(i * 7 + 3) % len(entities)])
+        for i in range(QUERIES_PER_ROUND)
+    ]
+
+    # warm-up both paths (lazy tables, metric children, response classes)
+    _collect(engine, service, pairs[:50], rounds=1)
+
+    gc.collect()
+    gc.disable()
+    try:
+        direct_samples, served_samples = _collect(
+            engine, service, pairs, ROUNDS
+        )
+    finally:
+        gc.enable()
+
+    direct_median = statistics.median(direct_samples)
+    served_median = statistics.median(served_samples)
+    wrapper_cost = statistics.median(
+        s - d for s, d in zip(served_samples, direct_samples)
+    )
+    overhead = wrapper_cost / direct_median
+
+    lines = [
+        "Serving-layer overhead — QueryService vs direct QueryEngine",
+        f"graph: aminer-like, {bundle.graph.num_nodes} nodes "
+        f"(n_w={NUM_WALKS}, t={LENGTH}, c={DECAY}, theta={THETA})",
+        f"workload: {ROUNDS} x {QUERIES_PER_ROUND} single-pair queries, "
+        "paths interleaved per query, order alternated",
+        "",
+        f"{'mode':<26} {'median per query (us)':>22}",
+        f"{'QueryService.query':<26} {1e6 * served_median:>22.2f}",
+        f"{'QueryEngine.score':<26} {1e6 * direct_median:>22.2f}",
+        "",
+        f"wrapper cost (median paired diff): {1e9 * wrapper_cost:.0f} ns",
+        f"overhead: {100 * overhead:+.2f}%   "
+        f"(ceiling: {100 * OVERHEAD_CEILING:.0f}%)",
+    ]
+    show("serve_overhead", lines)
+
+    assert not manager.degraded  # the whole run stayed on the happy path
+    assert overhead <= OVERHEAD_CEILING

@@ -19,6 +19,13 @@ Commands
     (and optionally the portable walk-tensor ``.npz``).
 ``index info``
     Describe a saved engine artifact without loading its arrays.
+``serve``
+    Resilient line-protocol server on stdin/stdout: one ``u v`` pair per
+    line, one JSON response per line, with per-request deadlines
+    (``--deadline-ms``), bounded I/O retries (``--max-retries``) and
+    graceful degradation to the iterative solver on index loss (responses
+    carry a ``degraded`` flag).  ``HEALTH`` on a line prints the serving
+    health snapshot instead of a score.
 
 ``query`` and ``topk`` also accept ``--index`` (serve from a prebuilt
 artifact — no preprocessing at all) and ``--cache`` (transparent
@@ -54,6 +61,13 @@ from repro.errors import ConfigurationError, GraphError
 from repro.obs.export import render_json, render_prometheus
 from repro.obs.logging import configure_logging
 from repro.obs.trace import set_trace_writer
+from repro.serve import (
+    DeadlineExceeded,
+    IndexManager,
+    QueryService,
+    RetryPolicy,
+    ServeError,
+)
 from repro.store import StoreError, read_artifact
 
 GENERATORS = {
@@ -217,6 +231,71 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_service(args: argparse.Namespace) -> QueryService:
+    """Assemble the resilient serving stack a ``serve`` invocation asked for."""
+    retry = RetryPolicy(max_retries=args.max_retries, seed=args.seed)
+    if args.index is not None:
+        manager = IndexManager(index_path=args.index, retry=retry)
+    else:
+        bundle = _load_bundle_or_fail(args.bundle)
+        manager = IndexManager(
+            bundle.graph,
+            bundle.measure,
+            walks_path=args.walks_file,
+            cache_dir=args.cache,
+            engine_kwargs=dict(
+                method=args.method,
+                decay=args.decay,
+                num_walks=args.walks,
+                length=args.length,
+                theta=args.theta,
+                seed=args.seed,
+                workers=args.workers,
+            ),
+            retry=retry,
+        )
+    return QueryService(manager, deadline_ms=args.deadline_ms)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Line protocol on stdin: ``u v`` -> one JSON response per line.
+
+    A blank line or EOF ends the session; ``HEALTH`` prints the serving
+    health snapshot.  Per-request failures (unknown node, blown deadline)
+    are reported as JSON ``{"error": ...}`` lines and do not kill the
+    server — only a setup failure exits non-zero.
+    """
+    if not _require_bundle_arg(args):
+        return 2
+    service = _make_service(args)
+    service.manager.acquire()  # activate eagerly so startup errors surface
+    print(json.dumps({"ready": True, **service.health()}), flush=True)
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            break
+        if line.upper() == "HEALTH":
+            print(json.dumps(service.health()), flush=True)
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            print(json.dumps({"error": f"expected 'u v', got {line!r}"}),
+                  flush=True)
+            continue
+        u, v = parts
+        try:
+            response = service.query(u, v)
+        except DeadlineExceeded as exc:
+            print(json.dumps({"error": str(exc), "kind": "deadline"}),
+                  flush=True)
+        except GraphError as exc:
+            print(json.dumps({"error": str(exc), "kind": "not_found"}),
+                  flush=True)
+        else:
+            print(json.dumps(response.as_dict()), flush=True)
+    return 0
+
+
 def _cmd_metrics_dump(args: argparse.Namespace) -> int:
     text = render_json() if args.format == "json" else render_prometheus()
     if not text.endswith("\n"):
@@ -371,6 +450,23 @@ def build_parser() -> argparse.ArgumentParser:
     index_info.add_argument("index", help="artifact directory path")
     index_info.set_defaults(func=_cmd_index_info)
 
+    serve = commands.add_parser(
+        "serve", help="resilient stdin/stdout line-protocol query server"
+    )
+    serve.add_argument("bundle", nargs="?", default=None,
+                       help="bundle JSON path (omit with --index)")
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline in milliseconds (default: none)",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="bounded retries for artifact/walk-tensor I/O (default: 3)",
+    )
+    add_engine_options(serve, serving=True)
+    add_obs_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
     info = commands.add_parser("info", help="describe a saved bundle")
     info.add_argument("bundle", help="bundle JSON path")
     info.set_defaults(func=_cmd_info)
@@ -401,7 +497,7 @@ def main(argv: list[str] | None = None) -> int:
     _configure_observability(args)
     try:
         return args.func(args)
-    except (ConfigurationError, GraphError, StoreError) as exc:
+    except (ConfigurationError, GraphError, StoreError, ServeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:

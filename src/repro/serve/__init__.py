@@ -1,0 +1,51 @@
+"""Resilient serving layer over :class:`~repro.api.QueryEngine`.
+
+The layer splits serving into two objects:
+
+* :class:`~repro.serve.manager.IndexManager` owns the engine — opening
+  the primary index with bounded retries, quarantining a persistently
+  failing index behind a :class:`~repro.serve.breaker.CircuitBreaker`,
+  degrading to the exact iterative solver when the walk index is lost,
+  and rebuilding the primary in the background.
+* :class:`~repro.serve.service.QueryService` owns the request — the
+  per-request deadline, the ``degraded`` annotation on every response,
+  and the ``serve_*`` metrics.
+
+Failure behaviour is exercised deterministically via
+:mod:`repro.testing.faults`; the semantics are documented in
+``docs/serving.md``.
+"""
+
+from repro.serve.breaker import CircuitBreaker, CircuitState
+from repro.serve.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    IndexUnavailableError,
+    ServeError,
+)
+from repro.serve.manager import Acquisition, IndexManager
+from repro.serve.retry import RETRYABLE, RetryPolicy, call_with_retry
+from repro.serve.service import (
+    BatchResponse,
+    QueryResponse,
+    QueryService,
+    TopKResponse,
+)
+
+__all__ = [
+    "Acquisition",
+    "BatchResponse",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CircuitState",
+    "DeadlineExceeded",
+    "IndexManager",
+    "IndexUnavailableError",
+    "QueryResponse",
+    "QueryService",
+    "RETRYABLE",
+    "RetryPolicy",
+    "ServeError",
+    "TopKResponse",
+    "call_with_retry",
+]

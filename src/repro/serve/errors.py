@@ -1,0 +1,43 @@
+"""Serving-layer exceptions.
+
+All derive from :class:`~repro.errors.ReproError`, so existing callers
+that catch the library root keep working; the CLI maps them to exit
+code 2 like every other deliberate error.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for serving-layer failures."""
+
+
+class DeadlineExceeded(ServeError):
+    """A request could not complete within its per-request deadline."""
+
+    def __init__(self, deadline_ms: float, elapsed_ms: float) -> None:
+        super().__init__(
+            f"request exceeded its {deadline_ms:.0f} ms deadline "
+            f"({elapsed_ms:.1f} ms elapsed)"
+        )
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+
+
+class CircuitOpenError(ServeError):
+    """The breaker is open: the failing dependency is quarantined."""
+
+    def __init__(self, name: str, retry_after: float | None = None) -> None:
+        detail = (
+            f"; next probe in {retry_after:.3f} s" if retry_after is not None
+            else ""
+        )
+        super().__init__(f"circuit {name!r} is open{detail}")
+        self.name = name
+        self.retry_after = retry_after
+
+
+class IndexUnavailableError(ServeError):
+    """No engine can serve: the primary failed and no fallback exists."""

@@ -1,0 +1,382 @@
+"""Thread-safe ownership of the serving engine, with graceful degradation.
+
+:class:`IndexManager` fronts :class:`~repro.api.QueryEngine` construction
+for the serving layer.  Its contract:
+
+* **Acquisition is cheap.**  After the first activation, ``acquire()`` is
+  one attribute read — the active engine is published as one immutable
+  :class:`_EngineState` swapped atomically (CPython attribute stores are
+  atomic), so readers never lock.
+* **I/O failures are retried, then quarantined.**  Opening the primary
+  index (an artifact directory, a walk-tensor ``.npz``, or a cache-backed
+  build) runs under a :class:`~repro.serve.retry.RetryPolicy`; persistent
+  failure records into the :class:`~repro.serve.breaker.CircuitBreaker`,
+  and once the breaker opens, later acquisitions skip the disk entirely.
+* **Loss degrades, never breaks.**  When the primary cannot be opened and
+  a graph is available, the manager serves from the exact iterative
+  fixed-point solver (Section 2.3) — slower to build, but correct and
+  disk-free — while a rebuild of the primary runs in the background (or
+  on explicit :meth:`probe` calls when ``background_rebuild=False``).
+  Every response served this way is flagged ``degraded``.
+* **Recovery is automatic.**  A degraded manager re-probes the primary
+  whenever the breaker admits it (closed, or half-open after cooldown);
+  a successful rebuild swaps the healthy engine in and closes the
+  circuit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.api import QueryEngine
+from repro.errors import ConfigurationError
+from repro.hin.graph import HIN
+from repro.obs.logging import get_logger, log_event
+from repro.obs.registry import is_enabled
+from repro.obs.trace import span
+from repro.semantics.base import SemanticMeasure
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.errors import IndexUnavailableError
+from repro.serve.metrics import SERVE_REBUILDS
+from repro.serve.retry import RETRYABLE, RetryPolicy, call_with_retry
+
+_LOG = get_logger("serve.manager")
+
+
+@dataclass(frozen=True)
+class _EngineState:
+    """One published serving configuration (immutable, swapped whole)."""
+
+    engine: QueryEngine
+    degraded: bool
+    generation: int
+
+
+@dataclass(slots=True)
+class Acquisition:
+    """What one ``acquire()`` call handed out."""
+
+    engine: QueryEngine
+    degraded: bool
+    retries: int
+
+
+class IndexManager:
+    """Own, quarantine, degrade and rebuild the engine behind a service.
+
+    Parameters
+    ----------
+    graph, measure:
+        The model to serve.  Required for the degraded fallback (the
+        iterative solver needs them); may be omitted when *index_path*
+        names a self-contained artifact — but then no degradation is
+        possible and persistent index loss raises
+        :class:`~repro.serve.errors.IndexUnavailableError`.
+    index_path:
+        Serve from a prebuilt ``repro index build`` artifact
+        (:meth:`QueryEngine.open`).
+    walks_path, cache_dir, engine_kwargs:
+        Forwarded to the :class:`~repro.api.QueryEngine` constructor for
+        the primary build when *index_path* is not given.
+    retry, breaker:
+        The I/O retry policy and the quarantine breaker; defaults are
+        production-flavoured (3 retries, threshold 3, 30 s cooldown).
+    clock, sleep:
+        Injectable time sources (see
+        :class:`~repro.testing.faults.VirtualClock`); every wait and every
+        cooldown in the manager goes through these.
+    background_rebuild:
+        ``True`` (default) rebuilds the primary on a daemon thread while
+        degraded responses flow; ``False`` makes probes synchronous inside
+        :meth:`acquire` / :meth:`probe` — the deterministic-test mode.
+    """
+
+    def __init__(
+        self,
+        graph: HIN | None = None,
+        measure: SemanticMeasure | None = None,
+        *,
+        index_path: str | Path | None = None,
+        walks_path: str | Path | None = None,
+        cache_dir: str | Path | None = None,
+        engine_kwargs: dict | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        background_rebuild: bool = True,
+    ) -> None:
+        if graph is None and index_path is None:
+            raise ConfigurationError(
+                "IndexManager needs a graph to build from, an index_path "
+                "to open, or both (both enables degraded fallback)"
+            )
+        self.graph = graph
+        self.measure = measure
+        self.index_path = Path(index_path) if index_path is not None else None
+        self.walks_path = Path(walks_path) if walks_path is not None else None
+        self.cache_dir = cache_dir
+        self.engine_kwargs = dict(engine_kwargs or {})
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = (
+            breaker if breaker is not None
+            else CircuitBreaker("index", clock=clock)
+        )
+        self.clock = clock
+        self.sleep = sleep
+        self.background_rebuild = background_rebuild
+
+        self._state: _EngineState | None = None
+        self._acquisition: Acquisition | None = None  # cached fast-path handout
+        self._lock = threading.Lock()          # guards activation + swap
+        self._rebuild_lock = threading.Lock()  # one rebuild at a time
+        self._rebuild_in_flight = False
+        self._generation = 0
+        self._last_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def acquire(self, deadline: float | None = None) -> Acquisition:
+        """Return the current engine (activating or probing as needed).
+
+        The healthy fast path is lock-free and allocation-free: one
+        attribute read of a cached :class:`Acquisition`, one branch.  A
+        degraded state additionally asks the breaker whether a recovery
+        probe is due; *deadline* (absolute, in the manager's clock
+        domain) bounds any retry backoff performed on this call.
+        """
+        acquisition = self._acquisition
+        if acquisition is not None:
+            if acquisition.degraded:
+                self._maybe_probe(deadline)
+                return self._acquisition  # a probe may have swapped it
+            return acquisition
+        with self._lock:
+            if self._state is None:
+                retries = self._activate(deadline)
+            else:
+                retries = 0
+            state = self._state
+        return Acquisition(state.engine, state.degraded, retries)
+
+    def engine(self) -> QueryEngine:
+        """The current engine (mostly for benchmarks and tests)."""
+        return self.acquire().engine
+
+    @property
+    def degraded(self) -> bool:
+        state = self._state
+        return state.degraded if state is not None else False
+
+    @property
+    def generation(self) -> int:
+        """Bumps on every engine swap (activation, degradation, recovery)."""
+        state = self._state
+        return state.generation if state is not None else 0
+
+    def health(self) -> dict:
+        """One JSON-ready snapshot of the serving state."""
+        state = self._state
+        return {
+            "activated": state is not None,
+            "degraded": state.degraded if state is not None else False,
+            "method": state.engine.method if state is not None else None,
+            "generation": state.generation if state is not None else 0,
+            "circuit": self.breaker.state.value,
+            "rebuild_in_flight": self._rebuild_in_flight,
+            "last_error": str(self._last_error) if self._last_error else None,
+        }
+
+    # ------------------------------------------------------------------
+    # Activation, degradation, recovery
+    # ------------------------------------------------------------------
+    def _open_primary(self) -> QueryEngine:
+        """One attempt at the configured primary engine (may raise)."""
+        if self.index_path is not None:
+            return QueryEngine.open(self.index_path)
+        return QueryEngine(
+            self.graph,
+            self.measure,
+            walks_path=self.walks_path,
+            cache_dir=self.cache_dir,
+            **self.engine_kwargs,
+        )
+
+    def _rebuild_primary(self) -> QueryEngine:
+        """One rebuild-from-scratch attempt.
+
+        A lost or corrupt walk tensor is *resampled* from the graph (the
+        stored file is what failed — reopening it cannot help) and then
+        saved back over ``walks_path``, repairing the on-disk primary so
+        a process restart recovers too.  If the disk cannot take that
+        write the rebuild counts as failed and the index stays
+        quarantined.  With only an ``index_path`` the artifact is
+        reopened instead, covering the repaired-in-place case.
+        """
+        if self.graph is None:
+            return QueryEngine.open(self.index_path)
+        engine = QueryEngine(
+            self.graph,
+            self.measure,
+            cache_dir=self.cache_dir,
+            **self.engine_kwargs,
+        )
+        if self.walks_path is not None and engine.method == "mc":
+            engine.save_walks(self.walks_path)
+        return engine
+
+    def _fallback_engine(self) -> QueryEngine:
+        """The disk-free exact engine degraded responses are served from."""
+        if self.graph is None:
+            raise IndexUnavailableError(
+                f"primary index is unavailable ({self._last_error}) and no "
+                f"graph was provided for an iterative fallback"
+            )
+        kwargs = {
+            key: value
+            for key, value in self.engine_kwargs.items()
+            if key in ("decay", "max_iterations", "tolerance")
+        }
+        return QueryEngine(
+            self.graph, self.measure, method="iterative", **kwargs
+        )
+
+    def _publish(self, engine: QueryEngine, degraded: bool) -> None:
+        self._generation += 1
+        self._state = _EngineState(engine, degraded, self._generation)
+        # the cached handout every post-activation acquire() returns;
+        # retries are a per-activation detail, so the steady state is 0
+        self._acquisition = Acquisition(engine, degraded, 0)
+
+    def _activate(self, deadline: float | None) -> int:
+        """First acquisition: open the primary or degrade. Holds ``_lock``."""
+        retries = 0
+
+        def count_retry(_attempt: int, _exc: BaseException) -> None:
+            nonlocal retries
+            retries += 1
+
+        if self.breaker.allow():
+            try:
+                with span("serve.open_primary"):
+                    engine = call_with_retry(
+                        self._open_primary,
+                        policy=self.retry,
+                        operation="open_primary",
+                        sleep=self.sleep,
+                        clock=self.clock,
+                        deadline=deadline,
+                        on_retry=count_retry,
+                    )
+                self.breaker.record_success()
+                self._publish(engine, degraded=False)
+                log_event(_LOG, "serve.primary_ready", method=engine.method)
+                return retries
+            except RETRYABLE as exc:
+                self._last_error = exc
+                self.breaker.record_failure()
+                log_event(
+                    _LOG, "serve.primary_failed",
+                    error=str(exc), retries=retries,
+                )
+        fallback = self._fallback_engine()
+        self._publish(fallback, degraded=True)
+        log_event(_LOG, "serve.degraded", error=str(self._last_error))
+        if self.background_rebuild:
+            self._spawn_rebuild()
+        return retries
+
+    def _maybe_probe(self, deadline: float | None) -> None:
+        """While degraded: attempt recovery whenever the breaker admits it."""
+        if self._rebuild_in_flight or not self.breaker.allow():
+            return
+        if self.background_rebuild:
+            self._spawn_rebuild(breaker_admitted=True)
+        else:
+            self._rebuild_once(deadline, breaker_admitted=True)
+
+    def probe(self, deadline: float | None = None) -> bool:
+        """Synchronously attempt recovery now; return whether it healed.
+
+        Honours the breaker: a quarantined index inside its cooldown is
+        not probed (returns ``False`` without touching the disk).
+        """
+        state = self._state
+        if state is None:
+            return not self.acquire(deadline).degraded
+        if not state.degraded:
+            return True
+        if not self.breaker.allow():
+            return False
+        return self._rebuild_once(deadline, breaker_admitted=True)
+
+    def _spawn_rebuild(self, breaker_admitted: bool = False) -> None:
+        thread = threading.Thread(
+            target=self._rebuild_once,
+            args=(None, breaker_admitted),
+            name="repro-serve-rebuild",
+            daemon=True,
+        )
+        thread.start()
+
+    def _rebuild_once(
+        self, deadline: float | None, breaker_admitted: bool = False
+    ) -> bool:
+        """One guarded rebuild attempt; swaps the healthy engine in on success.
+
+        *breaker_admitted* marks that the caller already consumed an
+        ``allow()`` slot (a half-open probe); otherwise one is requested
+        here so background rebuilds respect quarantine too.
+        """
+        if not self._rebuild_lock.acquire(blocking=False):
+            if breaker_admitted:
+                self.breaker.abandon_probe()
+            return False
+        self._rebuild_in_flight = True
+        try:
+            if not breaker_admitted and not self.breaker.allow():
+                return False
+            try:
+                with span("serve.rebuild"):
+                    engine = call_with_retry(
+                        self._rebuild_primary,
+                        policy=self.retry,
+                        operation="rebuild",
+                        sleep=self.sleep,
+                        clock=self.clock,
+                        deadline=deadline,
+                    )
+            except RETRYABLE as exc:
+                self._last_error = exc
+                self.breaker.record_failure()
+                if is_enabled():
+                    SERVE_REBUILDS.labels(outcome="failed").inc()
+                log_event(_LOG, "serve.rebuild_failed", error=str(exc))
+                return False
+            self.breaker.record_success()
+            with self._lock:
+                self._publish(engine, degraded=False)
+            self._last_error = None
+            if is_enabled():
+                SERVE_REBUILDS.labels(outcome="ok").inc()
+            log_event(_LOG, "serve.rebuilt", method=engine.method)
+            return True
+        finally:
+            self._rebuild_in_flight = False
+            self._rebuild_lock.release()
+
+    def __repr__(self) -> str:
+        state = self._state
+        status = (
+            "unactivated" if state is None
+            else ("degraded" if state.degraded else "healthy")
+        )
+        return (
+            f"IndexManager({status}, circuit={self.breaker.state.value}, "
+            f"generation={self.generation})"
+        )

@@ -1,0 +1,122 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+The serving layer retries exactly one class of work: artifact-store and
+walk-tensor I/O (``OSError`` from the disk, :class:`~repro.store.StoreError`
+/ :class:`~repro.errors.GraphError` from fail-closed validation).  Scoring
+itself is deterministic in-memory math — retrying it could only return the
+same answer — so queries never re-run, only their I/O does.
+
+Backoff is the standard exponential-with-jitter scheme.  Jitter draws from
+a private ``random.Random(seed)``: pass a seed and the whole delay
+sequence is a pure function of the policy — the property the
+fault-injection suite leans on (no sleeps are real there anyway; tests
+inject a :class:`~repro.testing.faults.VirtualClock`).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, TypeVar
+
+from repro.errors import GraphError
+from repro.obs.logging import get_logger, log_event
+from repro.obs.registry import is_enabled
+from repro.serve.metrics import SERVE_RETRIES
+from repro.store.artifacts import StoreError
+
+T = TypeVar("T")
+
+_LOG = get_logger("serve.retry")
+
+#: What the serving layer treats as transient-or-structural I/O failure.
+#: ``OSError`` covers the injected/real EIO class; ``StoreError`` and
+#: ``GraphError`` are the fail-closed validation errors of the two
+#: persistence formats.
+RETRYABLE = (OSError, StoreError, GraphError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule: ``max_retries`` extra attempts after the first.
+
+    ``delay(i) = min(max_delay, base_delay * multiplier**i)`` with a
+    ``jitter`` fraction of each delay randomised (``jitter=0`` makes the
+    schedule exact; ``jitter=0.5`` randomises the upper half).  *seed*
+    fixes the jitter stream.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must lie in [0, 1], got {self.jitter}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+
+    def delays(self) -> Iterator[float]:
+        """Yield the ``max_retries`` backoff delays, jitter applied."""
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_retries):
+            delay = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+            yield delay * (1 - self.jitter) + rng.random() * delay * self.jitter
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy,
+    operation: str,
+    retry_on: tuple[type[BaseException], ...] = RETRYABLE,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    deadline: float | None = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Run *fn*, retrying on *retry_on* per *policy*; re-raise when exhausted.
+
+    *deadline* is an absolute :func:`time.monotonic`-domain instant (same
+    clock as *clock*): a retry whose backoff would land past it is not
+    attempted — the last error propagates immediately, so a per-request
+    deadline caps worst-case latency even under persistent faults.
+    ``FileNotFoundError`` is deliberately **not** retried: an absent file
+    will not appear because we waited.
+    """
+    delays = policy.delays()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except FileNotFoundError:
+            raise
+        except retry_on as exc:
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise
+            delay = next(delays)
+            now = clock()
+            if deadline is not None and now + delay >= deadline:
+                log_event(
+                    _LOG, "retry.deadline_abort",
+                    operation=operation, attempt=attempt, error=str(exc),
+                )
+                raise
+            if is_enabled():
+                SERVE_RETRIES.labels(operation=operation).inc()
+            log_event(
+                _LOG, "retry.backoff",
+                operation=operation, attempt=attempt,
+                delay_seconds=round(delay, 6), error=str(exc),
+            )
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            if delay > 0:
+                sleep(delay)

@@ -18,7 +18,11 @@ Layers
 :mod:`repro.store.engine_io`
     snapshot/restore of :class:`repro.api.QueryEngine` state;
 :mod:`repro.store.walk_io`
-    the portable single-file ``.npz`` walk-tensor format.
+    the portable single-file ``.npz`` walk-tensor format;
+:mod:`repro.store.hooks`
+    the injectable I/O seam every disk-touching entry point gates on,
+    which is what makes the failure paths deterministically testable
+    (see :mod:`repro.testing.faults`).
 """
 
 from repro.store.artifacts import (
@@ -34,6 +38,7 @@ from repro.store.fingerprint import (
     fingerprint_measure,
     manifest_key,
 )
+from repro.store.hooks import io_gate, io_hook_installed, set_io_hook
 from repro.store.walk_io import WALK_FORMAT_VERSION, load_walks_npz, save_walks_npz
 
 __all__ = [
@@ -49,4 +54,7 @@ __all__ = [
     "WALK_FORMAT_VERSION",
     "load_walks_npz",
     "save_walks_npz",
+    "io_gate",
+    "io_hook_installed",
+    "set_io_hook",
 ]

@@ -44,6 +44,7 @@ from repro.errors import ReproError
 from repro.obs.registry import get_registry, is_enabled
 from repro.obs.trace import span
 from repro.store.fingerprint import FORMAT_VERSION
+from repro.store.hooks import io_gate
 
 MANIFEST_NAME = "manifest.json"
 ARTIFACT_FORMAT = "repro-engine-artifact"
@@ -139,6 +140,7 @@ def write_artifact(
     actually written.  An existing artifact at *path* is replaced.
     """
     path = Path(path)
+    io_gate("artifact.write", path)
     path.parent.mkdir(parents=True, exist_ok=True)
     manifest = dict(manifest)
     manifest.setdefault("format", ARTIFACT_FORMAT)
@@ -180,6 +182,7 @@ def read_artifact(path: str | Path, mmap: bool = True) -> StoredArtifact:
     returned as read-only memory maps.
     """
     path = Path(path)
+    io_gate("artifact.read", path)
     manifest_path = path / MANIFEST_NAME
     if not path.is_dir() or not manifest_path.is_file():
         raise StoreError(f"no artifact at {path}")

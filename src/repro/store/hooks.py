@@ -1,0 +1,71 @@
+"""Injectable I/O seams for the persistence layer.
+
+Every disk-touching entry point of :mod:`repro.store` calls
+:func:`io_gate` with a stable operation name before doing real I/O:
+
+``"artifact.read"`` / ``"artifact.write"``
+    :func:`repro.store.artifacts.read_artifact` / ``write_artifact``
+    (and therefore every :class:`~repro.store.artifacts.ArtifactStore`
+    get/put);
+``"walks.load"`` / ``"walks.save"``
+    :func:`repro.store.walk_io.load_walks_npz` / ``save_walks_npz``.
+
+By default the gate is free (one module attribute read and a ``None``
+check).  Tests install a hook — see
+:class:`repro.testing.faults.FaultInjector` — that can raise ``OSError``
+(an injected ``EIO``), add latency against a virtual clock, or skew the
+clock, turning "what if the disk flakes here?" into a deterministic,
+schedulable event instead of luck.  Production code never installs a
+hook; the seam exists so failure paths are testable, not configurable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional
+
+#: Hook signature: ``hook(operation, path)``.  Raising aborts the I/O
+#: operation exactly as a real failure at that point would.
+IoHook = Callable[[str, Path], None]
+
+#: The operation names the store layers gate on, in one place so tests
+#: and documentation cannot drift from the call sites.
+OPERATIONS = (
+    "artifact.read",
+    "artifact.write",
+    "walks.load",
+    "walks.save",
+)
+
+_hook: Optional[IoHook] = None
+
+
+def set_io_hook(hook: IoHook | None) -> IoHook | None:
+    """Install *hook* on every store I/O seam; returns the previous hook.
+
+    Pass ``None`` to clear.  Installation is process-global (the seams
+    guard real I/O, which is process-global too); callers are expected to
+    restore the previous hook — :class:`repro.testing.faults.FaultInjector`
+    does this as a context manager.
+    """
+    global _hook
+    previous = _hook
+    _hook = hook
+    return previous
+
+
+def io_hook_installed() -> bool:
+    """Return whether any I/O hook is currently installed."""
+    return _hook is not None
+
+
+def io_gate(operation: str, path: str | Path) -> None:
+    """Give the installed hook (if any) a chance to interfere with one I/O op.
+
+    Called by the store layers immediately before real disk work.  A hook
+    that raises makes the operation fail exactly as the equivalent OS
+    error would; a hook that returns lets the operation proceed.
+    """
+    hook = _hook
+    if hook is not None:
+        hook(operation, Path(path))

@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.obs.registry import get_registry, is_enabled
 from repro.obs.trace import span
+from repro.store.hooks import io_gate
 
 _REGISTRY = get_registry()
 _WALK_BYTES_WRITTEN = _REGISTRY.counter(
@@ -55,6 +56,7 @@ def save_walks_npz(
     nodes: list[str],
 ) -> None:
     """Write one walk tensor and its metadata to a compressed ``.npz``."""
+    io_gate("walks.save", path)
     metadata = {
         "format": WALK_FORMAT,
         "version": WALK_FORMAT_VERSION,
@@ -83,6 +85,7 @@ def load_walks_npz(path: str | Path) -> tuple[np.ndarray, dict]:
     callers can distinguish "absent" from "broken".
     """
     path = Path(path)
+    io_gate("walks.load", path)
     try:
         with np.load(path, allow_pickle=False) as payload:
             for entry in ("walks", "metadata"):

@@ -1,0 +1,34 @@
+"""``repro.testing`` — deterministic fault injection for the serving stack.
+
+The serving layer (:mod:`repro.serve`) promises that a flaky disk, a
+truncated walk tensor, or a slow artifact store ends in a retried success
+or a clean degraded response — never a wrong score and never an unhandled
+exception.  This package makes those promises *testable*: every failure is
+a scheduled, seeded, replayable event injected through the
+:mod:`repro.store.hooks` seam, so the regression suite drives each retry,
+backoff, circuit-breaker transition, and degradation path on purpose.
+
+Import cost is deliberately tiny (no numpy at module import) so shipping
+it inside the library proper is free; nothing here runs unless a test
+installs an injector.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultRule,
+    VirtualClock,
+    corrupt_manifest,
+    eio_error,
+    truncate_file,
+    truncate_npz_member,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "VirtualClock",
+    "corrupt_manifest",
+    "eio_error",
+    "truncate_file",
+    "truncate_npz_member",
+]

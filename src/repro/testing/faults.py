@@ -1,0 +1,293 @@
+"""Deterministic fault injection over the :mod:`repro.store.hooks` seam.
+
+Three tools, all fully seeded and sleep-free:
+
+:class:`VirtualClock`
+    A fake monotonic clock.  The serving layer takes ``clock``/``sleep``
+    injectables, so deadline math, backoff waits, latency spikes and
+    clock skew all run against virtual time — the whole failure campaign
+    executes in milliseconds of real time.
+
+:class:`FaultRule` / :class:`FaultInjector`
+    A schedule of I/O faults.  Each rule names a store operation
+    (``"artifact.read"``, ``"walks.load"``, ... — see
+    :data:`repro.store.hooks.OPERATIONS`), which invocation indices it
+    fires on, and what happens: raise an error (default: ``EIO``), add
+    latency to the virtual clock, or skew it.  ``FaultInjector.seeded``
+    builds a pseudo-random but **replayable** schedule from one integer
+    seed — the property-campaign workhorse.
+
+File corruptors (:func:`truncate_file`, :func:`truncate_npz_member`,
+:func:`corrupt_manifest`)
+    Deterministic on-disk damage: the truncated ``.npz``, the mid-write
+    crash that left a half manifest.  These simulate faults that happened
+    *before* the process under test started, where the hook seam cannot
+    reach.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import random
+import time
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.store.hooks import OPERATIONS, set_io_hook
+
+#: Real-sleep ceiling used when an injector has no virtual clock: latency
+#: spikes are capped here so no test ever stalls (the ISSUE's 50 ms rule).
+MAX_REAL_SLEEP = 0.05
+
+
+def eio_error(path: Path | str | None = None) -> OSError:
+    """A fresh injected ``EIO`` (the canonical 'disk went away' errno)."""
+    return OSError(errno.EIO, "injected I/O error", str(path) if path else None)
+
+
+class VirtualClock:
+    """A monotonic-ish clock the test owns.
+
+    Calling the instance returns the current virtual time;
+    :meth:`advance` moves it (negative = clock skew); :meth:`sleep` is a
+    drop-in for ``time.sleep`` that advances the clock instead of
+    blocking and records every requested duration in :attr:`slept`.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+        self.slept: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time by *seconds* (negative models clock skew)."""
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Record the request and advance instead of blocking."""
+        self.slept.append(seconds)
+        if seconds > 0:
+            self.now += seconds
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self.now:.6f}, sleeps={len(self.slept)})"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    operation:
+        A :data:`repro.store.hooks.OPERATIONS` name, or ``"*"`` for all.
+    at:
+        Zero-based invocation indices (per operation) the rule fires on;
+        ``None`` fires on every invocation.
+    kind:
+        ``"error"`` raises :attr:`error` (built per firing so tracebacks
+        never alias), ``"latency"`` delays by :attr:`delay` seconds,
+        ``"clock_skew"`` jumps the virtual clock by :attr:`skew`.
+    """
+
+    operation: str
+    at: tuple[int, ...] | None = None
+    kind: str = "error"
+    error: Callable[[Path], BaseException] = field(default=eio_error, repr=False)
+    delay: float = 0.0
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "latency", "clock_skew"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.operation != "*" and self.operation not in OPERATIONS:
+            raise ValueError(
+                f"unknown store operation {self.operation!r}; "
+                f"choose from {OPERATIONS} or '*'"
+            )
+
+    def matches(self, operation: str, index: int) -> bool:
+        """Return whether this rule fires on invocation *index* of *operation*."""
+        if self.operation not in ("*", operation):
+            return False
+        return self.at is None or index in self.at
+
+
+class FaultInjector:
+    """Install a fault schedule on the store I/O seam (context manager).
+
+    >>> from repro.testing import FaultInjector, FaultRule
+    >>> with FaultInjector([FaultRule("walks.load", at=(0,))]) as faults:
+    ...     pass  # first walk-tensor load inside raises EIO, later ones pass
+    >>> faults.counts
+    {}
+
+    Every gated invocation is counted per operation (:attr:`counts`) and
+    every fired fault is recorded (:attr:`injected` — ``(operation,
+    index, kind)`` triples), so tests can assert not just outcomes but
+    that the failure path actually ran.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[FaultRule] = (),
+        *,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.clock = clock
+        self.counts: dict[str, int] = {}
+        self.injected: list[tuple[str, int, str]] = []
+        self._previous = None
+        self._installed = False
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        operations: Sequence[str] = ("artifact.read", "walks.load"),
+        error_rate: float = 0.3,
+        latency_rate: float = 0.0,
+        latency: float = 0.01,
+        horizon: int = 64,
+        clock: VirtualClock | None = None,
+    ) -> "FaultInjector":
+        """Build a replayable pseudo-random fault schedule from *seed*.
+
+        For each operation, invocation indices ``0..horizon-1`` are
+        pre-drawn from ``random.Random(seed)`` — the schedule depends only
+        on the seed and the arguments, never on call timing, so a failing
+        campaign run replays exactly.
+        """
+        rng = random.Random(seed)
+        rules: list[FaultRule] = []
+        for operation in operations:
+            errors = tuple(
+                i for i in range(horizon) if rng.random() < error_rate
+            )
+            if errors:
+                rules.append(FaultRule(operation, at=errors))
+            if latency_rate > 0:
+                spikes = tuple(
+                    i for i in range(horizon) if rng.random() < latency_rate
+                )
+                if spikes:
+                    rules.append(
+                        FaultRule(operation, at=spikes, kind="latency",
+                                  delay=latency)
+                    )
+        return cls(rules, clock=clock)
+
+    # -- hook plumbing --------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        self._previous = set_io_hook(self._gate)
+        self._installed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_io_hook(self._previous)
+        self._installed = False
+
+    def _gate(self, operation: str, path: Path) -> None:
+        index = self.counts.get(operation, 0)
+        self.counts[operation] = index + 1
+        for rule in self.rules:
+            if not rule.matches(operation, index):
+                continue
+            if rule.kind == "latency":
+                self.injected.append((operation, index, "latency"))
+                if self.clock is not None:
+                    self.clock.advance(rule.delay)
+                else:
+                    time.sleep(min(rule.delay, MAX_REAL_SLEEP))
+            elif rule.kind == "clock_skew":
+                self.injected.append((operation, index, "clock_skew"))
+                if self.clock is not None:
+                    self.clock.advance(rule.skew)
+            else:
+                self.injected.append((operation, index, "error"))
+                raise rule.error(path)
+
+    def invocations(self, operation: str) -> int:
+        """How many times *operation* hit the seam while installed."""
+        return self.counts.get(operation, 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(rules={len(self.rules)}, "
+            f"installed={self._installed}, fired={len(self.injected)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# On-disk corruptors — faults that predate the process under test.
+# ----------------------------------------------------------------------
+
+def truncate_file(path: str | Path, keep_fraction: float = 0.5) -> Path:
+    """Truncate *path* to ``keep_fraction`` of its bytes (deterministic).
+
+    Models a crash mid-write or a partially copied file.  Returns the
+    path for chaining.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(0, int(size * keep_fraction))
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return path
+
+
+def truncate_npz_member(path: str | Path, member: str = "walks.npy") -> Path:
+    """Rewrite an ``.npz`` with one member's payload cut short.
+
+    Unlike :func:`truncate_file` (which breaks the zip central directory
+    and fails at open), this produces an archive that *opens* fine but
+    whose tensor bytes are missing — the nastier corruption, caught only
+    by the loader's own validation.
+    """
+    path = Path(path)
+    with zipfile.ZipFile(path) as archive:
+        payload = {name: archive.read(name) for name in archive.namelist()}
+    if member not in payload:
+        raise KeyError(f"{path} has no member {member!r}")
+    payload[member] = payload[member][: len(payload[member]) // 2]
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name, data in payload.items():
+            archive.writestr(name, data)
+    return path
+
+
+def corrupt_manifest(artifact_dir: str | Path, mode: str = "truncate") -> Path:
+    """Damage an artifact directory's ``manifest.json`` deterministically.
+
+    ``mode="truncate"``
+        cut the JSON in half — the classic mid-write crash that
+        ``os.replace`` atomicity normally prevents but a dying disk can
+        still produce;
+    ``mode="remove"``
+        delete the manifest outright (artifact no longer recognisable);
+    ``mode="orphan"``
+        keep the manifest but delete one referenced ``.npy`` file.
+    """
+    artifact_dir = Path(artifact_dir)
+    manifest_path = artifact_dir / "manifest.json"
+    if mode == "truncate":
+        text = manifest_path.read_text(encoding="utf-8")
+        manifest_path.write_text(text[: len(text) // 2], encoding="utf-8")
+    elif mode == "remove":
+        manifest_path.unlink()
+    elif mode == "orphan":
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        arrays = sorted(manifest.get("arrays", {}))
+        if not arrays:
+            raise ValueError(f"{artifact_dir} stores no arrays to orphan")
+        (artifact_dir / f"{arrays[0]}.npy").unlink()
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return artifact_dir

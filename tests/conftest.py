@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
+import random
+
 import numpy as np
 import pytest
 
@@ -9,6 +12,58 @@ from repro.datasets import figure1_network
 from repro.hin import HIN
 from repro.semantics import LinMeasure
 from repro.taxonomy import Taxonomy
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "uses_global_rng: the test intentionally consumes entropy from the "
+        "global random / numpy RNGs (exempts it from the determinism check)",
+    )
+
+
+def _is_hypothesis_test(request) -> bool:
+    """Hypothesis manages (and restores) global RNG state itself."""
+    obj = getattr(request.node, "obj", None)
+    return obj is not None and hasattr(obj, "hypothesis")
+
+
+@pytest.fixture(autouse=True)
+def _seeded_global_rngs(request):
+    """Seed the global RNGs per test and fail tests that consume them.
+
+    Every test starts from a seed derived from its own node id, so any
+    accidental use of the *global* ``random`` / ``numpy.random`` state is
+    at least reproducible.  But code under test is expected to take
+    explicit seeds (``np.random.default_rng(seed)``, ``random.Random``),
+    so consumption of the global streams is treated as a bug: the
+    teardown asserts the states did not move.  Opt out deliberately with
+    ``@pytest.mark.uses_global_rng``.
+    """
+    seed = int.from_bytes(
+        hashlib.sha256(request.node.nodeid.encode()).digest()[:4], "big"
+    )
+    random.seed(seed)
+    np.random.seed(seed)
+    state_before = random.getstate()
+    np_state_before = np.random.get_state()
+    yield
+    if request.node.get_closest_marker("uses_global_rng"):
+        return
+    if _is_hypothesis_test(request):
+        return
+    np_moved = not all(
+        np.array_equal(a, b)
+        for a, b in zip(np_state_before, np.random.get_state())
+    )
+    if random.getstate() != state_before or np_moved:
+        pytest.fail(
+            f"{request.node.nodeid} consumed entropy from an unseeded global "
+            f"RNG (random and/or numpy.random). Thread an explicit seed "
+            f"(np.random.default_rng / random.Random) instead, or mark the "
+            f"test with @pytest.mark.uses_global_rng.",
+            pytrace=False,
+        )
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,136 @@
+"""Theorem 3.5 and Proposition 4.6 head-to-head: ``G²_θ`` versus full ``G²``.
+
+Two families of claims, both across *randomised* thresholds θ:
+
+* the semantically reduced pair graph assigns **identical** scores to
+  every surviving pair as the full pair graph (Theorem 3.5) — reduction
+  is an exactness-preserving optimisation, not an approximation;
+* walk-pruning in the Monte-Carlo estimator changes any score by at most
+  θ (Prop. 4.6), and for semantically *gated* pairs (``sem(u, v) <= θ``)
+  the error is one-sided: the pruned estimate is exactly zero, below the
+  unpruned one.  (For ungated pairs the walk-cut can move the estimate in
+  either direction — only the magnitude is bounded.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.montecarlo import MonteCarloSemSim
+from repro.core.pair_engine import semsim_via_pair_graph
+from repro.core.semsim import semsim_scores
+from repro.core.walk_index import WalkIndex
+from repro.hin.reduced_pair_graph import build_reduced_pair_graph
+from tests.conftest import random_hin_with_measure
+
+SMALL = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+DECAY = 0.6
+EPS = 1e-8
+
+
+@SMALL
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    theta=st.floats(min_value=0.01, max_value=0.9),
+)
+def test_thm_3_5_surviving_pairs_score_identically(seed, theta):
+    """Reduced-graph scores equal full-``G²`` scores pair for pair."""
+    graph, measure = random_hin_with_measure(seed, num_entities=5, extra_edges=6)
+    full = semsim_via_pair_graph(graph, measure, decay=DECAY)
+    reduced = build_reduced_pair_graph(graph, measure, theta=theta, decay=DECAY)
+    scores = reduced.scores()
+    assert scores, "reduction must keep at least the diagonal pairs"
+    for pair, value in scores.items():
+        assert abs(value - full[pair]) <= EPS
+
+
+@SMALL
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    theta=st.floats(min_value=0.01, max_value=0.9),
+)
+def test_thm_3_5_reduction_matches_the_iterative_fixed_point(seed, theta):
+    """Same identity against the other exact solver: the fixed point."""
+    graph, measure = random_hin_with_measure(seed, num_entities=5, extra_edges=6)
+    iterative = semsim_scores(
+        graph, measure, decay=DECAY, max_iterations=400, tolerance=1e-13
+    )
+    reduced = build_reduced_pair_graph(graph, measure, theta=theta, decay=DECAY)
+    for (u, v), value in reduced.scores().items():
+        assert abs(value - iterative.score(u, v)) <= 1e-6
+
+
+@SMALL
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    theta=st.floats(min_value=0.05, max_value=0.6),
+)
+def test_thm_3_5_dropped_pairs_were_below_theta(seed, theta):
+    """Reduction only drops pairs Prop. 2.5 already bounds under θ."""
+    graph, measure = random_hin_with_measure(seed, num_entities=5, extra_edges=6)
+    full = semsim_via_pair_graph(graph, measure, decay=DECAY)
+    reduced = build_reduced_pair_graph(graph, measure, theta=theta, decay=DECAY)
+    survivors = set(reduced.scores())
+    for pair, value in full.items():
+        if pair not in survivors:
+            assert value <= theta + EPS
+
+
+@SMALL
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    theta=st.floats(min_value=0.02, max_value=0.4),
+)
+def test_prop_4_6_pruning_error_at_most_theta(seed, theta):
+    """|pruned - unpruned| <= θ for every pair, any θ."""
+    graph, measure = random_hin_with_measure(seed, num_entities=6, extra_edges=8)
+    index = WalkIndex(graph, num_walks=100, length=10, seed=seed)
+    pruned = MonteCarloSemSim(index, measure, decay=DECAY, theta=theta)
+    unpruned = MonteCarloSemSim(index, measure, decay=DECAY, theta=None)
+    nodes = list(graph.nodes())
+    for u in nodes:
+        for v in nodes:
+            delta = pruned.similarity(u, v) - unpruned.similarity(u, v)
+            assert abs(delta) <= theta + EPS
+
+
+@SMALL
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    theta=st.floats(min_value=0.05, max_value=0.5),
+)
+def test_prop_4_6_semantic_gate_is_one_sided(seed, theta):
+    """Gated pairs (sem <= θ) prune to exactly zero — never above truth."""
+    graph, measure = random_hin_with_measure(seed, num_entities=6, extra_edges=8)
+    index = WalkIndex(graph, num_walks=100, length=10, seed=seed)
+    pruned = MonteCarloSemSim(index, measure, decay=DECAY, theta=theta)
+    unpruned = MonteCarloSemSim(index, measure, decay=DECAY, theta=None)
+    nodes = list(graph.nodes())
+    gated = [
+        (u, v)
+        for u in nodes
+        for v in nodes
+        if u != v and measure.similarity(u, v) <= theta
+    ]
+    for u, v in gated:
+        estimate = pruned.similarity(u, v)
+        assert estimate == 0.0
+        assert estimate <= unpruned.similarity(u, v) + EPS
+
+
+@SMALL
+@given(seed=st.integers(min_value=0, max_value=2000))
+def test_theta_below_semantic_floor_is_the_identity(seed):
+    """θ under the measure's floor keeps every pair: full agreement."""
+    graph, measure = random_hin_with_measure(seed, num_entities=5, extra_edges=6)
+    full = semsim_via_pair_graph(graph, measure, decay=DECAY)
+    # LinMeasure clamps similarities to a 1e-4 floor, so θ = 1e-5 drops
+    # nothing — the reduced graph must be G² itself, score for score
+    reduced = build_reduced_pair_graph(graph, measure, theta=1e-5, decay=DECAY)
+    scores = reduced.scores()
+    for pair, value in full.items():
+        canonical = pair if pair in scores else (pair[1], pair[0])
+        assert abs(scores[canonical] - value) <= EPS

@@ -1,0 +1,150 @@
+"""Retry policy and ``call_with_retry`` semantics, fully virtual-time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.serve import RetryPolicy, call_with_retry
+from repro.store import StoreError
+from repro.testing import VirtualClock, eio_error
+
+
+class Flaky:
+    """Fail the first *failures* calls with *exc*, then return *value*."""
+
+    def __init__(self, failures: int, exc: BaseException, value="ok"):
+        self.failures = failures
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            max_retries=4, base_delay=0.01, multiplier=2.0,
+            max_delay=1.0, jitter=0.0,
+        )
+        assert list(policy.delays()) == pytest.approx([0.01, 0.02, 0.04, 0.08])
+
+    def test_delays_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            max_retries=5, base_delay=0.1, multiplier=10.0,
+            max_delay=0.5, jitter=0.0,
+        )
+        assert max(policy.delays()) == pytest.approx(0.5)
+
+    def test_seeded_jitter_is_reproducible(self):
+        a = list(RetryPolicy(max_retries=5, seed=42).delays())
+        b = list(RetryPolicy(max_retries=5, seed=42).delays())
+        c = list(RetryPolicy(max_retries=5, seed=43).delays())
+        assert a == b
+        assert a != c
+
+    def test_jitter_keeps_delays_within_band(self):
+        policy = RetryPolicy(
+            max_retries=8, base_delay=0.01, multiplier=2.0,
+            max_delay=10.0, jitter=0.5, seed=7,
+        )
+        for i, delay in enumerate(policy.delays()):
+            exact = 0.01 * 2.0 ** i
+            assert exact * 0.5 <= delay <= exact
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(max_retries=-1), dict(jitter=1.5), dict(jitter=-0.1),
+         dict(base_delay=-1.0), dict(max_delay=-1.0)],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCallWithRetry:
+    def _call(self, fn, clock, *, policy=None, deadline=None, **kwargs):
+        return call_with_retry(
+            fn,
+            policy=policy or RetryPolicy(max_retries=3, seed=0),
+            operation="test_op",
+            sleep=clock.sleep,
+            clock=clock,
+            deadline=deadline,
+            **kwargs,
+        )
+
+    def test_success_needs_no_retry(self, clock):
+        fn = Flaky(0, eio_error())
+        assert self._call(fn, clock) == "ok"
+        assert fn.calls == 1
+        assert clock.slept == []
+
+    @pytest.mark.parametrize(
+        "exc",
+        [eio_error(), StoreError("corrupt"), GraphError("bad tensor")],
+        ids=["OSError", "StoreError", "GraphError"],
+    )
+    def test_transient_failures_retried_to_success(self, clock, exc):
+        fn = Flaky(2, exc)
+        assert self._call(fn, clock) == "ok"
+        assert fn.calls == 3
+        assert len(clock.slept) == 2
+
+    def test_exhaustion_reraises_last_error(self, clock):
+        fn = Flaky(10, StoreError("still broken"))
+        policy = RetryPolicy(max_retries=2, seed=0)
+        with pytest.raises(StoreError, match="still broken"):
+            self._call(fn, clock, policy=policy)
+        assert fn.calls == 3  # initial + 2 retries
+
+    def test_file_not_found_never_retried(self, clock):
+        fn = Flaky(1, FileNotFoundError("gone"))
+        with pytest.raises(FileNotFoundError):
+            self._call(fn, clock)
+        assert fn.calls == 1
+        assert clock.slept == []
+
+    def test_unlisted_exceptions_propagate_immediately(self, clock):
+        fn = Flaky(1, KeyError("not io"))
+        with pytest.raises(KeyError):
+            self._call(fn, clock)
+        assert fn.calls == 1
+
+    def test_backoff_sleeps_follow_the_policy_schedule(self, clock):
+        policy = RetryPolicy(
+            max_retries=3, base_delay=0.01, multiplier=2.0,
+            max_delay=1.0, jitter=0.0,
+        )
+        fn = Flaky(3, eio_error())
+        assert self._call(fn, clock, policy=policy) == "ok"
+        assert clock.slept == pytest.approx([0.01, 0.02, 0.04])
+
+    def test_deadline_aborts_instead_of_sleeping_past_it(self, clock):
+        policy = RetryPolicy(
+            max_retries=5, base_delay=1.0, multiplier=1.0,
+            max_delay=1.0, jitter=0.0,
+        )
+        fn = Flaky(10, eio_error())
+        with pytest.raises(OSError):
+            self._call(fn, clock, policy=policy, deadline=clock() + 2.5)
+        # two 1 s backoffs fit before 2.5 s; the third would land past it
+        assert clock.slept == pytest.approx([1.0, 1.0])
+        assert fn.calls == 3
+
+    def test_on_retry_sees_attempt_numbers_and_errors(self, clock):
+        seen = []
+        fn = Flaky(2, eio_error())
+        self._call(fn, clock, on_retry=lambda n, e: seen.append((n, type(e))))
+        assert seen == [(1, OSError), (2, OSError)]
+
+    def test_retry_counter_moves_per_operation(self, clock, metrics_delta):
+        fn = Flaky(2, eio_error())
+        self._call(fn, clock)
+        delta = metrics_delta()
+        assert delta["counters"]['serve_retries_total{operation="test_op"}'] == 2

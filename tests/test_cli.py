@@ -143,6 +143,70 @@ class TestIndexCommands:
         assert "no artifact" in capsys.readouterr().err
 
 
+class TestServe:
+    """The `serve` line protocol: ready banner, responses, health, errors."""
+
+    @pytest.fixture(scope="class")
+    def bundle_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serve") / "wn.json"
+        assert main(["generate", "wordnet", "--out", str(path), "--seed", "1"]) == 0
+        return path
+
+    def _serve(self, bundle_path, stdin_text, monkeypatch, capsys, *extra):
+        import io
+        import json as _json
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(stdin_text))
+        assert main([
+            "serve", str(bundle_path),
+            "--method", "mc", "--walks", "30", "--seed", "2", *extra,
+        ]) == 0
+        out = capsys.readouterr().out
+        return [_json.loads(line) for line in out.splitlines() if line]
+
+    def test_session_answers_health_and_errors(
+        self, bundle_path, monkeypatch, capsys
+    ):
+        banner, answer, health, missing, malformed = self._serve(
+            bundle_path,
+            "n3 n4\nHEALTH\nghost n3\nonly-one-token\n\n",
+            monkeypatch, capsys,
+        )
+        assert banner["ready"] and not banner["degraded"]
+        assert answer["u"] == "n3" and answer["v"] == "n4"
+        assert 0.0 <= answer["value"] <= 1.0
+        assert answer["method"] == "mc" and not answer["degraded"]
+        assert health["circuit"] == "closed" and health["generation"] == 1
+        assert missing["kind"] == "not_found" and "ghost" in missing["error"]
+        assert "expected 'u v'" in malformed["error"]
+
+    def test_response_matches_direct_engine(
+        self, bundle_path, monkeypatch, capsys
+    ):
+        from repro.api import QueryEngine
+        from repro.datasets.io import load_bundle_json
+
+        (_, answer) = self._serve(
+            bundle_path, "n3 n4\n", monkeypatch, capsys
+        )
+        bundle = load_bundle_json(bundle_path)
+        engine = QueryEngine(
+            bundle.graph, bundle.measure, method="mc", num_walks=30, seed=2
+        )
+        assert answer["value"] == engine.score("n3", "n4")
+
+    def test_deadline_flag_is_threaded_through(
+        self, bundle_path, monkeypatch, capsys
+    ):
+        banner, health = self._serve(
+            bundle_path, "HEALTH\n", monkeypatch, capsys,
+            "--deadline-ms", "60000", "--max-retries", "1",
+        )
+        assert banner["deadline_ms"] == 60000.0
+        assert health["deadline_ms"] == 60000.0
+
+
 class TestErrorPaths:
     def test_missing_bundle_file(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -1,0 +1,251 @@
+"""The fault-injection toolkit itself: clocks, rules, injectors, corruptors."""
+
+from __future__ import annotations
+
+import errno
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.api import QueryEngine
+from repro.errors import GraphError
+from repro.store import (
+    StoreError,
+    io_hook_installed,
+    read_artifact,
+    set_io_hook,
+    write_artifact,
+)
+from repro.store.walk_io import load_walks_npz
+from repro.testing import (
+    FaultInjector,
+    FaultRule,
+    VirtualClock,
+    corrupt_manifest,
+    eio_error,
+    truncate_file,
+    truncate_npz_member,
+)
+from tests.conftest import random_hin_with_measure
+
+
+@pytest.fixture
+def model():
+    return random_hin_with_measure(5, num_entities=6, extra_edges=8)
+
+
+class TestVirtualClock:
+    def test_starts_where_told_and_advances(self):
+        clock = VirtualClock(start=100.0)
+        assert clock() == 100.0
+        clock.advance(2.5)
+        assert clock() == 102.5
+
+    def test_negative_advance_models_skew(self):
+        clock = VirtualClock()
+        clock.advance(-5.0)
+        assert clock() == -5.0
+
+    def test_sleep_advances_and_records(self):
+        clock = VirtualClock()
+        clock.sleep(0.25)
+        clock.sleep(0.5)
+        assert clock() == pytest.approx(0.75)
+        assert clock.slept == [0.25, 0.5]
+
+    def test_nonpositive_sleep_recorded_but_not_advanced(self):
+        clock = VirtualClock()
+        clock.sleep(0.0)
+        assert clock() == 0.0
+        assert clock.slept == [0.0]
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("walks.load", kind="explode")
+
+    def test_rejects_unknown_operation(self):
+        with pytest.raises(ValueError, match="unknown store operation"):
+            FaultRule("walks.munge")
+
+    def test_wildcard_matches_every_operation(self):
+        rule = FaultRule("*")
+        assert rule.matches("walks.load", 0)
+        assert rule.matches("artifact.write", 17)
+
+    def test_at_indices_select_invocations(self):
+        rule = FaultRule("walks.load", at=(0, 2))
+        assert rule.matches("walks.load", 0)
+        assert not rule.matches("walks.load", 1)
+        assert rule.matches("walks.load", 2)
+        assert not rule.matches("artifact.read", 0)
+
+
+class TestFaultInjector:
+    def test_installs_and_restores_the_hook(self):
+        assert not io_hook_installed()
+        with FaultInjector():
+            assert io_hook_installed()
+        assert not io_hook_installed()
+
+    def test_restores_a_previous_hook(self):
+        seen = []
+        previous = set_io_hook(lambda op, path: seen.append(op))
+        try:
+            with FaultInjector():
+                pass
+            # the outer hook is back in command
+            from repro.store.hooks import io_gate
+
+            io_gate("walks.load", "x")
+            assert seen == ["walks.load"]
+        finally:
+            set_io_hook(previous)
+
+    def test_counts_invocations_per_operation(self, tmp_path):
+        payload = {"values": np.arange(4.0)}
+        with FaultInjector() as faults:
+            write_artifact(tmp_path / "a", {"key": "k1"}, payload)
+            read_artifact(tmp_path / "a")
+            read_artifact(tmp_path / "a")
+        assert faults.invocations("artifact.write") == 1
+        assert faults.invocations("artifact.read") == 2
+        assert faults.invocations("walks.load") == 0
+
+    def test_error_rule_raises_eio_through_the_seam(self, tmp_path):
+        rule = FaultRule("artifact.read", at=(0,))
+        with FaultInjector([rule]) as faults:
+            write_artifact(tmp_path / "a", {"key": "k1"}, {"x": np.ones(2)})
+            with pytest.raises(OSError) as excinfo:
+                read_artifact(tmp_path / "a")
+            assert excinfo.value.errno == errno.EIO
+            # the next invocation is index 1: clean
+            read_artifact(tmp_path / "a")
+        assert faults.injected == [("artifact.read", 0, "error")]
+
+    def test_custom_error_factory(self):
+        rule = FaultRule(
+            "walks.load", error=lambda path: StoreError(f"bad {path}")
+        )
+        with FaultInjector([rule]):
+            from repro.store.hooks import io_gate
+
+            with pytest.raises(StoreError, match="bad"):
+                io_gate("walks.load", "w.npz")
+
+    def test_latency_rule_advances_the_virtual_clock(self):
+        clock = VirtualClock()
+        rule = FaultRule("walks.load", kind="latency", delay=3.0)
+        with FaultInjector([rule], clock=clock):
+            from repro.store.hooks import io_gate
+
+            io_gate("walks.load", "w.npz")
+        assert clock() == 3.0
+
+    def test_latency_without_clock_is_capped_for_real(self):
+        # no virtual clock: the injector must respect the 50 ms rule
+        import time
+
+        rule = FaultRule("walks.load", kind="latency", delay=60.0)
+        with FaultInjector([rule]):
+            from repro.store.hooks import io_gate
+
+            before = time.monotonic()
+            io_gate("walks.load", "w.npz")
+            assert time.monotonic() - before < 0.3
+
+    def test_clock_skew_rule_jumps_backwards(self):
+        clock = VirtualClock(start=50.0)
+        rule = FaultRule("walks.load", kind="clock_skew", skew=-20.0)
+        with FaultInjector([rule], clock=clock):
+            from repro.store.hooks import io_gate
+
+            io_gate("walks.load", "w.npz")
+        assert clock() == 30.0
+
+    def test_seeded_schedules_replay_and_differ_across_seeds(self):
+        def shape(injector):
+            return [(r.operation, r.at, r.kind) for r in injector.rules]
+
+        assert shape(FaultInjector.seeded(7)) == shape(FaultInjector.seeded(7))
+        assert shape(FaultInjector.seeded(7)) != shape(FaultInjector.seeded(8))
+
+    def test_seeded_error_rate_extremes(self):
+        none = FaultInjector.seeded(1, error_rate=0.0, horizon=16)
+        assert none.rules == []
+        every = FaultInjector.seeded(1, error_rate=1.0, horizon=16)
+        assert all(rule.at == tuple(range(16)) for rule in every.rules)
+
+    def test_seeded_latency_rules_optional(self):
+        injector = FaultInjector.seeded(
+            3, error_rate=0.0, latency_rate=1.0, latency=0.02, horizon=4
+        )
+        kinds = {rule.kind for rule in injector.rules}
+        assert kinds == {"latency"}
+
+
+class TestCorruptors:
+    @pytest.fixture
+    def walks_file(self, tmp_path, model):
+        graph, measure = model
+        engine = QueryEngine(graph, measure, num_walks=10, length=5, seed=2)
+        path = tmp_path / "walks.npz"
+        engine.save_walks(path)
+        return path
+
+    @pytest.fixture
+    def artifact(self, tmp_path, model):
+        graph, measure = model
+        engine = QueryEngine(graph, measure, num_walks=10, length=5, seed=2)
+        return engine.save(tmp_path / "artifact")
+
+    def test_truncate_file_cuts_bytes(self, walks_file):
+        size = walks_file.stat().st_size
+        truncate_file(walks_file, keep_fraction=0.25)
+        assert walks_file.stat().st_size == int(size * 0.25)
+        with pytest.raises(GraphError):
+            load_walks_npz(walks_file)
+
+    def test_truncate_npz_member_keeps_archive_openable(self, walks_file):
+        truncate_npz_member(walks_file)
+        # the zip container itself still opens...
+        with zipfile.ZipFile(walks_file) as archive:
+            assert "walks.npy" in archive.namelist()
+        # ...but the loader's fail-closed validation rejects it
+        with pytest.raises(GraphError):
+            load_walks_npz(walks_file)
+
+    def test_truncate_npz_member_requires_the_member(self, walks_file):
+        with pytest.raises(KeyError):
+            truncate_npz_member(walks_file, member="nope.npy")
+
+    def test_corrupt_manifest_truncate_breaks_reads(self, artifact):
+        corrupt_manifest(artifact, mode="truncate")
+        text = (artifact / "manifest.json").read_text()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(text)
+        with pytest.raises(StoreError):
+            read_artifact(artifact)
+
+    def test_corrupt_manifest_remove_deletes_it(self, artifact):
+        corrupt_manifest(artifact, mode="remove")
+        assert not (artifact / "manifest.json").exists()
+        with pytest.raises((StoreError, FileNotFoundError)):
+            read_artifact(artifact)
+
+    def test_corrupt_manifest_orphan_deletes_an_array(self, artifact):
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        before = {p.name for p in artifact.glob("*.npy")}
+        corrupt_manifest(artifact, mode="orphan")
+        after = {p.name for p in artifact.glob("*.npy")}
+        assert len(before - after) == 1
+        assert manifest["arrays"]  # manifest untouched, promises unkept
+        with pytest.raises((StoreError, FileNotFoundError)):
+            read_artifact(artifact)
+
+    def test_corrupt_manifest_rejects_unknown_mode(self, artifact):
+        with pytest.raises(ValueError, match="unknown corruption mode"):
+            corrupt_manifest(artifact, mode="melt")
