@@ -629,7 +629,7 @@ class QueryEngine:
         """Return ``sim(u, v)`` under the engine's configuration."""
         start = time.perf_counter()
         if self._table is not None:
-            self.stats.queries += 1
+            self.stats.add(queries=1)
             value = self._table.similarity(u, v)
         else:
             value = self.estimator.similarity(u, v)
@@ -642,10 +642,11 @@ class QueryEngine:
         start = time.perf_counter()
         candidates = list(candidates)
         if self._table is not None:
-            self.stats.queries += len(candidates)
-            self.stats.batch_queries += 1
-            self.stats.batch_pairs += len(candidates)
-            self.stats.vectorized_pairs += len(candidates)
+            self.stats.add(
+                queries=len(candidates), batch_queries=1,
+                batch_pairs=len(candidates),
+                vectorized_pairs=len(candidates),
+            )
             matrix = self._table.result.matrix
             position = self._table._position
             row = position[u]
@@ -678,12 +679,15 @@ class QueryEngine:
         k: int,
         candidates: Sequence[Node] | None = None,
         use_semantic_bound: bool = True,
+        batch_size: int = 256,
     ) -> list[tuple[Node, float]]:
         """Return the *k* nodes most similar to *u*, best first.
 
         With a semantic measure attached, candidates are scanned in
         decreasing ``sem`` order and the Prop. 2.5 bound stops the scan
-        early; scoring runs through the batched path either way.
+        early; scoring runs through the batched path either way, in
+        blocks of *batch_size* candidates (identical results whatever the
+        block length — only the overhead/pruning trade-off moves).
         """
         if candidates is None:
             candidates = list(self.graph.nodes())
@@ -694,6 +698,7 @@ class QueryEngine:
             measure=self.measure,
             use_semantic_bound=use_semantic_bound,
             batch_score=self.score_batch,
+            batch_size=batch_size,
         )
 
     def join(

@@ -20,12 +20,17 @@ Commands
 ``index info``
     Describe a saved engine artifact without loading its arrays.
 ``serve``
-    Resilient line-protocol server on stdin/stdout: one ``u v`` pair per
-    line, one JSON response per line, with per-request deadlines
-    (``--deadline-ms``), bounded I/O retries (``--max-retries``) and
-    graceful degradation to the iterative solver on index loss (responses
-    carry a ``degraded`` flag).  ``HEALTH`` on a line prints the serving
-    health snapshot instead of a score.
+    Concurrent line-protocol server on stdin/stdout: ``u v``,
+    ``BATCH u v1 v2 ...`` or ``TOPK u k [v1 ...]`` per line, one JSON
+    response per line in request order.  Requests flow through a bounded
+    admission queue (``--queue-depth``; overload answers ``overloaded``
+    instead of crashing), are coalesced into vectorised micro-batches
+    (``--max-batch`` / ``--max-wait-us``) and served by ``--workers``
+    threads — with per-request deadlines (``--deadline-ms``), bounded I/O
+    retries (``--max-retries``) and graceful degradation to the iterative
+    solver on index loss (responses carry a ``degraded`` flag).
+    ``HEALTH`` on a line prints the serving health snapshot; EOF, a blank
+    line or Ctrl-C drains in-flight requests and exits 0.
 
 ``query`` and ``topk`` also accept ``--index`` (serve from a prebuilt
 artifact — no preprocessing at all) and ``--cache`` (transparent
@@ -44,7 +49,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from pathlib import Path
+from queue import SimpleQueue
 
 from repro.api import QueryEngine
 from repro.core import SemSim, SimRank
@@ -61,6 +68,7 @@ from repro.errors import ConfigurationError, GraphError
 from repro.obs.export import render_json, render_prometheus
 from repro.obs.logging import configure_logging
 from repro.obs.trace import set_trace_writer
+from repro.sched import Overloaded, ServingRuntime
 from repro.serve import (
     DeadlineExceeded,
     IndexManager,
@@ -181,7 +189,9 @@ def _cmd_topk(args: argparse.Namespace) -> int:
         where = "index" if args.index is not None else "bundle"
         print(f"error: node {args.node!r} is not in the {where}", file=sys.stderr)
         return 2
-    results = engine.top_k(args.node, args.k, candidates=candidates)
+    results = engine.top_k(
+        args.node, args.k, candidates=candidates, batch_size=args.batch_size
+    )
     print(f"top-{args.k} most similar to {args.node}:")
     for node, score in results:
         print(f"  {node:<24} {score:.6f}")
@@ -257,42 +267,130 @@ def _make_service(args: argparse.Namespace) -> QueryService:
     return QueryService(manager, deadline_ms=args.deadline_ms)
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    """Line protocol on stdin: ``u v`` -> one JSON response per line.
+#: Sentinel ending the serve printer thread's queue.
+_SERVE_DONE = object()
 
-    A blank line or EOF ends the session; ``HEALTH`` prints the serving
-    health snapshot.  Per-request failures (unknown node, blown deadline)
-    are reported as JSON ``{"error": ...}`` lines and do not kill the
-    server — only a setup failure exits non-zero.
+
+def _serve_submit(runtime: ServingRuntime, line: str):
+    """Turn one protocol line into a queue entry: a future or an error.
+
+    Returns ``("future", Future)`` for admitted requests and
+    ``("error", payload)`` for parse failures and admission rejections —
+    either way the line gets exactly one response, in order.
+    """
+    parts = line.split()
+    head = parts[0].upper()
+    try:
+        if head == "BATCH":
+            if len(parts) < 3:
+                return ("error", {
+                    "error": f"expected 'BATCH u v1 [v2 ...]', got {line!r}"
+                })
+            return ("future", runtime.submit_batch(parts[1], parts[2:]))
+        if head == "TOPK":
+            if len(parts) < 3:
+                return ("error", {
+                    "error": f"expected 'TOPK u k [v1 ...]', got {line!r}"
+                })
+            try:
+                k = int(parts[2])
+            except ValueError:
+                return ("error", {
+                    "error": f"expected an integer k, got {parts[2]!r}"
+                })
+            candidates = parts[3:] or None
+            return ("future", runtime.submit_topk(parts[1], k, candidates))
+        if len(parts) != 2:
+            return ("error", {"error": f"expected 'u v', got {line!r}"})
+        return ("future", runtime.submit_score(parts[0], parts[1]))
+    except Overloaded as exc:
+        return ("error", {"error": str(exc), "kind": "overloaded"})
+    except ServeError as exc:
+        return ("error", {"error": str(exc), "kind": "unavailable"})
+
+
+def _serve_render(entry, runtime: ServingRuntime) -> dict:
+    """Resolve one queue entry into its JSON payload (never raises)."""
+    kind, payload = entry
+    if kind == "health":
+        return runtime.health()
+    if kind == "error":
+        return payload
+    try:
+        return payload.result().as_dict()
+    except DeadlineExceeded as exc:
+        return {"error": str(exc), "kind": "deadline"}
+    except GraphError as exc:
+        return {"error": str(exc), "kind": "not_found"}
+    except Overloaded as exc:
+        return {"error": str(exc), "kind": "overloaded"}
+    except ServeError as exc:
+        return {"error": str(exc), "kind": "unavailable"}
+    except Exception as exc:  # noqa: BLE001 — the loop must survive anything
+        return {"error": str(exc), "kind": "internal"}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Concurrent line-protocol server on stdin/stdout.
+
+    Protocol (one request per line, one JSON response per line, responses
+    in request order): ``u v`` scores a pair, ``BATCH u v1 v2 ...`` scores
+    a candidate set, ``TOPK u k [v1 v2 ...]`` runs a top-k search, and
+    ``HEALTH`` prints the serving health snapshot.  Requests are admitted
+    into the scheduler's bounded queue (``--queue-depth``), coalesced into
+    micro-batches (``--max-batch`` / ``--max-wait-us``) and answered by
+    ``--workers`` threads; lines past the watermark get an ``overloaded``
+    error response, never a crash.  Requests pipeline: keep writing lines
+    without reading and responses stream back in order.
+
+    A blank line, EOF, or Ctrl-C ends the session gracefully: in-flight
+    requests finish, every pending response is printed, observability
+    outputs flush, and the exit code is 0.
     """
     if not _require_bundle_arg(args):
         return 2
     service = _make_service(args)
     service.manager.acquire()  # activate eagerly so startup errors surface
-    print(json.dumps({"ready": True, **service.health()}), flush=True)
-    for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            break
-        if line.upper() == "HEALTH":
-            print(json.dumps(service.health()), flush=True)
-            continue
-        parts = line.split()
-        if len(parts) != 2:
-            print(json.dumps({"error": f"expected 'u v', got {line!r}"}),
-                  flush=True)
-            continue
-        u, v = parts
-        try:
-            response = service.query(u, v)
-        except DeadlineExceeded as exc:
-            print(json.dumps({"error": str(exc), "kind": "deadline"}),
-                  flush=True)
-        except GraphError as exc:
-            print(json.dumps({"error": str(exc), "kind": "not_found"}),
-                  flush=True)
-        else:
-            print(json.dumps(response.as_dict()), flush=True)
+    runtime = ServingRuntime(
+        service,
+        workers=args.workers or 1,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        queue_depth=args.queue_depth,
+    )
+    print(json.dumps({"ready": True, **runtime.health()}), flush=True)
+
+    # In-order pipelining: the printer thread blocks on the head entry's
+    # future, so responses stream back in request order while later
+    # requests are already queued, coalesced and executing.
+    entries: SimpleQueue = SimpleQueue()
+
+    def _printer() -> None:
+        while True:
+            entry = entries.get()
+            if entry is _SERVE_DONE:
+                return
+            print(json.dumps(_serve_render(entry, runtime)), flush=True)
+
+    printer = threading.Thread(
+        target=_printer, name="repro-serve-printer", daemon=True
+    )
+    printer.start()
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                break
+            if line.upper() == "HEALTH":
+                entries.put(("health", None))
+                continue
+            entries.put(_serve_submit(runtime, line))
+    except KeyboardInterrupt:
+        pass  # graceful drain below; in-flight work still gets answered
+    finally:
+        entries.put(_SERVE_DONE)
+        runtime.drain()     # completes every admitted future
+        printer.join()      # flushes every pending response, in order
     return 0
 
 
@@ -361,7 +459,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(func=_cmd_generate)
 
     def add_engine_options(
-        command: argparse.ArgumentParser, serving: bool = False
+        command: argparse.ArgumentParser,
+        serving: bool = False,
+        workers_help: str = (
+            "threads for parallel walk-index construction (mc only)"
+        ),
     ) -> None:
         command.add_argument(
             "--method", choices=["iterative", "mc"], default="iterative"
@@ -372,8 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--theta", type=float, default=0.05)
         command.add_argument("--seed", type=int, default=0)
         command.add_argument(
-            "--workers", type=int, default=None,
-            help="threads for parallel walk-index construction (mc only)",
+            "--workers", type=int, default=None, help=workers_help,
         )
         if serving:
             command.add_argument(
@@ -421,6 +522,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="bundle JSON path (omit with --index)")
     topk.add_argument("node")
     topk.add_argument("-k", type=int, default=10)
+    topk.add_argument(
+        "--batch-size", type=int, default=256, metavar="N",
+        help="candidates scored per vectorised block (default: 256)",
+    )
     add_engine_options(topk, serving=True)
     add_obs_options(topk)
     topk.set_defaults(func=_cmd_topk)
@@ -463,7 +568,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=3, metavar="N",
         help="bounded retries for artifact/walk-tensor I/O (default: 3)",
     )
-    add_engine_options(serve, serving=True)
+    serve.add_argument(
+        "--max-batch", type=int, default=32, metavar="N",
+        help="most requests one worker dispatches per micro-batch "
+             "(default: 32)",
+    )
+    serve.add_argument(
+        "--max-wait-us", type=float, default=200.0, metavar="US",
+        help="how long a worker lingers for a micro-batch to fill, in "
+             "microseconds (default: 200; 0 dispatches immediately)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=1024, metavar="N",
+        help="admission watermark: requests submitted while this many "
+             "are queued get an 'overloaded' response (default: 1024)",
+    )
+    add_engine_options(
+        serve, serving=True,
+        workers_help="serving worker threads pulling micro-batches "
+                     "(also used for parallel walk-index build; default: 1)",
+    )
     add_obs_options(serve)
     serve.set_defaults(func=_cmd_serve)
 

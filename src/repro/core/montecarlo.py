@@ -41,6 +41,7 @@ estimator unbiased (verified statistically in the tests).
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -82,6 +83,15 @@ class EstimatorStats:
     never leak across reused components; call :meth:`reset` to zero an
     instance in place between measurement windows.
 
+    Mutation is **thread-safe**: every instance owns one lock, and
+    :meth:`add` (the hot-path entry every estimator records through),
+    attribute assignment, :meth:`reset` and :meth:`as_dict` all take it,
+    so concurrent serving workers recording into one engine's stats never
+    lose updates and snapshots are internally consistent.  Prefer
+    :meth:`add` over ``stats.field += n`` in concurrent code — the
+    augmented assignment spans two attribute operations and is not
+    atomic.
+
     When constructed with *method* and *estimator* identity labels, every
     positive increment is additionally mirrored into the process-wide
     metrics registry as ``estimator_<field>_total{method=..., estimator=...}``
@@ -118,7 +128,7 @@ class EstimatorStats:
         (no dense semantic matrix available).
     """
 
-    __slots__ = ("_values", "_cells")
+    __slots__ = ("_values", "_cells", "_lock")
 
     _FIELDS = tuple(_STAT_HELP)
 
@@ -129,6 +139,7 @@ class EstimatorStats:
         **counts: int,
     ) -> None:
         object.__setattr__(self, "_values", dict.fromkeys(self._FIELDS, 0))
+        object.__setattr__(self, "_lock", threading.Lock())
         cells: dict[str, object] = {}
         if method is not None and estimator is not None:
             registry = get_registry()
@@ -153,17 +164,44 @@ class EstimatorStats:
             ) from None
 
     def __setattr__(self, name: str, value: int) -> None:
-        values = self._values
-        if name not in values:
+        if name not in self._values:
             raise AttributeError(
                 f"{type(self).__name__} has no counter {name!r}"
             )
-        delta = value - values[name]
-        values[name] = value
+        with self._lock:
+            values = self._values
+            delta = value - values[name]
+            values[name] = value
         if delta > 0:
             cell = self._cells.get(name)
             if cell is not None and is_enabled():
                 cell.inc(delta)
+
+    def add(self, **deltas: int) -> None:
+        """Atomically add *deltas* to the named counters.
+
+        This is the thread-safe mutation path: ``stats.queries += 1`` is a
+        read-modify-write spanning two attribute operations and can lose
+        updates under concurrent workers, whereas one :meth:`add` call
+        applies every delta under the instance lock.  All estimator and
+        engine hot paths record through this method; the registry mirror
+        is updated outside the lock (registry children have their own
+        registry-wide lock, and the mirrored series are monotonic, so the
+        order of mirror increments does not matter).
+        """
+        values = self._values
+        with self._lock:
+            for field, delta in deltas.items():
+                if field not in values:
+                    raise AttributeError(
+                        f"{type(self).__name__} has no counter {field!r}"
+                    )
+                values[field] += delta
+        if self._cells and is_enabled():
+            cells = self._cells
+            for field, delta in deltas.items():
+                if delta > 0:
+                    cells[field].inc(delta)
 
     def reset(self) -> None:
         """Zero this instance's counters in place.
@@ -172,13 +210,15 @@ class EstimatorStats:
         series stay monotonic (resetting an engine must never erase another
         engine's — or the process's — history).
         """
-        values = self._values
-        for field in self._FIELDS:
-            values[field] = 0
+        with self._lock:
+            values = self._values
+            for field in self._FIELDS:
+                values[field] = 0
 
     def as_dict(self) -> dict[str, int]:
         """Counter values as a plain ``{field: value}`` dict."""
-        return dict(self._values)
+        with self._lock:
+            return dict(self._values)
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{f}={self._values[f]}" for f in self._FIELDS)
@@ -203,13 +243,14 @@ class MonteCarloSimRank:
 
     def similarity(self, u: Node, v: Node) -> float:
         """Return the MC SimRank estimate ``(1/n_w) * sum c^tau``."""
-        self.stats.queries += 1
+        self.stats.add(queries=1)
         if u == v:
             return 1.0
         meetings = self.walk_index.first_meetings(u, v)
-        self.stats.walks_examined += meetings.size
         met = meetings[meetings >= 0]
-        self.stats.walks_met += met.size
+        self.stats.add(
+            walks_examined=int(meetings.size), walks_met=int(met.size)
+        )
         if met.size == 0:
             return 0.0
         return float(np.sum(self.decay ** met) / self.walk_index.num_walks)
@@ -219,20 +260,21 @@ class MonteCarloSimRank:
     ) -> np.ndarray:
         """Estimate ``sim(u, v)`` for every candidate in one numpy pass."""
         m = len(candidates)
-        self.stats.batch_queries += 1
-        self.stats.batch_pairs += m
-        self.stats.vectorized_pairs += m
-        self.stats.queries += m
+        self.stats.add(
+            batch_queries=1, batch_pairs=m, vectorized_pairs=m, queries=m
+        )
         if m == 0:
             return np.empty(0, dtype=np.float64)
         index = self.walk_index
         meetings = index.first_meetings_batch(u, candidates)  # (m, n_w)
         positions = index.node_positions(candidates)
         identity = positions == index.node_position(u)
-        self.stats.walks_examined += int((~identity).sum()) * index.num_walks
         met = meetings >= 0
         met[identity] = False
-        self.stats.walks_met += int(met.sum())
+        self.stats.add(
+            walks_examined=int((~identity).sum()) * index.num_walks,
+            walks_met=int(met.sum()),
+        )
         contrib = np.where(met, self.decay ** np.maximum(meetings, 0), 0.0)
         scores = contrib.sum(axis=1) / index.num_walks
         scores[identity] = 1.0
@@ -351,12 +393,12 @@ class MonteCarloSemSim:
 
     def similarity(self, u: Node, v: Node) -> float:
         """Return the Algorithm-1 estimate of ``sim(u, v)``."""
-        self.stats.queries += 1
+        self.stats.add(queries=1)
         if u == v:
             return 1.0
         sem_uv = self.measure.similarity(u, v)
         if self.theta is not None and sem_uv <= self.theta:
-            self.stats.sem_gate_hits += 1
+            self.stats.add(sem_gate_hits=1)
             return 0.0
         walks_u = self.walk_index.walks_from(u)
         walks_v = self.walk_index.walks_from(v)
@@ -371,11 +413,10 @@ class MonteCarloSemSim:
             total += score
             so_evals += evals
             pruned += cut
-        stats = self.stats
-        stats.walks_examined += meetings.size
-        stats.walks_met += met
-        stats.so_evaluations += so_evals
-        stats.walks_pruned += pruned
+        self.stats.add(
+            walks_examined=int(meetings.size), walks_met=met,
+            so_evaluations=so_evals, walks_pruned=pruned,
+        )
         return sem_uv * total / self.walk_index.num_walks
 
     def similarity_batch(
@@ -392,17 +433,15 @@ class MonteCarloSemSim:
         ``stats.scalar_fallbacks``).
         """
         m = len(candidates)
-        self.stats.batch_queries += 1
-        self.stats.batch_pairs += m
+        self.stats.add(batch_queries=1, batch_pairs=m)
         if m == 0:
             return np.empty(0, dtype=np.float64)
         if self._sem_matrix is None:
-            self.stats.scalar_fallbacks += m
+            self.stats.add(scalar_fallbacks=m)
             return np.array(
                 [self.similarity(u, v) for v in candidates], dtype=np.float64
             )
-        self.stats.vectorized_pairs += m
-        self.stats.queries += m
+        self.stats.add(vectorized_pairs=m, queries=m)
 
         index = self.walk_index
         pos_u = index.node_position(u)
@@ -415,14 +454,14 @@ class MonteCarloSemSim:
         sem_row = self._sem_matrix[pos_u, positions]
         if self.theta is not None:
             gated = (sem_row <= self.theta) & ~identity
-            self.stats.sem_gate_hits += int(gated.sum())
+            self.stats.add(sem_gate_hits=int(gated.sum()))
         else:
             gated = np.zeros(m, dtype=bool)
         active = ~identity & ~gated
         active_idx = np.flatnonzero(active)
         if active_idx.size == 0:
             return scores
-        self.stats.walks_examined += int(active_idx.size) * index.num_walks
+        self.stats.add(walks_examined=int(active_idx.size) * index.num_walks)
 
         meetings = index.first_meetings_batch(u, positions[active_idx])
         totals = self._batch_walk_scores(pos_u, positions[active_idx], meetings)
@@ -440,12 +479,12 @@ class MonteCarloSemSim:
         distribution-free (much looser) alternative, combine the point
         estimate with :func:`repro.core.bounds.deviation_probability`.
         """
-        self.stats.queries += 1
+        self.stats.add(queries=1)
         if u == v:
             return 1.0, 0.0
         sem_uv = self.measure.similarity(u, v)
         if self.theta is not None and sem_uv <= self.theta:
-            self.stats.sem_gate_hits += 1
+            self.stats.add(sem_gate_hits=1)
             return 0.0, 0.0
         walks_u = self.walk_index.walks_from(u)
         walks_v = self.walk_index.walks_from(v)
@@ -460,11 +499,10 @@ class MonteCarloSemSim:
             contributions[walk_id] = score
             so_evals += evals
             pruned += cut
-        stats = self.stats
-        stats.walks_examined += meetings.size
-        stats.walks_met += met
-        stats.so_evaluations += so_evals
-        stats.walks_pruned += pruned
+        self.stats.add(
+            walks_examined=int(meetings.size), walks_met=met,
+            so_evaluations=so_evals, walks_pruned=pruned,
+        )
         estimate = sem_uv * float(contributions.mean())
         spread = float(contributions.std(ddof=1)) if contributions.size > 1 else 0.0
         half_width = sem_uv * z * spread / np.sqrt(self.walk_index.num_walks)
@@ -516,7 +554,7 @@ class MonteCarloSemSim:
         """``SO(u, v)``, counting fresh evaluations into the stats."""
         value, fresh = self._so_value(pos_u, pos_v)
         if fresh:
-            self.stats.so_evaluations += fresh
+            self.stats.add(so_evaluations=fresh)
         return value
 
     def _so_value(self, pos_u: int, pos_v: int) -> tuple[float, int]:
@@ -669,32 +707,35 @@ class MonteCarloSemSim:
         totals = np.zeros(m, dtype=np.float64)
         rows_pair, rows_walk = np.nonzero(meetings >= 1)
         n_rows = rows_pair.size
-        self.stats.walks_met += n_rows
+        self.stats.add(walks_met=n_rows)
         if n_rows == 0:
             return totals
         walks = self.walk_index.walks
         max_k = int(meetings.max())
-        walk_u = walks[pos_u][rows_walk, : max_k + 1].astype(np.int64)  # (R, K+1)
-        walk_v = walks[positions[rows_pair], rows_walk][:, : max_k + 1].astype(np.int64)
+        walk_u = walks[pos_u][rows_walk, : max_k + 1]                   # (R, K+1)
+        walk_v = walks[positions[rows_pair], rows_walk][:, : max_k + 1]
         met_at = meetings[rows_pair, rows_walk]                         # (R,)
         step_ids = np.arange(max_k)
         active = step_ids[None, :] < met_at[:, None]                    # (R, K)
 
-        cu = np.where(active, walk_u[:, :max_k], 0)
-        cv = np.where(active, walk_v[:, :max_k], 0)
-        nu = np.where(active, walk_u[:, 1 : max_k + 1], 0)
-        nv = np.where(active, walk_v[:, 1 : max_k + 1], 0)
+        # No pre-masking: steps at or past the meeting are garbage (walk
+        # padding is -1, which numpy index-wraps), but every downstream
+        # read is masked by *active* before it matters — only the final
+        # ``factor`` where() is load-bearing.  Active steps sit strictly
+        # before the meeting, where both walks still hold real node ids,
+        # so the arithmetic replayed there is bit-identical to the masked
+        # form this replaces (and to the scalar path).
+        cu = walk_u[:, :max_k]
+        cv = walk_v[:, :max_k]
+        nu = walk_u[:, 1 : max_k + 1]
+        nv = walk_v[:, 1 : max_k + 1]
 
         # P numerator, replaying the scalar operation order exactly:
         # (sem(nu, nv) * W(nu -> cu)) * W(nv -> cv).  W and Q come from the
         # precomputed per-step tables (identical floats, no lookups).
         self._ensure_step_tables()
-        w_u = np.where(active, self._step_weights[pos_u, rows_walk][:, :max_k], 0.0)
-        w_v = np.where(
-            active,
-            self._step_weights[positions[rows_pair], rows_walk][:, :max_k],
-            0.0,
-        )
+        w_u = self._step_weights[pos_u, rows_walk][:, :max_k]
+        w_v = self._step_weights[positions[rows_pair], rows_walk][:, :max_k]
         numerator = self._sem_matrix[nu, nv] * w_u * w_v
 
         # SO denominators.  Without a pair_index every value comes straight
@@ -702,13 +743,14 @@ class MonteCarloSemSim:
         # same table the scalar path reads).  With a pair_index, deduplicate
         # identical (cu, cv) step pairs and route each through the scalar
         # helper so the index is consulted exactly as in the scalar path.
-        so = np.ones_like(numerator)
         if self.pair_index is None:
             self._ensure_so_matrix()
-            self.stats.so_evaluations += int(active.sum())
-            so[active] = self._so_matrix[cu[active], cv[active]]
+            self.stats.add(so_evaluations=int(active.sum()))
+            # full-plane gather: garbage on inactive steps, masked below
+            so = self._so_matrix[cu, cv]
         else:
-            pair_keys = cu * np.int64(len(self._nodes)) + cv
+            so = np.ones_like(numerator)
+            pair_keys = cu.astype(np.int64) * np.int64(len(self._nodes)) + cv
             unique_keys, inverse = np.unique(
                 pair_keys[active], return_inverse=True
             )
@@ -723,10 +765,8 @@ class MonteCarloSemSim:
                 unique_so[j] = cached
             so[active] = unique_so[inverse]
 
-        q_u = np.where(active, self._step_q[pos_u, rows_walk][:, :max_k], 0.0)
-        q_v = np.where(
-            active, self._step_q[positions[rows_pair], rows_walk][:, :max_k], 0.0
-        )
+        q_u = self._step_q[pos_u, rows_walk][:, :max_k]
+        q_v = self._step_q[positions[rows_pair], rows_walk][:, :max_k]
         q_step = q_u * q_v
 
         # Per-step factor (p_step * c) / q_step, 1 on inactive steps and 0
@@ -750,7 +790,7 @@ class MonteCarloSemSim:
             # Scalar bookkeeping: a bail-out (so/q <= 0) returns without
             # counting as pruned; a genuine θ freeze does.
             bailed = (bad & active)[np.arange(n_rows), first_cut]
-            self.stats.walks_pruned += int((cut_anywhere & ~bailed).sum())
+            self.stats.add(walks_pruned=int((cut_anywhere & ~bailed).sum()))
         # Accumulate per candidate in walk order (bincount adds in element
         # order, matching the scalar loop's summation sequence).
         return np.bincount(rows_pair, weights=totals_rows, minlength=m).astype(

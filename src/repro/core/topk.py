@@ -62,11 +62,17 @@ def top_k_similar(
         are identical to the scalar scan — the per-candidate semantic-bound
         stop is applied when consuming each block, so the same candidates
         enter the heap in the same order.
+    batch_size:
+        Block length for the *batch_score* path (>= 1).  Larger blocks
+        amortise per-call overhead but evaluate more candidates past the
+        semantic-bound stop; the result is identical either way.
 
     Ties break deterministically by the string form of the node id.
     """
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k!r}")
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size!r}")
     if score is None and batch_score is None:
         raise ConfigurationError("top_k_similar needs a score or batch_score oracle")
     pool = [c for c in candidates if c != query]

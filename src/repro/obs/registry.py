@@ -15,9 +15,23 @@ serving stack needs and implemented on the standard library alone:
 Counters are monotonic (``inc`` rejects negative amounts), gauges move
 freely, histograms use fixed upper bounds chosen at registration (bucket
 ``i`` counts observations ``<= bounds[i]``; everything above the last bound
-lands in the implicit ``+Inf`` bucket).  All mutation is lock-guarded per
-child, so concurrent walk-index shards and serving threads can record into
-the same family safely.
+lands in the implicit ``+Inf`` bucket).
+
+Thread-safety guarantee
+-----------------------
+Each registry owns **one** :class:`threading.RLock`, shared by every
+family and every child registered into it.  All mutation — counter
+increments, gauge moves, histogram observations, ``clear_values`` — and
+every read that must be internally consistent (a histogram's
+bucket/sum/count triple) serialises on that single lock, so concurrent
+walk-index shards and serving workers can record into the same families
+with no lost updates and snapshots never observe a half-applied
+histogram observation.  The lock is reentrant, which lets higher layers
+(e.g. :class:`~repro.core.montecarlo.EstimatorStats`) mirror several
+series while holding their own guard.  One lock per registry is a
+deliberate trade: uncontended acquisition costs the same as a per-child
+lock (held to the ≤ 3% ceiling by ``benchmarks/bench_obs_overhead.py``),
+and cross-series updates become atomic with respect to exports.
 
 :func:`set_enabled` / :func:`disabled` pause *recording* globally —
 instrumented call sites check :func:`is_enabled` before observing, which is
@@ -100,8 +114,8 @@ class _CounterChild:
 
     __slots__ = ("_lock", "_value")
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, lock: threading.RLock | None = None) -> None:
+        self._lock = lock if lock is not None else threading.RLock()
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -121,8 +135,8 @@ class _GaugeChild:
 
     __slots__ = ("_lock", "_value")
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, lock: threading.RLock | None = None) -> None:
+        self._lock = lock if lock is not None else threading.RLock()
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -146,8 +160,10 @@ class _HistogramChild:
 
     __slots__ = ("_lock", "_bounds", "_bucket_counts", "_sum", "_count")
 
-    def __init__(self, bounds: tuple[float, ...]) -> None:
-        self._lock = threading.Lock()
+    def __init__(
+        self, bounds: tuple[float, ...], lock: threading.RLock | None = None
+    ) -> None:
+        self._lock = lock if lock is not None else threading.RLock()
         self._bounds = bounds
         self._bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
         self._sum = 0.0
@@ -160,6 +176,26 @@ class _HistogramChild:
             self._bucket_counts[index] += 1
             self._sum += value
             self._count += 1
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch of observations under one lock acquisition.
+
+        Equivalent to calling :meth:`observe` per value; the hot serving
+        path records a whole micro-batch of queue waits at once, so the
+        lock round-trip amortises across the batch.
+        """
+        if not values:
+            return
+        bounds = self._bounds
+        bisect_left = bisect.bisect_left
+        with self._lock:
+            counts = self._bucket_counts
+            total = 0.0
+            for value in values:
+                counts[bisect_left(bounds, value)] += 1
+                total += value
+            self._sum += total
+            self._count += len(values)
 
     @property
     def count(self) -> int:
@@ -182,18 +218,29 @@ class _HistogramChild:
 
 
 class _Family:
-    """Base of one named metric with a fixed label-name set."""
+    """Base of one named metric with a fixed label-name set.
+
+    *lock* is the owning registry's single mutation lock; a family
+    constructed standalone (outside a registry, e.g. in tests) gets a
+    private reentrant lock with identical semantics.
+    """
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        lock: threading.RLock | None = None,
+    ) -> None:
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
         for label in self.labelnames:
             if not _LABEL_PATTERN.match(label):
                 raise ValueError(f"invalid label name {label!r} on metric {name!r}")
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.RLock()
         self._children: dict[tuple[str, ...], object] = {}
         if not self.labelnames:
             # Label-free families materialise their single series up front,
@@ -237,7 +284,7 @@ class Counter(_Family):
     kind = "counter"
 
     def _new_child(self) -> _CounterChild:
-        return _CounterChild()
+        return _CounterChild(self._lock)
 
     def inc(self, amount: float = 1.0) -> None:
         """Increment the label-free series."""
@@ -255,7 +302,7 @@ class Gauge(_Family):
     kind = "gauge"
 
     def _new_child(self) -> _GaugeChild:
-        return _GaugeChild()
+        return _GaugeChild(self._lock)
 
     def set(self, value: float) -> None:
         self._default.set(value)
@@ -282,6 +329,7 @@ class Histogram(_Family):
         help: str,
         labelnames: Sequence[str],
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        lock: threading.RLock | None = None,
     ) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
@@ -291,14 +339,18 @@ class Histogram(_Family):
                 f"histogram {name!r} bucket bounds must be strictly increasing"
             )
         self.buckets = bounds
-        super().__init__(name, help, labelnames)
+        super().__init__(name, help, labelnames, lock=lock)
 
     def _new_child(self) -> _HistogramChild:
-        return _HistogramChild(self.buckets)
+        return _HistogramChild(self.buckets, self._lock)
 
     def observe(self, value: float) -> None:
         """Record into the label-free series."""
         self._default.observe(value)
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch into the label-free series (one lock round-trip)."""
+        self._default.observe_many(values)
 
     def count(self, **labels: object) -> int:
         child = self.labels(**labels) if labels or self.labelnames else self._default
@@ -316,10 +368,14 @@ class MetricsRegistry:
     existing name returns the existing family after checking that the type
     and label names agree (a mismatch raises ``ValueError`` — silent
     redefinition is exactly the drift this layer exists to catch).
+
+    One reentrant lock per registry guards everything: family
+    registration, child creation, and every value mutation in every
+    child (see the module docstring for the full guarantee).
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._families: dict[str, _Family] = {}
 
     def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
@@ -339,7 +395,7 @@ class MetricsRegistry:
                         f"{existing.labelnames}, not {tuple(labelnames)}"
                     )
                 return existing
-            family = cls(name, help, labelnames, **kwargs)
+            family = cls(name, help, labelnames, lock=self._lock, **kwargs)
             self._families[name] = family
             return family
 

@@ -1,0 +1,47 @@
+"""Concurrent serving runtime: admission control, micro-batching, workers.
+
+The ``repro.sched`` package turns the request/response serving stack of
+:mod:`repro.serve` into a concurrent runtime:
+
+* :class:`AdmissionQueue` — bounded FIFO; overload is answered at
+  submission time with :class:`Overloaded`, never by silent drops.
+* :func:`plan_groups` — the coalescer: same-source single-pair requests
+  in a micro-batch merge into one vectorised ``score_batch`` call
+  (bit-identical to scalar ``score`` — the PR 1 guarantee).
+* :class:`WorkerPool` — N dispatch threads (numpy releases the GIL)
+  behind a pluggable thread factory.
+* :class:`ServingRuntime` — ties the three together over one
+  :class:`~repro.serve.QueryService`; PR 4's retries, circuit breaking
+  and degraded fallback still apply to every logical request.
+
+See ``docs/serving.md`` ("Concurrency") for the architecture diagram and
+tuning guidance.
+"""
+
+from repro.sched.errors import Overloaded, RuntimeClosed
+from repro.sched.pool import ThreadFactory, WorkerPool
+from repro.sched.queue import AdmissionQueue
+from repro.sched.request import (
+    KIND_BATCH,
+    KIND_SCORE,
+    KIND_TOPK,
+    DispatchGroup,
+    ScheduledRequest,
+    plan_groups,
+)
+from repro.sched.runtime import ServingRuntime
+
+__all__ = [
+    "AdmissionQueue",
+    "DispatchGroup",
+    "KIND_BATCH",
+    "KIND_SCORE",
+    "KIND_TOPK",
+    "Overloaded",
+    "RuntimeClosed",
+    "ScheduledRequest",
+    "ServingRuntime",
+    "ThreadFactory",
+    "WorkerPool",
+    "plan_groups",
+]

@@ -1,0 +1,37 @@
+"""Scheduler-layer exceptions.
+
+Both derive from :class:`~repro.serve.errors.ServeError`, so callers that
+already catch the serving-layer root (the CLI maps it to exit code 2)
+handle scheduler rejections without new plumbing.
+"""
+
+from __future__ import annotations
+
+from repro.serve.errors import ServeError
+
+
+class Overloaded(ServeError):
+    """Admission control rejected the request: the queue is past its watermark.
+
+    This is the deterministic overload answer — the queue depth at the
+    moment of submission exceeded the configured watermark, so the request
+    was never admitted.  Rejections are counted in
+    ``serve_requests_total{outcome="rejected"}`` and
+    ``sched_rejected_total{reason="overloaded"}``; they never kill the
+    serve loop.
+    """
+
+    def __init__(self, depth: int, watermark: int) -> None:
+        super().__init__(
+            f"request rejected: queue depth {depth} is at its "
+            f"watermark of {watermark}"
+        )
+        self.depth = depth
+        self.watermark = watermark
+
+
+class RuntimeClosed(ServeError):
+    """The serving runtime is draining or closed and admits no new work."""
+
+    def __init__(self, detail: str = "the serving runtime is closed") -> None:
+        super().__init__(detail)

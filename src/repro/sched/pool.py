@@ -1,0 +1,89 @@
+"""The worker pool: N dispatch loops with a pluggable execution seam.
+
+Workers are plain daemon threads by default — the right executor for this
+workload, because the hot per-batch work (stacked-walk numpy gathers,
+``score_batch`` reductions) releases the GIL — but the *thread_factory*
+seam accepts anything with the :class:`threading.Thread` constructor
+protocol (``target``, ``name``, ``daemon``), which is where a later
+multi-process PR plugs in without touching the runtime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs.registry import is_enabled
+from repro.sched.metrics import WORKERS
+
+#: Matches threading.Thread's constructor for the pluggable seam.
+ThreadFactory = Callable[..., threading.Thread]
+
+
+class WorkerPool:
+    """Own the lifecycle of ``num_workers`` identical dispatch loops."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        target: Callable[[int], None],
+        *,
+        name_prefix: str = "repro-sched-worker",
+        thread_factory: ThreadFactory | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers!r}")
+        self.num_workers = num_workers
+        self._target = target
+        self._name_prefix = name_prefix
+        self._factory = thread_factory if thread_factory is not None else threading.Thread
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Spawn the workers (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        if is_enabled():
+            WORKERS.set(self.num_workers)
+        for index in range(self.num_workers):
+            thread = self._factory(
+                target=self._target,
+                args=(index,),
+                name=f"{self._name_prefix}-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for every worker to exit; returns whether all did.
+
+        *timeout* bounds the whole join, not each thread.
+        """
+        if timeout is None:
+            for thread in self._threads:
+                thread.join()
+        else:
+            end = time.monotonic() + timeout
+            for thread in self._threads:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    break
+                thread.join(remaining)
+        return not self.alive
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def alive(self) -> int:
+        """How many workers are currently running."""
+        return sum(1 for thread in self._threads if thread.is_alive())
+
+    def __repr__(self) -> str:
+        status = "started" if self._started else "cold"
+        return f"WorkerPool({status}, workers={self.num_workers}, alive={self.alive})"

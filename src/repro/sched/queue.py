@@ -1,0 +1,152 @@
+"""Bounded FIFO request queue with admission control and micro-batch pops.
+
+:class:`AdmissionQueue` is where overload becomes deterministic: a
+request submitted while the queue holds ``watermark`` entries is refused
+with :class:`~repro.sched.errors.Overloaded` *at submission time* —
+nothing is admitted that the runtime does not intend to answer.  Once
+admitted, a request leaves the queue exactly one way: inside a
+micro-batch handed to a worker (requests whose deadline lapsed while
+queued are still handed over, so the dispatcher can answer them with
+``DeadlineExceeded`` — the queue never silently discards).
+
+``take()`` implements the dynamic micro-batching wait: the first waiting
+worker becomes the batch leader, pops what is there, and — when the batch
+is still below ``max_batch`` and a coalescing window (``max_wait``) is
+configured — lingers briefly for followers to arrive.  A full batch, an
+expired window, or a closing queue all end the wait.
+
+Time enters only through the injected *clock* (deadlines, wait windows)
+so tests can drive it virtually; the condition-variable sleeps themselves
+are real-time, which is why deterministic tests run with ``max_wait=0``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable
+
+from repro.obs.registry import is_enabled
+from repro.sched.errors import Overloaded, RuntimeClosed
+from repro.sched.metrics import QUEUE_DEPTH, REJECTED
+from repro.sched.request import ScheduledRequest
+
+_REJECT_OVERLOADED = REJECTED.labels(reason="overloaded")
+_REJECT_CLOSED = REJECTED.labels(reason="closed")
+
+
+class AdmissionQueue:
+    """Bounded FIFO of :class:`ScheduledRequest` with leader-batch pops."""
+
+    def __init__(
+        self,
+        watermark: int,
+        clock: Callable[[], float],
+    ) -> None:
+        if watermark < 1:
+            raise ValueError(f"watermark must be >= 1, got {watermark!r}")
+        self.watermark = watermark
+        self._clock = clock
+        self._items: deque[ScheduledRequest] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def offer(self, request: ScheduledRequest) -> None:
+        """Admit *request* or raise (:class:`Overloaded`/:class:`RuntimeClosed`).
+
+        Admission is all-or-nothing under the lock: either the request is
+        in the queue when this returns (and will be dispatched), or the
+        caller gets the rejection and the queue is untouched.
+
+        The ``sched_queue_depth`` gauge is sampled at batch pops, not per
+        offer — the admit path is the per-request hot path and stays free
+        of registry traffic.
+        """
+        with self._not_empty:
+            if self._closed:
+                if is_enabled():
+                    _REJECT_CLOSED.inc()
+                raise RuntimeClosed()
+            depth = len(self._items)
+            if depth >= self.watermark:
+                if is_enabled():
+                    _REJECT_OVERLOADED.inc()
+                raise Overloaded(depth, self.watermark)
+            self._items.append(request)
+            self._not_empty.notify()
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def take(
+        self,
+        max_batch: int,
+        max_wait: float,
+        poll: float = 0.1,
+    ) -> list[ScheduledRequest] | None:
+        """Pop the next micro-batch (blocking), or ``None`` when drained.
+
+        Blocks until at least one request is available, then — if the
+        queue holds fewer than *max_batch* and *max_wait* > 0 — waits up
+        to *max_wait* seconds (measured on the injected clock) for more
+        requests to coalesce before popping up to *max_batch* of them in
+        FIFO order.  Returns ``None`` only when the queue is closed *and*
+        empty: the drain contract is that every admitted request is
+        handed to some worker before the workers are told to exit.
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait(poll)
+            if max_wait > 0 and len(self._items) < max_batch:
+                window_end = self._clock() + max_wait
+                while len(self._items) < max_batch and not self._closed:
+                    remaining = window_end - self._clock()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(min(remaining, poll))
+            count = min(max_batch, len(self._items))
+            batch = [self._items.popleft() for _ in range(count)]
+            if is_enabled():
+                QUEUE_DEPTH.set(len(self._items))
+            if self._items:
+                # more work remains: pass the baton to another waiter
+                self._not_empty.notify()
+            return batch
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admitting; waiting workers drain what remains, then exit."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def drain_now(self) -> list[ScheduledRequest]:
+        """Remove and return everything queued (the no-drain close path)."""
+        with self._not_empty:
+            remaining = list(self._items)
+            self._items.clear()
+            if is_enabled():
+                QUEUE_DEPTH.set(0)
+            return remaining
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        status = "closed" if self._closed else "open"
+        return (
+            f"AdmissionQueue({status}, depth={len(self._items)}, "
+            f"watermark={self.watermark})"
+        )

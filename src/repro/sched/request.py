@@ -1,0 +1,113 @@
+"""The unit of scheduling: one logical request with its future.
+
+A :class:`ScheduledRequest` is what admission control accepts, the queue
+holds, the coalescer groups and a worker answers.  It carries everything
+needed to serve the request far from the submitting thread:
+
+* the query itself (*kind* + operands),
+* the **absolute deadline** in the runtime's clock domain (computed once
+  at submission so queue time counts against the budget),
+* the admission timestamp (queue-wait accounting),
+* a :class:`concurrent.futures.Future` the submitter holds the other end
+  of, and
+* a monotonically increasing *seq* that makes every schedule decision
+  deterministic (FIFO pop order, coalescing group order, tie-breaks).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.hin.graph import Node
+
+#: The request kinds the scheduler understands.
+KIND_SCORE = "score"
+KIND_BATCH = "batch"
+KIND_TOPK = "topk"
+
+
+@dataclass(slots=True)
+class ScheduledRequest:
+    """One admitted query plus its scheduling envelope."""
+
+    kind: str
+    u: Node
+    seq: int
+    enqueued_at: float
+    v: Node | None = None
+    candidates: tuple[Node, ...] | None = None
+    k: int | None = None
+    batch_size: int | None = None
+    deadline: float | None = None       # absolute, runtime clock domain
+    deadline_ms: float | None = None    # original budget (error messages)
+    future: Future = field(default_factory=Future)
+
+    def expired(self, now: float) -> bool:
+        """Whether the deadline passed before *now* (no deadline: never)."""
+        return self.deadline is not None and now > self.deadline
+
+    @property
+    def coalesce_key(self) -> tuple[str, Node] | None:
+        """Requests sharing a key may merge into one vectorised call.
+
+        Only single-pair ``score`` requests coalesce: two of them with the
+        same source node become rows of one ``score_batch`` call (PR 1
+        guarantees the batch path is bit-identical to scalar ``score``).
+        ``batch`` and ``topk`` requests are already vectorised and
+        dispatch as singleton groups.
+        """
+        if self.kind == KIND_SCORE:
+            return (KIND_SCORE, self.u)
+        return None
+
+
+@dataclass(slots=True)
+class DispatchGroup:
+    """One engine call's worth of coalesced requests.
+
+    For a merged ``score`` group, ``requests[i]`` is answered by row *i*
+    of one ``score_batch(u, [r.v ...])`` call; other kinds are singleton
+    groups executed as-is.  Groups preserve admission order: requests
+    within a group are sorted by *seq*, and groups are dispatched in
+    order of their earliest member.
+    """
+
+    kind: str
+    u: Node
+    requests: list[ScheduledRequest]
+
+    @property
+    def first_seq(self) -> int:
+        return self.requests[0].seq
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def plan_groups(requests: Sequence[ScheduledRequest]) -> list[DispatchGroup]:
+    """Partition one micro-batch into dispatch groups, deterministically.
+
+    Same-source single-pair requests merge (whatever their interleaving
+    in the batch — the merge is by key, not adjacency); everything else
+    stays a singleton group.  The output order is by each group's first
+    admission *seq*, so the same set of requests always produces the same
+    dispatch plan regardless of which worker picked them up.
+    """
+    merged: dict[tuple[str, Node], DispatchGroup] = {}
+    groups: list[DispatchGroup] = []
+    for request in sorted(requests, key=lambda r: r.seq):
+        key = request.coalesce_key
+        if key is None:
+            groups.append(DispatchGroup(request.kind, request.u, [request]))
+            continue
+        group = merged.get(key)
+        if group is None:
+            group = DispatchGroup(request.kind, request.u, [request])
+            merged[key] = group
+            groups.append(group)
+        else:
+            group.requests.append(request)
+    groups.sort(key=lambda g: g.first_seq)
+    return groups

@@ -10,6 +10,7 @@ what the vectorised iterative engines consume.
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -28,6 +29,12 @@ class CachedMeasure:
     floating-point noise.  *inner* may be a measure object or a bare
     ``f(a, b) -> float`` callable — the latter lets taxonomy measures reuse
     this memo for their own pair computation instead of hand-rolling one.
+
+    The memo is safe to share across serving workers: misses compute
+    outside the lock (two racing threads may both evaluate the same pair),
+    but insertion goes through a locked ``setdefault``, so exactly one
+    value becomes canonical and every caller returns it — the memo dict is
+    never mutated concurrently with another mutation.
     """
 
     def __init__(self, inner: SemanticMeasure) -> None:
@@ -36,6 +43,7 @@ class CachedMeasure:
             inner.similarity if hasattr(inner, "similarity") else inner
         )
         self._cache: dict[tuple[Node, Node], float] = {}
+        self._lock = threading.Lock()
 
     def similarity(self, a: Node, b: Node) -> float:
         """Return the cached ``sem(a, b)``."""
@@ -44,8 +52,9 @@ class CachedMeasure:
         key = (a, b) if repr(a) <= repr(b) else (b, a)
         cached = self._cache.get(key)
         if cached is None:
-            cached = self._similarity(*key)
-            self._cache[key] = cached
+            value = self._similarity(*key)
+            with self._lock:
+                cached = self._cache.setdefault(key, value)
         return cached
 
     @property

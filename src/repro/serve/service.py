@@ -79,6 +79,16 @@ class BatchResponse:
     method: str
     elapsed_ms: float
 
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (what ``repro serve`` prints per BATCH)."""
+        return {
+            "u": str(self.u),
+            "candidates": [str(c) for c in self.candidates],
+            "values": [float(v) for v in self.values],
+            "degraded": self.degraded, "retries": self.retries,
+            "method": self.method, "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+
 
 @dataclass(slots=True)
 class TopKResponse:
@@ -237,13 +247,19 @@ class QueryService:
         k: int,
         candidates: Sequence[Node] | None = None,
         *,
+        batch_size: int | None = None,
         deadline_ms=_UNSET,
     ) -> TopKResponse:
-        """Top-k similarity search within the request deadline."""
+        """Top-k similarity search within the request deadline.
+
+        *batch_size* rides through to the engine's blocked candidate scan
+        (``None`` keeps the engine default).
+        """
         start, deadline, budget_ms = self._begin(deadline_ms)
         acquisition = self._acquire(deadline)
         self._check_nodes(acquisition.engine, (u,))
-        results = acquisition.engine.top_k(u, k, candidates=candidates)
+        kwargs = {} if batch_size is None else {"batch_size": batch_size}
+        results = acquisition.engine.top_k(u, k, candidates=candidates, **kwargs)
         elapsed_ms = self._finish(start, deadline, budget_ms, acquisition)
         return TopKResponse(
             u=u, k=k, results=tuple(results),

@@ -20,6 +20,12 @@ def pytest_configure(config):
         "uses_global_rng: the test intentionally consumes entropy from the "
         "global random / numpy RNGs (exempts it from the determinism check)",
     )
+    config.addinivalue_line(
+        "markers",
+        "concurrency: thread-stress tests exercising the scheduler and "
+        "shared mutable state under real concurrency (the CI smoke job "
+        "runs exactly these: pytest -m concurrency)",
+    )
 
 
 def _is_hypothesis_test(request) -> bool:

@@ -92,6 +92,20 @@ class TestHistogram:
         assert cumulative == sorted(cumulative)
         assert cumulative[-1] == hist.count() == 5
 
+    def test_observe_many_equivalent_to_observe_loop(self):
+        registry = MetricsRegistry()
+        one = registry.histogram("one_seconds", buckets=(0.01, 0.1, 1.0))
+        many = registry.histogram("many_seconds", buckets=(0.01, 0.1, 1.0))
+        values = (0.005, 0.01, 0.05, 0.5, 5.0, 0.5)
+        for value in values:
+            one.observe(value)
+        many.observe_many(values)
+        assert many.labels().cumulative_buckets() == one.labels().cumulative_buckets()
+        assert many.count() == one.count() == len(values)
+        assert many.sum() == pytest.approx(one.sum())
+        many.observe_many(())  # empty batch is a no-op
+        assert many.count() == len(values)
+
     def test_bucket_bounds_must_strictly_increase(self):
         registry = MetricsRegistry()
         with pytest.raises(ValueError, match="strictly increasing"):

@@ -1,0 +1,130 @@
+"""Unit tests for the admission queue: watermark, FIFO, close semantics."""
+
+import time
+
+import pytest
+
+from repro.sched import AdmissionQueue, Overloaded, RuntimeClosed, ScheduledRequest
+from repro.sched.request import KIND_SCORE
+from repro.testing import VirtualClock
+
+
+def make_request(seq: int, deadline: float | None = None) -> ScheduledRequest:
+    return ScheduledRequest(
+        kind=KIND_SCORE, u="a", v="b", seq=seq, enqueued_at=0.0,
+        deadline=deadline,
+    )
+
+
+@pytest.fixture
+def queue():
+    return AdmissionQueue(watermark=4, clock=VirtualClock())
+
+
+class TestAdmission:
+    def test_watermark_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(watermark=0, clock=VirtualClock())
+
+    def test_offer_then_take_is_fifo(self, queue):
+        for seq in range(3):
+            queue.offer(make_request(seq))
+        batch = queue.take(max_batch=8, max_wait=0.0)
+        assert [r.seq for r in batch] == [0, 1, 2]
+
+    def test_offer_past_watermark_raises_overloaded(self, queue):
+        for seq in range(4):
+            queue.offer(make_request(seq))
+        with pytest.raises(Overloaded) as excinfo:
+            queue.offer(make_request(99))
+        assert excinfo.value.depth == 4
+        assert excinfo.value.watermark == 4
+        assert len(queue) == 4  # the rejected request was never admitted
+
+    def test_offer_after_close_raises_runtime_closed(self, queue):
+        queue.close()
+        with pytest.raises(RuntimeClosed):
+            queue.offer(make_request(0))
+
+    def test_expired_requests_are_still_handed_over(self, queue):
+        # the queue never drops: deadline handling is the dispatcher's job
+        queue.offer(make_request(0, deadline=-1.0))
+        batch = queue.take(max_batch=8, max_wait=0.0)
+        assert [r.seq for r in batch] == [0]
+
+
+class TestTake:
+    def test_take_caps_at_max_batch_and_keeps_the_rest(self, queue):
+        for seq in range(4):
+            queue.offer(make_request(seq))
+        first = queue.take(max_batch=3, max_wait=0.0)
+        assert [r.seq for r in first] == [0, 1, 2]
+        assert len(queue) == 1
+        second = queue.take(max_batch=3, max_wait=0.0)
+        assert [r.seq for r in second] == [3]
+
+    def test_take_returns_none_only_when_closed_and_empty(self, queue):
+        queue.offer(make_request(0))
+        queue.close()
+        assert [r.seq for r in queue.take(8, 0.0)] == [0]
+        assert queue.take(8, 0.0) is None
+
+    def test_take_blocks_until_an_offer_arrives(self):
+        # real clock + real thread: the only genuinely blocking queue test
+        queue = AdmissionQueue(watermark=4, clock=time.monotonic)
+        import threading
+
+        def offer_later():
+            time.sleep(0.05)
+            queue.offer(make_request(7))
+
+        thread = threading.Thread(target=offer_later)
+        thread.start()
+        batch = queue.take(max_batch=1, max_wait=0.0, poll=0.01)
+        thread.join()
+        assert [r.seq for r in batch] == [7]
+
+    def test_coalescing_window_waits_for_followers(self):
+        queue = AdmissionQueue(watermark=16, clock=time.monotonic)
+        queue.offer(make_request(0))
+        import threading
+
+        def offer_follower():
+            time.sleep(0.02)
+            queue.offer(make_request(1))
+
+        thread = threading.Thread(target=offer_follower)
+        thread.start()
+        batch = queue.take(max_batch=2, max_wait=0.5, poll=0.005)
+        thread.join()
+        # the leader lingered inside the window and picked up the follower
+        assert [r.seq for r in batch] == [0, 1]
+
+    def test_full_batch_skips_the_window(self):
+        began = time.monotonic()
+        queue = AdmissionQueue(watermark=16, clock=time.monotonic)
+        queue.offer(make_request(0))
+        queue.offer(make_request(1))
+        batch = queue.take(max_batch=2, max_wait=5.0, poll=0.005)
+        assert [r.seq for r in batch] == [0, 1]
+        assert time.monotonic() - began < 2.0  # did not sit out the window
+
+
+class TestLifecycle:
+    def test_drain_now_empties_the_queue(self, queue):
+        for seq in range(3):
+            queue.offer(make_request(seq))
+        drained = queue.drain_now()
+        assert [r.seq for r in drained] == [0, 1, 2]
+        assert len(queue) == 0
+
+    def test_close_is_idempotent_and_visible(self, queue):
+        assert not queue.closed
+        queue.close()
+        queue.close()
+        assert queue.closed
+
+    def test_repr_smoke(self, queue):
+        queue.offer(make_request(0))
+        assert "depth=1" in repr(queue)
+        assert "watermark=4" in repr(queue)

@@ -69,3 +69,51 @@ class TestMatrixMeasure:
         m = MatrixMeasure(["a"], np.ones((1, 1)))
         with pytest.raises(NodeNotFoundError):
             m.similarity("a", "ghost")
+
+
+@pytest.mark.concurrency
+class TestCachedMeasureConcurrency:
+    """Regression: the memo dict must survive concurrent mutation.
+
+    Before the lock, racing misses could mutate the dict mid-insert; now
+    misses compute outside the lock and insert via a locked ``setdefault``,
+    so exactly one value becomes canonical for each pair.
+    """
+
+    def test_concurrent_misses_one_canonical_value_per_pair(self):
+        import itertools
+        import threading
+
+        class JitteryMeasure:
+            """Returns a distinct value per *evaluation* — if two racing
+            evaluations could both become canonical, readers would observe
+            two different values for one pair."""
+
+            def __init__(self):
+                self._counter = itertools.count()
+
+            def similarity(self, a, b):
+                return 0.25 + next(self._counter) * 1e-9
+
+        cached = CachedMeasure(JitteryMeasure())
+        pairs = [(f"a{i}", f"b{i}") for i in range(50)]
+        seen: list[dict] = [dict() for _ in range(8)]
+
+        def hammer(slot: int) -> None:
+            for _ in range(40):
+                for a, b in pairs:
+                    seen[slot][(a, b)] = cached.similarity(a, b)
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,)) for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # one canonical value per pair, identical across every thread
+        for a, b in pairs:
+            values = {seen[slot][(a, b)] for slot in range(8)}
+            assert len(values) == 1
+            assert values == {cached.similarity(a, b)}
+        assert cached.cache_size == len(pairs)

@@ -206,6 +206,88 @@ class TestServe:
         assert banner["deadline_ms"] == 60000.0
         assert health["deadline_ms"] == 60000.0
 
+    def test_scheduler_flags_land_in_the_banner(
+        self, bundle_path, monkeypatch, capsys
+    ):
+        (banner,) = self._serve(
+            bundle_path, "", monkeypatch, capsys,
+            "--workers", "3", "--max-batch", "16",
+            "--max-wait-us", "0", "--queue-depth", "7",
+        )
+        assert banner["workers"] == 3
+        assert banner["max_batch"] == 16
+        assert banner["queue_watermark"] == 7
+
+    def test_batch_and_topk_protocol_lines(self, bundle_path, monkeypatch, capsys):
+        from repro.api import QueryEngine
+        from repro.datasets.io import load_bundle_json
+
+        responses = self._serve(
+            bundle_path,
+            "BATCH n3 n4 n5\nTOPK n3 2\nBATCH n3\nTOPK n3 two\n",
+            monkeypatch, capsys,
+        )
+        _, batch, topk, bad_batch, bad_topk = responses
+        bundle = load_bundle_json(bundle_path)
+        engine = QueryEngine(
+            bundle.graph, bundle.measure, method="mc", num_walks=30, seed=2
+        )
+        expected = engine.score_batch("n3", ["n4", "n5"])
+        assert batch["candidates"] == ["n4", "n5"]
+        assert batch["values"] == [float(v) for v in expected]
+        assert topk["k"] == 2 and len(topk["results"]) == 2
+        assert topk["results"] == [
+            [str(n), s] for n, s in engine.top_k("n3", 2)
+        ]
+        assert "BATCH u v1" in bad_batch["error"]
+        assert "integer k" in bad_topk["error"]
+
+    def test_pipelined_responses_come_back_in_request_order(
+        self, bundle_path, monkeypatch, capsys
+    ):
+        # many requests written without reading a single response: the
+        # drain on EOF must flush every answer, in request order
+        pairs = [("n3", "n4"), ("n4", "n5"), ("n3", "n5"), ("n5", "n6")] * 5
+        stdin_text = "".join(f"{u} {v}\n" for u, v in pairs)
+        responses = self._serve(
+            bundle_path, stdin_text, monkeypatch, capsys,
+            "--workers", "4", "--max-batch", "8",
+        )
+        answers = responses[1:]  # drop the ready banner
+        assert len(answers) == len(pairs)
+        assert [(a["u"], a["v"]) for a in answers] == list(pairs)
+        # identical pairs got identical values regardless of scheduling
+        by_pair = {}
+        for answer in answers:
+            by_pair.setdefault((answer["u"], answer["v"]), set()).add(
+                answer["value"]
+            )
+        assert all(len(values) == 1 for values in by_pair.values())
+
+    def test_sigint_drains_and_exits_zero(self, bundle_path, monkeypatch, capsys):
+        import json as _json
+        import sys as _sys
+
+        class InterruptedStdin:
+            """Yields two requests, then simulates Ctrl-C mid-session."""
+
+            def __iter__(self):
+                yield "n3 n4\n"
+                yield "n4 n5\n"
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(_sys, "stdin", InterruptedStdin())
+        assert main([
+            "serve", str(bundle_path),
+            "--method", "mc", "--walks", "30", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        responses = [_json.loads(line) for line in out.splitlines() if line]
+        # both in-flight requests were answered before exit
+        assert [(r.get("u"), r.get("v")) for r in responses[1:]] == [
+            ("n3", "n4"), ("n4", "n5"),
+        ]
+
 
 class TestErrorPaths:
     def test_missing_bundle_file(self, capsys):
