@@ -130,12 +130,12 @@ def _queue_wait_p99(before, after) -> float:
     return float("inf")
 
 
-def test_scheduler_throughput_vs_sequential(bundle, show):
+def test_scheduler_throughput_vs_sequential(bundle, show, bench_backend):
     manager = IndexManager(
         bundle.graph, bundle.measure,
         engine_kwargs=dict(
             method="mc", decay=DECAY, num_walks=NUM_WALKS,
-            length=LENGTH, theta=THETA, seed=7,
+            length=LENGTH, theta=THETA, seed=7, backend=bench_backend,
         ),
     )
     service = QueryService(manager)
@@ -180,7 +180,8 @@ def test_scheduler_throughput_vs_sequential(bundle, show):
     lines = [
         "Serving throughput — micro-batch scheduler vs sequential loop",
         f"graph: aminer-like, {bundle.graph.num_nodes} nodes "
-        f"(mc, n_w={NUM_WALKS}, t={LENGTH}, theta={THETA})",
+        f"(mc, n_w={NUM_WALKS}, t={LENGTH}, theta={THETA}, "
+        f"backend={bench_backend})",
         f"workload: {NUM_REQUESTS} closed-loop related-pair requests, "
         f"{HOT_SOURCES} hot sources x top-{RELATED_PER_SOURCE} targets, "
         f"window={WINDOW}",

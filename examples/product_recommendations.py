@@ -25,7 +25,7 @@ def main() -> None:
     print("Preprocessing: 150 reverse walks of length 15 per node + SLING index")
     start = time.perf_counter()
     walk_index = WalkIndex(graph, num_walks=150, length=15, seed=0)
-    sling = SlingIndex(graph, measure, sem_threshold=0.1)
+    sling = SlingIndex(graph, measure, theta=0.1)
     print(f"  built in {time.perf_counter() - start:.2f}s "
           f"({walk_index.storage_bytes / 1024:.0f} KiB walks, "
           f"{sling.num_entries} indexed pairs)")

@@ -40,12 +40,22 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backends import (
+    BackendConfig,
+    BackendError,
+    BackendUnavailableError,
+    ComputeBackend,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.core.bounds import plan_index
 from repro.core.iterative import FixedPointResult
 from repro.core.join import candidate_pairs, similarity_join
 from repro.core.montecarlo import EstimatorStats, MonteCarloSemSim, MonteCarloSimRank
 from repro.core.params import (
-    resolve_legacy_kwargs,
     validate_decay,
     validate_length,
     validate_num_walks,
@@ -96,6 +106,16 @@ __all__ = [
     "batch_similarity",
     "similarity_join",
     "top_k_similar",
+    # compute-backend seam (re-exported so API users need one import)
+    "BackendConfig",
+    "BackendError",
+    "BackendUnavailableError",
+    "ComputeBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
 ]
 
 #: Above this node count ``materialize_semantics="auto"`` stops densifying
@@ -135,6 +155,17 @@ class QueryEngine:
         underlying engine.  ``num_walks``/``length``/``seed`` only apply to
         ``method="mc"``; ``theta`` is the MC pruning threshold (``None``
         disables pruning).
+    backend, backend_config:
+        Compute backend for the MC scoring hot path: a registered backend
+        name (``"numpy"``, ``"blocked"``, ``"numba"`` where available, or
+        any third-party registration), a ready
+        :class:`~repro.backends.ComputeBackend` instance, or ``None`` for
+        the default.  Selection precedence: explicit argument > the
+        ``REPRO_BACKEND`` environment variable > ``"numpy"``.
+        *backend_config* is a :class:`~repro.backends.BackendConfig` of
+        tuning knobs, only valid when *backend* is not already an
+        instance.  Exact backends (``numpy``, ``blocked``) return
+        bit-identical scores; jitted backends document a tolerance.
     policy:
         MC proposal distribution (:class:`WalkPolicy`).
     workers:
@@ -178,6 +209,8 @@ class QueryEngine:
         length: int = 15,
         theta: float | None = 0.05,
         seed: int | np.random.Generator | None = None,
+        backend: str | ComputeBackend | None = None,
+        backend_config: BackendConfig | None = None,
         policy: WalkPolicy = WalkPolicy.UNIFORM,
         workers: int | None = None,
         materialize_semantics: bool | str = "auto",
@@ -187,42 +220,25 @@ class QueryEngine:
         cache_dir: str | Path | None = None,
         walks_path: str | Path | None = None,
         _artifact: StoredArtifact | None = None,
-        **legacy,
     ) -> None:
-        params = resolve_legacy_kwargs(
-            "QueryEngine",
-            legacy,
-            {
-                "decay": decay,
-                "num_walks": num_walks,
-                "length": length,
-                "theta": theta,
-                "seed": seed,
-            },
-            defaults={
-                "decay": 0.6,
-                "num_walks": 150,
-                "length": 15,
-                "theta": 0.05,
-                "seed": None,
-            },
-        )
         if method not in ("mc", "iterative"):
             raise ConfigurationError(
                 f"method must be 'mc' or 'iterative', got {method!r}"
             )
         self.graph = graph
         self.method = method
-        self.decay = validate_decay(params["decay"])
-        self.num_walks = validate_num_walks(params["num_walks"])
-        self.length = validate_length(params["length"])
-        self.theta = validate_theta(params["theta"])
+        self.decay = validate_decay(decay)
+        self.num_walks = validate_num_walks(num_walks)
+        self.length = validate_length(length)
+        self.theta = validate_theta(theta)
+        self.backend = resolve_backend(backend, backend_config)
+        self.backend_name = self.backend.name
         self.policy = policy
         self.workers = validate_workers(workers)
         self.pair_index = pair_index
         self._max_iterations = max_iterations
         self._tolerance = tolerance
-        seed_param = params["seed"]
+        seed_param = seed
         self._seed_key = (
             int(seed_param)
             if isinstance(seed_param, (int, np.integer))
@@ -245,7 +261,7 @@ class QueryEngine:
         if artifact is not None:
             try:
                 with span("engine.restore", labels={"method": self.method}):
-                    self._restore_backend(artifact)
+                    self._restore_stack(artifact)
                 log_event(
                     _LOG, "engine.restore",
                     method=self.method, nodes=graph.num_nodes,
@@ -266,7 +282,7 @@ class QueryEngine:
             "engine.build", labels={"method": self.method},
             nodes=graph.num_nodes, edges=graph.num_edges,
         ):
-            self._build_backend(seed_param, walks_path)
+            self._build_stack(seed_param, walks_path)
         log_event(
             _LOG, "engine.build",
             method=self.method, nodes=graph.num_nodes, edges=graph.num_edges,
@@ -274,7 +290,7 @@ class QueryEngine:
         if self._store is not None and self.cache_key is not None:
             self._write_through()
 
-    def _build_backend(
+    def _build_stack(
         self,
         seed: int | np.random.Generator | None,
         walks_path: str | Path | None,
@@ -296,7 +312,9 @@ class QueryEngine:
                     workers=self.workers,
                 )
             if self.measure is None:
-                self.estimator = MonteCarloSimRank(self.walk_index, decay=self.decay)
+                self.estimator = MonteCarloSimRank(
+                    self.walk_index, decay=self.decay, backend=self.backend
+                )
             else:
                 self.estimator = MonteCarloSemSim(
                     self.walk_index,
@@ -304,6 +322,7 @@ class QueryEngine:
                     decay=self.decay,
                     theta=self.theta,
                     pair_index=self.pair_index,
+                    backend=self.backend,
                 )
             self.stats = self.estimator.stats
         else:
@@ -441,12 +460,13 @@ class QueryEngine:
         log_event(_LOG, "cache.hit", key=key[:12], method=self.method)
         return artifact
 
-    def _restore_backend(self, artifact: StoredArtifact) -> None:
+    def _restore_stack(self, artifact: StoredArtifact) -> None:
         """Warm-start the estimator stack from a validated artifact.
 
         Every array comes straight from the mapped files — the same bytes
         a cold build produced — so restored engines answer bit-identically
-        to fresh ones.
+        to fresh ones.  The compute backend is per-engine, not part of the
+        artifact: the same artifact serves under any backend.
         """
         self.measure = measure_from_artifact(artifact, self.graph)
         if self.method == "mc":
@@ -470,13 +490,16 @@ class QueryEngine:
                 tables=tables,
             )
             if self.measure is None:
-                self.estimator = MonteCarloSimRank(self.walk_index, decay=self.decay)
+                self.estimator = MonteCarloSimRank(
+                    self.walk_index, decay=self.decay, backend=self.backend
+                )
             else:
                 self.estimator = MonteCarloSemSim(
                     self.walk_index,
                     self.measure,
                     decay=self.decay,
                     theta=self.theta,
+                    backend=self.backend,
                 )
                 self.estimator.attach_precomputed(
                     so_matrix=artifact.arrays.get("so_matrix"),
@@ -541,7 +564,13 @@ class QueryEngine:
         return write_artifact(path, manifest, arrays, documents)
 
     @classmethod
-    def open(cls, path: str | Path) -> "QueryEngine":
+    def open(
+        cls,
+        path: str | Path,
+        *,
+        backend: str | ComputeBackend | None = None,
+        backend_config: BackendConfig | None = None,
+    ) -> "QueryEngine":
         """Warm-start an engine from an artifact written by :meth:`save`.
 
         Arrays are memory-mapped, not copied: time-to-first-query is
@@ -550,6 +579,9 @@ class QueryEngine:
         same artifact, and scores are bit-identical to the engine that was
         saved.  Any structural problem — truncated file, version drift,
         manifest mismatch — raises :class:`~repro.store.StoreError`.
+
+        *backend*/*backend_config* select the compute backend exactly as in
+        the constructor — artifacts are backend-agnostic.
         """
         artifact = read_artifact(path)
         graph = graph_from_artifact(artifact)
@@ -563,6 +595,8 @@ class QueryEngine:
             "method": method,
             "decay": params.get("decay", 0.6),
             "theta": params.get("theta"),
+            "backend": backend,
+            "backend_config": backend_config,
             "_artifact": artifact,
         }
         if method == "mc":
@@ -691,6 +725,15 @@ class QueryEngine:
         """
         if candidates is None:
             candidates = list(self.graph.nodes())
+        sem_bounds = None
+        if use_semantic_bound and isinstance(self.measure, MatrixMeasure):
+            # One vectorised gather instead of len(candidates) scalar
+            # lookups; the floats are the same matrix elements, so the
+            # bound ordering (and thus the result) is unchanged.
+            candidates = list(candidates)
+            sem_bounds = dict(
+                zip(candidates, self.measure.similarities(u, candidates))
+            )
         return top_k_similar(
             u,
             candidates,
@@ -699,6 +742,7 @@ class QueryEngine:
             use_semantic_bound=use_semantic_bound,
             batch_score=self.score_batch,
             batch_size=batch_size,
+            sem_bounds=sem_bounds,
         )
 
     def join(
@@ -749,10 +793,10 @@ class QueryEngine:
         self.stats.reset()
 
     def __repr__(self) -> str:
-        backend = (
+        index = (
             repr(self.walk_index) if self.walk_index is not None else repr(self._table)
         )
         return (
             f"QueryEngine(method={self.method!r}, decay={self.decay}, "
-            f"theta={self.theta}, backend={backend})"
+            f"theta={self.theta}, backend={self.backend_name!r}, index={index})"
         )

@@ -1,0 +1,153 @@
+"""Numba-jitted backend — registered only when ``numba`` is importable.
+
+The gathers (walk slices, per-step ``W``/``Q`` tables, the semantic and SO
+planes) stay in numpy; the per-row product/cut loop — the part the
+reference spends on full-width cumprods, maskings and temporaries — is
+compiled.  Each row's loop replays the scalar Algorithm-1 operation
+sequence and stops exactly at its own meeting (or θ freeze), so no work
+is spent on padding at all.
+
+Equivalence: the jitted loop multiplies the same factors in the same
+order as the reference, but we do not promise bitwise equality across a
+compiler boundary — the backend declares ``exact = False`` with a
+documented absolute tolerance of ``1e-9`` per score, which the
+cross-backend property suite enforces whenever numba is present.
+
+Without numba this module registers an *unavailable* stub: the name still
+shows up in ``repro backends list`` (with the reason), and selecting it
+raises :class:`~repro.backends.base.BackendUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import (
+    WalkScoreRequest,
+    WalkScoreResult,
+    register_backend,
+    register_unavailable,
+    resolve_so_plane,
+)
+from repro.backends.numpy_ref import NumpyBackend
+
+try:  # pragma: no cover — exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMBA = False
+    register_unavailable(
+        "numba",
+        "numba is not importable in this environment",
+        "jitted per-row kernels (|score - numpy| <= 1e-9)",
+    )
+
+
+if HAVE_NUMBA:  # pragma: no cover — exercised only where numba is installed
+
+    @njit(cache=True)
+    def _walk_totals(numerator, so, q_step, met_at, decay, theta, use_theta):
+        n_rows = numerator.shape[0]
+        totals_rows = np.empty(n_rows, dtype=np.float64)
+        pruned = 0
+        for i in range(n_rows):
+            score = 1.0
+            for s in range(met_at[i]):
+                so_v = so[i, s]
+                q_v = q_step[i, s]
+                if so_v <= 0.0 or q_v <= 0.0:
+                    score = 0.0  # bail-out: frozen at 0, not counted pruned
+                    break
+                score = score * ((numerator[i, s] / so_v) * decay / q_v)
+                if use_theta and score <= theta:
+                    pruned += 1  # Def. 4.5 freeze
+                    break
+            totals_rows[i] = score
+        return totals_rows, pruned
+
+    @njit(cache=True)
+    def _simrank_rows(meetings, met, decay, num_walks):
+        m, n_w = meetings.shape
+        scores = np.empty(m, dtype=np.float64)
+        for i in range(m):
+            total = 0.0
+            for w in range(n_w):
+                if met[i, w]:
+                    total += decay ** meetings[i, w]
+            scores[i] = total / num_walks
+        return scores
+
+    @register_backend
+    class NumbaBackend(NumpyBackend):
+        """Jitted per-row kernels (within 1e-9 of the reference)."""
+
+        name = "numba"
+        exact = False
+        tolerance = 1e-9
+        description = "numba-jitted per-row kernels (|score - numpy| <= 1e-9)"
+
+        def batch_walk_scores(self, request: WalkScoreRequest) -> WalkScoreResult:
+            meetings = request.meetings
+            m = request.positions.size
+            rows_pair, rows_walk = np.nonzero(meetings >= 1)
+            n_rows = rows_pair.size
+            if n_rows == 0:
+                return WalkScoreResult(
+                    totals=np.zeros(m, dtype=np.float64), walks_met=0
+                )
+            walks = request.walks
+            pos_u = request.pos_u
+            positions = request.positions
+            met_at = meetings[rows_pair, rows_walk]
+            max_k = int(met_at.max())
+            walk_u = walks[pos_u][rows_walk, : max_k + 1]
+            walk_v = walks[positions[rows_pair], rows_walk][:, : max_k + 1]
+            cu = walk_u[:, :max_k]
+            cv = walk_v[:, :max_k]
+            nu = walk_u[:, 1 : max_k + 1]
+            nv = walk_v[:, 1 : max_k + 1]
+            w_u = request.step_weights[pos_u, rows_walk][:, :max_k]
+            w_v = request.step_weights[positions[rows_pair], rows_walk][:, :max_k]
+            numerator = np.ascontiguousarray(
+                request.sem_matrix[nu, nv] * w_u * w_v
+            )
+            step_ids = np.arange(max_k)
+            active = step_ids[None, :] < met_at[:, None]
+            so_evaluations = 0
+            if request.so_lookup is None:
+                so_evaluations = int(active.sum())
+                so = np.ascontiguousarray(request.so_matrix[cu, cv])
+            else:
+                so = resolve_so_plane(
+                    cu, cv, active,
+                    request.sem_matrix.shape[0], request.so_lookup,
+                )
+            q_u = request.step_q[pos_u, rows_walk][:, :max_k]
+            q_v = request.step_q[positions[rows_pair], rows_walk][:, :max_k]
+            q_step = np.ascontiguousarray(q_u * q_v)
+
+            totals_rows, pruned = _walk_totals(
+                numerator, so, q_step,
+                np.ascontiguousarray(met_at.astype(np.int64)),
+                float(request.decay),
+                0.0 if request.theta is None else float(request.theta),
+                request.theta is not None,
+            )
+            totals = np.bincount(
+                rows_pair, weights=totals_rows, minlength=m
+            ).astype(np.float64)
+            return WalkScoreResult(
+                totals=totals,
+                walks_met=n_rows,
+                so_evaluations=so_evaluations,
+                walks_pruned=int(pruned),
+            )
+
+        def simrank_scores(self, meetings, met, decay, num_walks):
+            return _simrank_rows(
+                np.ascontiguousarray(meetings.astype(np.int64)),
+                np.ascontiguousarray(met),
+                float(decay),
+                int(num_walks),
+            )

@@ -19,6 +19,9 @@ Commands
     (and optionally the portable walk-tensor ``.npz``).
 ``index info``
     Describe a saved engine artifact without loading its arrays.
+``backends list``
+    Enumerate the registered compute backends (name, availability,
+    equivalence contract, description) and mark the default.
 ``serve``
     Concurrent line-protocol server on stdin/stdout: ``u v``,
     ``BATCH u v1 v2 ...`` or ``TOPK u k [v1 ...]`` per line, one JSON
@@ -54,6 +57,7 @@ from pathlib import Path
 from queue import SimpleQueue
 
 from repro.api import QueryEngine
+from repro.backends import DEFAULT_BACKEND, available_backends
 from repro.core import SemSim, SimRank
 from repro.core.decay import decay_contraction_bound, decay_paper_bound
 from repro.datasets import (
@@ -123,7 +127,7 @@ def _make_engine(args: argparse.Namespace, bundle=None) -> QueryEngine:
     with the same inputs memory-maps instead of recomputing.
     """
     if args.index is not None:
-        return QueryEngine.open(args.index)
+        return QueryEngine.open(args.index, backend=args.backend)
     return QueryEngine(
         bundle.graph,
         bundle.measure,
@@ -134,6 +138,7 @@ def _make_engine(args: argparse.Namespace, bundle=None) -> QueryEngine:
         theta=args.theta,
         seed=args.seed,
         workers=args.workers,
+        backend=args.backend,
         cache_dir=args.cache,
         walks_path=args.walks_file,
     )
@@ -210,6 +215,7 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
         theta=args.theta,
         seed=args.seed,
         workers=args.workers,
+        backend=args.backend,
         materialize_semantics=True,
     )
     path = engine.save(args.out)
@@ -245,7 +251,11 @@ def _make_service(args: argparse.Namespace) -> QueryService:
     """Assemble the resilient serving stack a ``serve`` invocation asked for."""
     retry = RetryPolicy(max_retries=args.max_retries, seed=args.seed)
     if args.index is not None:
-        manager = IndexManager(index_path=args.index, retry=retry)
+        manager = IndexManager(
+            index_path=args.index,
+            engine_kwargs=dict(backend=args.backend),
+            retry=retry,
+        )
     else:
         bundle = _load_bundle_or_fail(args.bundle)
         manager = IndexManager(
@@ -261,6 +271,7 @@ def _make_service(args: argparse.Namespace) -> QueryService:
                 theta=args.theta,
                 seed=args.seed,
                 workers=args.workers,
+                backend=args.backend,
             ),
             retry=retry,
         )
@@ -428,6 +439,27 @@ def _finalize_observability(args: argparse.Namespace) -> None:
             Path(metrics_out).write_text(text, encoding="utf-8")
 
 
+def _cmd_backends_list(_args: argparse.Namespace) -> int:
+    """Enumerate registered compute backends, default first."""
+    backends = available_backends()
+    print(f"registered compute backends (default: {DEFAULT_BACKEND}, "
+          f"override with --backend or $REPRO_BACKEND):")
+    for info in backends:
+        marker = "*" if info.name == DEFAULT_BACKEND else " "
+        status = "available" if info.available else "unavailable"
+        if info.available:
+            equivalence = (
+                "bit-identical" if info.exact
+                else f"tolerance<={info.tolerance:g}"
+            )
+        else:
+            equivalence = info.unavailable_reason or "not importable"
+        print(f"  {marker} {info.name:<10} {status:<12} {equivalence}")
+        if info.description:
+            print(f"      {info.description}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     bundle = _load_bundle_or_fail(args.bundle)
     print(bundle)
@@ -475,6 +507,12 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--seed", type=int, default=0)
         command.add_argument(
             "--workers", type=int, default=None, help=workers_help,
+        )
+        command.add_argument(
+            "--backend", default=None, metavar="NAME",
+            help="compute backend for the walk-score hot path (see "
+                 "'repro backends list'; default: $REPRO_BACKEND or "
+                 f"'{DEFAULT_BACKEND}')",
         )
         if serving:
             command.add_argument(
@@ -594,6 +632,17 @@ def build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="describe a saved bundle")
     info.add_argument("bundle", help="bundle JSON path")
     info.set_defaults(func=_cmd_info)
+
+    backends = commands.add_parser(
+        "backends", help="inspect the compute-backend registry"
+    )
+    backends_commands = backends.add_subparsers(
+        dest="backends_command", required=True
+    )
+    backends_list = backends_commands.add_parser(
+        "list", help="enumerate registered compute backends"
+    )
+    backends_list.set_defaults(func=_cmd_backends_list)
 
     metrics = commands.add_parser(
         "metrics", help="inspect the in-process metrics registry"

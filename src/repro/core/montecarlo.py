@@ -47,11 +47,14 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.params import (
-    resolve_legacy_kwargs,
-    validate_decay,
-    validate_theta,
+from repro.backends import (
+    BackendConfig,
+    ComputeBackend,
+    WalkScoreRequest,
+    kernel_timer,
+    resolve_backend,
 )
+from repro.core.params import validate_decay, validate_theta
 from repro.core.walk_index import WalkIndex, WalkPolicy
 from repro.errors import ConfigurationError
 from repro.hin.graph import Node
@@ -231,14 +234,24 @@ class EstimatorStats:
 
 
 class MonteCarloSimRank:
-    """Classical MC SimRank over a :class:`WalkIndex` (Section 4.1)."""
+    """Classical MC SimRank over a :class:`WalkIndex` (Section 4.1).
 
-    def __init__(self, walk_index: WalkIndex, decay: float = 0.6, **legacy) -> None:
-        params = resolve_legacy_kwargs(
-            "MonteCarloSimRank", legacy, {"decay": decay}, defaults={"decay": 0.6}
-        )
+    *backend* selects the compute kernels for the batched path — a
+    registered name, a ready :class:`~repro.backends.ComputeBackend`, or
+    ``None`` for the ``REPRO_BACKEND``/default resolution (see
+    :func:`repro.backends.resolve_backend`).
+    """
+
+    def __init__(
+        self,
+        walk_index: WalkIndex,
+        decay: float = 0.6,
+        backend: ComputeBackend | str | None = None,
+        backend_config: BackendConfig | None = None,
+    ) -> None:
         self.walk_index = walk_index
-        self.decay = validate_decay(params["decay"])
+        self.decay = validate_decay(decay)
+        self.backend = resolve_backend(backend, backend_config)
         self.stats = EstimatorStats(method="mc", estimator="simrank")
 
     def similarity(self, u: Node, v: Node) -> float:
@@ -275,8 +288,10 @@ class MonteCarloSimRank:
             walks_examined=int((~identity).sum()) * index.num_walks,
             walks_met=int(met.sum()),
         )
-        contrib = np.where(met, self.decay ** np.maximum(meetings, 0), 0.0)
-        scores = contrib.sum(axis=1) / index.num_walks
+        with kernel_timer(self.backend.name, "simrank_scores"):
+            scores = self.backend.simrank_scores(
+                meetings, met, self.decay, index.num_walks
+            )
         scores[identity] = 1.0
         return scores
 
@@ -301,6 +316,14 @@ class MonteCarloSemSim:
         Optional :class:`repro.core.sling.SlingIndex`-compatible cache of
         the SARW step denominators ``SO(u, v)``; cuts the O(d²) inner loop
         for indexed pairs (the Fig. 4 "SLING" configuration).
+    backend:
+        Compute backend for the batched kernels — a registered name, a
+        ready :class:`~repro.backends.ComputeBackend`, or ``None`` for
+        the ``REPRO_BACKEND``/default resolution.  numpy-family backends
+        are bit-identical; others agree within their declared tolerance.
+    backend_config:
+        Optional :class:`~repro.backends.BackendConfig` forwarded to a
+        backend resolved by name.
     """
 
     def __init__(
@@ -310,19 +333,15 @@ class MonteCarloSemSim:
         decay: float = 0.6,
         theta: float | None = 0.05,
         pair_index: "SupportsSoLookup | None" = None,
-        **legacy,
+        backend: ComputeBackend | str | None = None,
+        backend_config: BackendConfig | None = None,
     ) -> None:
-        params = resolve_legacy_kwargs(
-            "MonteCarloSemSim",
-            legacy,
-            {"decay": decay, "theta": theta},
-            defaults={"decay": 0.6, "theta": 0.05},
-        )
         self.walk_index = walk_index
         self.measure = measure
-        self.decay = validate_decay(params["decay"])
-        self.theta = validate_theta(params["theta"])
+        self.decay = validate_decay(decay)
+        self.theta = validate_theta(theta)
         self.pair_index = pair_index
+        self.backend = resolve_backend(backend, backend_config)
         self.stats = EstimatorStats(method="mc", estimator="semsim")
         graph_index = walk_index.index
         self._nodes = graph_index.nodes
@@ -694,6 +713,21 @@ class MonteCarloSemSim:
         with np.errstate(divide="ignore", invalid="ignore"):
             return np.where(sums > 0, edge_weight / sums, 0.0)
 
+    def _cached_so(self, pos_u: int, pos_v: int) -> float:
+        """Memoised ``SO(u, v)`` for the backend's pair_index path.
+
+        Consults the same ``_so_cache``/``pair_index``/stat-counting chain
+        as the pre-seam batch path, so whichever backend asks — and in
+        whatever block order — every (pair → value) is identical and each
+        fresh evaluation is counted exactly once.
+        """
+        pair = (pos_u, pos_v)
+        cached = self._so_cache.get(pair)
+        if cached is None:
+            cached = self._so_denominator(pos_u, pos_v)
+            self._so_cache[pair] = cached
+        return cached
+
     def _batch_walk_scores(
         self, pos_u: int, positions: np.ndarray, meetings: np.ndarray
     ) -> np.ndarray:
@@ -701,101 +735,40 @@ class MonteCarloSemSim:
 
         *meetings* is the ``(m, num_walks)`` first-meeting array for
         ``(pos_u, positions[i])``; the return value's entry *i* equals the
-        scalar path's ``sum_w _walk_score(...)`` for candidate *i*.
+        scalar path's ``sum_w _walk_score(...)`` for candidate *i*.  The
+        arithmetic itself lives in the compute backend — this method
+        prepares the request (step tables, SO source) and folds the
+        kernel's work counters back into the stats.
         """
-        m = positions.size
-        totals = np.zeros(m, dtype=np.float64)
-        rows_pair, rows_walk = np.nonzero(meetings >= 1)
-        n_rows = rows_pair.size
-        self.stats.add(walks_met=n_rows)
-        if n_rows == 0:
-            return totals
-        walks = self.walk_index.walks
-        max_k = int(meetings.max())
-        walk_u = walks[pos_u][rows_walk, : max_k + 1]                   # (R, K+1)
-        walk_v = walks[positions[rows_pair], rows_walk][:, : max_k + 1]
-        met_at = meetings[rows_pair, rows_walk]                         # (R,)
-        step_ids = np.arange(max_k)
-        active = step_ids[None, :] < met_at[:, None]                    # (R, K)
-
-        # No pre-masking: steps at or past the meeting are garbage (walk
-        # padding is -1, which numpy index-wraps), but every downstream
-        # read is masked by *active* before it matters — only the final
-        # ``factor`` where() is load-bearing.  Active steps sit strictly
-        # before the meeting, where both walks still hold real node ids,
-        # so the arithmetic replayed there is bit-identical to the masked
-        # form this replaces (and to the scalar path).
-        cu = walk_u[:, :max_k]
-        cv = walk_v[:, :max_k]
-        nu = walk_u[:, 1 : max_k + 1]
-        nv = walk_v[:, 1 : max_k + 1]
-
-        # P numerator, replaying the scalar operation order exactly:
-        # (sem(nu, nv) * W(nu -> cu)) * W(nv -> cv).  W and Q come from the
-        # precomputed per-step tables (identical floats, no lookups).
         self._ensure_step_tables()
-        w_u = self._step_weights[pos_u, rows_walk][:, :max_k]
-        w_v = self._step_weights[positions[rows_pair], rows_walk][:, :max_k]
-        numerator = self._sem_matrix[nu, nv] * w_u * w_v
-
-        # SO denominators.  Without a pair_index every value comes straight
-        # from the precomputed SO matrix (one fancy-indexing gather, and the
-        # same table the scalar path reads).  With a pair_index, deduplicate
-        # identical (cu, cv) step pairs and route each through the scalar
-        # helper so the index is consulted exactly as in the scalar path.
         if self.pair_index is None:
             self._ensure_so_matrix()
-            self.stats.add(so_evaluations=int(active.sum()))
-            # full-plane gather: garbage on inactive steps, masked below
-            so = self._so_matrix[cu, cv]
+            so_matrix, so_lookup = self._so_matrix, None
         else:
-            so = np.ones_like(numerator)
-            pair_keys = cu.astype(np.int64) * np.int64(len(self._nodes)) + cv
-            unique_keys, inverse = np.unique(
-                pair_keys[active], return_inverse=True
-            )
-            unique_so = np.empty(unique_keys.size, dtype=np.float64)
-            n = len(self._nodes)
-            for j, key in enumerate(unique_keys):
-                pair = (int(key) // n, int(key) % n)
-                cached = self._so_cache.get(pair)
-                if cached is None:
-                    cached = self._so_denominator(*pair)
-                    self._so_cache[pair] = cached
-                unique_so[j] = cached
-            so[active] = unique_so[inverse]
-
-        q_u = self._step_q[pos_u, rows_walk][:, :max_k]
-        q_v = self._step_q[positions[rows_pair], rows_walk][:, :max_k]
-        q_step = q_u * q_v
-
-        # Per-step factor (p_step * c) / q_step, 1 on inactive steps and 0
-        # where the scalar path would bail out (so <= 0 or q <= 0).
-        with np.errstate(divide="ignore", invalid="ignore"):
-            factor = (numerator / so) * self.decay / q_step
-        bad = (so <= 0) | (q_step <= 0)
-        factor = np.where(active & ~bad, factor, np.where(active, 0.0, 1.0))
-
-        running = np.cumprod(factor, axis=1)                            # (R, K)
-        last = running[np.arange(n_rows), met_at - 1]
-        if self.theta is None:
-            totals_rows = last
-        else:
-            cut = (running <= self.theta) & active
-            cut_anywhere = cut.any(axis=1)
-            first_cut = cut.argmax(axis=1)
-            totals_rows = np.where(
-                cut_anywhere, running[np.arange(n_rows), first_cut], last
-            )
-            # Scalar bookkeeping: a bail-out (so/q <= 0) returns without
-            # counting as pruned; a genuine θ freeze does.
-            bailed = (bad & active)[np.arange(n_rows), first_cut]
-            self.stats.add(walks_pruned=int((cut_anywhere & ~bailed).sum()))
-        # Accumulate per candidate in walk order (bincount adds in element
-        # order, matching the scalar loop's summation sequence).
-        return np.bincount(rows_pair, weights=totals_rows, minlength=m).astype(
-            np.float64
+            # _cached_so owns caching and so_evaluations counting, so the
+            # pair_index is consulted exactly as in the scalar path.
+            so_matrix, so_lookup = None, self._cached_so
+        request = WalkScoreRequest(
+            walks=self.walk_index.walks,
+            pos_u=pos_u,
+            positions=positions,
+            meetings=meetings,
+            sem_matrix=self._sem_matrix,
+            step_weights=self._step_weights,
+            step_q=self._step_q,
+            decay=self.decay,
+            theta=self.theta,
+            so_matrix=so_matrix,
+            so_lookup=so_lookup,
         )
+        with kernel_timer(self.backend.name, "batch_walk_scores"):
+            result = self.backend.batch_walk_scores(request)
+        self.stats.add(
+            walks_met=result.walks_met,
+            so_evaluations=result.so_evaluations,
+            walks_pruned=result.walks_pruned,
+        )
+        return result.totals
 
 
 class SupportsSoLookup:

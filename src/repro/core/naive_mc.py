@@ -19,7 +19,6 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.params import (
-    resolve_legacy_kwargs,
     validate_decay,
     validate_length,
     validate_num_walks,
@@ -41,20 +40,13 @@ class NaivePairSampler:
         num_walks: int = 150,
         length: int = 15,
         seed: int | np.random.Generator | None = None,
-        **legacy,
     ) -> None:
-        params = resolve_legacy_kwargs(
-            "NaivePairSampler",
-            legacy,
-            {"decay": decay, "num_walks": num_walks, "length": length, "seed": seed},
-            defaults={"decay": 0.6, "num_walks": 150, "length": 15, "seed": None},
-        )
         self.graph = graph
         self.measure = measure
-        self.decay = validate_decay(params["decay"])
-        self.num_walks = validate_num_walks(params["num_walks"])
-        self.length = validate_length(params["length"])
-        self._walker = SemanticAwareWalker(graph, measure, seed=params["seed"])
+        self.decay = validate_decay(decay)
+        self.num_walks = validate_num_walks(num_walks)
+        self.length = validate_length(length)
+        self._walker = SemanticAwareWalker(graph, measure, seed=seed)
         self._samples: dict[Pair, list[CoupledWalk]] = {}
 
     def presample(self, pairs: Iterable[Pair]) -> None:

@@ -1,129 +1,27 @@
-"""Shared constructor-parameter validation and legacy keyword shims.
+"""Shared constructor-parameter validation.
 
 Every engine in the library takes some subset of the same five knobs —
 ``decay`` (the SimRank/SemSim decay factor ``c``), ``num_walks`` (MC sample
 size ``n_w``), ``length`` (walk truncation ``t``), ``theta`` (the pruning /
-semantic threshold of Section 4.4) and ``seed`` (RNG seeding).  Historically
-a few constructors spelled these differently (``sem_threshold`` on
-:class:`~repro.core.sling.SlingIndex`, ``walks`` on the CLI, ...).  This
-module centralises
+semantic threshold of Section 4.4) and ``seed`` (RNG seeding).  This module
+centralises the **validators**, so an out-of-range value raises the *same*
+:class:`~repro.errors.ConfigurationError` message no matter which engine
+rejected it.
 
-* the **validators**, so an out-of-range value raises the *same*
-  :class:`~repro.errors.ConfigurationError` message no matter which engine
-  rejected it, and
-* the **deprecation shims**: old keyword spellings keep working everywhere
-  but emit a :class:`DeprecationWarning` naming the canonical keyword.
-
-Engines accept the legacy spellings via ``**legacy`` catch-all kwargs and
-call :func:`resolve_legacy_kwargs` first thing in ``__init__``.
-
-Each ``(owner, alias)`` pair warns **once per process**: a serving loop that
-constructs thousands of engines with a stale keyword gets one
-:class:`DeprecationWarning` plus one structured ``deprecated_kwarg`` log
-event, not a warning flood.  Tests use :func:`reset_deprecation_state` to
-re-arm the warnings.
+The transitional legacy keyword aliases (``c``, ``walks``, ``walk_length``,
+``sem_threshold``, ...) that rode along with PR 1 have been removed:
+constructors now accept only the canonical spellings, and an old spelling
+fails loudly with the standard unexpected-keyword ``TypeError``.
+:class:`~repro.api.QueryEngine` is the single documented construction path
+for the full stack.
 """
 
 from __future__ import annotations
 
-import threading
-import warnings
-
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.obs.logging import get_logger, log_event
 
-_LOG = get_logger("core.params")
-
-#: ``(owner, alias)`` pairs that already warned this process.
-_EMITTED: set[tuple[str, str]] = set()
-_EMITTED_LOCK = threading.Lock()
-
-
-def reset_deprecation_state() -> None:
-    """Re-arm the once-per-process deprecation warnings (testing aid)."""
-    with _EMITTED_LOCK:
-        _EMITTED.clear()
-
-#: Legacy keyword -> canonical keyword, shared by every engine constructor.
-LEGACY_ALIASES: dict[str, str] = {
-    # decay factor c
-    "c": "decay",
-    "decay_factor": "decay",
-    # MC sample size n_w
-    "walks": "num_walks",
-    "n_walks": "num_walks",
-    "sample_size": "num_walks",
-    # walk truncation t
-    "walk_length": "length",
-    "t": "length",
-    # pruning / semantic threshold
-    "sem_threshold": "theta",
-    "prune_threshold": "theta",
-    # RNG seeding
-    "rng": "seed",
-    "random_state": "seed",
-}
-
-
-def resolve_legacy_kwargs(
-    owner: str,
-    legacy: dict[str, object],
-    current: dict[str, object],
-    defaults: dict[str, object] | None = None,
-) -> dict[str, object]:
-    """Fold deprecated keyword spellings into their canonical names.
-
-    *legacy* is the ``**legacy`` catch-all of an engine constructor;
-    *current* maps canonical keyword names to the values the caller passed
-    (or defaults); *defaults* maps canonical names to the constructor's
-    signature defaults.  Returns *current* updated in place: each
-    recognised alias fills in its canonical entry and emits a
-    :class:`DeprecationWarning` plus a structured ``deprecated_kwarg`` log
-    event — both at most once per process per ``(owner, alias)`` pair;
-    unknown keywords raise ``TypeError`` just like a normal
-    unexpected-keyword error would.  Passing an alias alongside a canonical
-    keyword that was explicitly set to a *different* value raises
-    ``TypeError`` rather than silently picking one.
-    """
-    for name, value in legacy.items():
-        canonical = LEGACY_ALIASES.get(name)
-        if canonical is None or canonical not in current:
-            raise TypeError(
-                f"{owner}.__init__() got an unexpected keyword argument {name!r}"
-            )
-        if (
-            defaults is not None
-            and canonical in defaults
-            and current[canonical] != defaults[canonical]
-            and current[canonical] != value
-        ):
-            raise TypeError(
-                f"{owner}.__init__() got both {canonical!r} and its "
-                f"deprecated alias {name!r} with conflicting values"
-            )
-        with _EMITTED_LOCK:
-            first_use = (owner, name) not in _EMITTED
-            if first_use:
-                _EMITTED.add((owner, name))
-        if first_use:
-            warnings.warn(
-                f"{owner}: keyword {name!r} is deprecated, use {canonical!r}",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            log_event(
-                _LOG, "deprecated_kwarg",
-                owner=owner, alias=name, canonical=canonical,
-            )
-        current[canonical] = value
-    return current
-
-
-# ---------------------------------------------------------------------------
-# Validators — one error message per parameter, shared by all engines.
-# ---------------------------------------------------------------------------
 
 def validate_decay(value: float) -> float:
     """Validate the decay factor ``c`` (must lie strictly inside (0, 1))."""

@@ -27,7 +27,7 @@ from repro.core.iterative import (
     FixedPointResult,
     iterate_fixed_point,
 )
-from repro.core.params import resolve_legacy_kwargs, validate_decay
+from repro.core.params import validate_decay
 from repro.hin.graph import HIN, Node
 from repro.semantics.base import SemanticMeasure
 
@@ -85,11 +85,8 @@ class SemSim:
         tolerance: float = DEFAULT_TOLERANCE,
         restrict_edge_labels: bool = False,
         sem_matrix: np.ndarray | None = None,
-        **legacy,
     ) -> None:
-        params = resolve_legacy_kwargs("SemSim", legacy, {"decay": decay},
-                                       defaults={"decay": 0.6})
-        decay = validate_decay(params["decay"])
+        decay = validate_decay(decay)
         self.graph = graph
         self.measure = measure
         self.decay = decay

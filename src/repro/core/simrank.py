@@ -22,7 +22,7 @@ from repro.core.iterative import (
     FixedPointResult,
     iterate_fixed_point,
 )
-from repro.core.params import resolve_legacy_kwargs, validate_decay
+from repro.core.params import validate_decay
 from repro.hin.graph import HIN, Node
 
 
@@ -66,11 +66,8 @@ class SimRank:
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         tolerance: float = DEFAULT_TOLERANCE,
         weighted: bool = False,
-        **legacy,
     ) -> None:
-        params = resolve_legacy_kwargs("SimRank", legacy, {"decay": decay},
-                                       defaults={"decay": 0.6})
-        decay = validate_decay(params["decay"])
+        decay = validate_decay(decay)
         self.graph = graph
         self.decay = decay
         self.result = simrank_scores(

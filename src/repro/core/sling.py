@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.core.params import resolve_legacy_kwargs, validate_theta
+from repro.core.params import validate_theta
 from repro.errors import ConfigurationError
 from repro.hin.graph import HIN
 from repro.semantics.base import SemanticMeasure
@@ -30,8 +30,7 @@ from repro.semantics.base import SemanticMeasure
 class SlingIndex:
     """Precomputed ``SO(u, v)`` denominators for semantically close pairs.
 
-    The semantic cut-off is the canonical ``theta`` keyword (the historical
-    ``sem_threshold`` spelling still works but is deprecated).
+    The semantic cut-off is the canonical ``theta`` keyword.
     """
 
     def __init__(
@@ -39,11 +38,8 @@ class SlingIndex:
         graph: HIN,
         measure: SemanticMeasure,
         theta: float = 0.1,
-        **legacy,
     ) -> None:
-        params = resolve_legacy_kwargs("SlingIndex", legacy, {"theta": theta},
-                                       defaults={"theta": 0.1})
-        theta = validate_theta(params["theta"])
+        theta = validate_theta(theta)
         if theta is None:
             raise ConfigurationError("theta must lie in [0, 1], got None")
         self.graph = graph
@@ -92,11 +88,6 @@ class SlingIndex:
         """Approximate resident size of the table."""
         entry_overhead = sys.getsizeof((0, 0)) + sys.getsizeof(0.0)
         return sys.getsizeof(self._table) + self.num_entries * entry_overhead
-
-    @property
-    def sem_threshold(self) -> float:
-        """Deprecated alias of :attr:`theta` (kept for compatibility)."""
-        return self.theta
 
     def __repr__(self) -> str:
         return (

@@ -35,6 +35,7 @@ def top_k_similar(
     use_semantic_bound: bool = True,
     batch_score: BatchScoreFunction | None = None,
     batch_size: int = 256,
+    sem_bounds: dict[Node, float] | None = None,
 ) -> list[tuple[Node, float]]:
     """Return the *k* candidates most similar to *query*, best first.
 
@@ -66,6 +67,12 @@ def top_k_similar(
         Block length for the *batch_score* path (>= 1).  Larger blocks
         amortise per-call overhead but evaluate more candidates past the
         semantic-bound stop; the result is identical either way.
+    sem_bounds:
+        Pre-computed ``sem(query, .)`` bounds keyed by candidate.  When the
+        caller already holds the values (e.g. one vectorised gather from a
+        :class:`~repro.semantics.cache.MatrixMeasure`) this skips the
+        per-candidate ``measure.similarity`` loop; the floats must match
+        what *measure* would return, and the result is then identical.
 
     Ties break deterministically by the string form of the node id.
     """
@@ -76,9 +83,12 @@ def top_k_similar(
     if score is None and batch_score is None:
         raise ConfigurationError("top_k_similar needs a score or batch_score oracle")
     pool = [c for c in candidates if c != query]
-    bounded = measure is not None and use_semantic_bound
+    bounded = use_semantic_bound and (measure is not None or sem_bounds is not None)
     if bounded:
-        sem_bound = {c: measure.similarity(query, c) for c in pool}
+        if sem_bounds is not None:
+            sem_bound = {c: float(sem_bounds[c]) for c in pool}
+        else:
+            sem_bound = {c: measure.similarity(query, c) for c in pool}
         ordered = sorted(pool, key=lambda c: (-sem_bound[c], str(c)))
     else:
         ordered = pool

@@ -41,7 +41,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.params import (
-    resolve_legacy_kwargs,
     validate_length,
     validate_num_walks,
     validate_workers,
@@ -175,22 +174,15 @@ class WalkIndex:
         seed: int | np.random.Generator | None = None,
         workers: int | None = None,
         shard_size: int | None = None,
-        **legacy,
     ) -> None:
-        params = resolve_legacy_kwargs(
-            "WalkIndex",
-            legacy,
-            {"num_walks": num_walks, "length": length, "seed": seed},
-            defaults={"num_walks": 150, "length": 15, "seed": None},
-        )
         self.graph = graph
         self.index: GraphIndex = graph.index()
-        self.num_walks = validate_num_walks(params["num_walks"])
-        self.length = validate_length(params["length"])
+        self.num_walks = validate_num_walks(num_walks)
+        self.length = validate_length(length)
         self.policy = policy
         self._tables: _TransitionTables | None = None
         self.walks = self._sample_all(
-            params["seed"], workers=validate_workers(workers), shard_size=shard_size
+            seed, workers=validate_workers(workers), shard_size=shard_size
         )
 
     @classmethod

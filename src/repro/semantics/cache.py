@@ -96,5 +96,35 @@ class MatrixMeasure:
         except KeyError as exc:
             raise NodeNotFoundError(exc.args[0]) from None
 
+    def similarities(self, a: Node, others: Sequence[Node]) -> np.ndarray:
+        """Return ``sem(a, v)`` for every ``v`` in *others* as one gather.
+
+        The values are the same matrix elements :meth:`similarity` reads
+        one by one, so downstream float comparisons are unchanged.
+        """
+        try:
+            row = self.matrix[self._position[a]]
+            cols = np.fromiter(
+                (self._position[v] for v in others),
+                dtype=np.intp,
+                count=len(others),
+            )
+        except KeyError as exc:
+            raise NodeNotFoundError(exc.args[0]) from None
+        return row[cols]
+
+    def block(self, rows: Sequence[Node], cols: Sequence[Node]) -> np.ndarray:
+        """Return the ``sem`` submatrix for *rows* x *cols*."""
+        try:
+            r = np.fromiter(
+                (self._position[v] for v in rows), dtype=np.intp, count=len(rows)
+            )
+            c = np.fromiter(
+                (self._position[v] for v in cols), dtype=np.intp, count=len(cols)
+            )
+        except KeyError as exc:
+            raise NodeNotFoundError(exc.args[0]) from None
+        return self.matrix[np.ix_(r, c)]
+
     def __repr__(self) -> str:
         return f"MatrixMeasure(nodes={len(self.nodes)})"

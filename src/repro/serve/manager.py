@@ -198,7 +198,7 @@ class IndexManager:
     def _open_primary(self) -> QueryEngine:
         """One attempt at the configured primary engine (may raise)."""
         if self.index_path is not None:
-            return QueryEngine.open(self.index_path)
+            return QueryEngine.open(self.index_path, **self._open_kwargs())
         return QueryEngine(
             self.graph,
             self.measure,
@@ -219,7 +219,7 @@ class IndexManager:
         reopened instead, covering the repaired-in-place case.
         """
         if self.graph is None:
-            return QueryEngine.open(self.index_path)
+            return QueryEngine.open(self.index_path, **self._open_kwargs())
         engine = QueryEngine(
             self.graph,
             self.measure,
@@ -229,6 +229,18 @@ class IndexManager:
         if self.walks_path is not None and engine.method == "mc":
             engine.save_walks(self.walks_path)
         return engine
+
+    def _open_kwargs(self) -> dict:
+        """Engine kwargs that apply to the artifact-open path.
+
+        Artifacts are backend-agnostic, so backend selection (the only
+        per-engine, non-persisted knob) rides through to ``open``.
+        """
+        return {
+            key: value
+            for key, value in self.engine_kwargs.items()
+            if key in ("backend", "backend_config") and value is not None
+        }
 
     def _fallback_engine(self) -> QueryEngine:
         """The disk-free exact engine degraded responses are served from."""

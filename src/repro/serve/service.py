@@ -267,10 +267,22 @@ class QueryService:
             method=acquisition.engine.method, elapsed_ms=elapsed_ms,
         )
 
+    def backend_name(self) -> str | None:
+        """The compute-backend name of the currently handed-out engine.
+
+        ``None`` before the first acquisition — the backend is an engine
+        property, so there is nothing to report until one exists.
+        """
+        acquisition = self.manager._acquisition
+        if acquisition is None:
+            return None
+        return getattr(acquisition.engine, "backend_name", None)
+
     def health(self) -> dict:
         """The manager's health snapshot plus service-level settings."""
         payload = self.manager.health()
         payload["deadline_ms"] = self.deadline_ms
+        payload["backend"] = self.backend_name()
         return payload
 
     def __repr__(self) -> str:

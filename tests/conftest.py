@@ -72,14 +72,6 @@ def _seeded_global_rngs(request):
         )
 
 
-@pytest.fixture(autouse=True)
-def _rearm_deprecation_warnings():
-    """Legacy-kwarg warnings fire once per process; re-arm them per test."""
-    from repro.core.params import reset_deprecation_state
-
-    reset_deprecation_state()
-
-
 @pytest.fixture
 def triangle_graph() -> HIN:
     """Three nodes, symmetric edges plus one directed chord."""

@@ -1,10 +1,8 @@
-"""Unified constructor keywords: legacy alias shims and shared validators."""
+"""Unified constructor keywords: shared validators, no legacy aliases."""
 
 import pytest
 
 from repro.core.params import (
-    LEGACY_ALIASES,
-    resolve_legacy_kwargs,
     validate_decay,
     validate_length,
     validate_num_walks,
@@ -27,101 +25,6 @@ from tests.conftest import build_taxonomy_graph
 @pytest.fixture(scope="module")
 def taxonomy_graph():
     return build_taxonomy_graph()
-
-
-class TestResolveLegacyKwargs:
-    def test_alias_maps_to_canonical(self):
-        with pytest.warns(DeprecationWarning, match="decay"):
-            params = resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
-        assert params["decay"] == 0.4
-
-    def test_unknown_kwarg_raises_type_error(self):
-        with pytest.raises(TypeError, match="unexpected keyword"):
-            resolve_legacy_kwargs("X", {"bogus": 1}, {"decay": 0.6})
-
-    def test_alias_for_parameter_not_taken_raises(self):
-        # "walks" maps to num_walks, which SimRank-style owners don't accept.
-        with pytest.raises(TypeError):
-            resolve_legacy_kwargs("X", {"walks": 5}, {"decay": 0.6})
-
-    def test_every_alias_targets_a_canonical_name(self):
-        assert set(LEGACY_ALIASES.values()) <= {
-            "decay", "num_walks", "length", "theta", "seed"
-        }
-
-    def test_conflicting_alias_and_canonical_raises(self):
-        # caller explicitly set decay=0.9 AND c=0.5: refuse to pick one
-        with pytest.raises(TypeError, match="deprecated alias"):
-            resolve_legacy_kwargs(
-                "X", {"c": 0.5}, {"decay": 0.9}, defaults={"decay": 0.6}
-            )
-
-    def test_alias_agreeing_with_explicit_canonical_is_allowed(self):
-        with pytest.warns(DeprecationWarning):
-            params = resolve_legacy_kwargs(
-                "X", {"c": 0.9}, {"decay": 0.9}, defaults={"decay": 0.6}
-            )
-        assert params["decay"] == 0.9
-
-    def test_alias_with_default_canonical_is_allowed(self):
-        with pytest.warns(DeprecationWarning):
-            params = resolve_legacy_kwargs(
-                "X", {"c": 0.5}, {"decay": 0.6}, defaults={"decay": 0.6}
-            )
-        assert params["decay"] == 0.5
-
-
-class TestOncePerProcessWarning:
-    """A serving loop must see one warning per (owner, alias), not a flood."""
-
-    def test_second_use_stays_silent_but_still_resolves(self):
-        import warnings
-
-        with pytest.warns(DeprecationWarning):
-            resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")  # a repeat warning would raise
-            params = resolve_legacy_kwargs("X", {"c": 0.3}, {"decay": 0.6})
-        assert params["decay"] == 0.3
-
-    def test_distinct_owners_and_aliases_each_warn(self):
-        with pytest.warns(DeprecationWarning):
-            resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
-        with pytest.warns(DeprecationWarning):
-            resolve_legacy_kwargs("Y", {"c": 0.4}, {"decay": 0.6})
-        with pytest.warns(DeprecationWarning):
-            resolve_legacy_kwargs("X", {"decay_factor": 0.4}, {"decay": 0.6})
-
-    def test_reset_rearms_the_warning(self):
-        from repro.core.params import reset_deprecation_state
-
-        with pytest.warns(DeprecationWarning):
-            resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
-        reset_deprecation_state()
-        with pytest.warns(DeprecationWarning):
-            resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
-
-    def test_first_use_emits_a_structured_log_event(self):
-        import io
-        import json
-
-        from repro.obs.logging import configure_logging, reset_logging
-
-        stream = io.StringIO()
-        configure_logging(stream=stream)
-        try:
-            with pytest.warns(DeprecationWarning):
-                resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
-            record = json.loads(stream.getvalue())
-            assert record["event"] == "deprecated_kwarg"
-            assert record["owner"] == "X"
-            assert record["alias"] == "c"
-            assert record["canonical"] == "decay"
-            # the deduplicated second use logs nothing either
-            resolve_legacy_kwargs("X", {"c": 0.4}, {"decay": 0.6})
-            assert stream.getvalue().count("\n") == 1
-        finally:
-            reset_logging()
 
 
 class TestValidators:
@@ -152,57 +55,47 @@ class TestValidators:
         assert validate_workers(None) is None
 
 
-class TestEngineShims:
-    """Every engine accepts its historical spellings with a warning."""
+class TestLegacyAliasesRemoved:
+    """The PR-1 deprecation shims are gone: old spellings now TypeError."""
 
-    def test_simrank_c_alias(self, taxonomy_graph):
+    def test_simrank_c_alias_rejected(self, taxonomy_graph):
         graph, _ = taxonomy_graph
-        with pytest.warns(DeprecationWarning):
-            engine = SimRank(graph, c=0.4, max_iterations=2)
-        assert engine.decay == 0.4
+        with pytest.raises(TypeError):
+            SimRank(graph, c=0.4, max_iterations=2)
 
-    def test_semsim_decay_factor_alias(self, taxonomy_graph):
+    def test_semsim_decay_factor_alias_rejected(self, taxonomy_graph):
         graph, measure = taxonomy_graph
-        with pytest.warns(DeprecationWarning):
-            engine = SemSim(graph, measure, decay_factor=0.5, max_iterations=2)
-        assert engine.decay == 0.5
+        with pytest.raises(TypeError):
+            SemSim(graph, measure, decay_factor=0.5, max_iterations=2)
 
-    def test_walk_index_walks_alias(self, taxonomy_graph):
+    def test_walk_index_walks_alias_rejected(self, taxonomy_graph):
         graph, _ = taxonomy_graph
-        with pytest.warns(DeprecationWarning):
-            index = WalkIndex(graph, walks=7, walk_length=3, seed=0)
-        assert index.num_walks == 7
-        assert index.length == 3
+        with pytest.raises(TypeError):
+            WalkIndex(graph, walks=7, walk_length=3, seed=0)
 
-    def test_montecarlo_sem_threshold_alias(self, taxonomy_graph):
+    def test_montecarlo_sem_threshold_alias_rejected(self, taxonomy_graph):
         graph, measure = taxonomy_graph
         index = WalkIndex(graph, num_walks=5, length=3, seed=0)
-        with pytest.warns(DeprecationWarning):
-            estimator = MonteCarloSemSim(index, measure, sem_threshold=0.2)
-        assert estimator.theta == 0.2
+        with pytest.raises(TypeError):
+            MonteCarloSemSim(index, measure, sem_threshold=0.2)
 
-    def test_montecarlo_simrank_c_alias(self, taxonomy_graph):
+    def test_montecarlo_simrank_c_alias_rejected(self, taxonomy_graph):
         graph, _ = taxonomy_graph
         index = WalkIndex(graph, num_walks=5, length=3, seed=0)
-        with pytest.warns(DeprecationWarning):
-            estimator = MonteCarloSimRank(index, c=0.3)
-        assert estimator.decay == 0.3
+        with pytest.raises(TypeError):
+            MonteCarloSimRank(index, c=0.3)
 
-    def test_naive_sampler_aliases(self, taxonomy_graph):
+    def test_naive_sampler_aliases_rejected(self, taxonomy_graph):
         graph, measure = taxonomy_graph
-        with pytest.warns(DeprecationWarning):
-            sampler = NaivePairSampler(
-                graph, measure, n_walks=4, t=3, random_state=1
-            )
-        assert sampler.num_walks == 4
-        assert sampler.length == 3
+        with pytest.raises(TypeError):
+            NaivePairSampler(graph, measure, n_walks=4, t=3, random_state=1)
 
-    def test_sling_sem_threshold_alias_and_property(self, taxonomy_graph):
+    def test_sling_sem_threshold_alias_rejected(self, taxonomy_graph):
         graph, measure = taxonomy_graph
-        with pytest.warns(DeprecationWarning):
-            index = SlingIndex(graph, measure, sem_threshold=0.3)
-        assert index.theta == 0.3
-        assert index.sem_threshold == 0.3
+        with pytest.raises(TypeError):
+            SlingIndex(graph, measure, sem_threshold=0.3)
+        index = SlingIndex(graph, measure, theta=0.3)
+        assert not hasattr(index, "sem_threshold")
 
     def test_canonical_spelling_warns_nothing(self, taxonomy_graph):
         graph, measure = taxonomy_graph

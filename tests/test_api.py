@@ -52,14 +52,12 @@ class TestConstruction:
         with pytest.raises(ConfigurationError, match="materialize"):
             QueryEngine(graph, measure, materialize_semantics="maybe")
 
-    def test_legacy_kwargs_resolve_with_warning(self, taxonomy_graph):
+    def test_legacy_kwargs_rejected(self, taxonomy_graph):
+        # The PR-1 deprecation shims are gone: old spellings now TypeError.
         graph, measure = taxonomy_graph
-        with pytest.warns(DeprecationWarning):
-            engine = QueryEngine(graph, measure, c=0.4, walks=10,
-                                 walk_length=4, seed=0)
-        assert engine.decay == 0.4
-        assert engine.num_walks == 10
-        assert engine.length == 4
+        with pytest.raises(TypeError):
+            QueryEngine(graph, measure, c=0.4, walks=10,
+                        walk_length=4, seed=0)
 
     def test_auto_materializes_measure(self, mc_engine):
         assert isinstance(mc_engine.measure, MatrixMeasure)
