@@ -46,6 +46,11 @@ ORDER = [
     "scaling_profile",
     "scaling_sparse_engine",
     "join",
+    "serve_overhead",
+    "serve_throughput",
+    "serve_sharded",
+    "obs_overhead",
+    "cold_start_forked_readers",
 ]
 
 

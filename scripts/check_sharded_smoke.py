@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI assertion over the sharded-serve smoke round-trip.
+
+Usage::
+
+    python scripts/check_sharded_smoke.py SHARDED_OUT PLAIN_OUT
+
+Both files hold one ``repro serve`` session's stdout (JSON lines) over
+the same request script: a single pair, a BATCH, a TOPK, and HEALTH.
+Fails (exit 1, with a message) unless
+
+* both sessions printed a ready banner plus four responses;
+* the sharded banner advertises the shard topology (``shards`` list,
+  every shard running and not quarantined);
+* the pair ``value``, BATCH ``values`` and TOPK ``results`` are
+  **bit-identical** between the sharded and unsharded sessions (the
+  tentpole scatter-gather guarantee), and nothing is degraded;
+* the sharded HEALTH snapshot still shows every shard healthy after the
+  traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def _fail(message: str) -> "NoReturn":  # noqa: F821 - py3.11 typing-lite
+    print(f"check_sharded_smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _load(path: str) -> list[dict]:
+    lines = [
+        json.loads(line)
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    if len(lines) != 5:
+        _fail(f"{path}: expected banner + 4 responses, got {len(lines)} lines")
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        _fail("usage: check_sharded_smoke.py SHARDED_OUT PLAIN_OUT")
+    sharded, plain = _load(argv[0]), _load(argv[1])
+
+    banner = sharded[0]
+    if not banner.get("ready"):
+        _fail("sharded session never became ready")
+    shards = banner.get("shards")
+    if not shards:
+        _fail("sharded banner carries no shard topology")
+    for shard in shards:
+        if not shard["running"] or shard["quarantined"]:
+            _fail(f"shard {shard['shard']} unhealthy at startup: {shard}")
+    if not plain[0].get("ready"):
+        _fail("unsharded session never became ready")
+
+    pair_s, batch_s, topk_s, health_s = sharded[1:]
+    pair_p, batch_p, topk_p, _ = plain[1:]
+    if pair_s["value"] != pair_p["value"]:
+        _fail(f"pair value drifted: {pair_s['value']} != {pair_p['value']}")
+    if batch_s["values"] != batch_p["values"]:
+        _fail(f"BATCH values drifted: {batch_s['values']} != {batch_p['values']}")
+    if topk_s["results"] != topk_p["results"]:
+        _fail(f"TOPK results drifted: {topk_s['results']} != {topk_p['results']}")
+    degraded = [r for r in (pair_s, batch_s, topk_s) if r.get("degraded")]
+    if degraded:
+        _fail(f"sharded responses degraded: {degraded}")
+    for shard in health_s.get("shards", []):
+        if not shard["running"] or shard["quarantined"]:
+            _fail(f"shard {shard['shard']} unhealthy after traffic: {shard}")
+
+    print(
+        "check_sharded_smoke: OK — "
+        f"{len(shards)} shards, pair/BATCH/TOPK bit-identical to unsharded"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -19,6 +19,9 @@ Commands
     (and optionally the portable walk-tensor ``.npz``).
 ``index info``
     Describe a saved engine artifact without loading its arrays.
+``index shard``
+    Split an mc engine artifact into node-range shard artifacts for
+    ``serve --shards`` (multi-process scatter-gather serving).
 ``backends list``
     Enumerate the registered compute backends (name, availability,
     equivalence contract, description) and mark the default.
@@ -51,6 +54,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import threading
 from pathlib import Path
@@ -72,7 +76,7 @@ from repro.errors import ConfigurationError, GraphError
 from repro.obs.export import render_json, render_prometheus
 from repro.obs.logging import configure_logging
 from repro.obs.trace import set_trace_writer
-from repro.sched import Overloaded, ServingRuntime
+from repro.sched import Overloaded, ServingRuntime, ShardedRuntime
 from repro.serve import (
     DeadlineExceeded,
     IndexManager,
@@ -80,7 +84,12 @@ from repro.serve import (
     RetryPolicy,
     ServeError,
 )
-from repro.store import StoreError, read_artifact
+from repro.store import (
+    StoreError,
+    read_artifact,
+    shard_paths_for,
+    write_shard_artifacts,
+)
 
 GENERATORS = {
     "aminer": aminer_like,
@@ -230,6 +239,15 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_shard(args: argparse.Namespace) -> int:
+    paths = write_shard_artifacts(args.index, args.out, args.shards)
+    print(f"wrote {len(paths)} shard artifacts -> {args.out}")
+    for path in paths:
+        shard = json.loads((path / "manifest.json").read_text())["shard"]
+        print(f"  {path.name}  nodes [{shard['lo']}, {shard['hi']})")
+    return 0
+
+
 def _cmd_index_info(args: argparse.Namespace) -> int:
     artifact = read_artifact(args.index, mmap=True)
     meta = artifact.meta
@@ -354,21 +372,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     error response, never a crash.  Requests pipeline: keep writing lines
     without reading and responses stream back in order.
 
-    A blank line, EOF, or Ctrl-C ends the session gracefully: in-flight
-    requests finish, every pending response is printed, observability
-    outputs flush, and the exit code is 0.
+    With ``--shards N`` (requires ``--index``) the index is split by node
+    range and served scatter-gather from N worker *processes* — scores
+    and top-k stay bit-identical to the unsharded engine, and a failing
+    shard degrades only its own key range (see docs/serving.md,
+    "Multi-process sharding").
+
+    A blank line, EOF, Ctrl-C, or SIGTERM ends the session gracefully:
+    in-flight requests finish, every pending response is printed,
+    observability outputs flush, and the exit code is 0.
     """
     if not _require_bundle_arg(args):
         return 2
+    if args.shards and args.index is None:
+        print("error: --shards requires --index (shard a prebuilt artifact "
+              "with 'repro index build' first)", file=sys.stderr)
+        return 2
     service = _make_service(args)
     service.manager.acquire()  # activate eagerly so startup errors surface
-    runtime = ServingRuntime(
-        service,
-        workers=args.workers or 1,
-        max_batch=args.max_batch,
-        max_wait_us=args.max_wait_us,
-        queue_depth=args.queue_depth,
-    )
+    if args.shards:
+        index_path = Path(args.index)
+        shard_root = index_path.parent / f"{index_path.name}.shards-{args.shards}"
+        paths = shard_paths_for(shard_root, args.shards)
+        if not all((path / "manifest.json").exists() for path in paths):
+            paths = write_shard_artifacts(index_path, shard_root, args.shards)
+            print(f"wrote {len(paths)} shard artifacts -> {shard_root}",
+                  file=sys.stderr)
+        runtime: ServingRuntime = ShardedRuntime(
+            service,
+            paths,
+            parent_path=index_path,
+            workers=args.workers or 1,
+            workers_per_shard=args.workers_per_shard,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            queue_depth=args.queue_depth,
+            backend=args.backend,
+        )
+    else:
+        runtime = ServingRuntime(
+            service,
+            workers=args.workers or 1,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            queue_depth=args.queue_depth,
+        )
     print(json.dumps({"ready": True, **runtime.health()}), flush=True)
 
     # In-order pipelining: the printer thread blocks on the head entry's
@@ -387,6 +435,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         target=_printer, name="repro-serve-printer", daemon=True
     )
     printer.start()
+
+    # SIGTERM takes the same graceful path as Ctrl-C: process supervisors
+    # (and the sharded runtime's own worker processes) see a clean drain
+    # and exit 0 instead of a mid-request kill.
+    def _on_sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    sigterm_installed = False
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+        sigterm_installed = True
+    except ValueError:  # not the main thread (embedded/test use) — skip
+        pass
     try:
         for line in sys.stdin:
             line = line.strip()
@@ -399,6 +461,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass  # graceful drain below; in-flight work still gets answered
     finally:
+        if sigterm_installed:
+            signal.signal(signal.SIGTERM, previous_sigterm)
         entries.put(_SERVE_DONE)
         runtime.drain()     # completes every admitted future
         printer.join()      # flushes every pending response, in order
@@ -587,6 +651,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_options(index_build)
     index_build.set_defaults(func=_cmd_index_build)
 
+    index_shard = index_commands.add_parser(
+        "shard", help="split an mc engine artifact into node-range shards"
+    )
+    index_shard.add_argument("index", help="artifact directory path")
+    index_shard.add_argument("--out", required=True,
+                             help="directory to write shard-NNNN artifacts under")
+    index_shard.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="number of contiguous node-range shards (even split)",
+    )
+    index_shard.set_defaults(func=_cmd_index_shard)
+
     index_info = index_commands.add_parser(
         "info", help="describe an engine artifact"
     )
@@ -620,6 +696,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-depth", type=int, default=1024, metavar="N",
         help="admission watermark: requests submitted while this many "
              "are queued get an 'overloaded' response (default: 1024)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="serve from N node-range shard worker processes "
+             "(requires --index; shard artifacts are built beside the "
+             "index on first use; default: 0 = in-process serving)",
+    )
+    serve.add_argument(
+        "--workers-per-shard", type=int, default=1, metavar="M",
+        help="worker threads inside each shard process (default: 1)",
     )
     add_engine_options(
         serve, serving=True,

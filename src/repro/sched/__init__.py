@@ -13,9 +13,13 @@ The ``repro.sched`` package turns the request/response serving stack of
 * :class:`ServingRuntime` — ties the three together over one
   :class:`~repro.serve.QueryService`; PR 4's retries, circuit breaking
   and degraded fallback still apply to every logical request.
+* :class:`ShardedRuntime` — the multi-process layer on top: one worker
+  process per node-range shard (see :mod:`repro.store.sharding`),
+  scatter-gather routing with a bit-identical top-k merge, and per-shard
+  circuit breakers so a failing shard degrades only its key range.
 
-See ``docs/serving.md`` ("Concurrency") for the architecture diagram and
-tuning guidance.
+See ``docs/serving.md`` ("Concurrency" and "Multi-process sharding") for
+the architecture diagrams and tuning guidance.
 """
 
 from repro.sched.errors import Overloaded, RuntimeClosed
@@ -30,6 +34,14 @@ from repro.sched.request import (
     plan_groups,
 )
 from repro.sched.runtime import ServingRuntime
+from repro.sched.shard_worker import ShardEngine, SourceRowLRU, shard_worker_main
+from repro.sched.sharded import (
+    ProcessShardWorker,
+    ShardClient,
+    ShardedRuntime,
+    ShardFailure,
+    ThreadShardWorker,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -38,10 +50,18 @@ __all__ = [
     "KIND_SCORE",
     "KIND_TOPK",
     "Overloaded",
+    "ProcessShardWorker",
     "RuntimeClosed",
     "ScheduledRequest",
     "ServingRuntime",
+    "ShardClient",
+    "ShardEngine",
+    "ShardFailure",
+    "ShardedRuntime",
+    "SourceRowLRU",
     "ThreadFactory",
+    "ThreadShardWorker",
     "WorkerPool",
     "plan_groups",
+    "shard_worker_main",
 ]

@@ -62,3 +62,37 @@ WORKER_BUSY_SECONDS = _REGISTRY.counter(
     help="Cumulative seconds workers spent executing micro-batches; "
     "divide by (sched_workers x wall time) for utilization.",
 )
+
+# ---------------------------------------------------------------------------
+# Multi-process sharding (ShardedRuntime) — the scatter-gather view.
+# ---------------------------------------------------------------------------
+
+SHARD_REQUESTS = _REGISTRY.counter(
+    "shard_requests_total",
+    help="Per-shard operations issued by the router, by outcome "
+    "(ok, error, timeout, quarantined — quarantined means the shard was "
+    "skipped and its key range answered from the fallback engine).",
+    labelnames=("shard", "outcome"),
+)
+SCATTER_FANOUT = _REGISTRY.histogram(
+    "shard_scatter_fanout",
+    help="Shards touched per scatter-gathered logical request.",
+    buckets=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0),
+)
+MERGE_LATENCY = _REGISTRY.histogram(
+    "shard_merge_seconds",
+    help="Router-side gather+merge time per scatter (from first send "
+    "to the merged result, excluding queue wait).",
+    buckets=DEFAULT_TIME_BUCKETS,
+)
+SHARD_WORKERS = _REGISTRY.gauge(
+    "shard_workers",
+    help="Worker threads serving one shard process, by shard.",
+    labelnames=("shard",),
+)
+SHARD_QUARANTINED = _REGISTRY.gauge(
+    "shard_quarantined",
+    help="1 while the shard's circuit is refusing traffic and its key "
+    "range is served degraded from the fallback engine, else 0.",
+    labelnames=("shard",),
+)

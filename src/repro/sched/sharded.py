@@ -1,0 +1,818 @@
+"""Multi-process sharded serving: scatter-gather over node-range shards.
+
+:class:`ShardedRuntime` extends :class:`~repro.sched.runtime.ServingRuntime`
+— same admission queue, same coalescer, same worker threads, same
+future-based API — but the dispatch step routes through one worker
+**process** per shard instead of one in-process engine:
+
+* a single-pair request goes to the shard owning the *candidate*'s node
+  range (coalesced same-source groups scatter their candidate set, so
+  the PR 5 micro-batching win and the multi-process win compose);
+* ``BATCH`` scatters candidates by owning range and gathers the pieces
+  back into submission order — bit-identical to the unsharded call
+  because per-candidate scores never depend on their batch-mates;
+* ``TOPK`` asks every shard for its exact local top-k (same
+  ``(value, str(node))`` comparator as :func:`~repro.core.topk.top_k_similar`)
+  and re-selects the global k from the union under that same total
+  order — provably identical to the unsharded scan, property-tested in
+  ``tests/properties/test_shard_identity.py``.
+
+Fault isolation is per shard: every shard gets its own
+:class:`~repro.serve.CircuitBreaker`; a worker that errors, times out
+against the request's deadline, or dies trips only its breaker, and the
+quarantined range is answered **degraded** from the fallback
+:class:`~repro.serve.IndexManager` stack (the ``service`` the runtime
+wraps) while every other range keeps serving at full fidelity.  When the
+breaker half-opens, the next request restarts the worker process as the
+probe.
+
+The worker seam mirrors PR 5's thread-factory seam one level up:
+``worker_factory(path, config)`` defaults to
+:class:`ProcessShardWorker` (one forked process per shard, talking over
+a duplex pipe) and tests swap in :class:`ThreadShardWorker` to run the
+identical worker loop on in-process threads, deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.obs.logging import get_logger, log_event
+from repro.obs.registry import is_enabled
+from repro.sched.metrics import (
+    COALESCED,
+    MERGE_LATENCY,
+    SCATTER_FANOUT,
+    SHARD_QUARANTINED,
+    SHARD_REQUESTS,
+    SHARD_WORKERS,
+)
+from repro.sched.request import KIND_BATCH, KIND_SCORE, KIND_TOPK, DispatchGroup
+from repro.sched.runtime import ServingRuntime, _deliver
+from repro.sched.shard_worker import (
+    DEFAULT_SOURCE_CACHE,
+    OP_BATCH,
+    OP_SHUTDOWN,
+    OP_TOPK,
+    SourceRowLRU,
+    shard_worker_main,
+)
+from repro.serve.breaker import CircuitBreaker, CircuitState
+from repro.serve.service import BatchResponse, QueryResponse, QueryService, TopKResponse
+from repro.store.artifacts import StoreError, read_artifact
+from repro.store.sharding import ShardPlan
+
+_LOG = get_logger("sched.sharded")
+
+#: How long ``start()`` waits for a shard worker's ready handshake.
+START_TIMEOUT = 60.0
+
+#: Per-shard wait for deadline-less requests — a hung worker must trip
+#: the breaker eventually, not pin a router thread forever.
+DEFAULT_SHARD_TIMEOUT = 30.0
+
+
+class ShardFailure(RuntimeError):
+    """One shard could not answer (transport down, worker error, timeout).
+
+    Router-internal: it feeds the shard's circuit breaker and the request
+    falls back to the unsharded service — callers of the runtime never
+    see this exception.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Worker transports (the process-factory seam)
+# ---------------------------------------------------------------------------
+
+class ProcessShardWorker:
+    """One shard served from a forked worker process over a duplex pipe.
+
+    The child receives only the artifact *path* and a plain config dict —
+    it opens the shard itself, so the transport is spawn-safe and the
+    mmap'd replicated matrices share page cache across workers.
+    """
+
+    def __init__(self, path, config: dict) -> None:
+        context = multiprocessing.get_context()
+        self.conn, child = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=shard_worker_main,
+            args=(str(path), child, dict(config)),
+            name=f"repro-shard-{config.get('shard', '?')}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()  # the child's end lives in the child now
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        try:
+            self.conn.send({"op": OP_SHUTDOWN})
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover — stuck worker
+            self.process.terminate()
+            self.process.join(1.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class ThreadShardWorker:
+    """The identical worker loop on an in-process thread — the test seam.
+
+    Runs :func:`shard_worker_main` unchanged (its signal setup no-ops off
+    the main thread), so identity and resilience tests exercise the very
+    code the forked workers run, without process-spawn nondeterminism.
+    """
+
+    def __init__(self, path, config: dict) -> None:
+        self.conn, child = multiprocessing.Pipe(duplex=True)
+        self.thread = threading.Thread(
+            target=shard_worker_main,
+            args=(str(path), child, dict(config)),
+            name=f"repro-shard-{config.get('shard', '?')}-thread",
+            daemon=True,
+        )
+        self.thread.start()
+
+    @property
+    def alive(self) -> bool:
+        return self.thread.is_alive()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        try:
+            self.conn.send({"op": OP_SHUTDOWN})
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.thread.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+#: ``worker_factory(path, config) -> worker`` — the multi-process seam.
+WorkerFactory = Callable[[object, dict], object]
+
+
+class ShardClient:
+    """Router-side endpoint of one shard: pipe, pending futures, mirror.
+
+    Request/reply matching is by id (a reader thread resolves futures as
+    replies arrive, in whatever order the worker finishes them); the
+    :class:`SourceRowLRU` mirror replays the worker's cache bookkeeping
+    so hot-source rows ship at most once per cache residency.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        lo: int,
+        hi: int,
+        path,
+        config: dict,
+        factory: WorkerFactory,
+    ) -> None:
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.path = path
+        self._config = dict(config, shard=index)
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._cache = SourceRowLRU(config.get("source_cache", DEFAULT_SOURCE_CACHE))
+        self._next_id = 0
+        self._worker = None
+        self._dead = True
+        self.ready: dict = {}
+
+    @property
+    def running(self) -> bool:
+        worker = self._worker
+        return worker is not None and not self._dead and worker.alive
+
+    def start(self) -> None:
+        """(Re)spawn the worker and wait for its ready handshake."""
+        with self._lock:
+            if self.running:
+                return
+            self._fail_pending(ShardFailure(f"shard {self.index} restarting"))
+            self._cache = SourceRowLRU(
+                self._config.get("source_cache", DEFAULT_SOURCE_CACHE)
+            )
+            worker = self._factory(self.path, self._config)
+            try:
+                if not worker.conn.poll(START_TIMEOUT):
+                    raise ShardFailure(
+                        f"shard {self.index} worker sent no ready handshake "
+                        f"within {START_TIMEOUT}s"
+                    )
+                ready = worker.conn.recv()
+            except (EOFError, OSError, ShardFailure) as exc:
+                worker.shutdown(timeout=1.0)
+                raise ShardFailure(
+                    f"shard {self.index} worker failed to start: {exc}"
+                ) from exc
+            if ready.get("error"):
+                worker.shutdown(timeout=1.0)
+                raise ShardFailure(
+                    f"shard {self.index} worker failed to open its artifact: "
+                    f"{ready['error']}"
+                )
+            self.ready = ready
+            self._worker = worker
+            self._dead = False
+            threading.Thread(
+                target=self._read_loop,
+                args=(worker,),
+                name=f"shard-{self.index}-reader",
+                daemon=True,
+            ).start()
+
+    def _read_loop(self, worker) -> None:
+        while True:
+            try:
+                reply = worker.conn.recv()
+            except (EOFError, OSError):
+                break
+            with self._lock:
+                future = self._pending.pop(reply.get("id"), None)
+            if future is not None:
+                _deliver(future, reply)
+        with self._lock:
+            if self._worker is worker:
+                self._dead = True
+            self._fail_pending(
+                ShardFailure(f"shard {self.index} connection closed")
+            )
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            _deliver(future, exc=exc)
+
+    def submit(
+        self, op: str, pos_u: int, u_rows_fn, **fields
+    ) -> Future:
+        """Send one operation; the returned future resolves to the reply."""
+        with self._lock:
+            if self._worker is None or self._dead:
+                raise ShardFailure(f"shard {self.index} worker is not running")
+            self._next_id += 1
+            message = {"op": op, "id": self._next_id, "pos_u": pos_u, **fields}
+            if not self.lo <= pos_u < self.hi:
+                present, _ = self._cache.admit(pos_u, True)
+                if not present:
+                    message["u_rows"] = u_rows_fn(pos_u)
+            future: Future = Future()
+            self._pending[message["id"]] = future
+            try:
+                self._worker.conn.send(message)
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                self._pending.pop(message["id"], None)
+                self._dead = True
+                raise ShardFailure(
+                    f"shard {self.index} pipe send failed: {exc}"
+                ) from exc
+            return future
+
+    def close(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            worker, self._worker = self._worker, None
+            self._dead = True
+            self._fail_pending(ShardFailure(f"shard {self.index} closed"))
+        if worker is not None:
+            worker.shutdown(timeout)
+
+
+# ---------------------------------------------------------------------------
+# The runtime
+# ---------------------------------------------------------------------------
+
+class ShardedRuntime(ServingRuntime):
+    """Scatter-gather serving over node-range shard worker processes.
+
+    Parameters beyond :class:`ServingRuntime`'s (whose ``workers`` here
+    are the *router* threads doing scatter-gather):
+
+    shard_paths:
+        The shard artifacts of one ``write_shard_artifacts`` run, in plan
+        order.
+    parent_path:
+        The unsharded parent artifact — source rows (``walks[u]`` and
+        step tables) are read from its mmap and shipped to shards.
+        Defaults to the path recorded in the shard manifests.
+    workers_per_shard:
+        Worker threads inside each shard process.
+    worker_factory:
+        ``(path, config) -> worker`` seam; defaults to
+        :class:`ProcessShardWorker`.
+    breaker_factory:
+        ``(shard_index) -> CircuitBreaker`` for per-shard quarantine.
+    shard_timeout:
+        Per-shard gather wait (seconds) for requests without a deadline;
+        requests with a deadline wait only for their remaining budget.
+
+    The wrapped *service* is the **fallback stack**: quarantined ranges
+    are answered from ``service.manager`` (full PR 4 machinery — retry,
+    its own breaker, iterative degradation) and flagged ``degraded``.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        shard_paths: Sequence,
+        *,
+        parent_path=None,
+        workers: int = 4,
+        workers_per_shard: int = 1,
+        max_batch: int = 32,
+        max_wait_us: float = 0.0,
+        queue_depth: int = 1024,
+        clock: Callable[[], float] | None = None,
+        autostart: bool = True,
+        thread_factory=None,
+        worker_factory: WorkerFactory | None = None,
+        breaker_factory: Callable[[int], CircuitBreaker] | None = None,
+        backend=None,
+        backend_config=None,
+        source_cache: int = DEFAULT_SOURCE_CACHE,
+        shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
+    ) -> None:
+        if not shard_paths:
+            raise StoreError("ShardedRuntime needs at least one shard path")
+        super().__init__(
+            service,
+            workers=workers,
+            max_batch=max_batch,
+            max_wait_us=max_wait_us,
+            queue_depth=queue_depth,
+            clock=clock,
+            autostart=False,
+            thread_factory=thread_factory,
+        )
+        self.workers_per_shard = max(1, int(workers_per_shard))
+        self._shard_timeout = shard_timeout
+
+        head = read_artifact(Path(shard_paths[0]))
+        self._plan = ShardPlan.from_manifest(head.manifest)
+        if self._plan.num_shards != len(shard_paths):
+            raise StoreError(
+                f"plan in {shard_paths[0]} names {self._plan.num_shards} "
+                f"shards but {len(shard_paths)} paths were given"
+            )
+        if parent_path is None:
+            parent_path = head.manifest["shard"].get("parent")
+        if parent_path is None:
+            raise StoreError(
+                "shard manifests record no parent artifact path — pass "
+                "parent_path explicitly"
+            )
+        parent = read_artifact(Path(parent_path))
+        self._method = str(parent.meta.get("params", {}).get("method", "mc"))
+        self._parent_walks = parent.arrays["walks"]
+        self._parent_sw = parent.arrays.get("step_weights")
+        self._parent_sq = parent.arrays.get("step_q")
+        from repro.store.engine_io import graph_from_artifact
+
+        graph = graph_from_artifact(parent)
+        self._nodes = list(graph.nodes())
+        self._node_position = {node: i for i, node in enumerate(self._nodes)}
+        if len(self._nodes) != self._plan.num_nodes:
+            raise StoreError(
+                f"parent graph has {len(self._nodes)} nodes but the shard "
+                f"plan covers {self._plan.num_nodes}"
+            )
+        self._range_starts = np.fromiter(
+            (lo for lo, _ in self._plan.boundaries),
+            dtype=np.int64,
+            count=self._plan.num_shards,
+        )
+
+        config = {
+            "workers": self.workers_per_shard,
+            "source_cache": source_cache,
+            "backend": backend,
+            "backend_config": backend_config,
+        }
+        factory = worker_factory if worker_factory is not None else ProcessShardWorker
+        self._clients = [
+            ShardClient(index, lo, hi, path, config, factory)
+            for index, ((lo, hi), path) in enumerate(
+                zip(self._plan.boundaries, shard_paths)
+            )
+        ]
+        if breaker_factory is None:
+            breaker_factory = lambda index: CircuitBreaker(  # noqa: E731
+                name=f"shard-{index}", clock=self._clock,
+            )
+        self._breakers = [breaker_factory(i) for i in range(len(self._clients))]
+        self._shard_cells: dict[tuple[int, str], object] = {}
+        self._quarantine_gauges = [
+            SHARD_QUARANTINED.labels(shard=str(i))
+            for i in range(len(self._clients))
+        ]
+        self._clients_closed = False
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> ShardPlan:
+        return self._plan
+
+    def start(self) -> None:
+        """Spawn shard workers (failures quarantine, they don't abort),
+        then the router pool."""
+        for client in self._clients:
+            if client.running:
+                continue
+            breaker = self._breakers[client.index]
+            try:
+                client.start()
+                SHARD_WORKERS.labels(shard=str(client.index)).set(
+                    float(self.workers_per_shard)
+                )
+            except ShardFailure as exc:
+                # served degraded from the fallback until a probe revives it
+                breaker.record_failure()
+                self._sync_quarantine(client.index)
+                log_event(
+                    _LOG, "shard.start_failed",
+                    shard=client.index, error=str(exc),
+                )
+        super().start()
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> bool:
+        joined = super().close(drain=drain, timeout=timeout)
+        if not self._clients_closed:
+            self._clients_closed = True
+            for client in self._clients:
+                client.close()
+                SHARD_WORKERS.labels(shard=str(client.index)).set(0.0)
+        return joined
+
+    def health(self) -> dict:
+        payload = super().health()
+        payload["shards"] = [
+            {
+                "shard": client.index,
+                "range": [client.lo, client.hi],
+                "running": client.running,
+                "quarantined": self._breakers[client.index].state
+                is not CircuitState.CLOSED,
+                "circuit": self._breakers[client.index].state.value,
+            }
+            for client in self._clients
+        ]
+        payload["workers_per_shard"] = self.workers_per_shard
+        return payload
+
+    # ------------------------------------------------------------------
+    # Shard bookkeeping
+    # ------------------------------------------------------------------
+    def _count_shard(self, index: int, outcome: str) -> None:
+        if not is_enabled():
+            return
+        cell = self._shard_cells.get((index, outcome))
+        if cell is None:
+            cell = SHARD_REQUESTS.labels(shard=str(index), outcome=outcome)
+            self._shard_cells[(index, outcome)] = cell
+        cell.inc()
+
+    def _sync_quarantine(self, index: int) -> None:
+        if is_enabled():
+            state = self._breakers[index].state
+            self._quarantine_gauges[index].set(
+                0.0 if state is CircuitState.CLOSED else 1.0
+            )
+
+    def _shard_ready(self, index: int) -> bool:
+        """Breaker + liveness gate; a half-open probe restarts the worker."""
+        breaker = self._breakers[index]
+        if not breaker.allow():
+            self._count_shard(index, "quarantined")
+            self._sync_quarantine(index)
+            return False
+        client = self._clients[index]
+        if not client.running:
+            try:
+                client.start()
+                SHARD_WORKERS.labels(shard=str(index)).set(
+                    float(self.workers_per_shard)
+                )
+            except ShardFailure as exc:
+                self._shard_failed(index, "error", exc)
+                return False
+        return True
+
+    def _shard_failed(self, index: int, outcome: str, exc: Exception) -> None:
+        self._breakers[index].record_failure()
+        self._count_shard(index, outcome)
+        self._sync_quarantine(index)
+        log_event(
+            _LOG, "shard.failed",
+            shard=index, outcome=outcome, error=str(exc),
+        )
+
+    def _shard_succeeded(self, index: int) -> None:
+        self._breakers[index].record_success()
+        self._count_shard(index, "ok")
+        self._sync_quarantine(index)
+
+    def _source_rows(self, pos_u: int):
+        """Materialise the source's rows off the parent artifact's mmap."""
+        walks_row = np.asarray(self._parent_walks[pos_u])
+        if self._parent_sw is None:
+            return (walks_row, None, None)
+        return (
+            walks_row,
+            np.asarray(self._parent_sw[pos_u]),
+            np.asarray(self._parent_sq[pos_u]),
+        )
+
+    def _gather(self, index: int, future: Future, deadline: float | None):
+        """Wait for one shard's reply within the request's budget."""
+        if deadline is None:
+            timeout = self._shard_timeout
+        else:
+            timeout = max(0.0, deadline - self._clock())
+            if self._shard_timeout is not None:
+                timeout = min(timeout, self._shard_timeout)
+        try:
+            reply = future.result(timeout)
+        except FutureTimeout as exc:
+            self._shard_failed(index, "timeout", exc)
+            raise ShardFailure(f"shard {index} missed its deadline") from exc
+        except ShardFailure as exc:
+            self._shard_failed(index, "error", exc)
+            raise
+        if reply.get("error"):
+            exc = ShardFailure(
+                f"shard {index} answered {reply.get('kind')}: {reply['error']}"
+            )
+            self._shard_failed(index, "error", exc)
+            raise exc
+        self._shard_succeeded(index)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Dispatch overrides — scatter, gather, merge
+    # ------------------------------------------------------------------
+    def _execute_group(self, group: DispatchGroup) -> None:
+        pos_u = self._node_position.get(group.u)
+        if pos_u is None:
+            exc = NodeNotFoundError(group.u)
+            for request in group.requests:
+                self._finish_error(request, exc)
+            return
+        if group.kind == KIND_SCORE:
+            self._execute_score_group_sharded(group, pos_u)
+        elif group.kind == KIND_BATCH:
+            self._execute_batch_sharded(group.requests[0], pos_u)
+        elif group.kind == KIND_TOPK:
+            self._execute_topk_sharded(group.requests[0], pos_u)
+        else:  # pragma: no cover — submission API cannot build other kinds
+            raise ValueError(f"unknown request kind {group.kind!r}")
+
+    def _scatter_scores(
+        self, pos_u: int, positions: np.ndarray, deadline: float | None
+    ):
+        """Scores for *positions*, routed by owner, fallback for failures.
+
+        Returns ``(values, degraded_mask, fallback_acquisition)`` where
+        the mask marks candidates answered by the fallback stack.
+        """
+        owners = np.searchsorted(self._range_starts, positions, side="right") - 1
+        values = np.empty(positions.size, dtype=np.float64)
+        degraded = np.zeros(positions.size, dtype=bool)
+        merge_started = self._clock()
+        in_flight: list[tuple[int, np.ndarray, Future]] = []
+        failed: list[tuple[int, np.ndarray]] = []
+        shard_ids = np.unique(owners)
+        if is_enabled():
+            SCATTER_FANOUT.observe(float(shard_ids.size))
+        for shard_id in shard_ids:
+            shard_id = int(shard_id)
+            member_idx = np.flatnonzero(owners == shard_id)
+            if not self._shard_ready(shard_id):
+                failed.append((shard_id, member_idx))
+                continue
+            try:
+                future = self._clients[shard_id].submit(
+                    OP_BATCH, pos_u, self._source_rows,
+                    positions=positions[member_idx],
+                )
+            except ShardFailure as exc:
+                self._shard_failed(shard_id, "error", exc)
+                failed.append((shard_id, member_idx))
+                continue
+            in_flight.append((shard_id, member_idx, future))
+        for shard_id, member_idx, future in in_flight:
+            try:
+                reply = self._gather(shard_id, future, deadline)
+            except ShardFailure:
+                failed.append((shard_id, member_idx))
+                continue
+            values[member_idx] = reply["values"]
+        acquisition = None
+        if failed:
+            acquisition = self.service.manager.acquire(deadline=deadline)
+            engine = acquisition.engine
+            for shard_id, member_idx in failed:
+                nodes = [self._nodes[int(p)] for p in positions[member_idx]]
+                values[member_idx] = engine.score_batch(
+                    self._nodes[pos_u], nodes
+                )
+                degraded[member_idx] = True
+        if is_enabled():
+            MERGE_LATENCY.observe(max(0.0, self._clock() - merge_started))
+        return values, degraded, acquisition
+
+    def _execute_score_group_sharded(self, group: DispatchGroup, pos_u: int) -> None:
+        live = []
+        positions = []
+        for request in group.requests:
+            pos_v = self._node_position.get(request.v)
+            if pos_v is None:
+                self._finish_error(request, NodeNotFoundError(request.v))
+            else:
+                live.append(request)
+                positions.append(pos_v)
+        if not live:
+            return
+        if len(live) > 1 and is_enabled():
+            COALESCED.inc(len(live))
+        deadline = min(
+            (r.deadline for r in live if r.deadline is not None), default=None
+        )
+        values, degraded, acquisition = self._scatter_scores(
+            pos_u, np.asarray(positions, dtype=np.int64), deadline
+        )
+        end = self._clock()
+        for i, request in enumerate(live):
+            elapsed_ms = self._finalize(request, end, bool(degraded[i]))
+            if elapsed_ms is None:
+                continue
+            _deliver(request.future, QueryResponse(
+                request.u, request.v, float(values[i]), bool(degraded[i]),
+                acquisition.retries if degraded[i] and acquisition else 0,
+                acquisition.engine.method if degraded[i] and acquisition
+                else self._method,
+                elapsed_ms,
+            ))
+
+    def _execute_batch_sharded(self, request, pos_u: int) -> None:
+        positions = []
+        for candidate in request.candidates:
+            pos_v = self._node_position.get(candidate)
+            if pos_v is None:
+                self._finish_error(request, NodeNotFoundError(candidate))
+                return
+            positions.append(pos_v)
+        values, degraded, acquisition = self._scatter_scores(
+            pos_u, np.asarray(positions, dtype=np.int64), request.deadline
+        )
+        any_degraded = bool(degraded.any())
+        end = self._clock()
+        elapsed_ms = self._finalize(request, end, any_degraded)
+        if elapsed_ms is None:
+            return
+        _deliver(request.future, BatchResponse(
+            u=request.u, candidates=request.candidates, values=values,
+            degraded=any_degraded,
+            retries=acquisition.retries if acquisition else 0,
+            method=acquisition.engine.method
+            if acquisition and any_degraded else self._method,
+            elapsed_ms=elapsed_ms,
+        ))
+
+    def _execute_topk_sharded(self, request, pos_u: int) -> None:
+        if request.candidates is not None:
+            positions = []
+            for candidate in request.candidates:
+                pos_v = self._node_position.get(candidate)
+                if pos_v is None:
+                    self._finish_error(request, NodeNotFoundError(candidate))
+                    return
+                positions.append(pos_v)
+            positions = np.asarray(positions, dtype=np.int64)
+            owners = np.searchsorted(
+                self._range_starts, positions, side="right"
+            ) - 1
+            targets = [
+                (int(shard_id), positions[np.flatnonzero(owners == shard_id)])
+                for shard_id in np.unique(owners)
+            ]
+        else:
+            targets = [(index, None) for index in range(len(self._clients))]
+
+        merge_started = self._clock()
+        if is_enabled():
+            SCATTER_FANOUT.observe(float(len(targets)))
+        fields: dict = {"k": request.k}
+        if request.batch_size is not None:
+            fields["batch_size"] = request.batch_size
+        in_flight = []
+        failed = []
+        for shard_id, shard_positions in targets:
+            if not self._shard_ready(shard_id):
+                failed.append((shard_id, shard_positions))
+                continue
+            shard_fields = dict(fields)
+            if shard_positions is not None:
+                shard_fields["positions"] = shard_positions
+            try:
+                future = self._clients[shard_id].submit(
+                    OP_TOPK, pos_u, self._source_rows, **shard_fields
+                )
+            except ShardFailure as exc:
+                self._shard_failed(shard_id, "error", exc)
+                failed.append((shard_id, shard_positions))
+                continue
+            in_flight.append((shard_id, shard_positions, future))
+
+        # (value, str(node), node) — the exact total order the unsharded
+        # heap selects under; re-selecting the global k from exact local
+        # top-k lists is therefore bit-identical to the unsharded scan.
+        entries: list[tuple[float, str, object]] = []
+        for shard_id, shard_positions, future in in_flight:
+            try:
+                reply = self._gather(shard_id, future, request.deadline)
+            except ShardFailure:
+                failed.append((shard_id, shard_positions))
+                continue
+            for position, value in reply["results"]:
+                node = self._nodes[int(position)]
+                entries.append((float(value), str(node), node))
+
+        acquisition = None
+        any_degraded = bool(failed)
+        if failed:
+            acquisition = self.service.manager.acquire(deadline=request.deadline)
+            engine = acquisition.engine
+            for shard_id, shard_positions in failed:
+                if shard_positions is None:
+                    lo, hi = self._plan.boundaries[shard_id]
+                    candidates = self._nodes[lo:hi]
+                else:
+                    candidates = [self._nodes[int(p)] for p in shard_positions]
+                kwargs = {}
+                if request.batch_size is not None:
+                    kwargs["batch_size"] = request.batch_size
+                for node, value in engine.top_k(
+                    self._nodes[pos_u], request.k, candidates=candidates,
+                    **kwargs,
+                ):
+                    entries.append((float(value), str(node), node))
+
+        top = heapq.nlargest(request.k, entries)
+        top.sort(key=lambda entry: (-entry[0], entry[1]))
+        results = tuple((node, value) for value, _, node in top)
+        if is_enabled():
+            MERGE_LATENCY.observe(max(0.0, self._clock() - merge_started))
+        end = self._clock()
+        elapsed_ms = self._finalize(request, end, any_degraded)
+        if elapsed_ms is None:
+            return
+        _deliver(request.future, TopKResponse(
+            u=request.u, k=request.k, results=results,
+            degraded=any_degraded,
+            retries=acquisition.retries if acquisition else 0,
+            method=acquisition.engine.method
+            if acquisition and any_degraded else self._method,
+            elapsed_ms=elapsed_ms,
+        ))
+
+    def __repr__(self) -> str:
+        status = "closed" if self.closed else (
+            "running" if self._pool.started else "cold"
+        )
+        quarantined = sum(
+            1 for breaker in self._breakers
+            if breaker.state is not CircuitState.CLOSED
+        )
+        return (
+            f"ShardedRuntime({status}, shards={len(self._clients)}, "
+            f"workers_per_shard={self.workers_per_shard}, "
+            f"quarantined={quarantined})"
+        )

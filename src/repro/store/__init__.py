@@ -19,6 +19,9 @@ Layers
     snapshot/restore of :class:`repro.api.QueryEngine` state;
 :mod:`repro.store.walk_io`
     the portable single-file ``.npz`` walk-tensor format;
+:mod:`repro.store.sharding`
+    node-range shard plans and per-range shard artifacts for the
+    multi-process serving runtime (:mod:`repro.sched.sharded`);
 :mod:`repro.store.hooks`
     the injectable I/O seam every disk-touching entry point gates on,
     which is what makes the failure paths deterministically testable
@@ -39,9 +42,21 @@ from repro.store.fingerprint import (
     manifest_key,
 )
 from repro.store.hooks import io_gate, io_hook_installed, set_io_hook
+from repro.store.sharding import (
+    ShardPlan,
+    shard_dir_name,
+    shard_paths_for,
+    validate_shardable,
+    write_shard_artifacts,
+)
 from repro.store.walk_io import WALK_FORMAT_VERSION, load_walks_npz, save_walks_npz
 
 __all__ = [
+    "ShardPlan",
+    "shard_dir_name",
+    "shard_paths_for",
+    "validate_shardable",
+    "write_shard_artifacts",
     "ArtifactStore",
     "StoredArtifact",
     "StoreError",

@@ -1,0 +1,233 @@
+"""Node-range sharding of persisted MC engines — the store half.
+
+A *shard plan* cuts the node axis ``[0, n)`` into contiguous ranges; a
+*shard artifact* is an ordinary content-addressed artifact (same
+``manifest.json`` + ``.npy`` layout, same atomic write and fail-closed
+read) holding the **candidate-side** slice of one range:
+
+``walks[lo:hi]``, ``step_weights[lo:hi]``, ``step_q[lo:hi]``
+    the ``O(n · n_w · t)`` tensors that dominate index size — genuinely
+    split, each row lives in exactly one shard;
+``sem_matrix``, ``so_matrix``
+    replicated whole into every shard.  The walk-score kernel indexes
+    them by the *global* node ids recorded inside the walk tensor, and
+    they are ``O(n²)`` lookups shared by every range — the documented
+    cost of keeping shards self-contained.
+
+The parent's identity fields (``method``/``graph``/``measure``/
+``params``) are copied verbatim and a ``shard`` section is added to the
+manifest — ``{"index", "num_shards", "lo", "hi", "plan", "parent"}`` —
+so a shard is self-describing: :mod:`repro.sched.shard_worker` can open
+one by path alone, and routing layers can rebuild the full
+:class:`ShardPlan` from any single shard.
+
+Source-side rows (``walks[u]`` etc. for arbitrary query nodes) are *not*
+duplicated: the router reads them from the parent artifact's mmap and
+ships them with requests (see :mod:`repro.sched.sharded`).
+
+Only ``method="mc"`` artifacts shard — the iterative engine is a dense
+``(n, n)`` score table with no per-node working set to split.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store.artifacts import StoredArtifact, StoreError, read_artifact, write_artifact
+
+#: Array names sliced by node range into each shard (when present).
+SLICED_ARRAYS = ("walks", "step_weights", "step_q")
+
+#: Array names replicated whole into each shard (when present).
+REPLICATED_ARRAYS = ("sem_matrix", "so_matrix")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous node-range partition of ``[0, num_nodes)``.
+
+    Boundaries are half-open ``(lo, hi)`` ranges, ascending, gapless and
+    non-empty — validated at construction, so every node position has
+    exactly one :meth:`owner`.
+    """
+
+    num_nodes: int
+    boundaries: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise StoreError(f"shard plan needs num_nodes >= 1, got {self.num_nodes}")
+        if not self.boundaries:
+            raise StoreError("shard plan needs at least one shard")
+        cursor = 0
+        for index, (lo, hi) in enumerate(self.boundaries):
+            if lo != cursor:
+                raise StoreError(
+                    f"shard {index} starts at {lo}, expected {cursor} — "
+                    "ranges must be contiguous and ascending"
+                )
+            if hi <= lo:
+                raise StoreError(f"shard {index} range [{lo}, {hi}) is empty")
+            cursor = hi
+        if cursor != self.num_nodes:
+            raise StoreError(
+                f"shard ranges cover [0, {cursor}) but the index has "
+                f"{self.num_nodes} nodes"
+            )
+        # owner() bisects on the range starts; precompute once.
+        object.__setattr__(self, "_starts", tuple(lo for lo, _ in self.boundaries))
+
+    @classmethod
+    def even(cls, num_nodes: int, num_shards: int) -> "ShardPlan":
+        """Near-equal contiguous split (first ``n % s`` shards one longer)."""
+        if num_shards < 1:
+            raise StoreError(f"num_shards must be >= 1, got {num_shards}")
+        if num_shards > num_nodes:
+            raise StoreError(
+                f"cannot cut {num_nodes} nodes into {num_shards} non-empty shards"
+            )
+        base, extra = divmod(num_nodes, num_shards)
+        boundaries = []
+        lo = 0
+        for index in range(num_shards):
+            hi = lo + base + (1 if index < extra else 0)
+            boundaries.append((lo, hi))
+            lo = hi
+        return cls(num_nodes, tuple(boundaries))
+
+    @classmethod
+    def from_boundaries(cls, num_nodes: int, boundaries) -> "ShardPlan":
+        """Build a (possibly uneven) plan from explicit ``(lo, hi)`` pairs."""
+        return cls(num_nodes, tuple((int(lo), int(hi)) for lo, hi in boundaries))
+
+    @classmethod
+    def from_manifest(cls, manifest: dict) -> "ShardPlan":
+        """Recover the full plan recorded in any one shard's manifest."""
+        shard = manifest.get("shard")
+        if not isinstance(shard, dict) or "plan" not in shard:
+            raise StoreError("manifest carries no shard section — not a shard artifact")
+        plan = [(int(lo), int(hi)) for lo, hi in shard["plan"]]
+        return cls(plan[-1][1], tuple(plan))
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.boundaries)
+
+    def owner(self, position: int) -> int:
+        """Index of the shard whose range contains node *position*."""
+        if not 0 <= position < self.num_nodes:
+            raise StoreError(
+                f"node position {position} outside [0, {self.num_nodes})"
+            )
+        return bisect_right(self._starts, position) - 1
+
+    def as_json(self) -> dict:
+        return {
+            "num_nodes": self.num_nodes,
+            "boundaries": [[lo, hi] for lo, hi in self.boundaries],
+        }
+
+
+def shard_dir_name(index: int) -> str:
+    """Directory name of shard *index* under a shard-set root."""
+    return f"shard-{index:04d}"
+
+
+def _shard_manifest(parent: StoredArtifact, plan: ShardPlan, index: int) -> dict:
+    lo, hi = plan.boundaries[index]
+    manifest = {
+        name: parent.manifest[name]
+        for name in ("method", "graph", "measure", "params", "meta")
+        if name in parent.manifest
+    }
+    manifest["shard"] = {
+        "index": index,
+        "num_shards": plan.num_shards,
+        "lo": lo,
+        "hi": hi,
+        "plan": [[b_lo, b_hi] for b_lo, b_hi in plan.boundaries],
+        "parent": str(parent.path),
+    }
+    return manifest
+
+
+def validate_shardable(parent: StoredArtifact) -> None:
+    """Raise :class:`StoreError` unless *parent* can be range-sharded."""
+    params = parent.meta.get("params") if isinstance(parent.meta, dict) else None
+    method = params.get("method") if isinstance(params, dict) else None
+    if method != "mc":
+        raise StoreError(
+            f"only method='mc' artifacts shard by node range, got "
+            f"method={method!r} — the iterative score table has no "
+            "per-node working set to split"
+        )
+    if "walks" not in parent.arrays:
+        raise StoreError(f"artifact at {parent.path} stores no walk tensor")
+    if "sem_matrix" in parent.arrays:
+        missing = [
+            name
+            for name in ("so_matrix", "step_weights", "step_q")
+            if name not in parent.arrays
+        ]
+        if missing:
+            raise StoreError(
+                f"semantic artifact at {parent.path} is missing precomputed "
+                f"tables {missing} — rebuild it before sharding"
+            )
+
+
+def write_shard_artifacts(
+    parent: "StoredArtifact | str | Path",
+    out_dir: "str | Path",
+    plan: "ShardPlan | int",
+) -> list[Path]:
+    """Split *parent* into per-range shard artifacts under *out_dir*.
+
+    *plan* may be a ready :class:`ShardPlan` or a shard count (even
+    split).  Each shard is written atomically to
+    ``out_dir/shard-NNNN``; the list of shard paths is returned in plan
+    order.  Slices come straight off the parent's mmap'd arrays — the
+    split re-reads nothing it does not write.
+    """
+    if not isinstance(parent, StoredArtifact):
+        parent = read_artifact(Path(parent))
+    validate_shardable(parent)
+    num_nodes = int(parent.arrays["walks"].shape[0])
+    if isinstance(plan, int):
+        plan = ShardPlan.even(num_nodes, plan)
+    if plan.num_nodes != num_nodes:
+        raise StoreError(
+            f"shard plan covers {plan.num_nodes} nodes but the walk tensor "
+            f"has {num_nodes} rows"
+        )
+    out_root = Path(out_dir)
+    out_root.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    for index, (lo, hi) in enumerate(plan.boundaries):
+        arrays = {
+            name: parent.arrays[name][lo:hi]
+            for name in SLICED_ARRAYS
+            if name in parent.arrays
+        }
+        arrays.update(
+            (name, parent.arrays[name])
+            for name in REPLICATED_ARRAYS
+            if name in parent.arrays
+        )
+        path = out_root / shard_dir_name(index)
+        write_artifact(
+            path,
+            _shard_manifest(parent, plan, index),
+            arrays,
+            documents=dict(parent.documents),
+        )
+        paths.append(path)
+    return paths
+
+
+def shard_paths_for(out_dir: "str | Path", num_shards: int) -> list[Path]:
+    """The canonical shard paths a ``write_shard_artifacts`` run produced."""
+    root = Path(out_dir)
+    return [root / shard_dir_name(index) for index in range(num_shards)]

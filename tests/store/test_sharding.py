@@ -1,0 +1,153 @@
+"""Shard plans and shard artifacts: validation, ownership, round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_hin_with_measure
+from repro.api import QueryEngine
+from repro.store import (
+    ShardPlan,
+    StoreError,
+    read_artifact,
+    shard_paths_for,
+    validate_shardable,
+    write_shard_artifacts,
+)
+from repro.store.sharding import REPLICATED_ARRAYS, SLICED_ARRAYS
+
+ENGINE_KWARGS = dict(method="mc", num_walks=20, length=6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_hin_with_measure(11, num_entities=8, extra_edges=10)
+
+
+@pytest.fixture(scope="module")
+def parent_path(model, tmp_path_factory):
+    graph, measure = model
+    engine = QueryEngine(graph, measure, **ENGINE_KWARGS)
+    path = tmp_path_factory.mktemp("shard-parent") / "parent"
+    engine.save(path)
+    return path
+
+
+class TestShardPlan:
+    def test_even_split_spreads_the_remainder(self):
+        plan = ShardPlan.even(10, 3)
+        assert plan.boundaries == ((0, 4), (4, 7), (7, 10))
+        assert plan.num_shards == 3
+
+    def test_single_shard_covers_everything(self):
+        plan = ShardPlan.even(5, 1)
+        assert plan.boundaries == ((0, 5),)
+
+    def test_more_shards_than_nodes_rejected(self):
+        with pytest.raises(StoreError, match="non-empty"):
+            ShardPlan.even(2, 3)
+
+    @pytest.mark.parametrize("boundaries", [
+        (),                       # empty
+        ((0, 3), (4, 6)),         # gap
+        ((1, 6),)                 # does not start at 0
+        , ((0, 3), (3, 3)),       # empty range
+        ((0, 3), (3, 5)),         # does not cover num_nodes=6
+    ])
+    def test_malformed_boundaries_rejected(self, boundaries):
+        with pytest.raises(StoreError):
+            ShardPlan(6, tuple(boundaries))
+
+    def test_owner_maps_every_position_exactly_once(self):
+        plan = ShardPlan.from_boundaries(10, [(0, 2), (2, 7), (7, 10)])
+        owners = [plan.owner(position) for position in range(10)]
+        assert owners == [0, 0, 1, 1, 1, 1, 1, 2, 2, 2]
+        with pytest.raises(StoreError):
+            plan.owner(10)
+        with pytest.raises(StoreError):
+            plan.owner(-1)
+
+    def test_as_json_round_trips_through_from_boundaries(self):
+        plan = ShardPlan.from_boundaries(8, [(0, 5), (5, 8)])
+        payload = plan.as_json()
+        again = ShardPlan.from_boundaries(
+            payload["num_nodes"], payload["boundaries"]
+        )
+        assert again == plan
+
+
+class TestWriteShardArtifacts:
+    def test_slices_and_replicas_round_trip(self, parent_path, tmp_path):
+        parent = read_artifact(parent_path)
+        paths = write_shard_artifacts(parent_path, tmp_path / "shards", 3)
+        assert paths == shard_paths_for(tmp_path / "shards", 3)
+        num_nodes = parent.arrays["walks"].shape[0]
+        plan = ShardPlan.even(num_nodes, 3)
+        for index, path in enumerate(paths):
+            shard = read_artifact(path)
+            lo, hi = plan.boundaries[index]
+            for name in SLICED_ARRAYS:
+                if name in parent.arrays:
+                    np.testing.assert_array_equal(
+                        shard.arrays[name], parent.arrays[name][lo:hi]
+                    )
+            for name in REPLICATED_ARRAYS:
+                if name in parent.arrays:
+                    np.testing.assert_array_equal(
+                        shard.arrays[name], parent.arrays[name]
+                    )
+            # graph document embedded, so a shard opens standalone
+            assert shard.documents["graph"] == parent.documents["graph"]
+
+    def test_manifest_records_the_full_plan(self, parent_path, tmp_path):
+        paths = write_shard_artifacts(parent_path, tmp_path / "shards", 2)
+        for index, path in enumerate(paths):
+            manifest = json.loads((path / "manifest.json").read_text())
+            shard = manifest["shard"]
+            assert shard["index"] == index
+            assert shard["num_shards"] == 2
+            assert shard["parent"] == str(parent_path)
+            assert [shard["lo"], shard["hi"]] == shard["plan"][index]
+            # identity copied verbatim from the parent
+            parent_manifest = json.loads(
+                (parent_path / "manifest.json").read_text()
+            )
+            assert manifest["graph"] == parent_manifest["graph"]
+            assert manifest["meta"]["params"] == parent_manifest["meta"]["params"]
+            # and the plan in any shard rebuilds the whole ShardPlan
+            plan = ShardPlan.from_manifest(manifest)
+            assert plan.num_shards == 2
+
+    def test_uneven_plan_is_honoured(self, parent_path, tmp_path):
+        parent = read_artifact(parent_path)
+        num_nodes = parent.arrays["walks"].shape[0]
+        plan = ShardPlan.from_boundaries(
+            num_nodes, [(0, 1), (1, num_nodes)]
+        )
+        paths = write_shard_artifacts(parent_path, tmp_path / "uneven", plan)
+        first = read_artifact(paths[0])
+        assert first.arrays["walks"].shape[0] == 1
+        second = read_artifact(paths[1])
+        assert second.arrays["walks"].shape[0] == num_nodes - 1
+
+    def test_plan_node_count_mismatch_rejected(self, parent_path, tmp_path):
+        with pytest.raises(StoreError, match="rows"):
+            write_shard_artifacts(
+                parent_path, tmp_path / "bad", ShardPlan.even(3, 2)
+            )
+
+    def test_iterative_artifact_rejected(self, model, tmp_path):
+        graph, measure = model
+        engine = QueryEngine(graph, measure, method="iterative")
+        path = tmp_path / "iterative"
+        engine.save(path)
+        with pytest.raises(StoreError, match="mc"):
+            validate_shardable(read_artifact(path))
+        with pytest.raises(StoreError, match="mc"):
+            write_shard_artifacts(path, tmp_path / "never", 2)
+
+    def test_from_manifest_rejects_unsharded_artifact(self, parent_path):
+        manifest = json.loads((parent_path / "manifest.json").read_text())
+        with pytest.raises(StoreError, match="shard"):
+            ShardPlan.from_manifest(manifest)

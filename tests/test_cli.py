@@ -289,6 +289,111 @@ class TestServe:
         ]
 
 
+class TestShardedServe:
+    """`index shard` and `serve --shards`: multi-process scatter-gather."""
+
+    @pytest.fixture(scope="class")
+    def bundle_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serve-shards") / "wn.json"
+        assert main(["generate", "wordnet", "--out", str(path), "--seed", "1"]) == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def index_path(self, bundle_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serve-shards") / "wn.idx"
+        assert main([
+            "index", "build", str(bundle_path), "--out", str(path),
+            "--method", "mc", "--walks", "30", "--length", "6", "--seed", "5",
+        ]) == 0
+        return path
+
+    def _serve(self, stdin_text, monkeypatch, capsys, *argv):
+        import io
+        import json as _json
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(stdin_text))
+        assert main(["serve", *argv]) == 0
+        out = capsys.readouterr().out
+        return [_json.loads(line) for line in out.splitlines() if line]
+
+    def test_index_shard_writes_ranged_artifacts(
+        self, index_path, tmp_path, capsys
+    ):
+        from repro.store import shard_paths_for
+
+        out_dir = tmp_path / "shards"
+        assert main([
+            "index", "shard", str(index_path),
+            "--out", str(out_dir), "--shards", "2",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "wrote 2 shard artifacts" in printed
+        assert "shard-0000" in printed and "nodes [0," in printed
+        for path in shard_paths_for(out_dir, 2):
+            assert (path / "manifest.json").is_file()
+
+    def test_serve_shards_requires_index(self, bundle_path, capsys):
+        assert main(["serve", str(bundle_path), "--shards", "2"]) == 2
+        assert "--shards requires --index" in capsys.readouterr().err
+
+    def test_sharded_serve_matches_unsharded(
+        self, index_path, monkeypatch, capsys
+    ):
+        stdin_text = "n3 n4\nBATCH n3 n4 n5 n6\nTOPK n3 3\n"
+        sharded = self._serve(
+            stdin_text, monkeypatch, capsys,
+            "--index", str(index_path),
+            "--shards", "2", "--workers-per-shard", "2",
+        )
+        plain = self._serve(
+            stdin_text, monkeypatch, capsys, "--index", str(index_path)
+        )
+        banner = sharded[0]
+        assert banner["ready"]
+        assert len(banner["shards"]) == 2
+        assert banner["workers_per_shard"] == 2
+        assert all(not shard["quarantined"] for shard in banner["shards"])
+        # responses are bit-identical to the single-process runtime
+        assert sharded[1]["value"] == plain[1]["value"]
+        assert sharded[2]["values"] == plain[2]["values"]
+        assert sharded[3]["results"] == plain[3]["results"]
+        assert not any(r["degraded"] for r in sharded[1:])
+
+    @pytest.mark.concurrency
+    def test_sigterm_drains_and_exits_zero(self, index_path):
+        import json as _json
+        import os
+        import signal as _signal
+        import subprocess
+        import sys as _sys
+
+        src = str(
+            __import__("pathlib").Path(__file__).resolve().parents[1] / "src"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve",
+             "--index", str(index_path), "--shards", "2"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, env=env, text=True,
+        )
+        try:
+            banner = _json.loads(proc.stdout.readline())
+            assert banner["ready"] and len(banner["shards"]) == 2
+            proc.stdin.write("n3 n4\n")
+            proc.stdin.flush()
+            answer = _json.loads(proc.stdout.readline())
+            assert answer["u"] == "n3" and not answer["degraded"]
+            proc.send_signal(_signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=30)
+
+
 class TestErrorPaths:
     def test_missing_bundle_file(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
