@@ -88,6 +88,7 @@ from repro.store import (
     StoreError,
     read_artifact,
     shard_paths_for,
+    validate_shard_set,
     write_shard_artifacts,
 )
 
@@ -394,7 +395,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         index_path = Path(args.index)
         shard_root = index_path.parent / f"{index_path.name}.shards-{args.shards}"
         paths = shard_paths_for(shard_root, args.shards)
-        if not all((path / "manifest.json").exists() for path in paths):
+        try:
+            # Reuse only a shard set provably split from THIS build of the
+            # index — a rebuilt artifact (new walks/seed) with stale shards
+            # would serve scores that silently diverge from the parent.
+            validate_shard_set(paths, index_path)
+        except StoreError as exc:
+            if shard_root.exists():
+                print(f"rebuilding shard artifacts: {exc}", file=sys.stderr)
             paths = write_shard_artifacts(index_path, shard_root, args.shards)
             print(f"wrote {len(paths)} shard artifacts -> {shard_root}",
                   file=sys.stderr)

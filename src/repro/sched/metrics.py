@@ -70,8 +70,11 @@ WORKER_BUSY_SECONDS = _REGISTRY.counter(
 SHARD_REQUESTS = _REGISTRY.counter(
     "shard_requests_total",
     help="Per-shard operations issued by the router, by outcome "
-    "(ok, error, timeout, quarantined — quarantined means the shard was "
-    "skipped and its key range answered from the fallback engine).",
+    "(ok, error, timeout, deadline, quarantined — timeout is a miss of "
+    "the shard_timeout liveness bound and feeds the shard's breaker; "
+    "deadline means the request's own budget ran out mid-gather, which "
+    "does not; quarantined means the shard was skipped and its key "
+    "range answered from the fallback engine).",
     labelnames=("shard", "outcome"),
 )
 SCATTER_FANOUT = _REGISTRY.histogram(

@@ -30,9 +30,13 @@ can be any node.  The walk tensor and step tables are therefore
 allocated with a few spare **slot rows** past the shard's range; the
 router ships ``(walks[u], W[u], Q[u])`` read from the parent artifact's
 mmap, the worker parks them in a slot (one per worker thread) and points
-the kernel's ``pos_u`` at it.  Shipped rows are cached in a
-:class:`SourceRowLRU` that the router mirrors move-for-move, so repeated
-hot-source requests cost no pipe bytes after the first.
+the kernel's ``pos_u`` at it.  Because a slot row's contents change from
+request to request, the kernel request carries the source's **global**
+position as its ``source_key`` — the content identity backends key their
+source-row caches on (the blocked backend's u-side key plane would
+otherwise serve one source's plane for another).  Shipped rows are cached
+in a :class:`SourceRowLRU` that the router mirrors move-for-move, so
+repeated hot-source requests cost no pipe bytes after the first.
 """
 
 from __future__ import annotations
@@ -286,6 +290,10 @@ class ShardEngine:
             theta=self.theta,
             so_matrix=self._so_matrix,
             so_lookup=None,
+            # Slot rows are rewritten in place per source, so local_u does
+            # NOT identify the row's contents — the global position does:
+            # backends that cache source-row derivations key on it.
+            source_key=pos_u,
         )
         with kernel_timer(self.backend.name, "batch_walk_scores"):
             result = self.backend.batch_walk_scores(request)

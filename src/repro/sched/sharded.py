@@ -18,8 +18,10 @@ future-based API — but the dispatch step routes through one worker
   ``tests/properties/test_shard_identity.py``.
 
 Fault isolation is per shard: every shard gets its own
-:class:`~repro.serve.CircuitBreaker`; a worker that errors, times out
-against the request's deadline, or dies trips only its breaker, and the
+:class:`~repro.serve.CircuitBreaker`; a worker that errors, misses the
+``shard_timeout`` liveness bound, or dies trips only its breaker (a
+request that merely exhausts its *own* deadline budget mid-gather does
+not — that says nothing about the shard's health), and the
 quarantined range is answered **degraded** from the fallback
 :class:`~repro.serve.IndexManager` stack (the ``service`` the runtime
 wraps) while every other range keeps serving at full fidelity.  When the
@@ -551,16 +553,31 @@ class ShardedRuntime(ServingRuntime):
         )
 
     def _gather(self, index: int, future: Future, deadline: float | None):
-        """Wait for one shard's reply within the request's budget."""
-        if deadline is None:
-            timeout = self._shard_timeout
-        else:
-            timeout = max(0.0, deadline - self._clock())
-            if self._shard_timeout is not None:
-                timeout = min(timeout, self._shard_timeout)
+        """Wait for one shard's reply within the request's budget.
+
+        Two different timeouts can expire here and only one says anything
+        about the shard's health: missing the ``shard_timeout`` *liveness*
+        bound feeds the shard's circuit breaker, while exhausting the
+        request's own deadline budget does not — the shard never got its
+        full liveness window, so a burst of tight-deadline requests must
+        not quarantine healthy shards.
+        """
+        timeout = self._shard_timeout
+        budget_bound = False
+        if deadline is not None:
+            budget = max(0.0, deadline - self._clock())
+            if timeout is None or budget < timeout:
+                timeout = budget
+                budget_bound = True
         try:
             reply = future.result(timeout)
         except FutureTimeout as exc:
+            if budget_bound:
+                self._count_shard(index, "deadline")
+                raise ShardFailure(
+                    f"shard {index} reply outlived the request's deadline "
+                    "budget"
+                ) from exc
             self._shard_failed(index, "timeout", exc)
             raise ShardFailure(f"shard {index} missed its deadline") from exc
         except ShardFailure as exc:

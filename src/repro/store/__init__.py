@@ -44,8 +44,10 @@ from repro.store.fingerprint import (
 from repro.store.hooks import io_gate, io_hook_installed, set_io_hook
 from repro.store.sharding import (
     ShardPlan,
+    parent_fingerprint,
     shard_dir_name,
     shard_paths_for,
+    validate_shard_set,
     validate_shardable,
     write_shard_artifacts,
 )
@@ -53,8 +55,10 @@ from repro.store.walk_io import WALK_FORMAT_VERSION, load_walks_npz, save_walks_
 
 __all__ = [
     "ShardPlan",
+    "parent_fingerprint",
     "shard_dir_name",
     "shard_paths_for",
+    "validate_shard_set",
     "validate_shardable",
     "write_shard_artifacts",
     "ArtifactStore",

@@ -31,6 +31,8 @@ Only ``method="mc"`` artifacts shard — the iterative engine is a dense
 
 from __future__ import annotations
 
+import hashlib
+import json
 from bisect import bisect_right
 from dataclasses import dataclass
 from pathlib import Path
@@ -135,6 +137,33 @@ def shard_dir_name(index: int) -> str:
     return f"shard-{index:04d}"
 
 
+def parent_fingerprint(parent: StoredArtifact) -> str:
+    """Content identity of *parent* as recorded by its own manifest.
+
+    Derived from the per-array sha256 digests plus the identity sections
+    (``params``/``method``/``graph``/``measure``), so it changes whenever
+    the parent is rebuilt with different content — different walks, seed,
+    or graph — **without** faulting in a single array page.  Shard
+    manifests record it at split time (``shard.parent_digest``) and
+    :func:`validate_shard_set` compares it before an existing shard set
+    is reused, so a rebuilt index can never be served from the previous
+    build's shards.
+    """
+    payload = {
+        "arrays": {
+            name: spec["sha256"]
+            for name, spec in sorted(parent.manifest.get("arrays", {}).items())
+        },
+        "identity": {
+            name: parent.manifest.get(name)
+            for name in ("method", "graph", "measure", "params")
+        },
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
 def _shard_manifest(parent: StoredArtifact, plan: ShardPlan, index: int) -> dict:
     lo, hi = plan.boundaries[index]
     manifest = {
@@ -149,6 +178,7 @@ def _shard_manifest(parent: StoredArtifact, plan: ShardPlan, index: int) -> dict
         "hi": hi,
         "plan": [[b_lo, b_hi] for b_lo, b_hi in plan.boundaries],
         "parent": str(parent.path),
+        "parent_digest": parent_fingerprint(parent),
     }
     return manifest
 
@@ -231,3 +261,44 @@ def shard_paths_for(out_dir: "str | Path", num_shards: int) -> list[Path]:
     """The canonical shard paths a ``write_shard_artifacts`` run produced."""
     root = Path(out_dir)
     return [root / shard_dir_name(index) for index in range(num_shards)]
+
+
+def validate_shard_set(
+    paths: "list[Path]", parent: "StoredArtifact | str | Path"
+) -> None:
+    """Raise :class:`StoreError` unless *paths* is a complete shard set of
+    *parent* as it exists **now**.
+
+    Checks every shard in plan order: it opens and structurally validates
+    (missing/corrupt artifacts fail closed via :func:`read_artifact`),
+    carries shard metadata with the expected index and count, and its
+    recorded ``parent_digest`` matches :func:`parent_fingerprint` of the
+    current parent.  A parent rebuilt with different walks or parameters
+    — or a shard set written before digests were recorded — therefore
+    fails validation and must be re-split; serving it would silently
+    break the sharded-vs-unsharded bit-identity guarantee.
+    """
+    if not isinstance(parent, StoredArtifact):
+        parent = read_artifact(Path(parent))
+    expected = parent_fingerprint(parent)
+    for index, path in enumerate(paths):
+        artifact = read_artifact(Path(path))
+        shard = artifact.manifest.get("shard")
+        if not isinstance(shard, dict):
+            raise StoreError(
+                f"artifact at {path} carries no shard metadata — not a "
+                "shard artifact"
+            )
+        if shard.get("index") != index or shard.get("num_shards") != len(paths):
+            raise StoreError(
+                f"shard artifact at {path} is shard "
+                f"{shard.get('index')}/{shard.get('num_shards')}, expected "
+                f"{index}/{len(paths)}"
+            )
+        if shard.get("parent_digest") != expected:
+            raise StoreError(
+                f"shard artifact at {path} was split from a different build "
+                f"of the parent index (digest "
+                f"{shard.get('parent_digest')!r} != {expected!r}) — re-run "
+                "the split so served scores stay bit-identical to the index"
+            )

@@ -215,6 +215,32 @@ class TestScatterGatherParity:
             ] == 1
 
 
+class TestBackendParity:
+    """Sharded identity must hold for every exact backend, not just numpy.
+
+    Regression for the blocked backend's u-side key-plane cache: shipped
+    source rows are parked in one slot row per worker thread, so serving
+    several *distinct* sources through the same shard rewrites that row
+    in place — a cache keyed on row position alone served the first
+    source's plane for every later one.
+    """
+
+    @pytest.mark.parametrize("backend", ["numpy", "blocked"])
+    def test_distinct_sources_through_one_slot_stay_bit_identical(
+        self, make_sharded, sharded_model, nodes, backend
+    ):
+        _, _, engine, _, _ = sharded_model
+        runtime = make_sharded(2, backend=backend)
+        sources = nodes[:5] + [nodes[0]]  # revisit after the slot moved on
+        futures = [(u, runtime.submit_batch(u, nodes)) for u in sources]
+        runtime.close(drain=True)
+        for u, future in futures:
+            np.testing.assert_array_equal(
+                np.asarray(future.result(timeout=5).values),
+                engine.score_batch(u, nodes),
+            )
+
+
 class TestFaultIsolation:
     def test_one_broken_shard_degrades_only_its_range(
         self, make_sharded, sharded_model, nodes, clock, metrics_delta
@@ -307,6 +333,43 @@ class TestFaultIsolation:
         )
         counters = metrics_delta()["counters"]
         assert counters['shard_requests_total{outcome="timeout",shard="2"}'] == 1
+
+    def test_request_deadline_exhaustion_does_not_trip_breaker(
+        self, make_sharded, sharded_model, nodes, clock, metrics_delta
+    ):
+        _, _, engine, _, _ = sharded_model
+
+        def factory(path, config):
+            if config["shard"] == 1:
+                return _BlackholeWorker(path, config)
+            return ThreadShardWorker(path, config)
+
+        # shard_timeout (the liveness bound) is far away; only the
+        # request's own 50 ms budget can expire in the gather
+        runtime = make_sharded(
+            2,
+            worker_factory=factory,
+            breaker_factory=_quarantining_breakers(clock),
+            shard_timeout=30.0,
+        )
+        future = runtime.submit_batch(nodes[0], nodes, deadline_ms=50)
+        runtime.close(drain=True)
+        response = future.result(timeout=10)
+        # the unanswered range still comes back degraded from the fallback
+        assert response.degraded
+        np.testing.assert_array_equal(
+            np.asarray(response.values), engine.score_batch(nodes[0], nodes)
+        )
+        # but budget exhaustion is not a liveness signal: the one-failure
+        # breaker must NOT have quarantined the shard
+        assert not any(s["quarantined"] for s in runtime.health()["shards"])
+        counters = metrics_delta()["counters"]
+        assert counters['shard_requests_total{outcome="deadline",shard="1"}'] == 1
+        assert not any(
+            'outcome="timeout"' in key
+            for key in counters
+            if key.startswith("shard_requests_total")
+        )
 
     def test_start_failure_quarantines_instead_of_crashing(
         self, make_sharded, nodes, clock

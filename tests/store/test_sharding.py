@@ -1,6 +1,7 @@
 """Shard plans and shard artifacts: validation, ownership, round-trips."""
 
 import json
+import shutil
 
 import numpy as np
 import pytest
@@ -10,8 +11,10 @@ from repro.api import QueryEngine
 from repro.store import (
     ShardPlan,
     StoreError,
+    parent_fingerprint,
     read_artifact,
     shard_paths_for,
+    validate_shard_set,
     validate_shardable,
     write_shard_artifacts,
 )
@@ -151,3 +154,48 @@ class TestWriteShardArtifacts:
         manifest = json.loads((parent_path / "manifest.json").read_text())
         with pytest.raises(StoreError, match="shard"):
             ShardPlan.from_manifest(manifest)
+
+
+class TestValidateShardSet:
+    """Reuse guard: a shard set must derive from the parent as it is NOW."""
+
+    def test_matching_set_passes(self, parent_path, tmp_path):
+        paths = write_shard_artifacts(parent_path, tmp_path / "shards", 2)
+        validate_shard_set(paths, parent_path)  # must not raise
+        for path in paths:
+            shard = json.loads((path / "manifest.json").read_text())["shard"]
+            assert shard["parent_digest"] == parent_fingerprint(
+                read_artifact(parent_path)
+            )
+
+    def test_rebuilt_parent_rejected(self, model, parent_path, tmp_path):
+        paths = write_shard_artifacts(parent_path, tmp_path / "shards", 2)
+        graph, measure = model
+        rebuilt = tmp_path / "rebuilt"
+        QueryEngine(
+            graph, measure, **dict(ENGINE_KWARGS, seed=99)
+        ).save(rebuilt)
+        # same node count, different walks: only the digest catches it
+        with pytest.raises(StoreError, match="different build"):
+            validate_shard_set(paths, rebuilt)
+
+    def test_predigest_shard_set_rejected(self, parent_path, tmp_path):
+        # shard sets written before digests were recorded must re-split
+        paths = write_shard_artifacts(parent_path, tmp_path / "shards", 2)
+        manifest_path = paths[0] / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["shard"]["parent_digest"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="different build"):
+            validate_shard_set(paths, parent_path)
+
+    def test_wrong_shard_count_rejected(self, parent_path, tmp_path):
+        paths = write_shard_artifacts(parent_path, tmp_path / "shards", 3)
+        with pytest.raises(StoreError, match="expected"):
+            validate_shard_set(paths[:2], parent_path)
+
+    def test_missing_shard_rejected(self, parent_path, tmp_path):
+        paths = write_shard_artifacts(parent_path, tmp_path / "shards", 2)
+        shutil.rmtree(paths[1])
+        with pytest.raises(StoreError, match="no artifact"):
+            validate_shard_set(paths, parent_path)

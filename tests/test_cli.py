@@ -360,6 +360,52 @@ class TestShardedServe:
         assert sharded[3]["results"] == plain[3]["results"]
         assert not any(r["degraded"] for r in sharded[1:])
 
+    def test_stale_shard_set_is_rebuilt_before_serving(
+        self, bundle_path, tmp_path, monkeypatch, capsys
+    ):
+        import io
+        import json as _json
+        import sys as _sys
+
+        index = tmp_path / "wn.idx"
+
+        def build(seed):
+            assert main([
+                "index", "build", str(bundle_path), "--out", str(index),
+                "--method", "mc", "--walks", "30", "--length", "6",
+                "--seed", str(seed),
+            ]) == 0
+            capsys.readouterr()
+
+        def serve_once(*extra):
+            monkeypatch.setattr(
+                _sys, "stdin", io.StringIO("BATCH n3 n4 n5 n6\n")
+            )
+            assert main(["serve", "--index", str(index), *extra]) == 0
+            captured = capsys.readouterr()
+            lines = [
+                _json.loads(line)
+                for line in captured.out.splitlines() if line
+            ]
+            return lines, captured.err
+
+        build(5)
+        _, err = serve_once("--shards", "2")
+        assert "wrote 2 shard artifacts" in err
+
+        # rebuild in place: same node count, different walks — the stale
+        # shard set must be detected and re-split, not silently served
+        build(11)
+        plain, _ = serve_once()
+        sharded, err = serve_once("--shards", "2")
+        assert "rebuilding shard artifacts" in err
+        assert sharded[1]["values"] == plain[1]["values"]
+
+        # the freshly split set is valid and gets reused without a rewrite
+        again, err = serve_once("--shards", "2")
+        assert "shard artifacts" not in err
+        assert again[1]["values"] == plain[1]["values"]
+
     @pytest.mark.concurrency
     def test_sigterm_drains_and_exits_zero(self, index_path):
         import json as _json
