@@ -101,3 +101,97 @@ def test_instrumentation_overhead_under_ceiling(bundle, show):
     # exactly the enabled rounds recorded; the paused ones left no trace
     assert recorded == batches
     assert overhead <= OVERHEAD_CEILING
+
+
+SHARDED_BATCHES_PER_ROUND = 20
+SHARDED_ROUNDS = 5
+
+
+def test_sharded_instrumentation_overhead_under_ceiling(
+    bundle, tmp_path_factory, show
+):
+    """The distributed plane on the scatter-gather path stays under 3%.
+
+    Same on-vs-paused comparison as above, but through a 2-shard
+    :class:`ShardedRuntime` with ``--timings`` semantics active: every
+    request mints a trace id, carries it through the scatter, and (when
+    recording is on) feeds the router's queue/scatter/kernel histograms.
+    Workers run on in-process threads so the margin is the observability
+    work itself, not process-spawn or pipe noise.
+    """
+    from repro.sched import ShardedRuntime, ThreadShardWorker
+    from repro.serve import IndexManager, QueryService
+    from repro.store import write_shard_artifacts
+
+    engine = QueryEngine(
+        bundle.graph, bundle.measure, method="mc", decay=DECAY,
+        num_walks=NUM_WALKS, length=LENGTH, theta=THETA, seed=7,
+    )
+    root = tmp_path_factory.mktemp("obs-sharded")
+    parent = root / "parent"
+    engine.save(parent)
+    paths = write_shard_artifacts(parent, root / "shards-2", 2)
+    service = QueryService(IndexManager(
+        bundle.graph, bundle.measure,
+        engine_kwargs=dict(
+            method="mc", decay=DECAY, num_walks=NUM_WALKS,
+            length=LENGTH, theta=THETA, seed=7,
+        ),
+    ))
+    nodes = list(bundle.graph.nodes())
+    query = bundle.entity_nodes[0]
+    candidates = [n for n in nodes if n != query][:NUM_CANDIDATES]
+
+    runtime = ShardedRuntime(
+        service, paths,
+        worker_factory=ThreadShardWorker,
+        stats_interval=None,  # scrape-driven pulls aren't part of the path
+        max_wait_us=0.0,
+        timings=True,
+    )
+
+    def run_round() -> float:
+        start = time.perf_counter()
+        for _ in range(SHARDED_BATCHES_PER_ROUND):
+            runtime.submit_batch(query, candidates).result(timeout=60)
+        return time.perf_counter() - start
+
+    try:
+        # warm-up both paths (shard engines, histogram children)
+        runtime.submit_batch(query, candidates).result(timeout=60)
+        with disabled():
+            runtime.submit_batch(query, candidates).result(timeout=60)
+
+        on_seconds: list[float] = []
+        off_seconds: list[float] = []
+        for _ in range(SHARDED_ROUNDS):
+            on_seconds.append(run_round())
+            with disabled():
+                off_seconds.append(run_round())
+    finally:
+        runtime.close(drain=True, timeout=30)
+
+    on_median = statistics.median(on_seconds)
+    off_median = statistics.median(off_seconds)
+    overhead = on_median / off_median - 1.0
+
+    lines = [
+        "Observability overhead — 2-shard scatter-gather, metrics on vs paused",
+        f"graph: aminer-like, {bundle.graph.num_nodes} nodes "
+        f"(n_w={NUM_WALKS}, t={LENGTH}, c={DECAY}, theta={THETA})",
+        f"workload: {SHARDED_ROUNDS} x {SHARDED_BATCHES_PER_ROUND} "
+        f"submit_batch round-trips, {NUM_CANDIDATES} candidates, "
+        "trace ids + timings annotations active in both modes",
+        "",
+        f"{'mode':<26} {'median s/round':>15} {'per batch (us)':>15}",
+        f"{'recording enabled':<26} {on_median:>15.4f} "
+        f"{1e6 * on_median / SHARDED_BATCHES_PER_ROUND:>15.1f}",
+        f"{'recording paused':<26} {off_median:>15.4f} "
+        f"{1e6 * off_median / SHARDED_BATCHES_PER_ROUND:>15.1f}",
+        "",
+        f"overhead: {100 * overhead:+.2f}%   "
+        f"(ceiling: {100 * OVERHEAD_CEILING:.0f}%)",
+    ]
+    show("obs_overhead_sharded", lines)
+
+    assert overhead <= OVERHEAD_CEILING

@@ -3,11 +3,14 @@
 
 Usage::
 
-    python scripts/check_metrics.py METRICS_JSON [--trace TRACE_JSONL]
+    python scripts/check_metrics.py [METRICS_JSON] [--trace TRACE_JSONL]
         [--expect-counter NAME ...] [--expect-histogram NAME ...]
+        [--prom FILE [--expect-prom REGEX ...]]
+        [--health FILE [--expect-health KEY ...]]
 
 Parses the ``--metrics-out`` dump of one ``python -m repro`` invocation
-and fails (exit 1, with a message) unless
+(or a ``/metrics?format=json`` scrape body — same shape) and fails
+(exit 1, with a message) unless
 
 * the file is valid JSON with the ``counters``/``gauges``/``histograms``
   sections;
@@ -17,13 +20,19 @@ and fails (exit 1, with a message) unless
   with count > 0, a ``+Inf`` bucket equal to that count, and a
   non-negative sum;
 * when ``--trace`` is given, the file is non-empty and every line parses
-  as a JSON object with ``span``/``wall_seconds``/``status`` fields.
+  as a JSON object with ``span``/``wall_seconds``/``status`` fields;
+* when ``--prom`` is given, the file is structurally valid Prometheus
+  text (every non-comment line is ``name{labels} value``) and every
+  ``--expect-prom`` regex matches at least one line;
+* when ``--health`` is given, the file is a JSON object carrying every
+  ``--expect-health`` key.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -58,6 +67,47 @@ def check_histogram(dump: dict, name: str) -> int:
     return sum(s["count"] for s in live)
 
 
+#: ``name{labels} value`` — the only sample-line shape the 0.0.4 text
+#: format allows (label values may contain escaped quotes).
+_PROM_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r' [0-9eE.+-]+(?:\s+[0-9]+)?$'
+)
+
+
+def check_prom(path: Path, expectations: list[str]) -> int:
+    text = path.read_text(encoding="utf-8")
+    lines = [line for line in text.splitlines() if line]
+    samples = 0
+    for i, line in enumerate(lines, 1):
+        if line.startswith("#"):
+            continue
+        if not _PROM_LINE.match(line):
+            fail(f"{path}:{i} is not a Prometheus sample line: {line!r}")
+        samples += 1
+    if samples == 0:
+        fail(f"{path} carries no Prometheus samples")
+    for pattern in expectations:
+        if not re.search(pattern, text, flags=re.MULTILINE):
+            fail(f"{path} matches no line against --expect-prom {pattern!r}")
+    return samples
+
+
+def check_health(path: Path, keys: list[str]) -> dict:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot parse health body {path}: {exc}")
+    if not isinstance(payload, dict) or not payload:
+        fail(f"health body {path} is not a non-empty JSON object")
+    for key in keys:
+        if key not in payload:
+            fail(f"health body {path} lacks the {key!r} key")
+    return payload
+
+
 def check_trace(path: Path) -> int:
     lines = path.read_text(encoding="utf-8").splitlines()
     if not lines:
@@ -75,33 +125,55 @@ def check_trace(path: Path) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("metrics", type=Path, help="--metrics-out JSON file")
+    parser.add_argument("metrics", type=Path, nargs="?", default=None,
+                        help="--metrics-out JSON file (or a JSON scrape body)")
     parser.add_argument("--trace", type=Path, default=None,
                         help="--trace-out JSONL file to validate too")
     parser.add_argument("--expect-counter", action="append", default=[],
                         metavar="NAME", help="counter that must be > 0")
     parser.add_argument("--expect-histogram", action="append", default=[],
                         metavar="NAME", help="histogram that must have counts")
+    parser.add_argument("--prom", type=Path, default=None, metavar="FILE",
+                        help="Prometheus text scrape body to validate")
+    parser.add_argument("--expect-prom", action="append", default=[],
+                        metavar="REGEX", help="pattern the --prom body "
+                        "must match (repeatable)")
+    parser.add_argument("--health", type=Path, default=None, metavar="FILE",
+                        help="/health JSON body to validate")
+    parser.add_argument("--expect-health", action="append", default=[],
+                        metavar="KEY", help="key the --health body must carry")
     args = parser.parse_args(argv)
+    if args.metrics is None and args.prom is None and args.health is None:
+        parser.error("nothing to check: give METRICS_JSON, --prom or --health")
 
-    try:
-        dump = json.loads(args.metrics.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as exc:
-        fail(f"cannot parse {args.metrics}: {exc}")
-    for section in ("counters", "gauges", "histograms"):
-        if section not in dump:
-            fail(f"{args.metrics} lacks the {section!r} section")
+    if args.metrics is not None:
+        try:
+            dump = json.loads(args.metrics.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(f"cannot parse {args.metrics}: {exc}")
+        for section in ("counters", "gauges", "histograms"):
+            if section not in dump:
+                fail(f"{args.metrics} lacks the {section!r} section")
+        for name in args.expect_counter:
+            total = check_counter(dump, name)
+            print(f"check_metrics: ok: counter {name} = {total:g}")
+        for name in args.expect_histogram:
+            count = check_histogram(dump, name)
+            print(f"check_metrics: ok: histogram {name} count = {count}")
+    elif args.expect_counter or args.expect_histogram:
+        parser.error("--expect-counter/--expect-histogram need METRICS_JSON")
 
-    for name in args.expect_counter:
-        total = check_counter(dump, name)
-        print(f"check_metrics: ok: counter {name} = {total:g}")
-    for name in args.expect_histogram:
-        count = check_histogram(dump, name)
-        print(f"check_metrics: ok: histogram {name} count = {count}")
     if args.trace is not None:
         spans = check_trace(args.trace)
         print(f"check_metrics: ok: {spans} trace spans parse")
-    print(f"check_metrics: PASS ({args.metrics})")
+    if args.prom is not None:
+        samples = check_prom(args.prom, args.expect_prom)
+        print(f"check_metrics: ok: {samples} Prometheus samples parse, "
+              f"{len(args.expect_prom)} patterns matched")
+    if args.health is not None:
+        payload = check_health(args.health, args.expect_health)
+        print(f"check_metrics: ok: health body carries {sorted(payload)}")
+    print("check_metrics: PASS")
     return 0
 
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""End-to-end scrape smoke over a live sharded ``repro serve`` session.
+
+Usage::
+
+    python scripts/run_scrape_smoke.py --index INDEX [--shards N]
+        [--prom-out FILE] [--json-out FILE] [--health-out FILE]
+        [--request LINE ...]
+
+Spawns ``python -m repro serve --index INDEX --shards N --metrics-port 0
+--timings`` as a subprocess, reads the resolved scrape port back from the
+ready banner, drives a handful of protocol requests (pair, BATCH, TOPK by
+default), and — while the session is still serving — fetches
+
+* ``/metrics`` (Prometheus text, the cross-process aggregated view),
+* ``/metrics?format=json`` (the same view, ``check_metrics.py``-shaped),
+* ``/health`` (the runtime's health snapshot as JSON),
+
+writing each body to its ``--*-out`` file for downstream assertions.
+Every response line must parse as JSON, must not be degraded, and must
+carry a 16-hex ``trace_id`` (the ``--timings`` contract).  Exit is 0 only
+if the serve subprocess itself also drains and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+DEFAULT_REQUESTS = ("n3 n4", "BATCH n3 n4 n5 n6", "TOPK n3 3")
+
+
+def fail(message: str) -> None:
+    print(f"run_scrape_smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def fetch(port: int, path: str) -> str:
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=30.0) as response:
+            return response.read().decode("utf-8")
+    except OSError as exc:
+        fail(f"scrape of {url} failed: {exc}")
+    raise AssertionError("unreachable")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--index", required=True, help="prebuilt index artifact")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--prom-out", type=Path, default=None,
+                        metavar="FILE", help="write the /metrics body here")
+    parser.add_argument("--json-out", type=Path, default=None, metavar="FILE",
+                        help="write the /metrics?format=json body here")
+    parser.add_argument("--health-out", type=Path, default=None,
+                        metavar="FILE", help="write the /health body here")
+    parser.add_argument("--request", action="append", default=[],
+                        metavar="LINE", help="protocol line to send "
+                        f"(default: {', '.join(map(repr, DEFAULT_REQUESTS))})")
+    args = parser.parse_args(argv)
+    requests = args.request or list(DEFAULT_REQUESTS)
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--index", args.index, "--shards", str(args.shards),
+         "--metrics-port", "0", "--timings"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        banner = json.loads(proc.stdout.readline())
+        if not banner.get("ready"):
+            fail(f"serve did not come up ready: {banner}")
+        port = banner.get("metrics_port")
+        if not port:
+            fail(f"banner carries no metrics_port: {banner}")
+        print(f"run_scrape_smoke: serving {args.shards} shards, "
+              f"scrape endpoint on port {port}")
+
+        for line in requests:
+            proc.stdin.write(line + "\n")
+            proc.stdin.flush()
+            response = json.loads(proc.stdout.readline())
+            if "error" in response:
+                fail(f"request {line!r} answered with {response}")
+            if response.get("degraded"):
+                fail(f"request {line!r} served degraded: {response}")
+            trace_id = response.get("trace_id", "")
+            if len(trace_id) != 16:
+                fail(f"request {line!r} lacks a trace id: {response}")
+            print(f"run_scrape_smoke: ok: {line!r} -> trace {trace_id}")
+
+        # scrape while the session is live — this is the whole point
+        bodies = {
+            "prom": fetch(port, "/metrics"),
+            "json": fetch(port, "/metrics?format=json"),
+            "health": fetch(port, "/health"),
+        }
+        if "# TYPE" not in bodies["prom"]:
+            fail("/metrics body is not Prometheus text")
+        json.loads(bodies["json"])
+        if "circuit" not in json.loads(bodies["health"]):
+            fail(f"/health body lacks the health payload: {bodies['health']}")
+        for key, out in (("prom", args.prom_out), ("json", args.json_out),
+                         ("health", args.health_out)):
+            if out is not None:
+                out.write_text(bodies[key], encoding="utf-8")
+                print(f"run_scrape_smoke: wrote /{key} body -> {out}")
+
+        proc.stdin.close()  # EOF: graceful drain
+        code = proc.wait(timeout=120)
+        if code != 0:
+            fail(f"serve exited {code}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+    print("run_scrape_smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,8 +46,13 @@ Observability (see ``docs/observability.md``): ``query``, ``topk`` and
 ``index build`` take ``--log-json`` (structured JSON logs on stderr),
 ``--trace-out PATH`` (JSON-lines span traces) and ``--metrics-out PATH``
 (dump the metrics registry as JSON when the command finishes; ``-`` means
-stdout).  ``metrics dump`` renders the registry on demand in JSON or
-Prometheus text format.
+stdout — except under ``serve``, whose stdout is the protocol stream, so
+``-`` routes the dump to stderr there).  ``serve`` additionally takes
+``--metrics-port N`` (a live ``/metrics`` + ``/health`` scrape endpoint,
+aggregated across shard worker processes) and ``--timings`` (annotate
+every response with its ``trace_id`` and a per-request latency
+breakdown).  ``metrics dump`` renders the registry on demand in JSON or
+Prometheus text format, or scrapes a live server with ``--scrape``.
 """
 
 from __future__ import annotations
@@ -74,6 +79,7 @@ from repro.datasets import (
 from repro.datasets.io import load_bundle_json, save_bundle_json
 from repro.errors import ConfigurationError, GraphError
 from repro.obs.export import render_json, render_prometheus
+from repro.obs.http import MetricsServer
 from repro.obs.logging import configure_logging
 from repro.obs.trace import set_trace_writer
 from repro.sched import Overloaded, ServingRuntime, ShardedRuntime
@@ -416,6 +422,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_wait_us=args.max_wait_us,
             queue_depth=args.queue_depth,
             backend=args.backend,
+            timings=args.timings,
         )
     else:
         runtime = ServingRuntime(
@@ -424,8 +431,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_wait_us=args.max_wait_us,
             queue_depth=args.queue_depth,
+            timings=args.timings,
         )
-    print(json.dumps({"ready": True, **runtime.health()}), flush=True)
+    metrics_server = None
+    banner_extra = {}
+    if args.metrics_port is not None:
+        metrics_server = MetricsServer(
+            render=_serve_metrics_renderer(runtime),
+            health=runtime.health,
+            port=args.metrics_port,
+        ).start()
+        # the resolved port leads the banner so scrape drivers can bind
+        # port 0 and read the real one back
+        banner_extra["metrics_port"] = metrics_server.port
+    print(json.dumps({"ready": True, **banner_extra, **runtime.health()}),
+          flush=True)
 
     # In-order pipelining: the printer thread blocks on the head entry's
     # future, so responses stream back in request order while later
@@ -474,11 +494,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         entries.put(_SERVE_DONE)
         runtime.drain()     # completes every admitted future
         printer.join()      # flushes every pending response, in order
+        if metrics_server is not None:
+            metrics_server.close()
+        _flush_serve_metrics(args, runtime)
     return 0
 
 
+def _serve_metrics_renderer(runtime: ServingRuntime):
+    """The ``/metrics`` body producer for one serve runtime.
+
+    Sharded runtimes render the merged view — the router's registry plus
+    every worker's folded, ``shard``-labelled series, with fresh deltas
+    pulled per scrape; unsharded runtimes render the live registry.
+    """
+    def _render(fmt: str) -> str:
+        snapshot = (
+            runtime.merged_snapshot()
+            if isinstance(runtime, ShardedRuntime) else None
+        )
+        if fmt == "json":
+            return render_json(snapshot=snapshot) + "\n"
+        return render_prometheus(snapshot=snapshot)
+
+    return _render
+
+
+def _flush_serve_metrics(args: argparse.Namespace, runtime: ServingRuntime) -> None:
+    """Serve owns its ``--metrics-out`` dump; the generic finalizer must not.
+
+    Two reasons: the dump must be the *merged* view for a sharded runtime
+    (the drain already pulled each worker's final delta), and ``-`` must
+    route to **stderr** — serve's stdout is the protocol stream, and a
+    JSON registry dump appended to it corrupts the last response a client
+    reads.
+    """
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is None:
+        return
+    args.metrics_out = None  # disarm _finalize_observability's dump
+    snapshot = (
+        runtime.merged_snapshot(pull=False)
+        if isinstance(runtime, ShardedRuntime) else None
+    )
+    text = render_json(snapshot=snapshot) + "\n"
+    if metrics_out == "-":
+        sys.stderr.write(text)
+    else:
+        Path(metrics_out).write_text(text, encoding="utf-8")
+
+
 def _cmd_metrics_dump(args: argparse.Namespace) -> int:
-    text = render_json() if args.format == "json" else render_prometheus()
+    if args.scrape is not None:
+        import urllib.request
+
+        url = f"http://{args.scrape}/metrics"
+        if args.format == "json":
+            url += "?format=json"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                text = response.read().decode("utf-8")
+        except OSError as exc:
+            print(f"error: scrape of {url} failed: {exc}", file=sys.stderr)
+            return 2
+    else:
+        text = render_json() if args.format == "json" else render_prometheus()
     if not text.endswith("\n"):
         text += "\n"
     if args.out == "-":
@@ -715,6 +794,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers-per-shard", type=int, default=1, metavar="M",
         help="worker threads inside each shard process (default: 1)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="N",
+        help="serve /metrics (Prometheus, aggregated across shard worker "
+             "processes) and /health on 127.0.0.1:N (0 = ephemeral port, "
+             "printed in the ready banner; default: no endpoint)",
+    )
+    serve.add_argument(
+        "--timings", action="store_true",
+        help="annotate every response with its trace_id and a "
+             "{queue_us, scatter_us, kernel_us, merge_us} latency "
+             "breakdown (off by default: protocol output stays "
+             "byte-stable)",
+    )
     add_engine_options(
         serve, serving=True,
         workers_help="serving worker threads pulling micro-batches "
@@ -752,6 +844,12 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_dump.add_argument(
         "--out", default="-", metavar="PATH",
         help="output path ('-' = stdout)",
+    )
+    metrics_dump.add_argument(
+        "--scrape", default=None, metavar="HOST:PORT",
+        help="fetch the rendering from a live 'repro serve "
+             "--metrics-port' endpoint instead of this process's "
+             "(empty) registry",
     )
     metrics_dump.set_defaults(func=_cmd_metrics_dump)
 

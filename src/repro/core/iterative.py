@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.metrics import ENGINE_FINAL_RESIDUAL
 from repro.errors import ConfigurationError
 from repro.hin.graph import HIN, Node
 from repro.obs.registry import get_registry, is_enabled
@@ -237,6 +238,10 @@ def iterate_fixed_point(
             if trace.max_absolute_diff[-1] < tolerance:
                 converged = True
                 break
+    if is_enabled() and trace.max_absolute_diff:
+        ENGINE_FINAL_RESIDUAL.labels(engine="iterative").set(
+            trace.max_absolute_diff[-1]
+        )
     return FixedPointResult(nodes, current, trace, converged)
 
 

@@ -54,6 +54,7 @@ from repro.backends import (
     kernel_timer,
     resolve_backend,
 )
+from repro.core.metrics import ENGINE_EFFECTIVE_WALKS, ENGINE_WALK_COUNT
 from repro.core.params import validate_decay, validate_theta
 from repro.core.walk_index import WalkIndex, WalkPolicy
 from repro.errors import ConfigurationError
@@ -233,6 +234,31 @@ class EstimatorStats:
         return NotImplemented
 
 
+class AccuracyGauges:
+    """Pre-resolved accuracy gauge children for one MC estimator.
+
+    One instance per estimator (same lifetime pattern as the stats
+    mirror); :meth:`update` refreshes ``engine_walk_count`` and
+    ``engine_effective_walks`` after a batch — the gauges describe the
+    *latest* batch, which is the operator-facing "how trustworthy was
+    that answer" reading, not a lifetime aggregate.
+    """
+
+    __slots__ = ("_walks", "_effective")
+
+    def __init__(self, estimator: str) -> None:
+        self._walks = ENGINE_WALK_COUNT.labels(engine="mc", estimator=estimator)
+        self._effective = ENGINE_EFFECTIVE_WALKS.labels(
+            engine="mc", estimator=estimator
+        )
+
+    def update(self, num_walks: int, walks_met: int, pairs: int) -> None:
+        if pairs <= 0 or not is_enabled():
+            return
+        self._walks.set(float(num_walks))
+        self._effective.set(walks_met / pairs)
+
+
 class MonteCarloSimRank:
     """Classical MC SimRank over a :class:`WalkIndex` (Section 4.1).
 
@@ -253,6 +279,7 @@ class MonteCarloSimRank:
         self.decay = validate_decay(decay)
         self.backend = resolve_backend(backend, backend_config)
         self.stats = EstimatorStats(method="mc", estimator="simrank")
+        self._accuracy = AccuracyGauges("simrank")
 
     def similarity(self, u: Node, v: Node) -> float:
         """Return the MC SimRank estimate ``(1/n_w) * sum c^tau``."""
@@ -288,6 +315,7 @@ class MonteCarloSimRank:
             walks_examined=int((~identity).sum()) * index.num_walks,
             walks_met=int(met.sum()),
         )
+        self._accuracy.update(index.num_walks, int(met.sum()), m)
         with kernel_timer(self.backend.name, "simrank_scores"):
             scores = self.backend.simrank_scores(
                 meetings, met, self.decay, index.num_walks
@@ -343,6 +371,7 @@ class MonteCarloSemSim:
         self.pair_index = pair_index
         self.backend = resolve_backend(backend, backend_config)
         self.stats = EstimatorStats(method="mc", estimator="semsim")
+        self._accuracy = AccuracyGauges("semsim")
         graph_index = walk_index.index
         self._nodes = graph_index.nodes
         self._in_lists = graph_index.in_lists
@@ -767,6 +796,9 @@ class MonteCarloSemSim:
             walks_met=result.walks_met,
             so_evaluations=result.so_evaluations,
             walks_pruned=result.walks_pruned,
+        )
+        self._accuracy.update(
+            self.walk_index.num_walks, result.walks_met, int(positions.size)
         )
         return result.totals
 

@@ -8,8 +8,15 @@ observable in-process, with zero dependencies beyond the standard library:
     a process-wide metrics registry — thread-safe, label-aware counters,
     gauges and fixed-bucket histograms (``method``/``measure``/``phase``
     style labels, bounded cardinality);
+:mod:`repro.obs.aggregate`
+    mergeable registry snapshots — the exact (bucket-wise) fold that
+    aggregates shard-worker registries into the router's view;
 :mod:`repro.obs.export`
-    JSON and Prometheus text-exposition renderers over the registry;
+    JSON and Prometheus text-exposition renderers over the registry or
+    an aggregated snapshot;
+:mod:`repro.obs.http`
+    a stdlib HTTP scrape endpoint (``/metrics``, ``/health``) for live
+    serving processes;
 :mod:`repro.obs.trace`
     ``span("walk_index.build", **attrs)`` timing contexts that record
     wall/CPU time, nest per thread, feed ``<name>_seconds`` histograms and
@@ -23,7 +30,17 @@ span recording entirely for overhead-sensitive measurement windows (see
 ``benchmarks/bench_obs_overhead.py``).
 """
 
+from repro.obs.aggregate import (
+    SnapshotError,
+    collect_snapshot,
+    empty_snapshot,
+    fold_snapshot,
+    merge_snapshots,
+    snapshot_as_dict,
+    snapshot_diff,
+)
 from repro.obs.export import render_json, render_prometheus
+from repro.obs.http import MetricsServer
 from repro.obs.logging import (
     JsonLogFormatter,
     configure_logging,
@@ -43,7 +60,17 @@ from repro.obs.registry import (
     set_enabled,
     snapshot_delta,
 )
-from repro.obs.trace import Span, current_span, set_trace_writer, span, trace_to
+from repro.obs.trace import (
+    Span,
+    current_span,
+    current_span_id,
+    current_trace_id,
+    new_trace_id,
+    set_trace_writer,
+    span,
+    trace_scope,
+    trace_to,
+)
 
 __all__ = [
     "Counter",
@@ -58,9 +85,21 @@ __all__ = [
     "disabled",
     "render_json",
     "render_prometheus",
+    "collect_snapshot",
+    "SnapshotError",
+    "empty_snapshot",
+    "snapshot_diff",
+    "fold_snapshot",
+    "merge_snapshots",
+    "snapshot_as_dict",
+    "MetricsServer",
     "Span",
     "span",
     "current_span",
+    "current_span_id",
+    "current_trace_id",
+    "new_trace_id",
+    "trace_scope",
     "set_trace_writer",
     "trace_to",
     "JsonLogFormatter",

@@ -11,22 +11,43 @@ Two stable output formats for the same registry state:
   deterministic (sorted) label ordering, and for histograms the cumulative
   ``_bucket{le=...}`` series ending at ``le="+Inf"`` plus the ``_sum`` and
   ``_count`` series, with ``+Inf``'s cumulative count equal to ``_count``.
+
+Both renderers also accept a mergeable *snapshot* (see
+:mod:`repro.obs.aggregate`) instead of a live registry — that is how the
+sharded runtime's aggregated view (router + shard-labelled worker series)
+reaches ``--metrics-out``, ``repro metrics dump`` and the ``/metrics``
+scrape endpoint in exactly the same two formats.
 """
 
 from __future__ import annotations
 
 import json
 import math
+from typing import Mapping
 
+from repro.obs.aggregate import snapshot_as_dict
 from repro.obs.registry import Histogram, MetricsRegistry, get_registry
 
 __all__ = ["render_json", "render_prometheus"]
 
 
-def render_json(registry: MetricsRegistry | None = None, indent: int | None = 2) -> str:
-    """Serialise *registry* (default: the process registry) as JSON text."""
-    registry = registry if registry is not None else get_registry()
-    return json.dumps(registry.as_dict(), indent=indent, sort_keys=True)
+def render_json(
+    registry: MetricsRegistry | None = None,
+    indent: int | None = 2,
+    *,
+    snapshot: Mapping | None = None,
+) -> str:
+    """Serialise *registry* (default: the process registry) as JSON text.
+
+    Passing *snapshot* renders that aggregated snapshot instead — same
+    JSON shape, so consumers cannot tell the difference.
+    """
+    if snapshot is not None:
+        payload = snapshot_as_dict(snapshot)
+    else:
+        registry = registry if registry is not None else get_registry()
+        payload = registry.as_dict()
+    return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 def _escape_help(text: str) -> str:
@@ -58,8 +79,33 @@ def _format_number(value: float) -> str:
     return repr(value)
 
 
-def render_prometheus(registry: MetricsRegistry | None = None) -> str:
-    """Render *registry* (default: the process registry) as exposition text."""
+def _render_histogram_sample(
+    lines: list[str],
+    name: str,
+    labels: dict[str, str],
+    cumulative: list[tuple[float, int]],
+    total: float,
+    count: int,
+) -> None:
+    for bound, running in cumulative:
+        le = _render_labels(labels, extra=("le", _format_number(bound)))
+        lines.append(f"{name}_bucket{le} {running}")
+    suffix = _render_labels(labels)
+    lines.append(f"{name}_sum{suffix} {_format_number(total)}")
+    lines.append(f"{name}_count{suffix} {count}")
+
+
+def render_prometheus(
+    registry: MetricsRegistry | None = None,
+    *,
+    snapshot: Mapping | None = None,
+) -> str:
+    """Render *registry* (default: the process registry) as exposition text.
+
+    Passing *snapshot* renders that aggregated snapshot instead.
+    """
+    if snapshot is not None:
+        return _render_prometheus_snapshot(snapshot)
     registry = registry if registry is not None else get_registry()
     lines: list[str] = []
     for family in registry.families():
@@ -68,18 +114,43 @@ def render_prometheus(registry: MetricsRegistry | None = None) -> str:
         lines.append(f"# TYPE {family.name} {family.kind}")
         if isinstance(family, Histogram):
             for labels, child in family.samples():
-                for bound, cumulative in child.cumulative_buckets():
-                    le = _render_labels(labels, extra=("le", _format_number(bound)))
-                    lines.append(f"{family.name}_bucket{le} {cumulative}")
-                suffix = _render_labels(labels)
-                lines.append(
-                    f"{family.name}_sum{suffix} {_format_number(child.sum)}"
+                _render_histogram_sample(
+                    lines, family.name, labels,
+                    child.cumulative_buckets(), child.sum, child.count,
                 )
-                lines.append(f"{family.name}_count{suffix} {child.count}")
         else:
             for labels, child in family.samples():
                 suffix = _render_labels(labels)
                 lines.append(
                     f"{family.name}{suffix} {_format_number(child.value)}"
                 )
+    return "\n".join(lines) + "\n"
+
+
+def _render_prometheus_snapshot(snapshot: Mapping) -> str:
+    families = snapshot.get("families", {})
+    lines: list[str] = []
+    for name in sorted(families):
+        entry = families[name]
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(entry['help'])}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        if entry["kind"] == "histogram":
+            bounds = [float(b) for b in entry.get("buckets", ())]
+            for sample in entry["samples"]:
+                cumulative: list[tuple[float, int]] = []
+                running = 0
+                for bound, count in zip(
+                    (*bounds, float("inf")), sample["counts"]
+                ):
+                    running += count
+                    cumulative.append((bound, running))
+                _render_histogram_sample(
+                    lines, name, sample["labels"],
+                    cumulative, sample["sum"], sample["count"],
+                )
+        else:
+            for sample in entry["samples"]:
+                suffix = _render_labels(sample["labels"])
+                lines.append(f"{name}{suffix} {_format_number(sample['value'])}")
     return "\n".join(lines) + "\n"

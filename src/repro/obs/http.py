@@ -1,0 +1,167 @@
+"""Live metrics exposition over stdlib HTTP — the scrape endpoint.
+
+:class:`MetricsServer` runs a :class:`http.server.ThreadingHTTPServer`
+on a daemon thread and serves two read-only endpoints:
+
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4) of whatever the
+    installed *render* callback produces — for ``repro serve`` that is
+    the **aggregated** view: the router's registry plus every shard
+    worker's folded, ``shard``-labelled series.  ``?format=json``
+    returns the same state in the ``--metrics-out`` JSON shape instead.
+``GET /health``
+    The serving health snapshot as JSON — the same payload the stdin
+    protocol's ``HEALTH`` line prints, without touching the protocol
+    stream.
+
+The server binds ``127.0.0.1`` by default (an operational plane, not a
+public API) and accepts port ``0`` for an ephemeral port — read the
+resolved one back from :attr:`MetricsServer.port`, which is how the CI
+scrape-smoke driver and the tests avoid port collisions.
+
+Provider errors never kill the serving process: a callback that raises
+answers ``500`` with the error text and the next scrape tries again.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.logging import get_logger, log_event
+
+__all__ = ["MetricsServer", "PROMETHEUS_CONTENT_TYPE"]
+
+_LOG = get_logger("obs.http")
+
+#: The exposition-format content type Prometheus scrapers expect.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve ``/metrics`` and ``/health`` from background daemon threads.
+
+    Parameters
+    ----------
+    render:
+        ``render(fmt) -> str`` with ``fmt`` in ``{"prom", "json"}`` —
+        produces the metrics body.  Called per scrape, so a sharded
+        runtime can pull fresh worker deltas lazily.
+    health:
+        Optional ``() -> dict`` producing the ``/health`` JSON payload;
+        absent, ``/health`` answers 404.
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port (see
+        :attr:`port`).
+    """
+
+    def __init__(
+        self,
+        *,
+        render: Callable[[str], str],
+        health: Callable[[], dict] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self._health = health
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+                outer._handle(self)
+
+            def log_message(self, *_args) -> None:
+                pass  # scrapes are per-interval noise; stay silent
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (the resolved one when constructed with 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        parsed = urlparse(request.path)
+        try:
+            if parsed.path == "/metrics":
+                fmt = parse_qs(parsed.query).get("format", ["prom"])[0]
+                if fmt not in ("prom", "json"):
+                    self._answer(
+                        request, 400, "text/plain; charset=utf-8",
+                        f"unknown format {fmt!r}; use 'prom' or 'json'\n",
+                    )
+                    return
+                body = self._render(fmt)
+                content_type = (
+                    "application/json" if fmt == "json"
+                    else PROMETHEUS_CONTENT_TYPE
+                )
+                self._answer(request, 200, content_type, body)
+            elif parsed.path == "/health" and self._health is not None:
+                body = json.dumps(self._health(), sort_keys=True, default=str)
+                self._answer(request, 200, "application/json", body + "\n")
+            else:
+                self._answer(
+                    request, 404, "text/plain; charset=utf-8",
+                    "not found; endpoints: /metrics /health\n",
+                )
+        except Exception as exc:  # noqa: BLE001 — a scrape must not kill serving
+            log_event(_LOG, "obs.scrape_failed", path=parsed.path, error=str(exc))
+            try:
+                self._answer(
+                    request, 500, "text/plain; charset=utf-8",
+                    f"internal error: {exc}\n",
+                )
+            except OSError:  # pragma: no cover — scraper hung up mid-error
+                pass
+
+    @staticmethod
+    def _answer(
+        request: BaseHTTPRequestHandler, status: int, content_type: str, body: str
+    ) -> None:
+        payload = body.encode("utf-8")
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(payload)))
+        request.end_headers()
+        request.wfile.write(payload)
+
+    def start(self) -> "MetricsServer":
+        """Start serving on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name=f"repro-metrics-http-{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting scrapes and release the socket."""
+        thread = self._thread
+        if thread is not None:
+            self._thread = None
+            self._server.shutdown()
+            thread.join(timeout=5.0)
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "serving" if self._thread is not None else "stopped"
+        return f"MetricsServer({self.host}:{self.port}, {state})"

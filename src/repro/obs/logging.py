@@ -11,7 +11,10 @@ human-readable or as JSON lines via :class:`JsonLogFormatter`.
 becomes both the message and an ``event`` field, and every keyword rides
 along as a first-class JSON field (``logging``'s ``extra`` mechanism), so
 downstream collectors can filter on ``event == "legacy_kwarg"`` instead of
-regex-ing message strings.
+regex-ing message strings.  When a request trace context is active
+(:func:`repro.obs.trace.trace_scope`), every event automatically carries
+its ``trace_id``, so one slow query's log lines and trace spans join on
+the same id across the router and its shard workers.
 """
 
 from __future__ import annotations
@@ -20,6 +23,8 @@ import json
 import logging
 import sys
 from typing import IO
+
+from repro.obs.trace import current_trace_id
 
 __all__ = [
     "JsonLogFormatter",
@@ -127,7 +132,12 @@ def log_event(
 
     The *event* name doubles as the human-readable message; *fields*
     become top-level JSON attributes via ``extra``.  Records are cheap
-    no-ops unless a handler is listening at *level*.
+    no-ops unless a handler is listening at *level*.  An active trace
+    context contributes a ``trace_id`` field (an explicit keyword wins).
     """
     if logger.isEnabledFor(level):
+        if "trace_id" not in fields:
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                fields["trace_id"] = trace_id
         logger.log(level, event, extra={"event": event, **fields})

@@ -22,6 +22,22 @@ Nesting is tracked per thread: spans opened inside another span on the
 same thread record their depth and parent; worker-pool threads (e.g. the
 sharded walk-index build) start their own stacks at depth 0.
 
+Request-scoped trace context
+----------------------------
+:func:`trace_scope` activates a ``contextvars``-based trace context —
+a ``trace_id`` naming one logical request end-to-end and the
+``span_id`` of the innermost open span.  While a context is active,
+every span drawn inside it (on the same thread, or on any thread/process
+that re-activates the same ids) carries ``trace_id``/``span_id``/
+``parent_span_id`` in its JSON trace line, and :func:`current_trace_id`
+lets structured log records stamp the same id.  The sharded serving
+stack uses exactly this: the router stamps a trace id at admission,
+re-activates it on the dispatching worker thread, ships
+``(trace_id, span_id)`` in every pipe message, and the shard worker
+re-roots its spans under the router's span — one slow query becomes one
+reconstructable tree across processes.  Outside a scope, span ids are
+not even generated, so the preprocessing paths pay nothing.
+
 When recording is paused (:func:`repro.obs.registry.set_enabled`), spans
 still run their body and still time themselves, but skip the histogram
 observation and the trace line — the measurement window of
@@ -30,7 +46,10 @@ observation and the trace line — the measurement window of
 
 from __future__ import annotations
 
+import contextvars
+import itertools
 import json
+import os
 import re
 import threading
 import time
@@ -51,9 +70,68 @@ __all__ = [
     "set_trace_writer",
     "trace_to",
     "histogram_name_for",
+    "trace_scope",
+    "current_trace_id",
+    "current_span_id",
+    "new_trace_id",
 ]
 
 _stack_local = threading.local()
+
+# (trace_id, span_id) of the active request context, or None.  A
+# ContextVar survives contextvars-aware executors; plain threads (the
+# worker pool, shard processes) re-activate it explicitly via
+# trace_scope(), which is how the ids cross the pipe.
+_trace_var: contextvars.ContextVar[tuple[str, str | None] | None] = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+# Process-unique prefix + atomic counter: cheap (no per-request urandom
+# syscall) and unique across the router and its forked shard workers.
+_ID_PREFIX = os.urandom(4).hex()
+_id_counter = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A process-unique 16-hex-char trace id (prefix + sequence)."""
+    return f"{_ID_PREFIX}{next(_id_counter) & 0xFFFFFFFF:08x}"
+
+
+def new_span_id() -> str:
+    """A process-unique 12-hex-char span id."""
+    return f"{_ID_PREFIX[:4]}{next(_id_counter) & 0xFFFFFFFF:08x}"
+
+
+def current_trace_id() -> str | None:
+    """The active request's trace id, or ``None`` outside a scope."""
+    context = _trace_var.get()
+    return context[0] if context is not None else None
+
+
+def current_span_id() -> str | None:
+    """The innermost active span id in this context, or ``None``."""
+    context = _trace_var.get()
+    return context[1] if context is not None else None
+
+
+@contextmanager
+def trace_scope(
+    trace_id: str | None = None, parent_span_id: str | None = None
+) -> Iterator[str]:
+    """Activate a trace context; yields the (possibly generated) trace id.
+
+    With no arguments a fresh ``trace_id`` is minted — the admission
+    side.  Re-activating with an existing ``(trace_id, parent_span_id)``
+    pair — a worker thread picking up a queued request, a shard process
+    handling a pipe message — re-roots spans opened inside the scope
+    under that parent.
+    """
+    resolved = trace_id if trace_id is not None else new_trace_id()
+    token = _trace_var.set((resolved, parent_span_id))
+    try:
+        yield resolved
+    finally:
+        _trace_var.reset(token)
 
 _writer: IO[str] | None = None
 _writer_owned = False
@@ -88,7 +166,8 @@ class Span:
         "name", "attrs", "labels", "record",
         "wall_seconds", "cpu_seconds", "status", "error",
         "depth", "parent_name",
-        "_start_ts", "_wall0", "_cpu0",
+        "trace_id", "span_id", "parent_span_id",
+        "_start_ts", "_wall0", "_cpu0", "_context_token",
     )
 
     def __init__(
@@ -108,12 +187,23 @@ class Span:
         self.error: str | None = None
         self.depth = 0
         self.parent_name: str | None = None
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_span_id: str | None = None
+        self._context_token = None
 
     def __enter__(self) -> "Span":
         stack = _stack()
         self.depth = len(stack)
         self.parent_name = stack[-1].name if stack else None
         stack.append(self)
+        context = _trace_var.get()
+        if context is not None:
+            # inside a request scope: join the trace and become the
+            # innermost span for anything opened in our dynamic extent
+            self.trace_id, self.parent_span_id = context
+            self.span_id = new_span_id()
+            self._context_token = _trace_var.set((self.trace_id, self.span_id))
         self._start_ts = time.time()
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
@@ -122,6 +212,9 @@ class Span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.wall_seconds = time.perf_counter() - self._wall0
         self.cpu_seconds = time.process_time() - self._cpu0
+        if self._context_token is not None:
+            _trace_var.reset(self._context_token)
+            self._context_token = None
         stack = _stack()
         if stack and stack[-1] is self:
             stack.pop()
@@ -162,6 +255,11 @@ class Span:
         }
         if self.parent_name is not None:
             payload["parent"] = self.parent_name
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+            payload["span_id"] = self.span_id
+            if self.parent_span_id is not None:
+                payload["parent_span_id"] = self.parent_span_id
         if self.error is not None:
             payload["error"] = self.error
         if self.labels:

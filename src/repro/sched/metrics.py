@@ -93,6 +93,15 @@ SHARD_WORKERS = _REGISTRY.gauge(
     help="Worker threads serving one shard process, by shard.",
     labelnames=("shard",),
 )
+STATS_PULLS = _REGISTRY.counter(
+    "shard_stats_pulls_total",
+    help="Worker-registry snapshot pulls by the router, by outcome "
+    "(ok, skipped, error, timeout).  Pull failures never feed the shard "
+    "breakers — a slow stats reply says nothing about query health; "
+    "skipped means the worker shares the router's process registry "
+    "(thread-hosted test seam), whose samples are already counted.",
+    labelnames=("outcome",),
+)
 SHARD_QUARANTINED = _REGISTRY.gauge(
     "shard_quarantined",
     help="1 while the shard's circuit is refusing traffic and its key "

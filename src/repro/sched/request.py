@@ -9,9 +9,12 @@ needed to serve the request far from the submitting thread:
   at submission so queue time counts against the budget),
 * the admission timestamp (queue-wait accounting),
 * a :class:`concurrent.futures.Future` the submitter holds the other end
-  of, and
+  of,
 * a monotonically increasing *seq* that makes every schedule decision
-  deterministic (FIFO pop order, coalescing group order, tie-breaks).
+  deterministic (FIFO pop order, coalescing group order, tie-breaks), and
+* the router-assigned ``trace_id`` stamped at admission — the id every
+  span and structured log record emitted for this request carries, all
+  the way into the shard worker processes.
 """
 
 from __future__ import annotations
@@ -42,6 +45,8 @@ class ScheduledRequest:
     batch_size: int | None = None
     deadline: float | None = None       # absolute, runtime clock domain
     deadline_ms: float | None = None    # original budget (error messages)
+    trace_id: str | None = None         # assigned at admission
+    dispatched_at: float | None = None  # set when a worker pops the batch
     future: Future = field(default_factory=Future)
 
     def expired(self, now: float) -> bool:

@@ -44,6 +44,7 @@ from repro.errors import NodeNotFoundError
 from repro.hin.graph import Node
 from repro.obs.logging import get_logger, log_event
 from repro.obs.registry import is_enabled
+from repro.obs.trace import new_trace_id, span, trace_scope
 from repro.sched.errors import Overloaded, RuntimeClosed
 from repro.sched.metrics import (
     BATCH_SIZE,
@@ -115,6 +116,11 @@ class ServingRuntime:
         call :meth:`start`.
     thread_factory:
         Forwarded to :class:`WorkerPool` — the executor seam.
+    timings:
+        Annotate every response with its router-assigned ``trace_id``
+        and a ``{queue_us, scatter_us, kernel_us, merge_us}`` latency
+        breakdown (the ``repro serve --timings`` flag).  Off by default
+        so the protocol output stays byte-stable.
     """
 
     def __init__(
@@ -128,6 +134,7 @@ class ServingRuntime:
         clock: Callable[[], float] | None = None,
         autostart: bool = True,
         thread_factory: ThreadFactory | None = None,
+        timings: bool = False,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
@@ -140,6 +147,7 @@ class ServingRuntime:
         self._clock = clock if clock is not None else service._clock
         if self._clock is None:  # pragma: no cover — service always has one
             self._clock = time.monotonic
+        self.timings = bool(timings)
         self._queue = AdmissionQueue(queue_depth, self._clock)
         self._pool = WorkerPool(
             workers, self._worker_loop, thread_factory=thread_factory
@@ -255,7 +263,8 @@ class ServingRuntime:
         self._seq += 1
         return ScheduledRequest(
             kind=kind, u=u, seq=self._seq, enqueued_at=now,
-            deadline=deadline, deadline_ms=deadline_ms, **fields,
+            deadline=deadline, deadline_ms=deadline_ms,
+            trace_id=new_trace_id(), **fields,
         )
 
     def submit_score(self, u: Node, v: Node, *, deadline_ms=_UNSET) -> Future:
@@ -340,6 +349,7 @@ class ServingRuntime:
             )
         live: list[ScheduledRequest] = []
         for request in batch:
+            request.dispatched_at = now
             if request.expired(now):
                 # deadline-aware drop: answered, counted, never silent
                 if recording:
@@ -349,7 +359,17 @@ class ServingRuntime:
                 live.append(request)
         for group in plan_groups(live):
             try:
-                self._execute_group(group)
+                # One group is one engine/scatter call, so it runs under
+                # ONE trace: the group leader's.  Coalesced followers'
+                # responses point at the same tree — the scatter that
+                # actually answered them.
+                with trace_scope(group.requests[0].trace_id):
+                    with span(
+                        "sched.dispatch",
+                        labels={"kind": group.kind},
+                        requests=len(group.requests),
+                    ):
+                        self._execute_group(group)
             except BaseException as exc:  # noqa: BLE001 — worker must survive
                 for request in group.requests:
                     if not request.future.done():
@@ -382,6 +402,7 @@ class ServingRuntime:
                 live.append(request)
         if not live:
             return
+        kernel_started = self._clock() if self.timings else 0.0
         if len(live) == 1:
             values = (engine.score(live[0].u, live[0].v),)
         else:
@@ -391,6 +412,8 @@ class ServingRuntime:
             if is_enabled():
                 COALESCED.inc(len(live))
         end = self._clock()
+        kernel_us = (end - kernel_started) * 1e6 if self.timings else 0.0
+        trace_id = group.requests[0].trace_id
         method = engine.method
         degraded = acquisition.degraded
         answered = 0
@@ -401,10 +424,10 @@ class ServingRuntime:
             if elapsed_ms is None:
                 continue
             answered += 1
-            _deliver(request.future, QueryResponse(
+            _deliver(request.future, self._annotate(QueryResponse(
                 request.u, request.v, float(value), degraded,
                 acquisition.retries, method, elapsed_ms,
-            ))
+            ), request, trace_id, kernel_us=kernel_us))
         if answered and is_enabled():
             if degraded:
                 DEGRADED_QUERIES.inc(answered)
@@ -419,21 +442,23 @@ class ServingRuntime:
         if missing is not None:
             self._finish_error(request, NodeNotFoundError(missing))
             return
+        kernel_started = self._clock() if self.timings else 0.0
         values = engine.score_batch(request.u, list(request.candidates))
         end = self._clock()
         elapsed_ms = self._finalize(request, end, acquisition.degraded)
         if elapsed_ms is None:
             return
-        _deliver(request.future, BatchResponse(
+        _deliver(request.future, self._annotate(BatchResponse(
             u=request.u, candidates=request.candidates, values=values,
             degraded=acquisition.degraded, retries=acquisition.retries,
             method=engine.method, elapsed_ms=elapsed_ms,
-        ))
+        ), request, kernel_us=(end - kernel_started) * 1e6 if self.timings else 0.0))
 
     def _execute_topk(self, request, acquisition, engine) -> None:
         kwargs = {}
         if request.batch_size is not None:
             kwargs["batch_size"] = request.batch_size
+        kernel_started = self._clock() if self.timings else 0.0
         results = engine.top_k(
             request.u, request.k,
             candidates=list(request.candidates) if request.candidates is not None else None,
@@ -443,11 +468,44 @@ class ServingRuntime:
         elapsed_ms = self._finalize(request, end, acquisition.degraded)
         if elapsed_ms is None:
             return
-        _deliver(request.future, TopKResponse(
+        _deliver(request.future, self._annotate(TopKResponse(
             u=request.u, k=request.k, results=tuple(results),
             degraded=acquisition.degraded, retries=acquisition.retries,
             method=engine.method, elapsed_ms=elapsed_ms,
-        ))
+        ), request, kernel_us=(end - kernel_started) * 1e6 if self.timings else 0.0))
+
+    def _annotate(
+        self,
+        response,
+        request: ScheduledRequest,
+        trace_id: str | None = None,
+        *,
+        kernel_us: float = 0.0,
+        scatter_us: float = 0.0,
+        merge_us: float = 0.0,
+    ):
+        """Attach trace id + latency breakdown in ``--timings`` mode.
+
+        No-op otherwise, keeping protocol output byte-stable.  *trace_id*
+        is the **execution** trace — for a coalesced group the leader's,
+        i.e. the dispatch that actually answered this request; it
+        defaults to the request's own id for singleton groups.
+        """
+        if not self.timings:
+            return response
+        response.trace_id = trace_id if trace_id is not None else request.trace_id
+        queue_us = 0.0
+        if request.dispatched_at is not None:
+            queue_us = max(
+                0.0, (request.dispatched_at - request.enqueued_at) * 1e6
+            )
+        response.timings = {
+            "queue_us": queue_us,
+            "scatter_us": scatter_us,
+            "kernel_us": kernel_us,
+            "merge_us": merge_us,
+        }
+        return response
 
     # ------------------------------------------------------------------
     # Completion accounting

@@ -2,9 +2,16 @@
 
 A shard worker owns the candidate-side slice of the walk index for one
 contiguous node range ``[lo, hi)`` (see :mod:`repro.store.sharding`) and
-answers three operations over a duplex pipe: ``batch`` (scores for
-candidate positions it owns), ``topk`` (its range's exact local top-k)
-and ``health``.  :func:`shard_worker_main` is the process entry point —
+answers four operations over a duplex pipe: ``batch`` (scores for
+candidate positions it owns), ``topk`` (its range's exact local top-k),
+``health`` and ``stats`` (a mergeable snapshot of the worker process's
+metrics registry — see :mod:`repro.obs.aggregate` — which the router
+folds under a ``shard`` label so ``/metrics`` shows the whole process
+tree).  A forked worker inherits the router's registry *values* at fork
+time, so :func:`shard_worker_main` captures a baseline snapshot first
+and ``stats`` replies carry the pruned since-startup delta: only what
+this worker actually did, never re-reports of parent samples (which
+would double-count and collide with the router's own ``shard`` labels).  :func:`shard_worker_main` is the process entry point —
 it opens the shard artifact **by path** inside the child, so nothing
 unpicklable crosses the fork/spawn boundary — and
 :func:`serve_connection` is the loop itself, also runnable on a plain
@@ -41,25 +48,35 @@ repeated hot-source requests cost no pipe bytes after the first.
 
 from __future__ import annotations
 
+import os
 import queue
 import signal
 import threading
+import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from pathlib import Path
 
 import numpy as np
 
 from repro.backends import WalkScoreRequest, kernel_timer, resolve_backend
-from repro.core.montecarlo import EstimatorStats
+from repro.core.montecarlo import AccuracyGauges, EstimatorStats
 from repro.core.topk import top_k_similar
 from repro.hin.io import hin_from_dict
+from repro.obs.aggregate import collect_snapshot, snapshot_diff
+from repro.obs.trace import span, trace_scope
 from repro.semantics.cache import MatrixMeasure
 from repro.store.artifacts import StoreError, read_artifact
 
 OP_BATCH = "batch"
 OP_TOPK = "topk"
 OP_HEALTH = "health"
+OP_STATS = "stats"
 OP_SHUTDOWN = "shutdown"
+
+#: The ops a ``shard.handle`` span may carry as its ``op`` label — anything
+#: else is folded to ``other`` so a bad message cannot explode cardinality.
+_SPAN_OPS = frozenset({OP_BATCH, OP_TOPK, OP_HEALTH, OP_STATS})
 
 #: Source-row cache entries kept per shard connection (router mirrors this).
 DEFAULT_SOURCE_CACHE = 64
@@ -141,6 +158,14 @@ class ShardEngine:
             method="mc",
             estimator="semsim-shard" if self.semantic else "simrank-shard",
         )
+        self._accuracy = AccuracyGauges(
+            "semsim-shard" if self.semantic else "simrank-shard"
+        )
+        #: Registry snapshot taken before this worker did any work of its
+        #: own (set by :func:`shard_worker_main`); ``stats`` replies carry
+        #: the pruned delta against it so fork-inherited samples are never
+        #: re-reported.  ``None`` means "reply with the full snapshot".
+        self.stats_baseline: dict | None = None
         # The kernel wants source and candidate rows in ONE tensor: rows
         # [0, count) are the shard's slice, rows [count, count + slots)
         # are per-thread parking spots for shipped source rows.
@@ -302,6 +327,9 @@ class ShardEngine:
             so_evaluations=result.so_evaluations,
             walks_pruned=result.walks_pruned,
         )
+        self._accuracy.update(
+            self.num_walks, result.walks_met, int(active_idx.size)
+        )
         scores[active_idx] = sem_row[active_idx] * result.totals / self.num_walks
         return scores
 
@@ -315,6 +343,7 @@ class ShardEngine:
             walks_examined=int((~identity).sum()) * self.num_walks,
             walks_met=int(met.sum()),
         )
+        self._accuracy.update(self.num_walks, int(met.sum()), int(positions.size))
         with kernel_timer(self.backend.name, "simrank_scores"):
             scores = self.backend.simrank_scores(
                 meetings, met, self.decay, self.num_walks
@@ -406,34 +435,69 @@ def _admit_source(engine: ShardEngine, message: dict) -> None:
     message["u_rows"] = stored
 
 
+def _trace_context(message: dict):
+    """The router-assigned trace context for *message*, or a no-op.
+
+    Each pipe message optionally carries ``trace = {trace_id,
+    parent_span_id}``; joining it re-roots every span and log record this
+    request produces worker-side under the router's dispatch span, so one
+    ``trace_id`` stitches the whole scatter back together.
+    """
+    trace = message.get("trace")
+    if isinstance(trace, dict) and trace.get("trace_id"):
+        return trace_scope(trace["trace_id"], trace.get("parent_span_id"))
+    return nullcontext()
+
+
 def _handle(engine: ShardEngine, message: dict, slot: int) -> dict:
     reply: dict = {"id": message.get("id")}
+    op = message.get("op")
+    started = time.perf_counter() if message.get("timings") else None
     try:
-        op = message.get("op")
-        if op == OP_BATCH:
-            reply["values"] = engine.score_positions(
-                message["pos_u"],
-                message["positions"],
-                u_rows=message.get("u_rows"),
-                slot=slot,
-            )
-        elif op == OP_TOPK:
-            reply["results"] = engine.top_k_positions(
-                message["pos_u"],
-                message["k"],
-                positions=message.get("positions"),
-                u_rows=message.get("u_rows"),
-                slot=slot,
-                use_semantic_bound=message.get("use_semantic_bound", True),
-                batch_size=message.get("batch_size") or 256,
-            )
-        elif op == OP_HEALTH:
-            reply["health"] = engine.health()
-        else:
-            raise StoreError(f"unknown shard operation {op!r}")
+        with _trace_context(message), span(
+            "shard.handle",
+            labels={"op": op if op in _SPAN_OPS else "other"},
+            shard=engine.shard_index,
+        ):
+            if op == OP_BATCH:
+                reply["values"] = engine.score_positions(
+                    message["pos_u"],
+                    message["positions"],
+                    u_rows=message.get("u_rows"),
+                    slot=slot,
+                )
+            elif op == OP_TOPK:
+                reply["results"] = engine.top_k_positions(
+                    message["pos_u"],
+                    message["k"],
+                    positions=message.get("positions"),
+                    u_rows=message.get("u_rows"),
+                    slot=slot,
+                    use_semantic_bound=message.get("use_semantic_bound", True),
+                    batch_size=message.get("batch_size") or 256,
+                )
+            elif op == OP_HEALTH:
+                reply["health"] = engine.health()
+            elif op == OP_STATS:
+                # pid lets the router detect a thread-hosted worker that
+                # shares its registry (folding that snapshot would count
+                # the router's own samples twice)
+                snapshot = collect_snapshot()
+                baseline = engine.stats_baseline
+                if baseline is not None:
+                    # report only what this worker did: registry state
+                    # inherited from the router at fork time must not be
+                    # re-counted under a shard label
+                    snapshot = snapshot_diff(baseline, snapshot, prune=True)
+                reply["snapshot"] = snapshot
+                reply["pid"] = os.getpid()
+            else:
+                raise StoreError(f"unknown shard operation {op!r}")
     except Exception as exc:  # answered, never crashes the worker loop
         reply["error"] = str(exc)
         reply["kind"] = type(exc).__name__
+    if started is not None:
+        reply["worker_us"] = (time.perf_counter() - started) * 1e6
     return reply
 
 
@@ -502,6 +566,10 @@ def shard_worker_main(path, conn, config: dict | None = None) -> None:
     instead of killing shards mid-request.
     """
     config = dict(config or {})
+    # Fork-inherited registry values belong to the router's story, not
+    # this worker's; everything from here on (including the shard-open
+    # I/O below) is this worker's own work and diffs against this.
+    baseline = collect_snapshot()
     for signum in (signal.SIGINT, signal.SIGTERM):
         try:
             signal.signal(signum, signal.SIG_IGN)
@@ -521,5 +589,6 @@ def shard_worker_main(path, conn, config: dict | None = None) -> None:
         finally:
             conn.close()
         return
+    engine.stats_baseline = baseline
     conn.send({"op": "ready", **engine.health()})
     serve_connection(engine, conn, workers=config.get("workers", 1))

@@ -39,17 +39,27 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import os
 import threading
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
+from copy import deepcopy
 from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.errors import NodeNotFoundError
+from repro.obs.aggregate import (
+    SnapshotError,
+    collect_snapshot,
+    empty_snapshot,
+    fold_snapshot,
+    snapshot_diff,
+)
 from repro.obs.logging import get_logger, log_event
 from repro.obs.registry import is_enabled
+from repro.obs.trace import current_span_id, current_trace_id
 from repro.sched.metrics import (
     COALESCED,
     MERGE_LATENCY,
@@ -57,6 +67,7 @@ from repro.sched.metrics import (
     SHARD_QUARANTINED,
     SHARD_REQUESTS,
     SHARD_WORKERS,
+    STATS_PULLS,
 )
 from repro.sched.request import KIND_BATCH, KIND_SCORE, KIND_TOPK, DispatchGroup
 from repro.sched.runtime import ServingRuntime, _deliver
@@ -64,6 +75,7 @@ from repro.sched.shard_worker import (
     DEFAULT_SOURCE_CACHE,
     OP_BATCH,
     OP_SHUTDOWN,
+    OP_STATS,
     OP_TOPK,
     SourceRowLRU,
     shard_worker_main,
@@ -331,6 +343,13 @@ class ShardedRuntime(ServingRuntime):
     shard_timeout:
         Per-shard gather wait (seconds) for requests without a deadline;
         requests with a deadline wait only for their remaining budget.
+    stats_interval:
+        Seconds between background pulls of each worker's metrics
+        registry snapshot (folded under a ``shard`` label into
+        :meth:`merged_snapshot`).  ``None`` disables the puller thread
+        *and* the implicit pulls on :meth:`health` and drain — the
+        deterministic-test mode, where a fault-double worker must not be
+        waited on.
 
     The wrapped *service* is the **fallback stack**: quarantined ranges
     are answered from ``service.manager`` (full PR 4 machinery — retry,
@@ -357,6 +376,8 @@ class ShardedRuntime(ServingRuntime):
         backend_config=None,
         source_cache: int = DEFAULT_SOURCE_CACHE,
         shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
+        stats_interval: float | None = 10.0,
+        timings: bool = False,
     ) -> None:
         if not shard_paths:
             raise StoreError("ShardedRuntime needs at least one shard path")
@@ -369,9 +390,16 @@ class ShardedRuntime(ServingRuntime):
             clock=clock,
             autostart=False,
             thread_factory=thread_factory,
+            timings=timings,
         )
         self.workers_per_shard = max(1, int(workers_per_shard))
         self._shard_timeout = shard_timeout
+        self._stats_interval = stats_interval
+        self._stats_lock = threading.Lock()
+        self._worker_baseline: dict[int, dict] = {}
+        self._worker_acc = empty_snapshot(ts=0.0)
+        self._stats_stop = threading.Event()
+        self._stats_thread: threading.Thread | None = None
 
         head = read_artifact(Path(shard_paths[0]))
         self._plan = ShardPlan.from_manifest(head.manifest)
@@ -463,10 +491,34 @@ class ShardedRuntime(ServingRuntime):
                     shard=client.index, error=str(exc),
                 )
         super().start()
+        if (
+            self._stats_interval is not None
+            and self._stats_thread is None
+            and not self.closed
+        ):
+            self._stats_stop.clear()
+            self._stats_thread = threading.Thread(
+                target=self._stats_loop,
+                name="repro-shard-stats",
+                daemon=True,
+            )
+            self._stats_thread.start()
 
     def close(self, drain: bool = True, timeout: float | None = None) -> bool:
+        stats_thread = self._stats_thread
+        if stats_thread is not None:
+            self._stats_thread = None
+            self._stats_stop.set()
+            stats_thread.join(timeout=5.0)
         joined = super().close(drain=drain, timeout=timeout)
         if not self._clients_closed:
+            # final pull AFTER the drain (every kernel has run) and BEFORE
+            # the clients close — the shutdown dump sees complete workers
+            if drain and self._stats_interval is not None:
+                try:
+                    self.pull_worker_stats(timeout=1.0)
+                except Exception as exc:  # noqa: BLE001 — shutdown must finish
+                    log_event(_LOG, "shard.stats_pull_failed", error=str(exc))
             self._clients_closed = True
             for client in self._clients:
                 client.close()
@@ -474,6 +526,11 @@ class ShardedRuntime(ServingRuntime):
         return joined
 
     def health(self) -> dict:
+        if self._stats_interval is not None and not self._clients_closed:
+            try:
+                self.pull_worker_stats(timeout=1.0)
+            except Exception as exc:  # noqa: BLE001 — health must answer
+                log_event(_LOG, "shard.stats_pull_failed", error=str(exc))
         payload = super().health()
         payload["shards"] = [
             {
@@ -487,7 +544,124 @@ class ShardedRuntime(ServingRuntime):
             for client in self._clients
         ]
         payload["workers_per_shard"] = self.workers_per_shard
+        with self._stats_lock:
+            payload["metrics_aggregation"] = {
+                "interval_s": self._stats_interval,
+                "shards_polled": len(self._worker_baseline),
+            }
         return payload
+
+    # ------------------------------------------------------------------
+    # Cross-process metrics aggregation
+    # ------------------------------------------------------------------
+    def _stats_loop(self) -> None:
+        while not self._stats_stop.wait(self._stats_interval):
+            try:
+                self.pull_worker_stats()
+            except Exception as exc:  # noqa: BLE001 — the puller must survive
+                log_event(_LOG, "shard.stats_pull_failed", error=str(exc))
+
+    def pull_worker_stats(self, timeout: float = 5.0) -> int:
+        """Pull one round of worker registry snapshots; fold the deltas.
+
+        Each healthy worker answers a ``stats`` op with a full
+        :func:`~repro.obs.aggregate.collect_snapshot`; the router keeps a
+        per-shard baseline, folds only the since-last-pull *delta* into
+        its accumulator under a ``shard`` label (so a restarted worker's
+        counters re-add instead of double-counting — reset detection in
+        :func:`~repro.obs.aggregate.snapshot_diff` handles the rest), and
+        returns how many shards folded this round.  Pull failures are
+        counted in ``shard_stats_pulls_total`` but never feed the shard
+        breakers: a slow stats reply says nothing about query health.
+        """
+        in_flight: list[tuple[ShardClient, Future]] = []
+        for client in self._clients:
+            if not client.running:
+                continue
+            if self._breakers[client.index].state is not CircuitState.CLOSED:
+                continue
+            try:
+                # pos_u = client.lo is always in-range: no source rows
+                # ship and the LRU mirrors stay untouched
+                in_flight.append(
+                    (client, client.submit(OP_STATS, client.lo, None))
+                )
+            except ShardFailure:
+                if is_enabled():
+                    STATS_PULLS.labels(outcome="error").inc()
+        folded = 0
+        router_pid = os.getpid()
+        for client, future in in_flight:
+            try:
+                reply = future.result(timeout)
+            except FutureTimeout:
+                if is_enabled():
+                    STATS_PULLS.labels(outcome="timeout").inc()
+                continue
+            except ShardFailure:
+                if is_enabled():
+                    STATS_PULLS.labels(outcome="error").inc()
+                continue
+            snapshot = reply.get("snapshot")
+            if reply.get("error") or not isinstance(snapshot, dict):
+                if is_enabled():
+                    STATS_PULLS.labels(outcome="error").inc()
+                continue
+            with self._stats_lock:
+                baseline = self._worker_baseline.get(client.index)
+                self._worker_baseline[client.index] = snapshot
+                if reply.get("pid") == router_pid:
+                    # thread-hosted worker (test seam) sharing this
+                    # process's registry: its samples are already in the
+                    # router's own snapshot — folding would double-count
+                    outcome = "skipped"
+                else:
+                    delta = (
+                        snapshot_diff(baseline, snapshot)
+                        if baseline is not None else snapshot
+                    )
+                    # fold into a copy first: fold_snapshot mutates in
+                    # place, and a malformed delta must not leave the
+                    # accumulator half-updated
+                    try:
+                        acc = fold_snapshot(
+                            deepcopy(self._worker_acc),
+                            delta,
+                            {"shard": str(client.index)},
+                        )
+                    except SnapshotError as exc:
+                        log_event(
+                            _LOG, "shard.stats_fold_failed",
+                            shard=client.index, error=str(exc),
+                        )
+                        outcome = "error"
+                    else:
+                        self._worker_acc = acc
+                        folded += 1
+                        outcome = "ok"
+            if is_enabled():
+                STATS_PULLS.labels(outcome=outcome).inc()
+        return folded
+
+    def merged_snapshot(self, pull: bool = True) -> dict:
+        """The whole process tree's metrics as one mergeable snapshot.
+
+        The router's own registry plus every worker's accumulated,
+        ``shard``-labelled series — what ``repro metrics dump``, the
+        ``--metrics-out`` shutdown dump and the ``/metrics`` scrape
+        endpoint render for a sharded runtime.  *pull* fetches fresh
+        worker deltas first (skip it to read the accumulator as-is).
+        """
+        if pull and not self._clients_closed:
+            try:
+                self.pull_worker_stats()
+            except Exception as exc:  # noqa: BLE001 — render what we have
+                log_event(_LOG, "shard.stats_pull_failed", error=str(exc))
+        merged = collect_snapshot()
+        with self._stats_lock:
+            workers = deepcopy(self._worker_acc)
+        fold_snapshot(merged, workers)
+        return merged
 
     # ------------------------------------------------------------------
     # Shard bookkeeping
@@ -611,18 +785,38 @@ class ShardedRuntime(ServingRuntime):
         else:  # pragma: no cover — submission API cannot build other kinds
             raise ValueError(f"unknown request kind {group.kind!r}")
 
+    def _message_extras(self) -> dict:
+        """Per-scatter message fields: trace context + timings request.
+
+        Computed once per scatter (all its shard messages belong to one
+        trace tree rooted at the dispatch span this thread is inside).
+        """
+        extras: dict = {}
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            extras["trace"] = {
+                "trace_id": trace_id,
+                "parent_span_id": current_span_id(),
+            }
+        if self.timings:
+            extras["timings"] = True
+        return extras
+
     def _scatter_scores(
         self, pos_u: int, positions: np.ndarray, deadline: float | None
     ):
         """Scores for *positions*, routed by owner, fallback for failures.
 
-        Returns ``(values, degraded_mask, fallback_acquisition)`` where
-        the mask marks candidates answered by the fallback stack.
+        Returns ``(values, degraded_mask, fallback_acquisition, timing)``
+        where the mask marks candidates answered by the fallback stack
+        and *timing* is the ``--timings`` latency breakdown (``None``
+        when timings are off).
         """
         owners = np.searchsorted(self._range_starts, positions, side="right") - 1
         values = np.empty(positions.size, dtype=np.float64)
         degraded = np.zeros(positions.size, dtype=bool)
         merge_started = self._clock()
+        extras = self._message_extras()
         in_flight: list[tuple[int, np.ndarray, Future]] = []
         failed: list[tuple[int, np.ndarray]] = []
         shard_ids = np.unique(owners)
@@ -637,13 +831,14 @@ class ShardedRuntime(ServingRuntime):
             try:
                 future = self._clients[shard_id].submit(
                     OP_BATCH, pos_u, self._source_rows,
-                    positions=positions[member_idx],
+                    positions=positions[member_idx], **extras,
                 )
             except ShardFailure as exc:
                 self._shard_failed(shard_id, "error", exc)
                 failed.append((shard_id, member_idx))
                 continue
             in_flight.append((shard_id, member_idx, future))
+        kernel_us = 0.0
         for shard_id, member_idx, future in in_flight:
             try:
                 reply = self._gather(shard_id, future, deadline)
@@ -651,6 +846,8 @@ class ShardedRuntime(ServingRuntime):
                 failed.append((shard_id, member_idx))
                 continue
             values[member_idx] = reply["values"]
+            kernel_us = max(kernel_us, float(reply.get("worker_us", 0.0)))
+        gather_ended = self._clock()
         acquisition = None
         if failed:
             acquisition = self.service.manager.acquire(deadline=deadline)
@@ -663,7 +860,14 @@ class ShardedRuntime(ServingRuntime):
                 degraded[member_idx] = True
         if is_enabled():
             MERGE_LATENCY.observe(max(0.0, self._clock() - merge_started))
-        return values, degraded, acquisition
+        timing = None
+        if self.timings:
+            timing = {
+                "scatter_us": max(0.0, (gather_ended - merge_started) * 1e6),
+                "kernel_us": kernel_us,
+                "merge_us": max(0.0, (self._clock() - gather_ended) * 1e6),
+            }
+        return values, degraded, acquisition, timing
 
     def _execute_score_group_sharded(self, group: DispatchGroup, pos_u: int) -> None:
         live = []
@@ -682,21 +886,22 @@ class ShardedRuntime(ServingRuntime):
         deadline = min(
             (r.deadline for r in live if r.deadline is not None), default=None
         )
-        values, degraded, acquisition = self._scatter_scores(
+        values, degraded, acquisition, timing = self._scatter_scores(
             pos_u, np.asarray(positions, dtype=np.int64), deadline
         )
         end = self._clock()
+        trace_id = group.requests[0].trace_id
         for i, request in enumerate(live):
             elapsed_ms = self._finalize(request, end, bool(degraded[i]))
             if elapsed_ms is None:
                 continue
-            _deliver(request.future, QueryResponse(
+            _deliver(request.future, self._annotate(QueryResponse(
                 request.u, request.v, float(values[i]), bool(degraded[i]),
                 acquisition.retries if degraded[i] and acquisition else 0,
                 acquisition.engine.method if degraded[i] and acquisition
                 else self._method,
                 elapsed_ms,
-            ))
+            ), request, trace_id, **(timing or {})))
 
     def _execute_batch_sharded(self, request, pos_u: int) -> None:
         positions = []
@@ -706,7 +911,7 @@ class ShardedRuntime(ServingRuntime):
                 self._finish_error(request, NodeNotFoundError(candidate))
                 return
             positions.append(pos_v)
-        values, degraded, acquisition = self._scatter_scores(
+        values, degraded, acquisition, timing = self._scatter_scores(
             pos_u, np.asarray(positions, dtype=np.int64), request.deadline
         )
         any_degraded = bool(degraded.any())
@@ -714,14 +919,14 @@ class ShardedRuntime(ServingRuntime):
         elapsed_ms = self._finalize(request, end, any_degraded)
         if elapsed_ms is None:
             return
-        _deliver(request.future, BatchResponse(
+        _deliver(request.future, self._annotate(BatchResponse(
             u=request.u, candidates=request.candidates, values=values,
             degraded=any_degraded,
             retries=acquisition.retries if acquisition else 0,
             method=acquisition.engine.method
             if acquisition and any_degraded else self._method,
             elapsed_ms=elapsed_ms,
-        ))
+        ), request, **(timing or {})))
 
     def _execute_topk_sharded(self, request, pos_u: int) -> None:
         if request.candidates is not None:
@@ -746,7 +951,7 @@ class ShardedRuntime(ServingRuntime):
         merge_started = self._clock()
         if is_enabled():
             SCATTER_FANOUT.observe(float(len(targets)))
-        fields: dict = {"k": request.k}
+        fields: dict = {"k": request.k, **self._message_extras()}
         if request.batch_size is not None:
             fields["batch_size"] = request.batch_size
         in_flight = []
@@ -772,6 +977,7 @@ class ShardedRuntime(ServingRuntime):
         # heap selects under; re-selecting the global k from exact local
         # top-k lists is therefore bit-identical to the unsharded scan.
         entries: list[tuple[float, str, object]] = []
+        kernel_us = 0.0
         for shard_id, shard_positions, future in in_flight:
             try:
                 reply = self._gather(shard_id, future, request.deadline)
@@ -781,6 +987,8 @@ class ShardedRuntime(ServingRuntime):
             for position, value in reply["results"]:
                 node = self._nodes[int(position)]
                 entries.append((float(value), str(node), node))
+            kernel_us = max(kernel_us, float(reply.get("worker_us", 0.0)))
+        gather_ended = self._clock()
 
         acquisition = None
         any_degraded = bool(failed)
@@ -808,17 +1016,24 @@ class ShardedRuntime(ServingRuntime):
         if is_enabled():
             MERGE_LATENCY.observe(max(0.0, self._clock() - merge_started))
         end = self._clock()
+        timing = None
+        if self.timings:
+            timing = {
+                "scatter_us": max(0.0, (gather_ended - merge_started) * 1e6),
+                "kernel_us": kernel_us,
+                "merge_us": max(0.0, (end - gather_ended) * 1e6),
+            }
         elapsed_ms = self._finalize(request, end, any_degraded)
         if elapsed_ms is None:
             return
-        _deliver(request.future, TopKResponse(
+        _deliver(request.future, self._annotate(TopKResponse(
             u=request.u, k=request.k, results=results,
             degraded=any_degraded,
             retries=acquisition.retries if acquisition else 0,
             method=acquisition.engine.method
             if acquisition and any_degraded else self._method,
             elapsed_ms=elapsed_ms,
-        ))
+        ), request, **(timing or {})))
 
     def __repr__(self) -> str:
         status = "closed" if self.closed else (

@@ -41,6 +41,25 @@ from repro.serve.metrics import DEGRADED_QUERIES, SERVE_REQUESTS
 _UNSET = object()
 
 
+def _annotations(response) -> dict:
+    """The opt-in observability fields (``repro serve --timings``).
+
+    Absent by default so the protocol output stays byte-stable; when the
+    runtime annotates, responses carry the router-assigned ``trace_id``
+    (join key into span traces and structured logs) and the per-request
+    latency breakdown in microseconds.
+    """
+    extra: dict = {}
+    if response.trace_id is not None:
+        extra["trace_id"] = response.trace_id
+    if response.timings is not None:
+        extra["timings"] = {
+            key: round(float(value), 1)
+            for key, value in response.timings.items()
+        }
+    return extra
+
+
 @dataclass(slots=True)
 class QueryResponse:
     """One scored pair, annotated with how it was served."""
@@ -52,6 +71,8 @@ class QueryResponse:
     retries: int
     method: str
     elapsed_ms: float
+    trace_id: str | None = None
+    timings: dict | None = None
 
     @property
     def outcome(self) -> str:
@@ -64,6 +85,7 @@ class QueryResponse:
             "value": self.value, "degraded": self.degraded,
             "retries": self.retries, "method": self.method,
             "elapsed_ms": round(self.elapsed_ms, 3),
+            **_annotations(self),
         }
 
 
@@ -78,6 +100,8 @@ class BatchResponse:
     retries: int
     method: str
     elapsed_ms: float
+    trace_id: str | None = None
+    timings: dict | None = None
 
     def as_dict(self) -> dict:
         """JSON-ready rendering (what ``repro serve`` prints per BATCH)."""
@@ -87,6 +111,7 @@ class BatchResponse:
             "values": [float(v) for v in self.values],
             "degraded": self.degraded, "retries": self.retries,
             "method": self.method, "elapsed_ms": round(self.elapsed_ms, 3),
+            **_annotations(self),
         }
 
 
@@ -101,6 +126,8 @@ class TopKResponse:
     retries: int
     method: str
     elapsed_ms: float
+    trace_id: str | None = None
+    timings: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -108,6 +135,7 @@ class TopKResponse:
             "results": [[str(node), score] for node, score in self.results],
             "degraded": self.degraded, "retries": self.retries,
             "method": self.method, "elapsed_ms": round(self.elapsed_ms, 3),
+            **_annotations(self),
         }
 
 

@@ -1,0 +1,299 @@
+"""Tests for the mergeable-snapshot algebra (cross-process aggregation).
+
+The load-bearing property (S4 of the distributed-observability issue):
+recording a stream of metric events split across two registries and then
+merging their snapshots is *exactly* the same as recording the whole
+stream into one registry.  Values are drawn from binary-exact floats
+(``i / 64``) so the equality is ``==``, not ``approx``.
+"""
+
+import copy
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.aggregate import (
+    SnapshotError,
+    collect_snapshot,
+    empty_snapshot,
+    fold_snapshot,
+    merge_snapshots,
+    snapshot_as_dict,
+    snapshot_diff,
+)
+from repro.obs.registry import MetricsRegistry
+
+BUCKETS = (0.25, 1.0, 4.0)
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    registry.counter("events_total", help="e", labelnames=("kind",))
+    registry.gauge("depth", help="d", labelnames=("pool",))
+    registry.histogram("latency", help="l", labelnames=("op",), buckets=BUCKETS)
+    return registry
+
+
+def apply_event(registry, event):
+    kind = event[0]
+    if kind == "counter":
+        registry.get("events_total").labels(kind=event[1]).inc(event[2])
+    elif kind == "gauge":
+        registry.get("depth").labels(pool=event[1]).set(event[2])
+    else:
+        registry.get("latency").labels(op=event[1]).observe(event[2])
+
+
+# i/64 floats: sums and differences are exact in binary floating point.
+exact_values = st.integers(min_value=0, max_value=512).map(lambda i: i / 64)
+labels = st.sampled_from(["a", "b", "c"])
+events = st.one_of(
+    st.tuples(st.just("counter"), labels, exact_values),
+    st.tuples(st.just("gauge"), labels, exact_values),
+    st.tuples(st.just("histogram"), labels, exact_values),
+)
+
+
+def canonical(snapshot):
+    """Snapshot reduced to value content only (order- and ts-insensitive)."""
+    out = {}
+    for name, entry in snapshot["families"].items():
+        samples = {}
+        for sample in entry["samples"]:
+            key = tuple(sorted(sample["labels"].items()))
+            if entry["kind"] == "histogram":
+                samples[key] = (
+                    tuple(sample["counts"]), sample["sum"], sample["count"]
+                )
+            else:
+                samples[key] = sample["value"]
+        out[name] = (entry["kind"], samples)
+    return out
+
+
+class TestMergeEqualsUnion:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stream=st.lists(events, max_size=30),
+        split=st.lists(st.booleans(), max_size=30),
+    )
+    def test_split_recording_merges_to_union(self, stream, split):
+        """merge(snapshot_a, snapshot_b) == snapshot of the union registry.
+
+        Gauge events are routed so each label goes to exactly one side
+        (a gauge split across sides would need write timestamps finer
+        than snapshot granularity to arbitrate — the real system has one
+        writer per series, the shard worker that owns it).
+        """
+        reg_a, reg_b, reg_union = (build_registry() for _ in range(3))
+        for index, event in enumerate(stream):
+            if event[0] == "gauge":
+                side = reg_a if event[1] in ("a", "b") else reg_b
+            else:
+                side = (
+                    reg_a
+                    if (split[index] if index < len(split) else True)
+                    else reg_b
+                )
+            apply_event(side, event)
+            apply_event(reg_union, event)
+        merged = merge_snapshots(
+            collect_snapshot(reg_a, ts=1.0),
+            [(collect_snapshot(reg_b, ts=2.0), None)],
+        )
+        union = collect_snapshot(reg_union, ts=3.0)
+        assert canonical(merged) == canonical(union)
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=st.lists(events, max_size=30))
+    def test_diff_then_fold_recovers_the_tail(self, stream):
+        """fold(snapshot_at_k, diff(k, end)) == snapshot_at_end."""
+        cut = len(stream) // 2
+        registry = build_registry()
+        for index, event in enumerate(stream[:cut]):
+            apply_event(registry, event)
+        before = collect_snapshot(registry, ts=1.0)
+        for index, event in enumerate(stream[cut:]):
+            apply_event(registry, event)
+        after = collect_snapshot(registry, ts=2.0)
+        delta = snapshot_diff(before, after)
+        rebuilt = fold_snapshot(copy.deepcopy(before), delta)
+        assert canonical(rebuilt) == canonical(after)
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=st.lists(events, max_size=30))
+    def test_histogram_inf_bucket_matches_count(self, stream):
+        registry = build_registry()
+        for index, event in enumerate(stream):
+            apply_event(registry, event)
+        merged = merge_snapshots(
+            collect_snapshot(registry), [(collect_snapshot(build_registry()), None)]
+        )
+        for sample in merged["families"]["latency"]["samples"]:
+            assert sum(sample["counts"]) == sample["count"]
+            assert len(sample["counts"]) == len(BUCKETS) + 1
+
+
+class TestSnapshotDiff:
+    def test_counter_reset_takes_after_whole(self):
+        registry = build_registry()
+        registry.get("events_total").labels(kind="a").inc(10)
+        before = collect_snapshot(registry)
+        fresh = build_registry()  # "restarted process": counts from zero
+        fresh.get("events_total").labels(kind="a").inc(3)
+        delta = snapshot_diff(before, collect_snapshot(fresh))
+        (sample,) = delta["families"]["events_total"]["samples"]
+        assert sample["value"] == 3  # after-state whole, never negative
+
+    def test_histogram_reset_takes_after_whole(self):
+        registry = build_registry()
+        for _ in range(5):
+            registry.get("latency").labels(op="a").observe(0.5)
+        before = collect_snapshot(registry)
+        fresh = build_registry()
+        fresh.get("latency").labels(op="a").observe(2.0)
+        delta = snapshot_diff(before, collect_snapshot(fresh))
+        (sample,) = delta["families"]["latency"]["samples"]
+        assert sample["count"] == 1
+        assert sum(sample["counts"]) == 1
+
+    def test_new_samples_pass_through(self):
+        before = collect_snapshot(build_registry())
+        registry = build_registry()
+        registry.get("events_total").labels(kind="new").inc(7)
+        delta = snapshot_diff(before, collect_snapshot(registry))
+        values = {
+            s["labels"]["kind"]: s["value"]
+            for s in delta["families"]["events_total"]["samples"]
+        }
+        assert values["new"] == 7
+
+    def test_prune_drops_untouched_samples(self):
+        """The fork-inheritance guard: unchanged state yields no samples.
+
+        A forked shard worker baselines the registry it inherited from
+        the router; its stats replies must not re-report router series
+        (double counts, and a second ``shard`` label collides).
+        """
+        registry = build_registry()
+        registry.get("events_total").labels(kind="inherited").inc(5)
+        registry.get("depth").labels(pool="inherited").set(2.0)
+        registry.get("latency").labels(op="inherited").observe(0.5)
+        baseline = collect_snapshot(registry)
+        registry.get("events_total").labels(kind="own").inc(1)
+        registry.get("depth").labels(pool="own").set(1.0)
+        delta = snapshot_diff(baseline, collect_snapshot(registry), prune=True)
+        assert "latency" not in delta["families"]  # family left empty: dropped
+        kinds = [
+            s["labels"]["kind"]
+            for s in delta["families"]["events_total"]["samples"]
+        ]
+        assert kinds == ["own"]
+        pools = [
+            s["labels"]["pool"] for s in delta["families"]["depth"]["samples"]
+        ]
+        assert pools == ["own"]
+
+    def test_prune_keeps_changed_and_new_gauges(self):
+        registry = build_registry()
+        registry.get("depth").labels(pool="moved").set(1.0)
+        baseline = collect_snapshot(registry)
+        registry.get("depth").labels(pool="moved").set(0.0)  # changed to zero
+        registry.get("depth").labels(pool="fresh").set(0.0)  # new, value zero
+        delta = snapshot_diff(baseline, collect_snapshot(registry), prune=True)
+        pools = {
+            s["labels"]["pool"]: s["value"]
+            for s in delta["families"]["depth"]["samples"]
+        }
+        assert pools == {"moved": 0.0, "fresh": 0.0}
+
+    def test_kind_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.counter("thing", help="t")
+        b = MetricsRegistry()
+        b.gauge("thing", help="t")
+        with pytest.raises(SnapshotError):
+            snapshot_diff(collect_snapshot(a), collect_snapshot(b))
+
+    def test_bucket_layout_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("lat", help="l", buckets=(1.0, 2.0))
+        b = MetricsRegistry()
+        b.histogram("lat", help="l", buckets=(1.0, 4.0))
+        with pytest.raises(SnapshotError):
+            snapshot_diff(collect_snapshot(a), collect_snapshot(b))
+
+
+class TestFoldExtraLabels:
+    def test_shard_label_stamped_on_every_sample(self):
+        registry = build_registry()
+        registry.get("events_total").labels(kind="a").inc(2)
+        registry.get("latency").labels(op="x").observe(0.5)
+        target = empty_snapshot(ts=0.0)
+        fold_snapshot(target, collect_snapshot(registry), {"shard": "3"})
+        for entry in target["families"].values():
+            for sample in entry["samples"]:
+                assert sample["labels"].get("shard") == "3"
+            assert "shard" in entry["labelnames"]
+
+    def test_same_shard_folds_add_different_shards_coexist(self):
+        registry = build_registry()
+        registry.get("events_total").labels(kind="a").inc(2)
+        snapshot = collect_snapshot(registry)
+        target = empty_snapshot(ts=0.0)
+        fold_snapshot(target, snapshot, {"shard": "0"})
+        fold_snapshot(target, snapshot, {"shard": "0"})
+        fold_snapshot(target, snapshot, {"shard": "1"})
+        values = {
+            s["labels"]["shard"]: s["value"]
+            for s in target["families"]["events_total"]["samples"]
+        }
+        assert values == {"0": 4.0, "1": 2.0}
+
+    def test_colliding_extra_label_raises_not_overwrites(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="c", labelnames=("shard",))
+        registry.get("c_total").labels(shard="1").inc()
+        snapshot = collect_snapshot(registry)
+        with pytest.raises(SnapshotError):
+            fold_snapshot(empty_snapshot(), snapshot, {"shard": "0"})
+        # same value is not a collision: stamping is a no-op then
+        folded = fold_snapshot(empty_snapshot(), snapshot, {"shard": "1"})
+        (sample,) = folded["families"]["c_total"]["samples"]
+        assert sample["value"] == 1.0
+
+    def test_gauge_conflict_keeps_newest_ts(self):
+        old = MetricsRegistry()
+        old.gauge("depth", help="d").set(1.0)
+        new = MetricsRegistry()
+        new.gauge("depth", help="d").set(9.0)
+        target = empty_snapshot(ts=0.0)
+        fold_snapshot(target, collect_snapshot(old, ts=100.0))
+        fold_snapshot(target, collect_snapshot(new, ts=200.0))
+        (sample,) = target["families"]["depth"]["samples"]
+        assert sample["value"] == 9.0
+        # older ts folded later still loses
+        fold_snapshot(target, collect_snapshot(old, ts=50.0))
+        (sample,) = target["families"]["depth"]["samples"]
+        assert sample["value"] == 9.0
+
+
+class TestSnapshotAsDict:
+    def test_matches_registry_as_dict_layout(self):
+        registry = build_registry()
+        registry.get("events_total").labels(kind="a").inc(2)
+        registry.get("depth").labels(pool="p").set(1.5)
+        registry.get("latency").labels(op="x").observe(0.5)
+        registry.get("latency").labels(op="x").observe(10.0)
+        via_snapshot = snapshot_as_dict(collect_snapshot(registry))
+        direct = registry.as_dict()
+        for section in ("counters", "gauges", "histograms"):
+            assert via_snapshot[section] == direct[section]
+
+    def test_cumulative_buckets_end_at_count(self):
+        registry = build_registry()
+        for value in (0.1, 0.5, 2.0, 100.0):
+            registry.get("latency").labels(op="x").observe(value)
+        shaped = snapshot_as_dict(collect_snapshot(registry))
+        (sample,) = shaped["histograms"]["latency"]["samples"]
+        assert sample["buckets"]["+Inf"] == sample["count"] == 4

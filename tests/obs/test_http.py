@@ -1,0 +1,116 @@
+"""Tests for the stdlib scrape endpoint (``/metrics`` + ``/health``)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE, MetricsServer
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("hits_total", help="Cache hits.").inc(3)
+    registry.gauge("depth", help="d").set(1.5)
+    return registry
+
+
+@pytest.fixture
+def server(registry):
+    def render(fmt):
+        if fmt == "json":
+            return render_json(registry, indent=None) + "\n"
+        return render_prometheus(registry)
+
+    with MetricsServer(
+        render=render, health=lambda: {"status": "serving", "shards": 2}
+    ) as srv:
+        yield srv
+
+
+def fetch(server, path):
+    with urllib.request.urlopen(
+        f"http://{server.host}:{server.port}{path}", timeout=5.0
+    ) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_by_default(self, server):
+        status, headers, body = fetch(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        assert "# TYPE hits_total counter" in body
+        assert "\nhits_total 3\n" in body
+
+    def test_json_format(self, server):
+        status, headers, body = fetch(server, "/metrics?format=json")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        parsed = json.loads(body)
+        assert parsed["counters"]["hits_total"]["samples"][0]["value"] == 3
+
+    def test_unknown_format_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(server, "/metrics?format=xml")
+        assert excinfo.value.code == 400
+
+    def test_scrape_reflects_live_registry(self, server, registry):
+        registry.get("hits_total").inc(2)
+        _, _, body = fetch(server, "/metrics")
+        assert "\nhits_total 5\n" in body
+
+
+class TestHealthEndpoint:
+    def test_health_payload(self, server):
+        status, headers, body = fetch(server, "/health")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body) == {"status": "serving", "shards": 2}
+
+    def test_health_404_without_provider(self, registry):
+        with MetricsServer(render=lambda fmt: "") as srv:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(srv, "/health")
+            assert excinfo.value.code == 404
+
+
+class TestErrorPaths:
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_render_error_is_500_and_server_survives(self, registry):
+        calls = {"n": 0}
+
+        def flaky(fmt):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return render_prometheus(registry)
+
+        with MetricsServer(render=flaky) as srv:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(srv, "/metrics")
+            assert excinfo.value.code == 500
+            status, _, body = fetch(srv, "/metrics")  # next scrape recovers
+            assert status == 200
+            assert "hits_total" in body
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolved_and_released(self, registry):
+        server = MetricsServer(render=lambda fmt: "x\n")
+        assert server.port != 0
+        server.start()
+        server.start()  # idempotent
+        _, _, body = fetch(server, "/metrics")
+        assert body == "x\n"
+        server.close()
+        with pytest.raises(OSError):
+            fetch(server, "/metrics")

@@ -189,3 +189,90 @@ class TestTraceWriter:
         set_trace_writer(None)
         with span("tests.unwritten", record=False):
             pass  # must simply not crash
+
+
+class TestTraceScope:
+    def test_outside_scope_no_ids(self):
+        from repro.obs.trace import current_span_id, current_trace_id
+
+        assert current_trace_id() is None
+        assert current_span_id() is None
+        with span("tests.unscoped", record=False) as sp:
+            pass
+        assert sp.trace_id is None and sp.span_id is None
+
+    def test_scope_mints_and_restores(self):
+        from repro.obs.trace import current_trace_id, trace_scope
+
+        with trace_scope() as trace_id:
+            assert len(trace_id) == 16
+            assert current_trace_id() == trace_id
+        assert current_trace_id() is None
+
+    def test_reactivation_uses_given_ids(self):
+        from repro.obs.trace import (
+            current_span_id,
+            current_trace_id,
+            trace_scope,
+        )
+
+        with trace_scope("cafe000000000001", "span00000001") as trace_id:
+            assert trace_id == "cafe000000000001"
+            assert current_trace_id() == "cafe000000000001"
+            assert current_span_id() == "span00000001"
+
+    def test_ids_are_unique(self):
+        from repro.obs.trace import new_trace_id
+
+        ids = {new_trace_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_spans_join_and_nest_in_scope(self):
+        from repro.obs.trace import current_span_id, trace_scope
+
+        with trace_scope("cafe000000000002", "rootspan0001"):
+            with span("tests.outer_scoped", record=False) as outer:
+                assert outer.trace_id == "cafe000000000002"
+                assert outer.parent_span_id == "rootspan0001"
+                assert current_span_id() == outer.span_id
+                with span("tests.inner_scoped", record=False) as inner:
+                    assert inner.parent_span_id == outer.span_id
+                    assert inner.trace_id == "cafe000000000002"
+            assert current_span_id() == "rootspan0001"  # restored on exit
+
+    def test_trace_line_carries_ids(self):
+        from repro.obs.trace import trace_scope
+
+        sink = io.StringIO()
+        with trace_to(sink):
+            with trace_scope("cafe000000000003"):
+                with span("tests.traced_scoped", record=False):
+                    pass
+        payload = json.loads(sink.getvalue())
+        assert payload["trace_id"] == "cafe000000000003"
+        assert payload["span_id"]
+        assert "parent_span_id" not in payload  # admission span has no parent
+
+    def test_log_event_stamps_trace_id(self):
+        import logging
+
+        from repro.obs.logging import log_event
+        from repro.obs.trace import trace_scope
+
+        records = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        logger = logging.getLogger("tests.trace_logging")
+        logger.addHandler(_Capture())
+        logger.setLevel(logging.INFO)
+        try:
+            with trace_scope("cafe000000000004"):
+                log_event(logger, "tests.event", detail=1)
+            log_event(logger, "tests.event_outside")
+        finally:
+            logger.handlers.clear()
+        assert records[0].trace_id == "cafe000000000004"
+        assert not hasattr(records[1], "trace_id")

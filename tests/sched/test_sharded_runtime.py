@@ -64,6 +64,9 @@ def make_sharded(mc_service, sharded_model):
             service = mc_service()
         kwargs.setdefault("worker_factory", ThreadShardWorker)
         kwargs.setdefault("autostart", False)
+        # no background stats puller, no implicit pulls on health/drain:
+        # fault-double workers never answer and must not be waited on
+        kwargs.setdefault("stats_interval", None)
         runtime = ShardedRuntime(service, shards[count], **kwargs)
         created.append(runtime)
         return runtime

@@ -606,3 +606,175 @@ class TestObservabilityFlags:
         assert excinfo.value.code == 2
         capsys.readouterr()
         assert metrics_path.exists()
+
+
+class TestDistributedServeObservability:
+    """serve --metrics-out/--timings/--metrics-port, metrics dump --scrape."""
+
+    @pytest.fixture(scope="class")
+    def bundle_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serve-obs") / "wn.json"
+        assert main(["generate", "wordnet", "--out", str(path), "--seed", "1"]) == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def index_path(self, bundle_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serve-obs") / "wn.idx"
+        assert main([
+            "index", "build", str(bundle_path), "--out", str(path),
+            "--method", "mc", "--walks", "30", "--length", "6", "--seed", "5",
+        ]) == 0
+        return path
+
+    def _serve(self, stdin_text, monkeypatch, capsys, *argv):
+        import io
+        import json as _json
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(stdin_text))
+        assert main(["serve", *argv]) == 0
+        captured = capsys.readouterr()
+        lines = [
+            _json.loads(line) for line in captured.out.splitlines() if line
+        ]
+        return lines, captured.err
+
+    def test_metrics_out_stdout_routes_to_stderr(
+        self, bundle_path, monkeypatch, capsys
+    ):
+        """`serve --metrics-out -` must keep stdout pure protocol.
+
+        The generic finalizer appends the dump to stdout (fine for
+        `query`); under `serve` that would corrupt the response stream,
+        so the dump goes to stderr instead.
+        """
+        import json as _json
+
+        lines, err = self._serve(
+            "n3 n4\n", monkeypatch, capsys,
+            str(bundle_path), "--method", "mc", "--walks", "30",
+            "--seed", "2", "--metrics-out", "-",
+        )
+        banner, answer = lines  # every stdout line parsed as protocol JSON
+        assert banner["ready"] and answer["u"] == "n3"
+        dump = _json.loads(err)
+        assert set(dump) == {"counters", "gauges", "histograms"}
+        assert "serve_requests_total" in dump["counters"]
+
+    def test_sharded_metrics_out_carries_worker_shard_series(
+        self, index_path, tmp_path, monkeypatch, capsys
+    ):
+        """The serve-owned dump is the merged view: worker kernel series
+        appear under their shard label even though the router process
+        never ran those kernels."""
+        import json as _json
+
+        metrics_path = tmp_path / "metrics.json"
+        lines, _ = self._serve(
+            "TOPK n3 3\n", monkeypatch, capsys,
+            "--index", str(index_path), "--shards", "2",
+            "--metrics-out", str(metrics_path),
+        )
+        assert lines[1]["k"] == 3 and not lines[1]["degraded"]
+        dump = _json.loads(metrics_path.read_text())
+        shards = {
+            s["labels"].get("shard")
+            for s in dump["histograms"]["kernel_seconds"]["samples"]
+        }
+        assert {"0", "1"} <= shards
+
+    def test_timings_flag_annotates_every_response(
+        self, bundle_path, monkeypatch, capsys
+    ):
+        lines, _ = self._serve(
+            "n3 n4\nBATCH n3 n4 n5\nTOPK n3 2\n", monkeypatch, capsys,
+            str(bundle_path), "--method", "mc", "--walks", "30",
+            "--seed", "2", "--timings",
+        )
+        _, pair, batch, topk = lines
+        for response in (pair, batch, topk):
+            assert len(response["trace_id"]) == 16
+            assert set(response["timings"]) == {
+                "queue_us", "scatter_us", "kernel_us", "merge_us",
+            }
+            assert all(v >= 0 for v in response["timings"].values())
+        # distinct admissions get distinct traces
+        assert pair["trace_id"] != topk["trace_id"]
+
+    def test_without_timings_responses_stay_byte_stable(
+        self, bundle_path, monkeypatch, capsys
+    ):
+        lines, _ = self._serve(
+            "n3 n4\nBATCH n3 n4 n5\n", monkeypatch, capsys,
+            str(bundle_path), "--method", "mc", "--walks", "30",
+            "--seed", "2",
+        )
+        for response in lines[1:]:
+            assert "trace_id" not in response
+            assert "timings" not in response
+
+    def test_metrics_port_serves_live_scrapes_mid_session(
+        self, bundle_path, monkeypatch, capsys
+    ):
+        """--metrics-port 0 binds an ephemeral port, publishes it in the
+        banner, and answers /metrics and /health while requests flow."""
+        import json as _json
+        import sys as _sys
+        import urllib.request
+
+        results = {}
+
+        class ScrapingStdin:
+            """Reads the banner mid-session, scrapes, then sends work."""
+
+            def __iter__(self):
+                banner = _json.loads(
+                    capsys.readouterr().out.splitlines()[0]
+                )
+                results["banner"] = banner
+                base = f"http://127.0.0.1:{banner['metrics_port']}"
+                for name, path in (
+                    ("prom", "/metrics"),
+                    ("json", "/metrics?format=json"),
+                    ("health", "/health"),
+                ):
+                    with urllib.request.urlopen(
+                        base + path, timeout=10.0
+                    ) as response:
+                        results[name] = response.read().decode()
+                yield "n3 n4\n"
+
+        monkeypatch.setattr(_sys, "stdin", ScrapingStdin())
+        assert main([
+            "serve", str(bundle_path), "--method", "mc", "--walks", "30",
+            "--seed", "2", "--metrics-port", "0",
+        ]) == 0
+        assert results["banner"]["metrics_port"] > 0
+        assert "# TYPE" in results["prom"]
+        assert "counters" in _json.loads(results["json"])
+        assert _json.loads(results["health"])["circuit"] == "closed"
+        # the remaining stdout is the answer to the post-scrape request
+        answer = _json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert answer["u"] == "n3" and answer["v"] == "n4"
+
+    def test_metrics_dump_scrape_round_trips(self, capsys):
+        from repro.obs.export import render_prometheus
+        from repro.obs.http import MetricsServer
+
+        with MetricsServer(render=lambda fmt: render_prometheus()) as srv:
+            assert main([
+                "metrics", "dump", "--scrape", f"{srv.host}:{srv.port}",
+                "--format", "prom",
+            ]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE store_cache_hit_total counter" in out
+
+    def test_metrics_dump_scrape_unreachable_is_error(self, capsys):
+        from repro.obs.http import MetricsServer
+
+        server = MetricsServer(render=lambda fmt: "")
+        server.start()
+        address = f"{server.host}:{server.port}"
+        server.close()  # port now refuses connections
+        assert main(["metrics", "dump", "--scrape", address]) == 2
+        assert "scrape" in capsys.readouterr().err
