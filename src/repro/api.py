@@ -33,6 +33,7 @@ measurement windows.
 
 from __future__ import annotations
 
+import copy
 import time
 import warnings
 from pathlib import Path
@@ -52,6 +53,7 @@ from repro.backends import (
     resolve_backend,
 )
 from repro.core.bounds import plan_index
+from repro.core.dynamic import DynamicWalkIndex
 from repro.core.iterative import FixedPointResult
 from repro.core.join import candidate_pairs, similarity_join
 from repro.core.montecarlo import EstimatorStats, MonteCarloSemSim, MonteCarloSimRank
@@ -74,7 +76,13 @@ from repro.core.walk_index import (
     save_walk_index,
 )
 from repro.errors import ConfigurationError
-from repro.hin.graph import HIN, Node
+from repro.hin.graph import (
+    DEFAULT_EDGE_LABEL,
+    DEFAULT_NODE_LABEL,
+    DEFAULT_WEIGHT,
+    HIN,
+    Node,
+)
 from repro.obs.logging import get_logger, log_event
 from repro.obs.registry import get_registry, is_enabled
 from repro.obs.trace import span
@@ -98,6 +106,7 @@ from repro.store.engine_io import (
     measure_from_artifact,
     snapshot_engine,
 )
+from repro.store.fingerprint import fingerprint_graph
 
 __all__ = [
     "QueryEngine",
@@ -247,6 +256,8 @@ class QueryEngine:
         self._store: ArtifactStore | None = None
         self.cache_key: str | None = None
         self._cache_identity: dict | None = None
+        self._dynamic: DynamicWalkIndex | None = None
+        self._parent_fingerprint: str | None = None
 
         self.walk_index: WalkIndex | None = None
         self._table: SemSim | SimRank | None = None
@@ -627,6 +638,196 @@ class QueryEngine:
                 "save_walks requires method='mc' (a walk index)"
             )
         save_walk_index(self.walk_index, path)
+
+    # ------------------------------------------------------------------
+    # Live mutations — incremental index maintenance
+    # ------------------------------------------------------------------
+    @property
+    def index_epoch(self) -> int:
+        """Mutation epoch of the walk index (0 for a never-mutated engine)."""
+        return int(getattr(self.walk_index, "epoch", 0))
+
+    def add_edge(
+        self,
+        source: Node,
+        target: Node,
+        weight: float = DEFAULT_WEIGHT,
+        label: str = DEFAULT_EDGE_LABEL,
+    ) -> int:
+        """Insert (or re-weight) ``source -> target`` and repair the index.
+
+        Returns the number of walks re-stepped.  The maintained walk tensor
+        stays bit-identical to a from-scratch build on the mutated graph
+        under the engine's seed, and the estimator is rebuilt so subsequent
+        queries score against the new weights.  With a semantic measure
+        attached, both endpoints must already exist (the measure cannot be
+        extended to cover new nodes incrementally).
+        """
+        if self.measure is not None:
+            for node in (source, target):
+                if node not in self.graph:
+                    raise ConfigurationError(
+                        f"cannot create node {node!r} through a mutation: "
+                        "the engine's semantic measure does not cover it — "
+                        "rebuild the engine with an extended measure"
+                    )
+        return self._mutate(
+            lambda d: d.add_edge(source, target, weight=weight, label=label)
+        )
+
+    def set_weight(self, source: Node, target: Node, weight: float) -> int:
+        """Re-weight the existing edge ``source -> target`` (label kept)."""
+        return self._mutate(lambda d: d.set_weight(source, target, weight))
+
+    def remove_edge(self, source: Node, target: Node) -> int:
+        """Delete ``source -> target`` and repair the index."""
+        return self._mutate(lambda d: d.remove_edge(source, target))
+
+    def add_node(self, node: Node, label: str = DEFAULT_NODE_LABEL) -> int:
+        """Append an isolated node with its own walk set."""
+        if self.measure is not None:
+            raise ConfigurationError(
+                f"cannot add node {node!r}: the engine's semantic measure "
+                "does not cover it — rebuild the engine with an extended "
+                "measure"
+            )
+        return self._mutate(lambda d: d.add_node(node, label=label))
+
+    def apply_mutation(self, kind: str, *args) -> int:
+        """Apply one mutation by kind name (the serve protocol's entry).
+
+        *kind* is one of ``add_edge``, ``set_weight``, ``remove_edge``,
+        ``add_node``; *args* are forwarded to the matching method.
+        """
+        handlers = {
+            "add_edge": self.add_edge,
+            "set_weight": self.set_weight,
+            "remove_edge": self.remove_edge,
+            "add_node": self.add_node,
+        }
+        try:
+            handler = handlers[kind]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown mutation kind {kind!r} "
+                f"(expected one of {sorted(handlers)})"
+            ) from None
+        return handler(*args)
+
+    def with_mutations(
+        self, mutations: Sequence[tuple]
+    ) -> "QueryEngine":
+        """Return a new engine with *mutations* applied; this one is untouched.
+
+        Copy-on-write: the clone promotes its own
+        :class:`~repro.core.dynamic.DynamicWalkIndex` around a copied walk
+        tensor and graph, so queries in flight against this engine keep a
+        consistent snapshot.  Each mutation is a ``(kind, *args)`` tuple as
+        accepted by :meth:`apply_mutation`.  This is the building block of
+        the serve layer's atomic generation swap.
+        """
+        clone = copy.copy(self)
+        clone._dynamic = None
+        clone._parent_fingerprint = None
+        for mutation in mutations:
+            kind, *args = mutation
+            clone.apply_mutation(kind, *args)
+        return clone
+
+    def mutation_lineage(self) -> dict | None:
+        """Lineage of this index generation, or ``None`` if never mutated.
+
+        Recorded into artifact manifests by
+        :func:`~repro.store.engine_io.snapshot_engine`: the fingerprint of
+        the parent generation's graph plus the hash of the mutation log
+        that produced this one — a content-addressable chain of index
+        generations.
+        """
+        if self._dynamic is None or not self._dynamic.mutation_log:
+            return None
+        return {
+            "parent_graph": self._parent_fingerprint,
+            "mutation_log_sha256": self._dynamic.mutation_log_hash(),
+            "mutations": len(self._dynamic.mutation_log),
+            "epoch": int(self._dynamic.epoch),
+        }
+
+    def persist_generation(self, store: ArtifactStore | None = None) -> str | None:
+        """Strictly persist the engine's current state into *store*.
+
+        Unlike the constructor's best-effort write-through, failures
+        propagate — the serve layer's swap path requires persistence to
+        succeed *before* a new generation is published.  Returns the
+        content-addressed key, or ``None`` when no store is available.
+        """
+        store = store if store is not None else self._store
+        if store is None:
+            return None
+        materialized = isinstance(self.measure, MatrixMeasure)
+        key, identity = engine_identity(
+            self.graph, self.measure, self._canonical_params(materialized)
+        )
+        with span("engine.snapshot", labels={"method": self.method}):
+            manifest, arrays, documents = snapshot_engine(self, identity)
+        store.put(key, manifest, arrays, documents)
+        self._store = store
+        self.cache_key = key
+        self._cache_identity = identity
+        return key
+
+    def _mutate(self, apply) -> int:
+        dynamic = self._ensure_dynamic()
+        resampled = apply(dynamic)
+        self._refresh_estimator()
+        return resampled
+
+    def _ensure_dynamic(self) -> DynamicWalkIndex:
+        """Lazily promote the walk index to a mutable DynamicWalkIndex."""
+        if self.method != "mc":
+            raise ConfigurationError(
+                "graph mutations require method='mc' — the iterative score "
+                "table has no incremental maintenance path; rebuild instead"
+            )
+        if self.pair_index is not None:
+            raise ConfigurationError(
+                "graph mutations cannot be applied with an external "
+                "pair_index attached (its SO snapshot would go stale)"
+            )
+        if self._dynamic is None:
+            if self._seed_key is None:
+                raise ConfigurationError(
+                    "graph mutations require an integer seed: incremental "
+                    "maintenance re-derives the walk draw schedule from it"
+                )
+            self._parent_fingerprint = fingerprint_graph(self.graph)
+            self._dynamic = DynamicWalkIndex.from_walk_index(
+                self.walk_index, seed=self._seed_key
+            )
+            self.graph = self._dynamic.graph
+            self.walk_index = self._dynamic
+        return self._dynamic
+
+    def _refresh_estimator(self) -> None:
+        """Rebuild the estimator against the (mutated) walk index.
+
+        Estimators snapshot edge weights at construction; after a mutation
+        the old one raises :class:`~repro.errors.StaleIndexError`, so the
+        engine swaps in a fresh one recording the new epoch.  ``stats``
+        restarts with it (the registry mirror keeps the running totals).
+        """
+        if self.measure is None:
+            self.estimator = MonteCarloSimRank(
+                self.walk_index, decay=self.decay, backend=self.backend
+            )
+        else:
+            self.estimator = MonteCarloSemSim(
+                self.walk_index,
+                self.measure,
+                decay=self.decay,
+                theta=self.theta,
+                backend=self.backend,
+            )
+        self.stats = self.estimator.stats
 
     @classmethod
     def from_error_target(

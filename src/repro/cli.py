@@ -35,8 +35,11 @@ Commands
     threads — with per-request deadlines (``--deadline-ms``), bounded I/O
     retries (``--max-retries``) and graceful degradation to the iterative
     solver on index loss (responses carry a ``degraded`` flag).
-    ``HEALTH`` on a line prints the serving health snapshot; EOF, a blank
-    line or Ctrl-C drains in-flight requests and exits 0.
+    ``UPDATE u v [weight]`` and ``DELEDGE u v`` mutate the served graph
+    live (incremental walk repair + atomic generation swap; rejected with
+    ``kind: unsupported`` under ``--shards``).  ``HEALTH`` on a line
+    prints the serving health snapshot; EOF, a blank line or Ctrl-C
+    drains in-flight requests and exits 0.
 
 ``query`` and ``topk`` also accept ``--index`` (serve from a prebuilt
 artifact — no preprocessing at all) and ``--cache`` (transparent
@@ -77,7 +80,7 @@ from repro.datasets import (
     wordnet_like,
 )
 from repro.datasets.io import load_bundle_json, save_bundle_json
-from repro.errors import ConfigurationError, GraphError
+from repro.errors import ConfigurationError, GraphError, InvalidWeightError
 from repro.obs.export import render_json, render_prometheus
 from repro.obs.http import MetricsServer
 from repro.obs.logging import configure_logging
@@ -86,6 +89,7 @@ from repro.sched import Overloaded, ServingRuntime, ShardedRuntime
 from repro.serve import (
     DeadlineExceeded,
     IndexManager,
+    MutationRejectedError,
     QueryService,
     RetryPolicy,
     ServeError,
@@ -316,6 +320,8 @@ def _serve_submit(runtime: ServingRuntime, line: str):
     """
     parts = line.split()
     head = parts[0].upper()
+    if head in ("UPDATE", "DELEDGE"):
+        return _serve_mutate(runtime, head, parts, line)
     try:
         if head == "BATCH":
             if len(parts) < 3:
@@ -345,12 +351,64 @@ def _serve_submit(runtime: ServingRuntime, line: str):
         return ("error", {"error": str(exc), "kind": "unavailable"})
 
 
+def _serve_mutate(runtime: ServingRuntime, head: str, parts: list, line: str):
+    """Apply one ``UPDATE``/``DELEDGE`` line through the live-update path.
+
+    Runs synchronously on the reader thread so the swap is published
+    before any later line is even parsed — every request after a
+    mutation line is guaranteed to be answered from the new generation.
+    The rendered acknowledgement still flows through the printer queue,
+    keeping the one-response-per-line ordering.
+    """
+    if head == "UPDATE":
+        if len(parts) not in (3, 4):
+            return ("error", {
+                "error": f"expected 'UPDATE u v [weight]', got {line!r}"
+            })
+        mutation = ("add_edge", parts[1], parts[2])
+        if len(parts) == 4:
+            try:
+                mutation = ("add_edge", parts[1], parts[2], float(parts[3]))
+            except ValueError:
+                return ("error", {
+                    "error": f"expected a numeric weight, got {parts[3]!r}"
+                })
+    else:  # DELEDGE
+        if len(parts) != 3:
+            return ("error", {
+                "error": f"expected 'DELEDGE u v', got {line!r}"
+            })
+        mutation = ("remove_edge", parts[1], parts[2])
+    try:
+        result = runtime.apply_mutations([mutation])
+    except MutationRejectedError as exc:
+        return ("error", {"error": str(exc), "kind": "unsupported"})
+    except InvalidWeightError as exc:
+        return ("error", {"error": str(exc), "kind": "bad_mutation"})
+    except GraphError as exc:
+        return ("error", {"error": str(exc), "kind": "not_found"})
+    except ConfigurationError as exc:
+        return ("error", {"error": str(exc), "kind": "bad_mutation"})
+    except ServeError as exc:
+        return ("error", {"error": str(exc), "kind": "unavailable"})
+    except Exception as exc:  # noqa: BLE001 — persist faults must not kill the loop
+        return ("error", {"error": str(exc), "kind": "persist_failed"})
+    return ("mutation", {
+        "mutated": True,
+        "kind": mutation[0],
+        "applied": result["applied"],
+        "resampled": result["resampled"],
+        "generation": result["generation"],
+        "epoch": result["epoch"],
+    })
+
+
 def _serve_render(entry, runtime: ServingRuntime) -> dict:
     """Resolve one queue entry into its JSON payload (never raises)."""
     kind, payload = entry
     if kind == "health":
         return runtime.health()
-    if kind == "error":
+    if kind in ("error", "mutation"):
         return payload
     try:
         return payload.result().as_dict()
@@ -371,8 +429,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     Protocol (one request per line, one JSON response per line, responses
     in request order): ``u v`` scores a pair, ``BATCH u v1 v2 ...`` scores
-    a candidate set, ``TOPK u k [v1 v2 ...]`` runs a top-k search, and
-    ``HEALTH`` prints the serving health snapshot.  Requests are admitted
+    a candidate set, ``TOPK u k [v1 v2 ...]`` runs a top-k search,
+    ``UPDATE u v [weight]`` inserts or re-weights an edge and
+    ``DELEDGE u v`` removes one (both answered with a mutation
+    acknowledgement carrying the new generation and epoch), and
+    ``HEALTH`` prints the serving health snapshot.  Mutations apply
+    synchronously on the reader thread — walk rows touched by the change
+    are incrementally re-stepped, the new generation is persisted to the
+    cache store (when configured) and atomically swapped in — so every
+    later line is answered from the mutated index, bit-identical to a
+    cold rebuild of the mutated graph.  Under ``--shards`` mutations are
+    rejected (``kind: unsupported``): shard workers serve immutable
+    snapshots.  Requests are admitted
     into the scheduler's bounded queue (``--queue-depth``), coalesced into
     micro-batches (``--max-batch`` / ``--max-wait-us``) and answered by
     ``--workers`` threads; lines past the watermark get an ``overloaded``

@@ -1,34 +1,125 @@
 """Dynamic-graph support for the MC framework (Section 7 future work).
 
 The paper's random-walk approach is "compatible with updates in the graph"
-(its Related Work, citing READS [14]): when an edge ``source -> target``
-changes, only the walks that *visit* ``target`` are affected — and because
-reverse walks are memoryless, resampling each affected walk's suffix from
-its first visit of ``target`` restores the exact sampling distribution of
-a freshly built index.
+(its Related Work, citing READS [14]): when the in-adjacency of a node
+changes, only the walks that *visit* that node are affected — and because
+reverse walks are memoryless, re-stepping each affected walk from its first
+visit restores the sampling distribution of a freshly built index.
 
-:class:`DynamicWalkIndex` implements that maintenance strategy on top of
-:class:`~repro.core.walk_index.WalkIndex` and exposes the same query API,
-so estimators plug in unchanged.  Note that estimators snapshot edge
-weights at construction; recreate them after updates (cheap — the walk
-storage is shared, not copied).
+:class:`DynamicWalkIndex` goes one step further than distribution
+equivalence: it replays the **exact draw schedule** of a from-scratch
+build.  :class:`~repro.core.walk_index.WalkIndex` pre-draws one uniform
+float per ``(node, walk, step)`` from a per-node child generator spawned
+off the seed, and dead walkers simply waste their draws — so each walk is
+a pure function of ``(draws, transition tables)``.  Child ``v`` of
+``SeedSequence(seed)`` equals ``SeedSequence(entropy=seed,
+spawn_key=(v,))``, so any node's draw block can be regenerated on demand,
+including blocks for nodes appended after the initial build.  Repair after
+a mutation therefore recompiles the transition tables, finds every row
+whose compiled stepping data changed **bitwise**, and re-steps affected
+walk suffixes with the regenerated draws through the same vectorised
+``tables.step`` arithmetic.  The maintained tensor is *bit-identical* to
+``WalkIndex(mutated_graph, seed=seed)`` — the property
+``tests/properties/test_dynamic_identity.py`` proves under randomized
+mutation schedules.
+
+The bitwise row diff matters: the table compile computes cumulative
+probabilities with one global ``cumsum``, so under the WEIGHTED policy an
+untouched row's probabilities can shift by an ulp after a mutation
+elsewhere.  Diffing the recompiled tables (instead of assuming only the
+mutated node's row changed) keeps the identity exact for every policy.
+
+Each successful mutation increments :attr:`DynamicWalkIndex.epoch`.
+Estimators record the epoch at construction and raise
+:class:`~repro.errors.StaleIndexError` when queried across a mutation —
+they snapshot edge weights, so recreate them after updates (cheap: the
+walk storage is reused, not resampled).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 import numpy as np
 
-from repro.core.walk_index import WalkIndex, WalkPolicy
-from repro.hin.graph import DEFAULT_EDGE_LABEL, DEFAULT_WEIGHT, HIN, Node
-from repro.utils.rng import ensure_rng
+from repro.core.walk_index import WalkIndex, WalkPolicy, _TransitionTables
+from repro.errors import ConfigurationError, EdgeNotFoundError, GraphError
+from repro.hin.graph import (
+    DEFAULT_EDGE_LABEL,
+    DEFAULT_NODE_LABEL,
+    DEFAULT_WEIGHT,
+    HIN,
+    Node,
+)
+
+#: One applied mutation: ``(kind, source, target, weight_repr, label)`` with
+#: every field a string so the log is JSON- and hash-stable.
+MutationRecord = tuple[str, str, str, str, str]
+
+
+def _seed_entropy(seed: int | None) -> int:
+    """Normalise *seed* to the :class:`~numpy.random.SeedSequence` entropy.
+
+    Incremental maintenance re-derives per-node draw streams from the seed,
+    which an opaque, already-advanced ``Generator`` cannot provide — so only
+    integers (or ``None``, capturing fresh OS entropy once) are accepted.
+    """
+    if seed is None:
+        return int(np.random.SeedSequence().entropy)
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    raise ConfigurationError(
+        "DynamicWalkIndex requires an integer seed (or None to capture a "
+        f"random one), got {type(seed).__name__}: incremental maintenance "
+        "regenerates per-node draw streams from the seed entropy"
+    )
+
+
+def _changed_rows(old: _TransitionTables, new: _TransitionTables) -> np.ndarray:
+    """Boolean mask over *new*'s rows whose stepping data differs from *old*.
+
+    Rows past ``old``'s node count (appended nodes) are always changed.
+    Equal-degree rows contribute aligned subsequences to both flattened edge
+    arrays, so the comparison is a single vectorised pass — no per-row loop.
+    """
+    old_n = old.degrees.size
+    new_n = new.degrees.size
+    changed = np.ones(new_n, dtype=bool)
+    common = min(old_n, new_n)
+    if common == 0:
+        return changed
+    deg_eq = np.zeros(max(old_n, new_n), dtype=bool)
+    deg_eq[:common] = old.degrees[:common] == new.degrees[:common]
+    changed[:common] = ~deg_eq[:common]
+    if not deg_eq.any():
+        return changed
+    old_rows = np.repeat(np.arange(old_n), old.degrees)
+    new_rows = np.repeat(np.arange(new_n), new.degrees)
+    old_mask = deg_eq[old_rows]
+    new_mask = deg_eq[new_rows]
+    diff = (old.targets[old_mask] != new.targets[new_mask]) | (
+        old.aug_cumprob[old_mask] != new.aug_cumprob[new_mask]
+    )
+    if diff.any():
+        changed[np.unique(old_rows[old_mask][diff])] = True
+    return changed
 
 
 class DynamicWalkIndex:
-    """A reverse-walk index that tracks edge insertions and deletions.
+    """A reverse-walk index that tracks graph mutations bit-exactly.
 
-    Wraps a private copy of the graph (updates through this class only) and
-    keeps the walk tensor consistent with it.  Query methods mirror
-    :class:`WalkIndex`.
+    Wraps a private copy of the graph (updates go through this class only)
+    and keeps the walk tensor identical to what a from-scratch
+    :class:`WalkIndex` build on the mutated graph would sample under the
+    same seed.  Query methods mirror :class:`WalkIndex`, so estimators plug
+    in unchanged — but must be recreated after mutations (enforced via
+    :attr:`epoch` / :class:`~repro.errors.StaleIndexError`).
+
+    Supported mutations: :meth:`add_edge` (insert or re-weight — the model
+    has no parallel edges), :meth:`set_weight`, :meth:`remove_edge` and
+    :meth:`add_node`.  Node removal is not supported (it would renumber the
+    tensor); delete a node's edges instead.
     """
 
     def __init__(
@@ -37,16 +128,66 @@ class DynamicWalkIndex:
         num_walks: int = 150,
         length: int = 15,
         policy: WalkPolicy = WalkPolicy.UNIFORM,
-        seed: int | np.random.Generator | None = None,
+        seed: int | None = None,
     ) -> None:
+        self._entropy = _seed_entropy(seed)
         self.graph = graph.copy()
-        self._rng = ensure_rng(seed)
         self._inner = WalkIndex(
             self.graph, num_walks=num_walks, length=length,
-            policy=policy, seed=self._rng,
+            policy=policy, seed=self._entropy,
         )
+        self.epoch = 0
         self.updates_applied = 0
         self.walks_resampled = 0
+        self.mutation_log: list[MutationRecord] = []
+
+    @classmethod
+    def from_walk_index(
+        cls,
+        walk_index: "WalkIndex | DynamicWalkIndex",
+        seed: int | None = None,
+    ) -> "DynamicWalkIndex":
+        """Promote an existing index to a mutable one without resampling.
+
+        The walk tensor and graph are **copied**, so *walk_index* keeps
+        serving unchanged — this is the copy-on-write entry point behind
+        the serve layer's generation swaps.  *seed* must be the integer
+        seed the source index was sampled with; when promoting another
+        :class:`DynamicWalkIndex` it defaults to the source's own entropy,
+        and the source's :attr:`epoch` carries over so estimator staleness
+        stays monotone across generations.
+        """
+        if seed is None:
+            if not isinstance(walk_index, DynamicWalkIndex):
+                raise ConfigurationError(
+                    "from_walk_index needs the integer seed the source "
+                    "index was sampled with (only another DynamicWalkIndex "
+                    "carries its own entropy)"
+                )
+            entropy = walk_index._entropy
+        else:
+            entropy = _seed_entropy(seed)
+        source = (
+            walk_index._inner
+            if isinstance(walk_index, DynamicWalkIndex)
+            else walk_index
+        )
+        dynamic = cls.__new__(cls)
+        dynamic._entropy = entropy
+        dynamic.graph = source.graph.copy()
+        walks = np.array(source.walks, dtype=source.walks.dtype, copy=True)
+        dynamic._inner = WalkIndex.from_arrays(
+            dynamic.graph,
+            walks,
+            num_walks=source.num_walks,
+            length=source.length,
+            policy=source.policy,
+        )
+        dynamic.epoch = int(getattr(walk_index, "epoch", 0))
+        dynamic.updates_applied = 0
+        dynamic.walks_resampled = 0
+        dynamic.mutation_log = []
+        return dynamic
 
     # ------------------------------------------------------------------
     # WalkIndex-compatible query API
@@ -76,9 +217,23 @@ class DynamicWalkIndex:
         """Mirror of :class:`WalkIndex`.walks for drop-in use."""
         return self._inner.walks
 
+    @property
+    def tables(self) -> _TransitionTables:
+        """Mirror of :class:`WalkIndex`.tables for drop-in use."""
+        return self._inner.tables
+
+    @property
+    def entropy(self) -> int:
+        """The seed entropy every per-node draw stream derives from."""
+        return self._entropy
+
     def node_position(self, node: Node) -> int:
         """See :meth:`WalkIndex.node_position`."""
         return self._inner.node_position(node)
+
+    def node_positions(self, nodes) -> np.ndarray:
+        """See :meth:`WalkIndex.node_positions`."""
+        return self._inner.node_positions(nodes)
 
     def walks_from(self, node: Node) -> np.ndarray:
         """See :meth:`WalkIndex.walks_from`."""
@@ -88,6 +243,10 @@ class DynamicWalkIndex:
         """See :meth:`WalkIndex.first_meetings`."""
         return self._inner.first_meetings(u, v)
 
+    def first_meetings_batch(self, query: Node, candidates) -> np.ndarray:
+        """See :meth:`WalkIndex.first_meetings_batch`."""
+        return self._inner.first_meetings_batch(query, candidates)
+
     def q_step_probability(self, current: int, chosen: int) -> float:
         """See :meth:`WalkIndex.q_step_probability`."""
         return self._inner.q_step_probability(current, chosen)
@@ -96,6 +255,11 @@ class DynamicWalkIndex:
     def storage_entries(self) -> int:
         """Mirror of :class:`WalkIndex`.storage_entries for drop-in use."""
         return self._inner.storage_entries
+
+    @property
+    def storage_bytes(self) -> int:
+        """Mirror of :class:`WalkIndex`.storage_bytes for drop-in use."""
+        return self._inner.storage_bytes
 
     # ------------------------------------------------------------------
     # Updates
@@ -107,94 +271,156 @@ class DynamicWalkIndex:
         weight: float = DEFAULT_WEIGHT,
         label: str = DEFAULT_EDGE_LABEL,
     ) -> int:
-        """Insert ``source -> target``; returns the number of resampled walks.
+        """Insert (or re-weight) ``source -> target``; returns walks re-stepped.
 
-        New endpoints are created (each new node receives its own fresh
-        walk set).
+        New endpoints are created, each receiving the walk set a fresh
+        build would sample for a node at its position.
         """
-        new_nodes = [n for n in (source, target) if n not in self.graph]
-        self.graph.add_edge(source, target, weight=weight, label=label)
-        return self._after_change(target, new_nodes)
+        return self._apply(
+            ("add_edge", str(source), str(target), repr(float(weight)), label),
+            lambda: self.graph.add_edge(source, target, weight=weight, label=label),
+            (source, target),
+        )
+
+    def set_weight(self, source: Node, target: Node, weight: float) -> int:
+        """Re-weight the existing edge ``source -> target`` (label kept)."""
+        label = self.graph.edge_label(source, target)
+        return self._apply(
+            ("set_weight", str(source), str(target), repr(float(weight)), label),
+            lambda: self.graph.add_edge(source, target, weight=weight, label=label),
+            (),
+        )
 
     def remove_edge(self, source: Node, target: Node) -> int:
-        """Delete ``source -> target``; returns the number of resampled walks."""
-        self.graph.remove_edge(source, target)
-        return self._after_change(target, [])
+        """Delete ``source -> target``; returns the number of walks re-stepped."""
+        return self._apply(
+            ("remove_edge", str(source), str(target), "", ""),
+            lambda: self.graph.remove_edge(source, target),
+            (),
+        )
+
+    def add_node(self, node: Node, label: str = DEFAULT_NODE_LABEL) -> int:
+        """Append an isolated *node* with its own (dead-end) walk set."""
+        if node in self.graph:
+            raise GraphError(f"node {node!r} already exists in the graph")
+        return self._apply(
+            ("add_node", str(node), "", "", label),
+            lambda: self.graph.add_node(node, label=label),
+            (node,),
+        )
+
+    def mutation_log_hash(self) -> str:
+        """SHA-256 over the JSON-encoded mutation log (lineage addressing)."""
+        payload = json.dumps(self.mutation_log, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _after_change(self, target: Node, new_nodes: list[Node]) -> int:
-        """Refresh the numeric index and repair affected walks.
-
-        Only walks visiting *target* before their last step are affected:
-        the step taken *from* ``target`` draws from ``I(target)``, which is
-        exactly what changed.
-        """
-        old_walks = self._inner.walks
-        old_count = old_walks.shape[0]
+    def _apply(self, record, mutate, node_candidates) -> int:
+        # Compile (or reuse) the pre-mutation tables before touching the
+        # graph: the bitwise row diff below needs both sides.
+        old_tables = self._inner.tables
+        old_count = self._inner.index.num_nodes
+        new_nodes = [n for n in node_candidates if n not in self.graph]
+        mutate()  # validation errors raise here, leaving state untouched
         self._inner.index = self.graph.index()
-
-        if new_nodes:
-            # Extend the tensor with fresh walk sets for the new nodes.
-            extra = len(new_nodes)
-            grown = np.full(
-                (old_count + extra, self.num_walks, self.length + 1),
-                -1,
-                dtype=old_walks.dtype,
-            )
-            grown[:old_count] = old_walks
-            for offset, node in enumerate(new_nodes):
-                position = self._inner.index.position[node]
-                # New nodes are appended, so positions line up.
-                assert position == old_count + offset
-                grown[position, :, 0] = position
-                for walk_id in range(self.num_walks):
-                    self._resample_suffix(grown, position, walk_id, 0)
-            self._inner.walks = grown
-
-        walks = self._inner.walks
-        target_pos = self._inner.index.position[target]
-        # First visit of the changed node in each walk (excluding the final
-        # offset — a visit there has no outgoing step to repair).
-        visited = walks[:, :, : self.length] == target_pos
-        affected_nodes, affected_walks = np.nonzero(visited.any(axis=2))
-        resampled = 0
-        for node_pos, walk_id in zip(affected_nodes, affected_walks):
-            first = int(visited[node_pos, walk_id].argmax())
-            self._resample_suffix(walks, int(node_pos), int(walk_id), first)
-            resampled += 1
+        new_tables = _TransitionTables(self._inner.index, self.policy)
+        self._inner._tables = new_tables
+        self._grow_for(new_nodes, old_count)
+        resampled = self._repair(old_tables, new_tables)
+        self.epoch += 1
         self.updates_applied += 1
         self.walks_resampled += resampled
+        self.mutation_log.append(record)
         return resampled
 
-    def _resample_suffix(
-        self, walks: np.ndarray, node_pos: int, walk_id: int, from_step: int
+    def _grow_for(self, new_nodes, old_count: int) -> None:
+        """Extend the tensor with start-only rows for appended nodes.
+
+        Their remaining steps are filled by :meth:`_repair` — a brand-new
+        row is always a bitwise-changed row, so the generic re-step pass
+        picks its walks up at offset 0.
+        """
+        if not new_nodes:
+            return
+        walks = self._inner.walks
+        grown = np.full(
+            (old_count + len(new_nodes), self.num_walks, self.length + 1),
+            -1,
+            dtype=walks.dtype,
+        )
+        grown[:old_count] = walks
+        for offset, node in enumerate(new_nodes):
+            position = self._inner.index.position[node]
+            # Appended nodes land at the end of insertion order, so a fresh
+            # build spawns the same per-node draw stream at this position.
+            assert position == old_count + offset
+            grown[position, :, 0] = position
+        self._inner.walks = grown
+
+    def _repair(self, old_tables, new_tables) -> int:
+        """Re-step every walk whose remaining path could differ; return count."""
+        changed = _changed_rows(old_tables, new_tables)
+        if not changed.any():
+            return 0
+        walks = self._inner.walks
+        # Sentinel slot at index n stays False so dead (-1) steps never match.
+        lookup = np.zeros(self._inner.index.num_nodes + 1, dtype=bool)
+        lookup[np.flatnonzero(changed)] = True
+        # A visit at the final offset has no outgoing step to repair.
+        visited = lookup[walks[:, :, : self.length]]
+        node_ids, walk_ids = np.nonzero(visited.any(axis=2))
+        if node_ids.size == 0:
+            return 0
+        starts = visited[node_ids, walk_ids].argmax(axis=1).astype(np.int64)
+        self._restep(node_ids, walk_ids, starts)
+        return int(node_ids.size)
+
+    def _restep(
+        self, node_ids: np.ndarray, walk_ids: np.ndarray, starts: np.ndarray
     ) -> None:
-        """Redraw one walk's steps after *from_step* under the current graph."""
-        index = self._inner.index
-        current = int(walks[node_pos, walk_id, from_step])
-        for step in range(from_step, self.length):
-            if current < 0:
-                walks[node_pos, walk_id, step + 1] = -1
-                continue
-            neighbours = index.in_lists[current]
-            if neighbours.size == 0:
-                walks[node_pos, walk_id, step + 1 :] = -1
-                return
-            if self._inner.policy is WalkPolicy.UNIFORM:
-                choice = int(self._rng.integers(neighbours.size))
-            else:
-                weights = index.in_weights[current].astype(np.float64)
-                cums = np.cumsum(weights / weights.sum())
-                choice = int(np.searchsorted(cums, self._rng.random(), side="right"))
-                choice = min(choice, cums.size - 1)
-            current = int(neighbours[choice])
-            walks[node_pos, walk_id, step + 1] = current
+        """Replay walk suffixes with the original draws on the new tables.
+
+        Mirrors :meth:`WalkIndex._sample_shard` step for step — same draw
+        tensor layout, same ``tables.step`` arithmetic — so the repaired
+        suffix is bitwise what a fresh build would sample.
+        """
+        walks = self._inner.walks
+        tables = self._inner.tables
+        degrees = tables.degrees
+        uniq, inverse = np.unique(node_ids, return_inverse=True)
+        draws = np.empty(
+            (uniq.size, self.num_walks, self.length), dtype=np.float64
+        )
+        for slot, position in enumerate(uniq):
+            draws[slot] = self._node_draws(int(position))
+        current = walks[node_ids, walk_ids, starts].astype(np.int64)
+        for step in range(int(starts.min()), self.length):
+            active = np.flatnonzero(starts <= step)
+            cur = current[active]
+            nxt = np.full(active.size, -1, dtype=np.int64)
+            movable = np.flatnonzero(cur >= 0)
+            if movable.size:
+                nodes_here = cur[movable]
+                live = degrees[nodes_here] > 0
+                movable = movable[live]
+                if movable.size:
+                    sel = active[movable]
+                    step_draws = draws[inverse[sel], walk_ids[sel], step]
+                    nxt[movable] = tables.step(nodes_here[live], step_draws)
+            walks[node_ids[active], walk_ids[active], step + 1] = nxt
+            current[active] = nxt
+
+    def _node_draws(self, position: int) -> np.ndarray:
+        # Child *position* of SeedSequence(entropy) is reachable directly via
+        # spawn_key — the same stream spawn_rngs() hands the shard builder.
+        seq = np.random.SeedSequence(entropy=self._entropy, spawn_key=(position,))
+        return np.random.default_rng(seq).random((self.num_walks, self.length))
 
     def __repr__(self) -> str:
         return (
             f"DynamicWalkIndex(nodes={self.index.num_nodes}, "
             f"num_walks={self.num_walks}, length={self.length}, "
-            f"updates={self.updates_applied})"
+            f"epoch={self.epoch}, updates={self.updates_applied})"
         )

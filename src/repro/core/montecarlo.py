@@ -57,7 +57,7 @@ from repro.backends import (
 from repro.core.metrics import ENGINE_EFFECTIVE_WALKS, ENGINE_WALK_COUNT
 from repro.core.params import validate_decay, validate_theta
 from repro.core.walk_index import WalkIndex, WalkPolicy
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StaleIndexError
 from repro.hin.graph import Node
 from repro.obs.registry import get_registry, is_enabled
 from repro.semantics.base import SemanticMeasure
@@ -280,9 +280,16 @@ class MonteCarloSimRank:
         self.backend = resolve_backend(backend, backend_config)
         self.stats = EstimatorStats(method="mc", estimator="simrank")
         self._accuracy = AccuracyGauges("simrank")
+        self._epoch = int(getattr(walk_index, "epoch", 0))
+
+    def _check_epoch(self) -> None:
+        current = int(getattr(self.walk_index, "epoch", 0))
+        if current != self._epoch:
+            raise StaleIndexError(self._epoch, current)
 
     def similarity(self, u: Node, v: Node) -> float:
         """Return the MC SimRank estimate ``(1/n_w) * sum c^tau``."""
+        self._check_epoch()
         self.stats.add(queries=1)
         if u == v:
             return 1.0
@@ -299,6 +306,7 @@ class MonteCarloSimRank:
         self, u: Node, candidates: Sequence[Node]
     ) -> np.ndarray:
         """Estimate ``sim(u, v)`` for every candidate in one numpy pass."""
+        self._check_epoch()
         m = len(candidates)
         self.stats.add(
             batch_queries=1, batch_pairs=m, vectorized_pairs=m, queries=m
@@ -400,6 +408,14 @@ class MonteCarloSemSim:
         # once and reused by every batch query.
         self._step_weights: np.ndarray | None = None
         self._step_q: np.ndarray | None = None
+        # Everything above snapshots the graph as of now; a later index
+        # mutation invalidates it, detected via the epoch check below.
+        self._epoch = int(getattr(walk_index, "epoch", 0))
+
+    def _check_epoch(self) -> None:
+        current = int(getattr(self.walk_index, "epoch", 0))
+        if current != self._epoch:
+            raise StaleIndexError(self._epoch, current)
 
     # ------------------------------------------------------------------
     # Public API
@@ -441,6 +457,7 @@ class MonteCarloSemSim:
 
     def similarity(self, u: Node, v: Node) -> float:
         """Return the Algorithm-1 estimate of ``sim(u, v)``."""
+        self._check_epoch()
         self.stats.add(queries=1)
         if u == v:
             return 1.0
@@ -480,6 +497,7 @@ class MonteCarloSemSim:
         otherwise every pair falls back to the scalar path (counted in
         ``stats.scalar_fallbacks``).
         """
+        self._check_epoch()
         m = len(candidates)
         self.stats.add(batch_queries=1, batch_pairs=m)
         if m == 0:
@@ -527,6 +545,7 @@ class MonteCarloSemSim:
         distribution-free (much looser) alternative, combine the point
         estimate with :func:`repro.core.bounds.deviation_probability`.
         """
+        self._check_epoch()
         self.stats.add(queries=1)
         if u == v:
             return 1.0, 0.0

@@ -153,6 +153,12 @@ class WalkIndex:
     walks:
         int32 array of shape ``(n, num_walks, length + 1)``; ``walks[v, i,
         0] == v`` and ``-1`` marks steps past a dead end.
+    epoch:
+        Mutation counter; always ``0`` for this immutable index.
+        :class:`~repro.core.dynamic.DynamicWalkIndex` increments it on every
+        graph update so estimators can detect stale snapshots (they record
+        the epoch at construction and raise
+        :class:`~repro.errors.StaleIndexError` on mismatch).
 
     Parameters
     ----------
@@ -164,6 +170,8 @@ class WalkIndex:
         Nodes per construction shard; defaults to a size that gives each
         worker a few shards.  Affects neither results nor storage.
     """
+
+    epoch: int = 0
 
     def __init__(
         self,

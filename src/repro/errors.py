@@ -64,3 +64,21 @@ class ConvergenceError(ReproError):
 
 class ConfigurationError(ReproError):
     """An invalid parameter combination was supplied."""
+
+
+class StaleIndexError(ReproError):
+    """An estimator was queried against a walk index mutated after it was built.
+
+    Estimators snapshot edge weights (and lazily derived tables) at
+    construction; serving them across a mutation would silently mis-score.
+    Rebuild the estimator against the current index instead.
+    """
+
+    def __init__(self, recorded_epoch: int, current_epoch: int) -> None:
+        super().__init__(
+            f"walk index is at epoch {current_epoch} but this estimator "
+            f"snapshotted epoch {recorded_epoch}; the graph was mutated "
+            f"after the estimator was built — rebuild the estimator"
+        )
+        self.recorded_epoch = recorded_epoch
+        self.current_epoch = current_epoch

@@ -267,8 +267,20 @@ class HIN:
         return sub
 
     def copy(self) -> "HIN":
-        """Return a deep structural copy of this graph."""
-        return self.subgraph(self._labels)
+        """Return a deep structural copy of this graph.
+
+        Unlike :meth:`subgraph` (which re-inserts edges source-major), the
+        copy preserves the insertion order of every adjacency dict: in-list
+        order determines the walk tensor's bit layout, so an
+        order-normalising copy would silently decouple a copied graph from
+        walks sampled on the original.
+        """
+        dup = HIN()
+        dup._labels = dict(self._labels)
+        dup._out = {node: dict(targets) for node, targets in self._out.items()}
+        dup._in = {node: dict(sources) for node, sources in self._in.items()}
+        dup._num_edges = self._num_edges
+        return dup
 
     def edges_with_label(self, label: str) -> list[tuple[Node, Node, float]]:
         """Return every edge carrying *label* as ``(source, target, weight)``."""

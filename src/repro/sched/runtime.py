@@ -244,6 +244,23 @@ class ServingRuntime:
         return payload
 
     # ------------------------------------------------------------------
+    # Live mutations
+    # ------------------------------------------------------------------
+    def apply_mutations(self, mutations) -> dict:
+        """Synchronously apply *mutations* through the manager's swap path.
+
+        Runs on the caller's thread (the serve protocol applies mutations
+        in submission order, so queries submitted after a mutation line are
+        guaranteed to see the new generation); queries already in flight
+        keep the acquisition they grabbed and finish against the old
+        generation — every request is answered exactly once, from one
+        consistent generation.
+        """
+        if self._closed:
+            raise RuntimeClosed("runtime is closed")
+        return self.service.manager.apply_mutations(mutations)
+
+    # ------------------------------------------------------------------
     # Submission (admission control happens here)
     # ------------------------------------------------------------------
     def _admit(self, request: ScheduledRequest) -> Future:

@@ -81,6 +81,7 @@ from repro.sched.shard_worker import (
     shard_worker_main,
 )
 from repro.serve.breaker import CircuitBreaker, CircuitState
+from repro.serve.errors import MutationRejectedError
 from repro.serve.service import BatchResponse, QueryResponse, QueryService, TopKResponse
 from repro.store.artifacts import StoreError, read_artifact
 from repro.store.sharding import ShardPlan
@@ -460,6 +461,7 @@ class ShardedRuntime(ServingRuntime):
             for i in range(len(self._clients))
         ]
         self._clients_closed = False
+        self._mutations_rejected = 0
         if autostart:
             self.start()
 
@@ -549,7 +551,43 @@ class ShardedRuntime(ServingRuntime):
                 "interval_s": self._stats_interval,
                 "shards_polled": len(self._worker_baseline),
             }
+        head_epoch = self._head_epoch()
+        payload["mutations"] = {
+            "supported": False,
+            "rejected": self._mutations_rejected,
+            "head_epoch": head_epoch,
+            "shard_epoch": 0,
+            "epoch_mismatch": head_epoch != 0,
+        }
         return payload
+
+    # ------------------------------------------------------------------
+    # Live mutations — unsupported on sharded stacks
+    # ------------------------------------------------------------------
+    def _head_epoch(self) -> int:
+        state = self.service.manager._state
+        if state is None or state.engine is None:
+            return 0
+        return int(getattr(state.engine.walk_index, "epoch", 0))
+
+    def apply_mutations(self, mutations) -> dict:
+        """Reject live mutations: shard workers pin immutable snapshots.
+
+        Each shard process mmaps a walk-tensor artifact written at epoch 0
+        and cannot be repaired in place.  Mutating only the head engine
+        would let the fallback stack answer from a newer epoch than the
+        shards — the mismatch this method refuses is the one ``health()``
+        surfaces under ``mutations.epoch_mismatch``.
+        """
+        self._mutations_rejected += 1
+        head_epoch = self._head_epoch()
+        raise MutationRejectedError(
+            "sharded runtime cannot apply live mutations: shard workers "
+            "serve immutable walk-tensor snapshots pinned at epoch 0 — "
+            "rebuild and re-shard the index instead",
+            head_epoch=head_epoch,
+            shard_epoch=0,
+        )
 
     # ------------------------------------------------------------------
     # Cross-process metrics aggregation

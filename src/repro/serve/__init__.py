@@ -21,6 +21,7 @@ from repro.serve.errors import (
     CircuitOpenError,
     DeadlineExceeded,
     IndexUnavailableError,
+    MutationRejectedError,
     ServeError,
 )
 from repro.serve.manager import Acquisition, IndexManager
@@ -41,6 +42,7 @@ __all__ = [
     "DeadlineExceeded",
     "IndexManager",
     "IndexUnavailableError",
+    "MutationRejectedError",
     "QueryResponse",
     "QueryService",
     "RETRYABLE",

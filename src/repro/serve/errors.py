@@ -41,3 +41,19 @@ class CircuitOpenError(ServeError):
 
 class IndexUnavailableError(ServeError):
     """No engine can serve: the primary failed and no fallback exists."""
+
+
+class MutationRejectedError(ServeError):
+    """A live mutation cannot be applied by this runtime.
+
+    Raised by the sharded runtime (shard workers pin immutable walk-tensor
+    snapshots at epoch 0; mutating only the head engine would leave the
+    shards answering from a different epoch) and by degraded stacks (the
+    iterative fallback has no incremental maintenance path).
+    """
+
+    def __init__(self, reason: str, *, head_epoch: int = 0,
+                 shard_epoch: int | None = None) -> None:
+        super().__init__(reason)
+        self.head_epoch = head_epoch
+        self.shard_epoch = shard_epoch

@@ -40,9 +40,15 @@ from repro.obs.registry import is_enabled
 from repro.obs.trace import span
 from repro.semantics.base import SemanticMeasure
 from repro.serve.breaker import CircuitBreaker
-from repro.serve.errors import IndexUnavailableError
-from repro.serve.metrics import SERVE_REBUILDS
+from repro.serve.errors import IndexUnavailableError, MutationRejectedError
+from repro.serve.metrics import (
+    INDEX_GENERATION,
+    INDEX_SWAP_SECONDS,
+    MUTATIONS_APPLIED,
+    SERVE_REBUILDS,
+)
 from repro.serve.retry import RETRYABLE, RetryPolicy, call_with_retry
+from repro.store.artifacts import ArtifactStore
 
 _LOG = get_logger("serve.manager")
 
@@ -134,8 +140,10 @@ class IndexManager:
         self._acquisition: Acquisition | None = None  # cached fast-path handout
         self._lock = threading.Lock()          # guards activation + swap
         self._rebuild_lock = threading.Lock()  # one rebuild at a time
+        self._mutation_lock = threading.Lock()  # serialises live updates
         self._rebuild_in_flight = False
         self._generation = 0
+        self._mutations_applied = 0
         self._last_error: BaseException | None = None
 
     # ------------------------------------------------------------------
@@ -187,10 +195,96 @@ class IndexManager:
             "degraded": state.degraded if state is not None else False,
             "method": state.engine.method if state is not None else None,
             "generation": state.generation if state is not None else 0,
+            "index_epoch": (
+                int(getattr(state.engine.walk_index, "epoch", 0))
+                if state is not None else 0
+            ),
+            "mutations_applied": self._mutations_applied,
             "circuit": self.breaker.state.value,
             "rebuild_in_flight": self._rebuild_in_flight,
             "last_error": str(self._last_error) if self._last_error else None,
         }
+
+    # ------------------------------------------------------------------
+    # Live updates — apply-incremental, persist, atomic swap
+    # ------------------------------------------------------------------
+    def apply_mutations(self, mutations, *, persist: bool = True) -> dict:
+        """Apply *mutations* as one new generation and swap it in atomically.
+
+        Copy-on-write: the next generation is built with
+        :meth:`QueryEngine.with_mutations`, so the serving engine — and any
+        acquisition already handed to an in-flight query — is never touched.
+        When *persist* is true and a store is reachable (the engine's own
+        cache store, or one rooted at ``cache_dir``), the new generation is
+        written **before** publication; a failed write raises
+        :class:`~repro.store.StoreError` and leaves the old generation
+        serving.  The retired generation is dropped by reference once the
+        last in-flight query releases it.
+
+        Each mutation is a ``(kind, *args)`` tuple (``add_edge``,
+        ``set_weight``, ``remove_edge``, ``add_node``).  Validation errors
+        (unknown node, bad weight, non-mc engine, ...) propagate without
+        touching the published state or the circuit breaker.
+        """
+        mutations = list(mutations)
+        with self._mutation_lock:
+            acquisition = self.acquire()
+            if acquisition.degraded:
+                raise MutationRejectedError(
+                    "cannot mutate a degraded serving stack: the iterative "
+                    "fallback has no incremental maintenance path"
+                )
+            engine = acquisition.engine
+            started = self.clock()
+            with span("serve.apply_mutations", count=len(mutations)):
+                next_engine = engine.with_mutations(mutations)
+                artifact_key = None
+                if persist:
+                    store = self._mutation_store(next_engine)
+                    if store is not None:
+                        try:
+                            artifact_key = next_engine.persist_generation(store)
+                        except Exception as exc:
+                            self._last_error = exc
+                            log_event(
+                                _LOG, "serve.mutation_persist_failed",
+                                error=str(exc),
+                            )
+                            raise
+                with self._lock:
+                    self._publish(next_engine, degraded=False)
+            elapsed = self.clock() - started
+            self._mutations_applied += len(mutations)
+            if is_enabled():
+                for mutation in mutations:
+                    MUTATIONS_APPLIED.labels(kind=str(mutation[0])).inc()
+                INDEX_SWAP_SECONDS.observe(max(0.0, elapsed))
+            log_event(
+                _LOG, "serve.mutations_applied",
+                count=len(mutations), generation=self._generation,
+                epoch=next_engine.index_epoch, artifact=artifact_key,
+            )
+            return {
+                "applied": len(mutations),
+                "resampled": (
+                    int(next_engine._dynamic.walks_resampled)
+                    if next_engine._dynamic is not None else 0
+                ),
+                "generation": self._generation,
+                "epoch": next_engine.index_epoch,
+                "lineage": next_engine.mutation_lineage(),
+                "artifact": artifact_key,
+                "swap_seconds": max(0.0, elapsed),
+            }
+
+    def _mutation_store(self, engine: QueryEngine) -> ArtifactStore | None:
+        """The store new generations persist into (``None`` disables it)."""
+        store = getattr(engine, "_store", None)
+        if store is not None:
+            return store
+        if self.cache_dir is not None:
+            return ArtifactStore(self.cache_dir)
+        return None
 
     # ------------------------------------------------------------------
     # Activation, degradation, recovery
@@ -264,6 +358,8 @@ class IndexManager:
         # the cached handout every post-activation acquire() returns;
         # retries are a per-activation detail, so the steady state is 0
         self._acquisition = Acquisition(engine, degraded, 0)
+        if is_enabled():
+            INDEX_GENERATION.set(float(self._generation))
 
     def _activate(self, deadline: float | None) -> int:
         """First acquisition: open the primary or degrade. Holds ``_lock``."""

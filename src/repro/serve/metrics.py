@@ -42,3 +42,19 @@ SERVE_REBUILDS = _REGISTRY.counter(
     help="Primary-index rebuild attempts by outcome (ok, failed).",
     labelnames=("outcome",),
 )
+INDEX_GENERATION = _REGISTRY.gauge(
+    "index_generation",
+    help="Generation counter of the engine currently published for serving "
+    "(bumped by every activation, rebuild and live-mutation swap).",
+)
+MUTATIONS_APPLIED = _REGISTRY.counter(
+    "mutations_applied_total",
+    help="Graph mutations applied through the live-update path, by kind "
+    "(add_edge, set_weight, remove_edge, add_node).",
+    labelnames=("kind",),
+)
+INDEX_SWAP_SECONDS = _REGISTRY.histogram(
+    "index_swap_seconds",
+    help="Wall time of one live-update cycle: apply-incremental, persist "
+    "the new generation, atomic swap.",
+)

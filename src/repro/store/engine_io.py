@@ -165,6 +165,14 @@ def snapshot_engine(engine, identity: dict) -> tuple[dict, dict, dict]:
         ) from None
     manifest = dict(identity)
     manifest["meta"] = meta
+    lineage = getattr(engine, "mutation_lineage", None)
+    if callable(lineage):
+        lineage = lineage()
+    if lineage:
+        # Versioned generations: the parent graph's fingerprint plus the
+        # hash of the mutation log that produced this one make the chain of
+        # index generations content-addressable.
+        manifest["lineage"] = lineage
     return manifest, arrays, documents
 
 

@@ -5,7 +5,8 @@ import pytest
 
 from repro.core import DynamicWalkIndex, MonteCarloSemSim, MonteCarloSimRank, WalkIndex
 from repro.core.simrank import simrank_scores
-from repro.errors import EdgeNotFoundError
+from repro.core.walk_index import WalkPolicy
+from repro.errors import EdgeNotFoundError, StaleIndexError
 from repro.hin import HIN
 from repro.semantics import ConstantMeasure
 
@@ -84,6 +85,103 @@ class TestUpdates:
         # e's in-neighbour is d: every live first step goes there.
         d_pos = dynamic.node_position("d")
         assert np.all(walks_e[:, 1] == d_pos)
+
+
+class TestEpochInvalidation:
+    """Mutations bump the epoch; estimators pinned to an older epoch raise.
+
+    The regression here is silent mis-scoring: before epochs existed, an
+    estimator kept using its precomputed weight snapshots (step weights,
+    SimRank first-meeting decays) after the walk tensor was repaired in
+    place underneath it.
+    """
+
+    def test_epoch_starts_at_zero_and_counts_mutations(self):
+        dynamic = DynamicWalkIndex(small_graph(), num_walks=10, length=4, seed=0)
+        assert dynamic.epoch == 0
+        dynamic.add_edge("a", "c")
+        dynamic.remove_edge("a", "c")
+        assert dynamic.epoch == 2
+
+    def test_plain_walk_index_is_epoch_zero(self):
+        index = WalkIndex(small_graph(), num_walks=10, length=4, seed=0)
+        assert index.epoch == 0
+
+    def test_stale_simrank_estimator_raises(self):
+        dynamic = DynamicWalkIndex(small_graph(), num_walks=10, length=4, seed=0)
+        estimator = MonteCarloSimRank(dynamic, decay=0.6)
+        assert estimator.similarity("a", "b") >= 0.0  # fresh: fine
+        dynamic.add_edge("a", "c")
+        with pytest.raises(StaleIndexError) as excinfo:
+            estimator.similarity("a", "b")
+        assert excinfo.value.recorded_epoch == 0
+        assert excinfo.value.current_epoch == 1
+        with pytest.raises(StaleIndexError):
+            estimator.similarity_batch("a", ["b", "c"])
+
+    def test_stale_semsim_estimator_raises(self):
+        graph, measure = build_taxonomy_graph()
+        dynamic = DynamicWalkIndex(graph, num_walks=10, length=4, seed=0)
+        estimator = MonteCarloSemSim(dynamic, measure, decay=0.6, theta=None)
+        estimator.similarity("x1", "x2")
+        dynamic.add_edge("x1", "x3")
+        for call in (
+            lambda: estimator.similarity("x1", "x2"),
+            lambda: estimator.similarity_batch("x1", ["x2", "x3"]),
+            lambda: estimator.similarity_with_interval("x1", "x2"),
+        ):
+            with pytest.raises(StaleIndexError):
+                call()
+
+    def test_rebuilt_estimator_recovers(self):
+        dynamic = DynamicWalkIndex(small_graph(), num_walks=10, length=4, seed=0)
+        stale = MonteCarloSimRank(dynamic, decay=0.6)
+        dynamic.add_edge("a", "c")
+        with pytest.raises(StaleIndexError):
+            stale.similarity("a", "b")
+        rebuilt = MonteCarloSimRank(dynamic, decay=0.6)
+        assert rebuilt.similarity("a", "b") >= 0.0
+
+
+class TestBitIdentity:
+    """Incremental repair equals a cold rebuild, bit for bit."""
+
+    @pytest.mark.parametrize("policy", [WalkPolicy.UNIFORM, WalkPolicy.WEIGHTED])
+    def test_mutation_schedule_matches_fresh_index(self, policy):
+        dynamic = DynamicWalkIndex(
+            small_graph(), num_walks=25, length=6, policy=policy, seed=7
+        )
+        dynamic.add_edge("a", "d", weight=2.0)
+        dynamic.set_weight("a", "d", 0.5)
+        dynamic.add_node("lone")
+        dynamic.add_edge("d", "e", weight=3.0)
+        dynamic.remove_edge("a", "d")
+        fresh = WalkIndex(
+            dynamic.graph, num_walks=25, length=6, policy=policy, seed=7
+        )
+        assert np.array_equal(dynamic.walks, fresh.walks)
+
+    def test_delete_then_reinsert_round_trips(self):
+        # The graph round-trips semantically (same edges, same weights),
+        # but the re-added edge appends at the END of c's in-list — and
+        # in-list order is part of the walk tensor's bit layout.  The
+        # invariant is therefore identity with a cold rebuild of the
+        # resulting graph, not with the pre-delete tensor.
+        dynamic = DynamicWalkIndex(small_graph(), num_walks=25, length=6, seed=3)
+        dynamic.remove_edge("b", "c")
+        dynamic.add_edge("b", "c", weight=1.0)
+        assert dynamic.graph.has_edge("b", "c")
+        fresh = WalkIndex(dynamic.graph, num_walks=25, length=6, seed=3)
+        assert np.array_equal(dynamic.walks, fresh.walks)
+
+    def test_generation_promotion_preserves_identity(self):
+        gen1 = DynamicWalkIndex(small_graph(), num_walks=25, length=6, seed=5)
+        gen1.add_edge("d", "e")
+        gen2 = DynamicWalkIndex.from_walk_index(gen1)
+        assert gen2.epoch == gen1.epoch  # lineage epoch carries over
+        gen2.remove_edge("c", "d")
+        fresh = WalkIndex(gen2.graph, num_walks=25, length=6, seed=5)
+        assert np.array_equal(gen2.walks, fresh.walks)
 
 
 class TestDistributionCorrectness:

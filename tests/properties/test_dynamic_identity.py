@@ -1,0 +1,222 @@
+"""Property tests: incremental maintenance is distribution-identical.
+
+The dynamic walk index's contract is *bit-identity*, not statistical
+similarity: after any schedule of mutations, the repaired walk tensor
+must equal — element for element — the tensor a fresh
+:class:`~repro.core.WalkIndex` samples on the mutated graph under the
+same seed.  That holds because walks are a pure function of
+(per-node draw blocks, transition tables): the dynamic index regenerates
+the original draw blocks from the seed schedule and re-steps exactly the
+walks whose transition rows changed.
+
+Hypothesis drives randomized mutation schedules (edge insert, delete,
+re-weight, node add) across both walk policies; estimator-level identity
+is checked on top — an estimator over the repaired index returns the
+very same floats as one over the cold rebuild.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import DynamicWalkIndex, MonteCarloSimRank, WalkIndex
+from repro.core.walk_index import WalkPolicy
+from repro.hin import HIN
+
+COMMON = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+POLICIES = [WalkPolicy.UNIFORM, WalkPolicy.WEIGHTED]
+
+
+def base_graph(seed: int, num_nodes: int, num_edges: int) -> HIN:
+    """A deterministic random digraph (isolated nodes allowed)."""
+    rng = np.random.default_rng(seed)
+    g = HIN()
+    nodes = [f"n{i}" for i in range(num_nodes)]
+    for node in nodes:
+        g.add_node(node)
+    for _ in range(num_edges):
+        i, j = rng.integers(num_nodes, size=2)
+        if i == j:
+            continue
+        g.add_edge(nodes[int(i)], nodes[int(j)],
+                   weight=float(rng.integers(1, 5)))
+    return g
+
+
+def apply_schedule(dynamic: DynamicWalkIndex, schedule_seed: int,
+                   num_mutations: int) -> list:
+    """Apply a deterministic random mutation schedule; return the log.
+
+    Every mutation kind stays reachable: inserts target existing or brand
+    new nodes, deletes and re-weights pick a live edge when one exists,
+    node adds create danglers that later inserts may wire in.
+    """
+    rng = np.random.default_rng(schedule_seed)
+    applied = []
+    next_new = 0
+    for _ in range(num_mutations):
+        kind = rng.choice(["add_edge", "remove_edge", "set_weight",
+                           "add_node", "add_edge_new_node"])
+        nodes = list(dynamic.graph.nodes())
+        edges = list(dynamic.graph.edges())
+        if kind == "add_edge":
+            u, v = rng.choice(len(nodes), size=2)
+            if u == v:
+                continue
+            dynamic.add_edge(nodes[int(u)], nodes[int(v)],
+                             weight=float(rng.integers(1, 5)))
+        elif kind == "remove_edge":
+            if not edges:
+                continue
+            u, v, _w, _label = edges[int(rng.integers(len(edges)))]
+            dynamic.remove_edge(u, v)
+        elif kind == "set_weight":
+            if not edges:
+                continue
+            u, v, _w, _label = edges[int(rng.integers(len(edges)))]
+            dynamic.set_weight(u, v, float(rng.integers(1, 5)))
+        elif kind == "add_node":
+            dynamic.add_node(f"fresh{next_new}")
+            next_new += 1
+        else:  # add_edge_new_node: edge into a node the index never saw
+            u = nodes[int(rng.integers(len(nodes)))]
+            dynamic.add_edge(u, f"fresh{next_new}")
+            next_new += 1
+        applied.append(kind)
+    return applied
+
+
+@COMMON
+@given(
+    graph_seed=st.integers(0, 10_000),
+    walk_seed=st.integers(0, 10_000),
+    schedule_seed=st.integers(0, 10_000),
+    num_nodes=st.integers(4, 12),
+    num_edges=st.integers(3, 20),
+    num_mutations=st.integers(1, 12),
+    policy=st.sampled_from(POLICIES),
+)
+def test_mutated_tensor_bit_identical_to_cold_rebuild(
+    graph_seed, walk_seed, schedule_seed, num_nodes, num_edges,
+    num_mutations, policy,
+):
+    dynamic = DynamicWalkIndex(
+        base_graph(graph_seed, num_nodes, num_edges),
+        num_walks=15, length=5, policy=policy, seed=walk_seed,
+    )
+    applied = apply_schedule(dynamic, schedule_seed, num_mutations)
+    fresh = WalkIndex(
+        dynamic.graph, num_walks=15, length=5, policy=policy, seed=walk_seed,
+    )
+    assert dynamic.walks.shape == fresh.walks.shape
+    assert np.array_equal(dynamic.walks, fresh.walks), applied
+    assert dynamic.epoch == len(applied)
+
+
+@COMMON
+@given(
+    graph_seed=st.integers(0, 10_000),
+    schedule_seed=st.integers(0, 10_000),
+    policy=st.sampled_from(POLICIES),
+)
+def test_estimator_floats_bit_identical_to_cold_rebuild(
+    graph_seed, schedule_seed, policy,
+):
+    dynamic = DynamicWalkIndex(
+        base_graph(graph_seed, 8, 14),
+        num_walks=20, length=6, policy=policy, seed=graph_seed,
+    )
+    apply_schedule(dynamic, schedule_seed, 6)
+    fresh = WalkIndex(
+        dynamic.graph, num_walks=20, length=6, policy=policy, seed=graph_seed,
+    )
+    via_dynamic = MonteCarloSimRank(dynamic, decay=0.6)
+    via_fresh = MonteCarloSimRank(fresh, decay=0.6)
+    nodes = list(dynamic.graph.nodes())[:6]
+    for u in nodes:
+        for v in nodes:
+            assert via_dynamic.similarity(u, v) == via_fresh.similarity(u, v)
+        assert np.array_equal(
+            via_dynamic.similarity_batch(u, nodes),
+            via_fresh.similarity_batch(u, nodes),
+        )
+
+
+@COMMON
+@given(
+    graph_seed=st.integers(0, 10_000),
+    walk_seed=st.integers(0, 10_000),
+    policy=st.sampled_from(POLICIES),
+)
+def test_delete_then_reinsert_matches_cold_rebuild(
+    graph_seed, walk_seed, policy,
+):
+    graph = base_graph(graph_seed, 8, 14)
+    edges = list(graph.edges())
+    if not edges:
+        return
+    dynamic = DynamicWalkIndex(
+        graph, num_walks=15, length=5, policy=policy, seed=walk_seed,
+    )
+    u, v, weight, label = edges[0]
+    dynamic.remove_edge(u, v)
+    dynamic.add_edge(u, v, weight=weight, label=label)
+    assert dynamic.graph.has_edge(u, v)
+    fresh = WalkIndex(
+        dynamic.graph, num_walks=15, length=5, policy=policy, seed=walk_seed,
+    )
+    assert np.array_equal(dynamic.walks, fresh.walks)
+
+
+@COMMON
+@given(
+    graph_seed=st.integers(0, 10_000),
+    walk_seed=st.integers(0, 10_000),
+    policy=st.sampled_from(POLICIES),
+)
+def test_dangling_node_walks_stay_put(graph_seed, walk_seed, policy):
+    """A freshly added isolated node gets a walk set pinned at itself."""
+    dynamic = DynamicWalkIndex(
+        base_graph(graph_seed, 6, 10),
+        num_walks=10, length=4, policy=policy, seed=walk_seed,
+    )
+    dynamic.add_node("island")
+    walks = dynamic.walks_from("island")
+    position = dynamic.node_position("island")
+    assert np.all(walks[:, 0] == position)
+    assert np.all(walks[:, 1:] == -1)  # no in-edges: every walk dies at once
+    fresh = WalkIndex(
+        dynamic.graph, num_walks=10, length=4, policy=policy, seed=walk_seed,
+    )
+    assert np.array_equal(dynamic.walks, fresh.walks)
+    # wiring the island in revives its walks, still bit-identically
+    dynamic.add_edge("n0", "island")
+    fresh2 = WalkIndex(
+        dynamic.graph, num_walks=10, length=4, policy=policy, seed=walk_seed,
+    )
+    assert np.array_equal(dynamic.walks, fresh2.walks)
+
+
+@COMMON
+@given(
+    graph_seed=st.integers(0, 10_000),
+    schedule_seed=st.integers(0, 10_000),
+    split=st.integers(1, 5),
+)
+def test_generation_chain_bit_identical(graph_seed, schedule_seed, split):
+    """Promoting mid-schedule (gen-1 -> gen-2) changes nothing bitwise."""
+    chained = DynamicWalkIndex(
+        base_graph(graph_seed, 8, 14), num_walks=15, length=5, seed=graph_seed,
+    )
+    apply_schedule(chained, schedule_seed, split)
+    promoted = DynamicWalkIndex.from_walk_index(chained)
+    fresh = WalkIndex(promoted.graph, num_walks=15, length=5, seed=graph_seed)
+    assert np.array_equal(promoted.walks, fresh.walks)
+    assert promoted.epoch == chained.epoch
+    # and mutating the promoted generation keeps the invariant
+    promoted.add_edge("n0", "n1", weight=2.0)
+    fresh2 = WalkIndex(promoted.graph, num_walks=15, length=5, seed=graph_seed)
+    assert np.array_equal(promoted.walks, fresh2.walks)
