@@ -138,6 +138,16 @@ def _load_bundle_or_fail(path: str):
         raise SystemExit(2) from None
 
 
+def _resolved_method(args: argparse.Namespace) -> str:
+    """``--estimator`` supersedes ``--method`` when given.
+
+    ``--method`` predates the linear/lowrank families and keeps its
+    narrow choice list for compatibility; ``--estimator`` names any of
+    the four engine families and wins outright when present.
+    """
+    return args.estimator if args.estimator is not None else args.method
+
+
 def _make_engine(args: argparse.Namespace, bundle=None) -> QueryEngine:
     """Build (or warm-start) the engine a query/topk invocation asked for.
 
@@ -151,7 +161,7 @@ def _make_engine(args: argparse.Namespace, bundle=None) -> QueryEngine:
     return QueryEngine(
         bundle.graph,
         bundle.measure,
-        method=args.method,
+        method=_resolved_method(args),
         decay=args.decay,
         num_walks=args.walks,
         length=args.length,
@@ -161,6 +171,7 @@ def _make_engine(args: argparse.Namespace, bundle=None) -> QueryEngine:
         backend=args.backend,
         cache_dir=args.cache,
         walks_path=args.walks_file,
+        rank=args.rank,
     )
 
 
@@ -195,7 +206,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     value = engine.score(u, v)
     simrank = SimRank(bundle.graph, decay=args.decay)
     print(f"sem({u}, {v})     = {bundle.measure.similarity(u, v):.6f}")
-    print(f"semsim({u}, {v})  = {value:.6f}   [{args.method}]")
+    print(f"semsim({u}, {v})  = {value:.6f}   [{engine.method}]")
     print(f"simrank({u}, {v}) = {simrank.similarity(u, v):.6f}")
     return 0
 
@@ -228,7 +239,7 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
     engine = QueryEngine(
         bundle.graph,
         bundle.measure,
-        method=args.method,
+        method=_resolved_method(args),
         decay=args.decay,
         num_walks=args.walks,
         length=args.length,
@@ -236,13 +247,14 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         backend=args.backend,
+        rank=args.rank,
         materialize_semantics=True,
     )
     path = engine.save(args.out)
     manifest = json.loads((path / "manifest.json").read_text())
     total = sum(entry["nbytes"] for entry in manifest["arrays"].values())
     print(f"wrote engine artifact -> {path}")
-    print(f"  method={args.method} arrays={len(manifest['arrays'])} "
+    print(f"  method={engine.method} arrays={len(manifest['arrays'])} "
           f"bytes={total}")
     if args.walks_out is not None:
         engine.save_walks(args.walks_out)
@@ -293,7 +305,7 @@ def _make_service(args: argparse.Namespace) -> QueryService:
             walks_path=args.walks_file,
             cache_dir=args.cache,
             engine_kwargs=dict(
-                method=args.method,
+                method=_resolved_method(args),
                 decay=args.decay,
                 num_walks=args.walks,
                 length=args.length,
@@ -301,6 +313,7 @@ def _make_service(args: argparse.Namespace) -> QueryService:
                 seed=args.seed,
                 workers=args.workers,
                 backend=args.backend,
+                rank=args.rank,
             ),
             retry=retry,
         )
@@ -679,6 +692,57 @@ def _cmd_backends_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: The four engine families, in docs order.  Kept as data so the CLI
+#: listing and any future capability gating read from one place.
+_ESTIMATOR_FAMILIES = (
+    {
+        "name": "iterative",
+        "exactness": "exact (fixed point to tolerance)",
+        "memory": "O(N^2) dense score table",
+        "mutations": "no (rebuild)",
+        "shards": "no",
+        "note": "paper-exact oracle; all-pairs precompute, fastest lookups",
+    },
+    {
+        "name": "mc",
+        "exactness": "unbiased Monte Carlo estimate",
+        "memory": "O(N * walks * length) walk tensor",
+        "mutations": "yes (incremental walk maintenance)",
+        "shards": "yes (node-range shard artifacts)",
+        "note": "default serving family; supports walk reuse and sharding",
+    },
+    {
+        "name": "linear",
+        "exactness": "exact within declared residual bound",
+        "memory": "O(touched states) per query, no offline tables",
+        "mutations": "no (stateless per query)",
+        "shards": "no",
+        "note": "per-query sparse linear solve; graphs too large for N^2",
+    },
+    {
+        "name": "lowrank",
+        "exactness": "rank-r approximation (error shrinks with --rank)",
+        "memory": "O(N * r) factors",
+        "mutations": "no (refactorize)",
+        "shards": "no",
+        "note": "offline factorization, O(r) per pair; middle serving tier",
+    },
+)
+
+
+def _cmd_estimators_list(_args: argparse.Namespace) -> int:
+    """Enumerate engine families and their capability envelopes."""
+    print("engine families (select with --estimator; "
+          "--method remains for iterative/mc):")
+    for family in _ESTIMATOR_FAMILIES:
+        print(f"  {family['name']:<10} {family['note']}")
+        print(f"      exactness: {family['exactness']}")
+        print(f"      memory:    {family['memory']}")
+        print(f"      mutations: {family['mutations']}   "
+              f"shardable: {family['shards']}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     bundle = _load_bundle_or_fail(args.bundle)
     print(bundle)
@@ -718,6 +782,17 @@ def build_parser() -> argparse.ArgumentParser:
     ) -> None:
         command.add_argument(
             "--method", choices=["iterative", "mc"], default="iterative"
+        )
+        command.add_argument(
+            "--estimator", default=None,
+            choices=["iterative", "mc", "linear", "lowrank"],
+            help="engine family (supersedes --method; see "
+                 "'repro estimators list')",
+        )
+        command.add_argument(
+            "--rank", type=int, default=None, metavar="R",
+            help="factorization rank for --estimator lowrank "
+                 "(default: engine-chosen)",
         )
         command.add_argument("--decay", type=float, default=0.6)
         command.add_argument("--walks", type=int, default=150)
@@ -897,6 +972,17 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="enumerate registered compute backends"
     )
     backends_list.set_defaults(func=_cmd_backends_list)
+
+    estimators = commands.add_parser(
+        "estimators", help="inspect the engine-family registry"
+    )
+    estimators_commands = estimators.add_subparsers(
+        dest="estimators_command", required=True
+    )
+    estimators_list = estimators_commands.add_parser(
+        "list", help="enumerate engine families and their capabilities"
+    )
+    estimators_list.set_defaults(func=_cmd_estimators_list)
 
     metrics = commands.add_parser(
         "metrics", help="inspect the in-process metrics registry"

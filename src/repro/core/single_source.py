@@ -9,8 +9,8 @@ top-k search, link prediction and entity resolution.  Three strategies:
   runs vectorised over the met walks only, and the Prop. 2.5 semantic gate
   skips candidates outright.
 * :func:`single_source_exact` — one linear solve over the pair graph
-  restricted to states reachable from ``{u} × V`` (exact, quadratic
-  memory; small graphs only).
+  restricted to states reachable from ``{u} × V`` (exact to a declared
+  residual bound; memory scales with the touched state set, never N²).
 * batching helper :func:`batch_similarity` for evaluating many explicit
   pairs against one estimator.
 """
@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.montecarlo import MonteCarloSemSim
-from repro.core.pair_engine import semsim_via_pair_graph
 from repro.errors import ConfigurationError
 from repro.hin.graph import HIN, Node
 from repro.semantics.base import SemanticMeasure
@@ -53,16 +52,33 @@ def single_source_exact(
     measure: SemanticMeasure,
     query: Node,
     decay: float = 0.6,
+    *,
+    tolerance: float = 1e-10,
+    max_states: int | None = None,
 ) -> dict[Node, float]:
-    """Exact single-source SemSim via the pair-graph solve.
+    """Exact single-source SemSim via the linearized per-query solve.
 
-    Currently computes the full all-pairs solution and projects the query
-    row — exactness first; the walk-index path above is the scalable one.
+    Delegates to :class:`~repro.linear.LinearSemSim`: one sparse linear
+    system over the pair states reachable from ``{query} × V``, solved to
+    *tolerance* — never the all-pairs table, never quadratic memory.
+
+    *max_states* bounds the reachable pair-state set (default: the
+    solver's guard).  Exceeding it raises
+    :class:`~repro.errors.ConfigurationError`; construct a
+    ``QueryEngine(estimator="linear")`` directly to tune the budget, or
+    ``estimator="lowrank"`` for an approximate answer in O(N·r) memory.
     """
+    from repro.linear import LinearSemSim  # local: core must not cycle
+
     if query not in graph:
         raise ConfigurationError(f"query node {query!r} is not in the graph")
-    all_pairs = semsim_via_pair_graph(graph, measure, decay=decay)
-    return {v: all_pairs[(query, v)] for v in graph.nodes()}
+    solver = LinearSemSim(
+        graph, measure, decay=decay, tolerance=tolerance,
+        max_states=max_states,
+    )
+    candidates = list(graph.nodes())
+    scores = solver.similarity_batch(query, candidates)
+    return {v: float(s) for v, s in zip(candidates, scores)}
 
 
 def batch_similarity(

@@ -1,0 +1,31 @@
+"""Linearized & low-rank engine family: SemSim beyond the N×N ceiling.
+
+Third engine family beside :mod:`repro.core.iterative` (dense all-pairs)
+and :mod:`repro.core.montecarlo` (walk-tensor MC):
+
+* :class:`LinearSemSim` — per-query linearized solver over the reachable
+  pair states only, exact up to a declared residual bound, O(reachable
+  states) memory;
+* :class:`LowRankSemSim` — offline rank-r factorization, O(n·r) memory
+  and O(r) per pair online, with a measured error-vs-rank trade-off.
+
+Shared series algebra lives in :mod:`repro.linear.series`; metric
+families in :mod:`repro.linear.metrics`.
+"""
+
+from repro.linear.lowrank import LowRankSemSim
+from repro.linear.series import (
+    normalized_transition,
+    series_tail,
+    series_terms,
+)
+from repro.linear.solver import LinearSemSim, LinearSolveReport
+
+__all__ = [
+    "LinearSemSim",
+    "LinearSolveReport",
+    "LowRankSemSim",
+    "normalized_transition",
+    "series_tail",
+    "series_terms",
+]

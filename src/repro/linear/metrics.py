@@ -1,0 +1,47 @@
+"""Metric families of the linearized / low-rank engine family.
+
+Registered once here (mirroring :mod:`repro.core.metrics`) so the
+per-query solver, the offline factorizer and the serve fallback ladder
+share series instead of re-registering, and so ``docs/observability.md``
+has one source of truth:
+
+``linear_solve_iterations_total``
+    Jacobi sweeps spent across all linearized single-source solves;
+``linear_residual``
+    declared error bound (truncation tail + contraction residual) the
+    latest linearized solve stopped on;
+``linear_pair_states``
+    reachable pair states discovered per solve — the solver's actual
+    memory footprint, the number an operator compares against
+    ``max_states`` before raising the guard;
+``lowrank_rank``
+    rank of the most recently built or restored low-rank factorization.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import get_registry
+
+_REGISTRY = get_registry()
+
+LINEAR_SOLVE_ITERATIONS = _REGISTRY.counter(
+    "linear_solve_iterations_total",
+    help="Jacobi sweeps spent by linearized single-source solves, "
+    "process-wide.",
+)
+LINEAR_RESIDUAL = _REGISTRY.gauge(
+    "linear_residual",
+    help="Declared error bound (geometric truncation tail + contraction "
+    "residual) the latest linearized single-source solve stopped on.",
+)
+LINEAR_PAIR_STATES = _REGISTRY.histogram(
+    "linear_pair_states",
+    help="Reachable canonical pair states discovered per linearized "
+    "single-source solve — the solve's memory footprint.",
+    buckets=(16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576),
+)
+LOWRANK_RANK = _REGISTRY.gauge(
+    "lowrank_rank",
+    help="Rank of the most recently built or restored low-rank SemSim "
+    "factorization.",
+)

@@ -1,0 +1,89 @@
+"""Shared pieces of the linearized engine family's series algebra.
+
+Both members of the family rest on the same geometric-series view of the
+fixed point: with decay ``c < 1`` every term contributed by walks longer
+than ``T`` steps is bounded by the tail ``c^{T+1} / (1 - c)``, so a
+finite horizon with a *provable* truncation error replaces the infinite
+recurrence.  :func:`series_terms` turns a tolerance into that horizon;
+:func:`normalized_transition` builds the column-stochastic in-edge
+transition ``P`` (``P[a, u] = W(a, u) / Σ_b W(b, u)``) that the low-rank
+kernel iterates, as a sparse CSR matrix so no engine in this family ever
+materialises an N×N dense operator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.params import validate_decay
+from repro.errors import ConfigurationError
+from repro.hin.graph import GraphIndex
+
+
+def series_terms(decay: float, tolerance: float) -> int:
+    """Smallest horizon ``T`` with geometric tail ``c^{T+1}/(1-c) <= tol``.
+
+    Walks of length ``> T`` (equivalently, series terms ``k > T``)
+    contribute at most the returned tail to any similarity value, so an
+    engine that truncates at ``T`` steps carries a provable error bound.
+    """
+    decay = validate_decay(decay)
+    tolerance = float(tolerance)
+    if tolerance <= 0.0:
+        raise ConfigurationError(
+            f"tolerance must be positive, got {tolerance}"
+        )
+    needed = math.log(tolerance * (1.0 - decay)) / math.log(decay) - 1.0
+    return max(1, int(math.ceil(needed)))
+
+
+def series_tail(decay: float, terms: int) -> float:
+    """Truncation error bound ``c^{T+1} / (1 - c)`` of a ``T``-term series."""
+    return decay ** (terms + 1) / (1.0 - decay)
+
+
+def normalized_transition(
+    index: GraphIndex, *, use_weights: bool = True
+) -> sp.csr_matrix:
+    """Column-normalized in-edge transition ``P`` of *index*, as CSR.
+
+    ``P[a, u] = W(a, u) / Σ_b W(b, u)`` — column ``u`` is the probability
+    of a reverse surfer at ``u`` stepping to in-neighbour ``a``.  Columns
+    of in-degree-0 nodes are all-zero (the surfer stops), matching the
+    dense engines' treatment of empty in-neighbourhoods.  With
+    ``use_weights=False`` edges count uniformly (the classic SimRank
+    convention used whenever no semantic measure is attached).
+    """
+    n = index.num_nodes
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    data: list[np.ndarray] = []
+    for u in range(n):
+        sources = index.in_lists[u]
+        if not sources.size:
+            continue
+        if use_weights:
+            weights = np.asarray(index.in_weights[u], dtype=np.float64)
+        else:
+            weights = np.ones(sources.size, dtype=np.float64)
+        total = weights.sum()
+        if total <= 0.0:
+            continue
+        rows.append(sources)
+        cols.append(np.full(sources.size, u, dtype=np.int64))
+        data.append(weights / total)
+    if not rows:
+        return sp.csr_matrix((n, n), dtype=np.float64)
+    matrix = sp.csr_matrix(
+        (
+            np.concatenate(data),
+            (np.concatenate(rows), np.concatenate(cols)),
+        ),
+        shape=(n, n),
+        dtype=np.float64,
+    )
+    matrix.sum_duplicates()
+    return matrix

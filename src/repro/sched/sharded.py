@@ -939,6 +939,8 @@ class ShardedRuntime(ServingRuntime):
                 acquisition.engine.method if degraded[i] and acquisition
                 else self._method,
                 elapsed_ms,
+                tier=acquisition.tier if degraded[i] and acquisition
+                else None,
             ), request, trace_id, **(timing or {})))
 
     def _execute_batch_sharded(self, request, pos_u: int) -> None:
@@ -964,6 +966,7 @@ class ShardedRuntime(ServingRuntime):
             method=acquisition.engine.method
             if acquisition and any_degraded else self._method,
             elapsed_ms=elapsed_ms,
+            tier=acquisition.tier if acquisition and any_degraded else None,
         ), request, **(timing or {})))
 
     def _execute_topk_sharded(self, request, pos_u: int) -> None:
@@ -1071,6 +1074,7 @@ class ShardedRuntime(ServingRuntime):
             method=acquisition.engine.method
             if acquisition and any_degraded else self._method,
             elapsed_ms=elapsed_ms,
+            tier=acquisition.tier if acquisition and any_degraded else None,
         ), request, **(timing or {})))
 
     def __repr__(self) -> str:

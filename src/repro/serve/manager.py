@@ -60,6 +60,7 @@ class _EngineState:
     engine: QueryEngine
     degraded: bool
     generation: int
+    tier: str = "primary"
 
 
 @dataclass(slots=True)
@@ -69,6 +70,7 @@ class Acquisition:
     engine: QueryEngine
     degraded: bool
     retries: int
+    tier: str = "primary"
 
 
 class IndexManager:
@@ -77,10 +79,10 @@ class IndexManager:
     Parameters
     ----------
     graph, measure:
-        The model to serve.  Required for the degraded fallback (the
-        iterative solver needs them); may be omitted when *index_path*
-        names a self-contained artifact — but then no degradation is
-        possible and persistent index loss raises
+        The model to serve.  Required for the degraded fallback ladder
+        (lowrank, then iterative — both build from them); may be omitted
+        when *index_path* names a self-contained artifact — but then no
+        degradation is possible and persistent index loss raises
         :class:`~repro.serve.errors.IndexUnavailableError`.
     index_path:
         Serve from a prebuilt ``repro index build`` artifact
@@ -170,7 +172,7 @@ class IndexManager:
             else:
                 retries = 0
             state = self._state
-        return Acquisition(state.engine, state.degraded, retries)
+        return Acquisition(state.engine, state.degraded, retries, state.tier)
 
     def engine(self) -> QueryEngine:
         """The current engine (mostly for benchmarks and tests)."""
@@ -200,6 +202,9 @@ class IndexManager:
                 if state is not None else 0
             ),
             "mutations_applied": self._mutations_applied,
+            "degraded_tier": (
+                state.tier if state is not None and state.degraded else None
+            ),
             "circuit": self.breaker.state.value,
             "rebuild_in_flight": self._rebuild_in_flight,
             "last_error": str(self._last_error) if self._last_error else None,
@@ -336,28 +341,55 @@ class IndexManager:
             if key in ("backend", "backend_config") and value is not None
         }
 
-    def _fallback_engine(self) -> QueryEngine:
-        """The disk-free exact engine degraded responses are served from."""
+    def _fallback_engine(self) -> tuple[QueryEngine, str]:
+        """The disk-free degraded engine and its tier name.
+
+        Two-rung ladder below the primary: a rank-r low-rank
+        factorization first (O(n·r) memory, approximate but fast), the
+        dense iterative solver as the floor (exact, O(N²)).  The low-rank
+        rung is skipped when the primary *is* one of the fallback
+        families (degrading lowrank to lowrank hides nothing) and on any
+        build failure — the floor must always answer.
+        """
         if self.graph is None:
             raise IndexUnavailableError(
                 f"primary index is unavailable ({self._last_error}) and no "
-                f"graph was provided for an iterative fallback"
+                f"graph was provided for a degraded fallback"
             )
+        primary_method = self.engine_kwargs.get("method", "mc")
+        if primary_method not in ("lowrank", "iterative"):
+            kwargs = {
+                key: value
+                for key, value in self.engine_kwargs.items()
+                if key in ("decay", "theta", "seed", "rank", "tolerance")
+            }
+            try:
+                engine = QueryEngine(
+                    self.graph, self.measure, method="lowrank", **kwargs
+                )
+                return engine, "lowrank"
+            except Exception as exc:  # noqa: BLE001 — floor must answer
+                log_event(
+                    _LOG, "serve.lowrank_tier_failed", error=str(exc)
+                )
         kwargs = {
             key: value
             for key, value in self.engine_kwargs.items()
             if key in ("decay", "max_iterations", "tolerance")
         }
-        return QueryEngine(
+        engine = QueryEngine(
             self.graph, self.measure, method="iterative", **kwargs
         )
+        return engine, "iterative"
 
-    def _publish(self, engine: QueryEngine, degraded: bool) -> None:
+    def _publish(
+        self, engine: QueryEngine, degraded: bool, tier: str = "primary"
+    ) -> None:
         self._generation += 1
-        self._state = _EngineState(engine, degraded, self._generation)
+        self._state = _EngineState(engine, degraded, self._generation, tier)
         # the cached handout every post-activation acquire() returns;
         # retries are a per-activation detail, so the steady state is 0
-        self._acquisition = Acquisition(engine, degraded, 0)
+        self._acquisition = Acquisition(engine, degraded, 0, tier)
         if is_enabled():
             INDEX_GENERATION.set(float(self._generation))
 
@@ -392,9 +424,11 @@ class IndexManager:
                     _LOG, "serve.primary_failed",
                     error=str(exc), retries=retries,
                 )
-        fallback = self._fallback_engine()
-        self._publish(fallback, degraded=True)
-        log_event(_LOG, "serve.degraded", error=str(self._last_error))
+        fallback, tier = self._fallback_engine()
+        self._publish(fallback, degraded=True, tier=tier)
+        log_event(
+            _LOG, "serve.degraded", error=str(self._last_error), tier=tier
+        )
         if self.background_rebuild:
             self._spawn_rebuild()
         return retries

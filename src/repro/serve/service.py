@@ -50,6 +50,8 @@ def _annotations(response) -> dict:
     latency breakdown in microseconds.
     """
     extra: dict = {}
+    if response.tier is not None:
+        extra["tier"] = response.tier
     if response.trace_id is not None:
         extra["trace_id"] = response.trace_id
     if response.timings is not None:
@@ -71,6 +73,7 @@ class QueryResponse:
     retries: int
     method: str
     elapsed_ms: float
+    tier: str | None = None
     trace_id: str | None = None
     timings: dict | None = None
 
@@ -100,6 +103,7 @@ class BatchResponse:
     retries: int
     method: str
     elapsed_ms: float
+    tier: str | None = None
     trace_id: str | None = None
     timings: dict | None = None
 
@@ -126,6 +130,7 @@ class TopKResponse:
     retries: int
     method: str
     elapsed_ms: float
+    tier: str | None = None
     trace_id: str | None = None
     timings: dict | None = None
 
@@ -251,6 +256,7 @@ class QueryService:
         return QueryResponse(
             u, v, float(value), degraded, acquisition.retries,
             engine.method, elapsed_ms,
+            tier=acquisition.tier if degraded else None,
         )
 
     def batch(
@@ -267,6 +273,7 @@ class QueryService:
             u=u, candidates=candidates, values=values,
             degraded=acquisition.degraded, retries=acquisition.retries,
             method=acquisition.engine.method, elapsed_ms=elapsed_ms,
+            tier=acquisition.tier if acquisition.degraded else None,
         )
 
     def top_k(
@@ -293,6 +300,7 @@ class QueryService:
             u=u, k=k, results=tuple(results),
             degraded=acquisition.degraded, retries=acquisition.retries,
             method=acquisition.engine.method, elapsed_ms=elapsed_ms,
+            tier=acquisition.tier if acquisition.degraded else None,
         )
 
     def backend_name(self) -> str | None:

@@ -1,0 +1,139 @@
+"""Unit tests for the rank-r factored estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.linear import LowRankSemSim
+
+from tests.conftest import build_taxonomy_graph, random_hin_with_measure
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_taxonomy_graph()
+
+
+@pytest.fixture(scope="module")
+def estimator(model):
+    graph, measure = model
+    return LowRankSemSim.build(graph, measure, decay=0.6, rank=4, seed=0)
+
+
+class TestBuild:
+    def test_rank_capped_at_n(self, model):
+        graph, measure = model
+        n = len(list(graph.nodes()))
+        built = LowRankSemSim.build(graph, measure, rank=10 * n)
+        assert built.rank == n
+
+    def test_rejects_bad_rank(self, model):
+        graph, measure = model
+        with pytest.raises(ConfigurationError):
+            LowRankSemSim.build(graph, measure, rank=0)
+
+    def test_factor_shapes(self, estimator, model):
+        graph, _ = model
+        n = len(list(graph.nodes()))
+        assert estimator.factors.shape == (n, 4)
+        assert estimator.eigenvalues.shape == (4,)
+        assert estimator.diag.shape == (n,)
+        assert estimator.exact_diagonal  # small graph: dense-exact path
+
+    def test_constructor_validates_shapes(self, model):
+        graph, measure = model
+        n = len(list(graph.nodes()))
+        with pytest.raises(ConfigurationError):
+            LowRankSemSim(
+                graph, measure,
+                np.zeros((n + 1, 4)), np.zeros(4), np.zeros(n),
+            )
+        with pytest.raises(ConfigurationError):
+            LowRankSemSim(
+                graph, measure,
+                np.zeros((n, 4)), np.zeros(3), np.zeros(n),
+            )
+
+
+class TestQueries:
+    def test_identity_pinned(self, estimator):
+        assert estimator.similarity("mid1", "mid1") == 1.0
+
+    def test_scores_clipped_to_unit_interval(self, estimator, model):
+        graph, _ = model
+        row = estimator.single_source("mid1")
+        assert set(row) == set(graph.nodes())
+        assert all(0.0 <= v <= 1.0 for v in row.values())
+
+    def test_scalar_matches_batch(self, estimator, model):
+        graph, _ = model
+        nodes = sorted(graph.nodes(), key=str)
+        batch = estimator.similarity_batch("mid1", nodes)
+        for node, value in zip(nodes, batch):
+            assert estimator.similarity("mid1", node) == pytest.approx(
+                float(value), abs=1e-12
+            )
+
+    def test_theta_gate(self, model):
+        graph, measure = model
+        gated = LowRankSemSim.build(graph, measure, rank=4, theta=0.9)
+        row = gated.single_source("x1")
+        for node, value in row.items():
+            if node != "x1" and measure.similarity("x1", node) <= 0.9:
+                assert value == 0.0
+
+    def test_unknown_node_raises(self, estimator):
+        with pytest.raises(NodeNotFoundError):
+            estimator.similarity("ghost", "mid1")
+
+
+class TestTruncation:
+    def test_truncated_is_a_prefix_view(self, estimator):
+        half = estimator.truncated(2)
+        assert half.rank == 2
+        np.testing.assert_array_equal(half.factors, estimator.factors[:, :2])
+        np.testing.assert_array_equal(
+            half.eigenvalues, estimator.eigenvalues[:2]
+        )
+
+    def test_truncated_validates_rank(self, estimator):
+        with pytest.raises(ConfigurationError):
+            estimator.truncated(0)
+        with pytest.raises(ConfigurationError):
+            estimator.truncated(estimator.rank + 1)
+
+    def test_error_monotone_in_rank(self, model):
+        graph, measure = model
+        n = len(list(graph.nodes()))
+        full = LowRankSemSim.build(graph, measure, rank=n)
+        target = full.reconstruct()
+        errors = [
+            float(np.linalg.norm(target - full.truncated(r).reconstruct()))
+            for r in range(1, n + 1)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(errors, errors[1:]))
+
+
+class TestRandomizedPath:
+    def test_same_seed_is_deterministic(self, model):
+        graph, measure = model
+        kwargs = dict(rank=6, seed=11, dense_limit=1)  # force randomized
+        a = LowRankSemSim.build(graph, measure, **kwargs)
+        b = LowRankSemSim.build(graph, measure, **kwargs)
+        assert not a.exact_diagonal
+        np.testing.assert_array_equal(a.factors, b.factors)
+        np.testing.assert_array_equal(a.eigenvalues, b.eigenvalues)
+
+    def test_randomized_tracks_dense_kernel(self):
+        graph, measure = random_hin_with_measure(
+            3, num_entities=8, extra_edges=8
+        )
+        n = len(list(graph.nodes()))
+        dense = LowRankSemSim.build(graph, measure, rank=n)
+        sketch = LowRankSemSim.build(
+            graph, measure, rank=n, seed=5, dense_limit=1
+        )
+        # same series kernel up to the diagonal model: scores correlate
+        row_dense = np.array(list(dense.single_source("e0").values()))
+        row_sketch = np.array(list(sketch.single_source("e0").values()))
+        assert np.corrcoef(row_dense, row_sketch)[0, 1] > 0.9

@@ -1,0 +1,134 @@
+"""Unit tests for the linearized single-source solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import semsim_scores
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.linear import LinearSemSim, series_tail, series_terms
+
+from tests.conftest import build_taxonomy_graph, random_hin_with_measure
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_taxonomy_graph()
+
+
+@pytest.fixture(scope="module")
+def solver(model):
+    graph, measure = model
+    return LinearSemSim(graph, measure, decay=0.6)
+
+
+class TestConstruction:
+    def test_rejects_bad_decay(self, model):
+        graph, measure = model
+        with pytest.raises(ConfigurationError):
+            LinearSemSim(graph, measure, decay=1.5)
+
+    def test_rejects_bad_theta(self, model):
+        graph, measure = model
+        with pytest.raises(ConfigurationError):
+            LinearSemSim(graph, measure, theta=2.0)
+
+    def test_rejects_bad_max_states(self, model):
+        graph, measure = model
+        with pytest.raises(ConfigurationError):
+            LinearSemSim(graph, measure, max_states=0)
+
+    def test_depth_follows_series_bound(self, model):
+        graph, measure = model
+        solver = LinearSemSim(graph, measure, decay=0.6, tolerance=1e-8)
+        assert solver.depth == series_terms(0.6, 0.5e-8)
+
+
+class TestScores:
+    def test_identity_pinned(self, solver):
+        assert solver.similarity("mid1", "mid1") == 1.0
+
+    def test_scalar_matches_batch(self, solver, model):
+        graph, _ = model
+        nodes = sorted(graph.nodes(), key=str)
+        batch = solver.similarity_batch("mid1", nodes)
+        for node, value in zip(nodes, batch):
+            assert solver.similarity("mid1", node) == pytest.approx(
+                float(value), abs=1e-12
+            )
+
+    def test_single_source_covers_graph(self, solver, model):
+        graph, _ = model
+        row = solver.single_source("mid1")
+        assert set(row) == set(graph.nodes())
+        assert all(0.0 <= v <= 1.0 for v in row.values())
+
+    def test_matches_dense_oracle(self, model):
+        graph, measure = model
+        solver = LinearSemSim(graph, measure, decay=0.6, tolerance=1e-9)
+        table = semsim_scores(
+            graph, measure, decay=0.6, tolerance=1e-13, max_iterations=400
+        )
+        row = solver.single_source("mid1")
+        bound = solver.last_report.residual_bound + 1e-9
+        for node, value in row.items():
+            assert value == pytest.approx(table.score("mid1", node), abs=bound)
+
+    def test_theta_gate_zeroes_below_threshold(self, model):
+        graph, measure = model
+        gated = LinearSemSim(graph, measure, decay=0.6, theta=0.9)
+        row = gated.single_source("x1")
+        for node, value in row.items():
+            if node != "x1" and measure.similarity("x1", node) <= 0.9:
+                assert value == 0.0
+        assert gated.stats.as_dict()["sem_gate_hits"] > 0
+
+    def test_unknown_node_raises(self, solver):
+        with pytest.raises(NodeNotFoundError):
+            solver.similarity("ghost", "mid1")
+
+
+class TestReport:
+    def test_report_populated_and_converged(self, model):
+        graph, measure = model
+        solver = LinearSemSim(graph, measure, decay=0.6, tolerance=1e-8)
+        solver.similarity("mid1", "mid2")
+        report = solver.last_report
+        assert report is not None
+        assert report.states >= 1
+        assert report.iterations >= 1
+        assert report.converged
+        assert report.residual_bound <= 1e-8
+
+    def test_truncated_bfs_pays_the_series_tail(self, model):
+        graph, measure = model
+        solver = LinearSemSim(graph, measure, decay=0.6, tolerance=1e-8)
+        solver.depth = 2  # force truncation on a deeper graph
+        solver.similarity("x1", "x2")
+        report = solver.last_report
+        assert report.depth == 2
+        assert report.tail == pytest.approx(series_tail(0.6, 2))
+        assert report.residual_bound >= report.tail
+
+
+class TestMemoryGuard:
+    def test_max_states_guard_raises_clear_error(self, model):
+        graph, measure = model
+        tiny = LinearSemSim(graph, measure, decay=0.6, max_states=2)
+        with pytest.raises(ConfigurationError, match="max_states"):
+            tiny.single_source("mid1")
+
+    def test_guard_error_points_at_alternatives(self, model):
+        graph, measure = model
+        tiny = LinearSemSim(graph, measure, decay=0.6, max_states=2)
+        with pytest.raises(ConfigurationError, match="estimator"):
+            tiny.single_source("mid1")
+
+
+class TestClassicMode:
+    def test_measure_none_gives_unit_semantics(self):
+        graph, _ = random_hin_with_measure(7, num_entities=6, extra_edges=4)
+        solver = LinearSemSim(graph, None, decay=0.6)
+        nodes = sorted(graph.nodes(), key=str)
+        scores = solver.similarity_batch(nodes[0], nodes)
+        assert np.all(scores >= 0.0) and np.all(scores <= 1.0)
+        assert scores[nodes.index(nodes[0])] == 1.0

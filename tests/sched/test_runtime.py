@@ -89,7 +89,8 @@ class TestDegradation:
         for future in futures:
             response = future.result(timeout=1)
             assert response.degraded
-            assert response.method == "iterative"
+            assert response.method == "lowrank"  # middle degradation tier
+            assert response.tier == "lowrank"
         delta = metrics_delta()
         assert delta["counters"]["degraded_queries_total"] == 2
         assert delta["counters"]['serve_requests_total{outcome="degraded"}'] == 2

@@ -26,18 +26,30 @@ from tests.serve.conftest import ENGINE_KWARGS
 
 @pytest.fixture
 def oracle(model):
-    """Direct engines: every served value must equal one of these, exactly."""
+    """Direct engines: every served value must equal one of these, exactly.
+
+    The degraded tiers are rebuilt with exactly the kwargs subset the
+    manager's fallback ladder forwards (``seed`` from ENGINE_KWARGS for
+    lowrank), so degraded responses must match bit for bit too.
+    """
     graph, measure = model
     mc = QueryEngine(graph, measure, **ENGINE_KWARGS)
+    lowrank = QueryEngine(
+        graph, measure, method="lowrank", seed=ENGINE_KWARGS["seed"]
+    )
     iterative = QueryEngine(graph, measure, method="iterative")
-    return {"mc": mc, "iterative": iterative}
+    return {"mc": mc, "lowrank": lowrank, "iterative": iterative}
 
 
 def assert_correct(response, oracle):
     """A response is never wrong: it matches the engine its method names."""
     expected = oracle[response.method].score(response.u, response.v)
     assert response.value == expected
-    assert response.degraded == (response.method == "iterative")
+    assert response.degraded == (response.method in ("lowrank", "iterative"))
+    if response.degraded:
+        assert response.tier == response.method
+    else:
+        assert response.tier is None
 
 
 class TestInjectedEIO:
@@ -66,7 +78,7 @@ class TestInjectedEIO:
             response = service.query("e0", "e1")
             assert_correct(response, oracle)
             assert response.degraded
-            assert response.method == "iterative"
+            assert response.method == "lowrank"  # the middle tier answers
             # initial attempt + 2 retries all hit the seam
             assert faults.invocations("walks.load") == 3
         delta = metrics_delta()

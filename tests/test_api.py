@@ -174,6 +174,88 @@ class TestQueries:
         assert all(u != v for u, v in pairs)
 
 
+class TestLinearFamilies:
+    """The linear/lowrank engine families through the facade."""
+
+    def test_estimator_alias_selects_method(self, taxonomy_graph):
+        graph, measure = taxonomy_graph
+        engine = QueryEngine(graph, measure, estimator="linear")
+        assert engine.method == "linear"
+        engine = QueryEngine(graph, measure, estimator="lowrank", rank=4)
+        assert engine.method == "lowrank"
+        assert engine.rank == 4
+
+    def test_estimator_conflicting_with_method_rejected(self, taxonomy_graph):
+        graph, measure = taxonomy_graph
+        with pytest.raises(ConfigurationError, match="estimator"):
+            QueryEngine(graph, measure, method="iterative",
+                        estimator="lowrank")
+
+    def test_linear_tracks_iterative_oracle(self, taxonomy_graph):
+        from repro.core import semsim_scores
+
+        graph, measure = taxonomy_graph
+        linear = QueryEngine(graph, measure, method="linear",
+                             tolerance=1e-9)
+        table = semsim_scores(graph, measure, decay=0.6, tolerance=1e-13,
+                              max_iterations=400)
+        for node in graph.nodes():
+            assert linear.score("mid1", node) == pytest.approx(
+                table.score("mid1", node), abs=1e-7
+            )
+
+    def test_lowrank_full_rank_reproduces_iterative(self, taxonomy_graph):
+        # the dense-exact path factors the sem-embedded kernel, so a
+        # full-rank build reproduces the iterative fixed point outright
+        graph, measure = taxonomy_graph
+        n = graph.num_nodes
+        lowrank = QueryEngine(graph, measure, method="lowrank", rank=n,
+                              theta=None)
+        oracle = QueryEngine(graph, measure, method="iterative",
+                             tolerance=1e-12)
+        for node in graph.nodes():
+            assert lowrank.score("mid1", node) == pytest.approx(
+                oracle.score("mid1", node), abs=1e-9
+            )
+
+    def test_join_requires_candidate_generation(self, taxonomy_graph):
+        graph, measure = taxonomy_graph
+        for method in ("linear", "lowrank"):
+            engine = QueryEngine(graph, measure, method=method)
+            with pytest.raises(ConfigurationError, match="candidate"):
+                engine.join(0.1)
+
+    def test_rank_validated(self, taxonomy_graph):
+        graph, measure = taxonomy_graph
+        with pytest.raises(ConfigurationError, match="rank"):
+            QueryEngine(graph, measure, method="lowrank", rank=0)
+
+    def test_lowrank_save_open_roundtrip(self, taxonomy_graph, tmp_path):
+        graph, measure = taxonomy_graph
+        engine = QueryEngine(graph, measure, method="lowrank", rank=4,
+                             seed=2)
+        path = engine.save(tmp_path / "lowrank.idx")
+        reopened = QueryEngine.open(path)
+        assert reopened.method == "lowrank"
+        assert reopened.rank == 4
+        nodes = list(graph.nodes())
+        np.testing.assert_array_equal(
+            engine.score_batch("mid1", nodes),
+            reopened.score_batch("mid1", nodes),
+        )
+
+    def test_linear_save_open_roundtrip(self, taxonomy_graph, tmp_path):
+        graph, measure = taxonomy_graph
+        engine = QueryEngine(graph, measure, method="linear")
+        path = engine.save(tmp_path / "linear.idx")
+        reopened = QueryEngine.open(path)
+        assert reopened.method == "linear"
+        for node in graph.nodes():
+            assert reopened.score("mid1", node) == pytest.approx(
+                engine.score("mid1", node), abs=1e-7
+            )
+
+
 class TestStats:
     def test_stats_are_per_engine(self, taxonomy_graph):
         graph, measure = taxonomy_graph

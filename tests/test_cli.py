@@ -143,6 +143,57 @@ class TestIndexCommands:
         assert "no artifact" in capsys.readouterr().err
 
 
+class TestEstimatorFamilies:
+    """The --estimator flag and the `estimators list` registry view."""
+
+    @pytest.fixture(scope="class")
+    def bundle_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-est") / "wordnet.json"
+        assert main(["generate", "wordnet", "--out", str(path), "--seed", "1"]) == 0
+        return path
+
+    def test_estimators_list_names_all_families(self, capsys):
+        assert main(["estimators", "list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("iterative", "mc", "linear", "lowrank"):
+            assert family in out
+        assert "mutations" in out and "shardable" in out
+
+    def test_query_with_linear_estimator(self, bundle_path, capsys):
+        assert main([
+            "query", str(bundle_path), "n3", "n4", "--estimator", "linear",
+        ]) == 0
+        assert "[linear]" in capsys.readouterr().out
+
+    def test_estimator_supersedes_method(self, bundle_path, capsys):
+        assert main([
+            "query", str(bundle_path), "n3", "n4",
+            "--method", "mc", "--estimator", "iterative",
+        ]) == 0
+        assert "[iterative]" in capsys.readouterr().out
+
+    def test_lowrank_index_build_roundtrip(self, bundle_path, tmp_path, capsys):
+        out_path = tmp_path / "lowrank.idx"
+        assert main([
+            "index", "build", str(bundle_path), "--out", str(out_path),
+            "--estimator", "lowrank", "--rank", "8",
+        ]) == 0
+        assert "method=lowrank" in capsys.readouterr().out
+        assert main(["index", "info", str(out_path)]) == 0
+        info = capsys.readouterr().out
+        assert "method: lowrank" in info
+        assert "lowrank_factors" in info
+        assert main(["query", "--index", str(out_path), "n3", "n4"]) == 0
+        assert "[lowrank, from index]" in capsys.readouterr().out
+
+    def test_unknown_estimator_rejected(self, bundle_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "query", str(bundle_path), "n3", "n4",
+                "--estimator", "exact",
+            ])
+
+
 class TestServe:
     """The `serve` line protocol: ready banner, responses, health, errors."""
 
